@@ -1,0 +1,188 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   and runs a bechamel microbenchmark suite over the core mechanisms.
+
+   Usage: main.exe [all|tab1|tab2|tab3|tab4|fig1|fig2|fig5|fig6|fig7|
+                    fig8|fig9|fig10|dma|batching|ablation|micro] *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks over the hot mechanisms                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_p2m () =
+  let p2m = Xen.P2m.create ~frames:4096 in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      let pfn = !i land 4095 in
+      incr i;
+      Xen.P2m.set p2m pfn ~mfn:pfn ~writable:true;
+      ignore (Xen.P2m.get p2m pfn);
+      ignore (Xen.P2m.invalidate p2m pfn))
+
+let bench_buddy () =
+  let buddy = Memory.Buddy.create ~base:0 ~frames:65536 in
+  Bechamel.Staged.stage (fun () ->
+      match Memory.Buddy.alloc buddy ~order:3 with
+      | Some base -> Memory.Buddy.free buddy ~base ~order:3
+      | None -> assert false)
+
+let bench_pv_queue () =
+  let queue = Guest.Pv_queue.create ~partitions:4 ~capacity:128 ~flush:(fun _ -> 0.0) () in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      incr i;
+      Guest.Pv_queue.record queue (Guest.Pv_queue.Release (!i land 0xffff)))
+
+let bench_replay () =
+  let ops =
+    Array.init 256 (fun i ->
+        if i land 1 = 0 then Guest.Pv_queue.Release (i / 2) else Guest.Pv_queue.Alloc (i / 2))
+  in
+  Bechamel.Staged.stage (fun () ->
+      Guest.Pv_queue.replay ops ~f:(fun _ _ -> ()))
+
+let bench_route () =
+  let topo = Numa.Amd48.topology () in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      incr i;
+      Numa.Topology.route topo (!i land 7) ((!i lsr 3) land 7))
+
+let bench_counters () =
+  let counters = Numa.Counters.create (Numa.Amd48.topology ()) in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      incr i;
+      Numa.Counters.record_accesses counters ~src:(!i land 7) ~dst:((!i lsr 3) land 7)
+        ~count:100.0 ~bytes_per_access:64.0)
+
+let bench_carrefour_decide () =
+  let rng = Sim.Rng.create ~seed:1 in
+  let hot =
+    List.init 128 (fun i ->
+        {
+          Policies.Carrefour.pfn = i;
+          node_accesses = Array.init 8 (fun n -> if n = 0 then 100.0 else 5.0);
+          read_fraction = 0.5;
+        })
+  in
+  let metrics =
+    {
+      Policies.Carrefour.System_component.controller_util =
+        [| 0.9; 0.1; 0.1; 0.1; 0.1; 0.1; 0.1; 0.1 |];
+      max_link_util = 0.5;
+      imbalance = 2.0;
+      hot_pages = hot;
+    }
+  in
+  let config = Policies.Carrefour.User_component.default_config in
+  Bechamel.Staged.stage (fun () ->
+      Policies.Carrefour.User_component.decide config ~rng ~metrics ~current_node:(fun _ ->
+          Some 0))
+
+let bench_zipf () =
+  let rng = Sim.Rng.create ~seed:2 in
+  Bechamel.Staged.stage (fun () -> Sim.Rng.zipf rng ~n:32768 ~s:0.9)
+
+let bench_eventq () =
+  let q = Sim.Eventq.create () in
+  Bechamel.Staged.stage (fun () ->
+      Sim.Eventq.schedule_after q ~delay:1.0 ();
+      ignore (Sim.Eventq.next q))
+
+let bench_engine_epoch () =
+  (* One full small run: the per-epoch cost of the whole engine. *)
+  let app =
+    match Workloads.Catalogue.find "swaptions" with Some a -> a | None -> assert false
+  in
+  Bechamel.Staged.stage (fun () ->
+      let vm = Engine.Config.vm ~threads:8 ~policy:Policies.Spec.round_4k app in
+      let cfg = Engine.Config.make ~seed:1 ~max_epochs:10 ~mode:Engine.Config.Linux [ vm ] in
+      ignore (Engine.Runner.run cfg))
+
+let micro_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"p2m set/get/invalidate" (bench_p2m ());
+    Test.make ~name:"buddy alloc+free order3" (bench_buddy ());
+    Test.make ~name:"pv_queue record(+flush)" (bench_pv_queue ());
+    Test.make ~name:"queue replay (256 ops)" (bench_replay ());
+    Test.make ~name:"topology route" (bench_route ());
+    Test.make ~name:"counters record" (bench_counters ());
+    Test.make ~name:"carrefour decide (128 hot)" (bench_carrefour_decide ());
+    Test.make ~name:"rng zipf 32k" (bench_zipf ());
+    Test.make ~name:"eventq schedule+next" (bench_eventq ());
+    Test.make ~name:"engine 10-epoch run" (bench_engine_epoch ());
+  ]
+
+let run_micro () =
+  section "Microbenchmarks (bechamel)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg instances elt in
+          let estimate = Analyze.one ols Toolkit.Instance.monotonic_clock result in
+          match Analyze.OLS.estimates estimate with
+          | Some [ t ] -> Printf.printf "%-28s %12.1f ns/op\n" (Test.Elt.name elt) t
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n" (Test.Elt.name elt))
+        (Test.elements test))
+    micro_tests
+
+(* ------------------------------------------------------------------ *)
+(* Experiment sections                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("tab2", fun () -> section "Table 2"; Experiments.Single_vm.print_tab2 ());
+    ("tab3", fun () -> section "Table 3"; Experiments.Micro.print_tab3 ());
+    ("fig5", fun () -> section "Figure 5"; Experiments.Micro.print_fig5 ());
+    ("dma", fun () -> section "DMA paths (Sections 2.2.2, 5.3.1, 4.4.1)"; Experiments.Micro.print_dma ());
+    ( "batching",
+      fun () -> section "Hypercall batching (Sections 4.2.3-4.2.4)"; Experiments.Micro.print_batching () );
+    ("tab1", fun () -> section "Table 1"; Experiments.Single_vm.print_tab1 ());
+    ("fig1", fun () -> section "Figure 1"; Experiments.Single_vm.print_fig1 ());
+    ("fig2", fun () -> section "Figure 2"; Experiments.Single_vm.print_fig2 ());
+    ("fig6", fun () -> section "Figure 6"; Experiments.Single_vm.print_fig6 ());
+    ("fig7", fun () -> section "Figure 7"; Experiments.Single_vm.print_fig7 ());
+    ("tab4", fun () -> section "Table 4"; Experiments.Single_vm.print_tab4 ());
+    ("fig8", fun () -> section "Figure 8"; Experiments.Multi_vm.print_fig8 ());
+    ("fig9", fun () -> section "Figure 9"; Experiments.Multi_vm.print_fig9 ());
+    ("fig10", fun () -> section "Figure 10"; Experiments.Single_vm.print_fig10 ());
+    ( "ablation",
+      fun () ->
+        section "Ablations";
+        Experiments.Ablation.print_replay_direction ();
+        Experiments.Ablation.print_mcs ();
+        Experiments.Ablation.print_round1g_fragmentation ();
+        Experiments.Ablation.print_replication ();
+        Experiments.Ablation.print_huge_pages ();
+        Experiments.Ablation.print_carrefour_heuristics () );
+    ( "motivation",
+      fun () -> section "Motivation (Section 1)"; Experiments.Motivation.print () );
+    ( "generality",
+      fun () -> section "Topology generality"; Experiments.Generality.print () );
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let requested = if requested = [] || requested = [ "all" ] then List.map fst sections else requested in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested

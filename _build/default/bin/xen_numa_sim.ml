@@ -1,0 +1,202 @@
+(* xen-numa-sim: run one application under a chosen mode and NUMA
+   policy on a simulated NUMA host (the paper's AMD48 by default). *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "linux" | "native" -> Ok Engine.Config.Linux
+    | "xen" -> Ok Engine.Config.Xen
+    | "xen+" | "xenplus" | "xen-plus" -> Ok Engine.Config.Xen_plus
+    | _ -> Error (`Msg (Printf.sprintf "unknown mode %S (linux|xen|xen+)" s))
+  in
+  let print fmt mode = Format.pp_print_string fmt (Engine.Config.mode_name mode) in
+  Arg.conv (parse, print)
+
+let policy_conv =
+  let parse s =
+    match Policies.Spec.of_string s with Ok p -> Ok p | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Policies.Spec.pp)
+
+let app_conv =
+  let parse s =
+    match Workloads.Catalogue.find s with
+    | Some app -> Ok app
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown application %S; try one of: %s" s
+                (String.concat ", " Workloads.Catalogue.names)))
+  in
+  let print fmt app = Format.pp_print_string fmt app.Workloads.App.name in
+  Arg.conv (parse, print)
+
+let app_arg =
+  Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Application to run.")
+
+let mode_arg =
+  Arg.(value & opt mode_conv Engine.Config.Xen_plus & info [ "m"; "mode" ] ~docv:"MODE"
+         ~doc:"Execution mode: linux, xen or xen+.")
+
+let policy_arg =
+  Arg.(value & opt policy_conv Policies.Spec.round_4k
+       & info [ "p"; "policy" ] ~docv:"POLICY"
+           ~doc:"NUMA policy: first-touch, round-4k, round-1g, optionally with /carrefour.")
+
+let threads_arg =
+  Arg.(value & opt int 48 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Threads (= vCPUs).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let mcs_arg =
+  Arg.(value & flag & info [ "mcs" ] ~doc:"Replace pthread mutex/condvar by MCS spin loops.")
+
+let huge_arg =
+  Arg.(value & flag & info [ "huge-pages" ] ~doc:"Back the application with 2 MiB pages.")
+
+let unpinned_arg =
+  Arg.(value & flag & info [ "unpinned" ]
+         ~doc:"Let the credit scheduler migrate vCPUs instead of pinning them.")
+
+let machine_conv =
+  let parse s =
+    match Numa.Machine_desc.find s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown machine %S (amd48|intel32)" s))
+  in
+  let print fmt m = Format.pp_print_string fmt m.Numa.Machine_desc.name in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(value & opt machine_conv Numa.Machine_desc.amd48
+       & info [ "machine" ] ~docv:"HOST" ~doc:"Simulated host: amd48 or intel32.")
+
+let run_app app mode policy threads seed mcs huge_pages unpinned machine =
+  let vm =
+    Engine.Config.vm ~threads ~use_mcs:mcs ~huge_pages ~pinned:(not unpinned) ~policy app
+  in
+  let cfg = Engine.Config.make ~seed ~machine ~mode [ vm ] in
+  let result = Engine.Runner.run cfg in
+  Format.printf "%a@." Engine.Result.pp result
+
+let run_cmd =
+  let doc = "Run one application under a NUMA policy" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_app $ app_arg $ mode_arg $ policy_arg $ threads_arg $ seed_arg $ mcs_arg
+          $ huge_arg $ unpinned_arg $ machine_arg)
+
+let list_apps () =
+  Report.Table.print
+    ~header:[ "app"; "suite"; "class"; "footprint"; "disk MB/s"; "ctx k/s"; "best linux"; "best xen+" ]
+    (List.map
+       (fun app ->
+         let p = app.Workloads.App.paper in
+         [
+           app.Workloads.App.name;
+           Workloads.App.suite_name app.Workloads.App.suite;
+           Workloads.App.class_name p.Workloads.App.class_;
+           Printf.sprintf "%d MB" app.Workloads.App.footprint_mb;
+           Printf.sprintf "%.0f" app.Workloads.App.disk_mb_s;
+           Printf.sprintf "%.1f" app.Workloads.App.ctx_switch_k_s;
+           Policies.Spec.name p.Workloads.App.best_linux;
+           Policies.Spec.name p.Workloads.App.best_xen;
+         ])
+       Workloads.Catalogue.all)
+
+let list_cmd =
+  let doc = "List the 29 applications of the catalogue" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_apps $ const ())
+
+let show_topo () =
+  let topo = Numa.Amd48.topology () in
+  Format.printf "%a@." Numa.Topology.pp topo;
+  Format.printf "@.Latency (cycles): L1 %.0f, L2 %.0f, L3 %.0f@."
+    (Numa.Latency.cache_cycles Numa.Amd48.latency Numa.Latency.L1)
+    (Numa.Latency.cache_cycles Numa.Amd48.latency Numa.Latency.L2)
+    (Numa.Latency.cache_cycles Numa.Amd48.latency Numa.Latency.L3);
+  List.iter
+    (fun hops ->
+      Format.printf "memory %d hop(s): %.0f cycles idle, %.0f contended@." hops
+        (Numa.Latency.mem_cycles Numa.Amd48.latency ~hops ~saturation:0.0)
+        (Numa.Latency.mem_cycles Numa.Amd48.latency ~hops ~saturation:1.0))
+    [ 0; 1; 2 ]
+
+let topo_cmd =
+  let doc = "Print the AMD48 topology and latency model" in
+  Cmd.v (Cmd.info "topology" ~doc) Term.(const show_topo $ const ())
+
+let compare_policies app mode threads seed =
+  let specs = Policies.Spec.all in
+  let rows =
+    List.map
+      (fun policy ->
+        let vm = Engine.Config.vm ~threads ~policy app in
+        let cfg = Engine.Config.make ~seed ~mode [ vm ] in
+        let result = Engine.Runner.run cfg in
+        let vm_result = Engine.Result.single result in
+        ( Policies.Spec.name policy,
+          vm_result.Engine.Result.completion,
+          result.Engine.Result.imbalance,
+          result.Engine.Result.interconnect_load,
+          vm_result.Engine.Result.local_fraction ))
+      specs
+  in
+  let best = List.fold_left (fun acc (_, c, _, _, _) -> Float.min acc c) Float.infinity rows in
+  Report.Table.print
+    ~header:[ "policy"; "completion"; "vs best"; "imbalance"; "interconnect"; "local" ]
+    (List.map
+       (fun (name, completion, imb, ic, local) ->
+         [
+           name;
+           Report.Table.fmt_secs completion;
+           Report.Table.fmt_ratio (completion /. best);
+           Report.Table.fmt_pct imb;
+           Report.Table.fmt_pct ic;
+           Report.Table.fmt_pct local;
+         ])
+       rows)
+
+let compare_cmd =
+  let doc = "Run one application under every NUMA policy and compare" in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const compare_policies $ app_arg $ mode_arg $ threads_arg $ seed_arg)
+
+let advise app mode seed =
+  let r = Engine.Advisor.recommend ~seed ~mode app in
+  Format.printf "%a@." Engine.Advisor.pp_recommendation r
+
+let advise_cmd =
+  let doc = "Profile an application and recommend a NUMA policy" in
+  Cmd.v (Cmd.info "advise" ~doc) Term.(const advise $ app_arg $ mode_arg $ seed_arg)
+
+let microsim machine =
+  let topo = machine.Numa.Machine_desc.topology () in
+  let freq = machine.Numa.Machine_desc.freq_hz in
+  Format.printf "request-level memory simulation on %s@." machine.Numa.Machine_desc.name;
+  List.iter
+    (fun hops ->
+      if hops <= Numa.Topology.diameter topo then begin
+        let idle = Microsim.Memsim.latency_probe ~topo ~threads:1 ~hops () in
+        let busy =
+          Microsim.Memsim.latency_probe ~topo ~threads:(Numa.Topology.cpu_count topo) ~hops ()
+        in
+        Format.printf "%d hop(s): idle %.0f cycles, contended %.0f cycles@." hops
+          (idle.Microsim.Memsim.mean_latency_ns *. freq /. 1e9)
+          (busy.Microsim.Memsim.mean_latency_ns *. freq /. 1e9)
+      end)
+    [ 0; 1; 2 ];
+  Format.printf "random-access controller efficiency: %.2f@."
+    (Microsim.Memsim.random_access_efficiency ~topo ())
+
+let microsim_cmd =
+  let doc = "Run the request-level memory-system probes" in
+  Cmd.v (Cmd.info "microsim" ~doc) Term.(const microsim $ machine_arg)
+
+let main =
+  let doc = "NUMA policies behind a hypervisor interface (EuroSys'17 reproduction)" in
+  Cmd.group (Cmd.info "xen-numa-sim" ~doc)
+    [ run_cmd; list_cmd; topo_cmd; compare_cmd; advise_cmd; microsim_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/carrefour_trace.ml: Array Format List Numa Policies Printf Sim Xen

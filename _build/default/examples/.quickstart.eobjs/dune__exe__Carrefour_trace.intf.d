@@ -1,0 +1,1 @@
+examples/carrefour_trace.mli:

@@ -1,0 +1,1 @@
+examples/consolidation.ml: Engine Format List Policies Workloads

@@ -1,0 +1,1 @@
+examples/epoch_trace.ml: Array Engine List Policies Printf Sys Workloads

@@ -1,0 +1,1 @@
+examples/policy_advisor.ml: Array Engine Float Format List Policies Sys Workloads

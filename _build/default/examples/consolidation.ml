@@ -1,0 +1,36 @@
+(* Consolidated workloads: two virtual machines share AMD48, each on
+   half of the NUMA nodes (the Figure 8 setup), with and without
+   per-VM NUMA policies.
+
+   dune exec examples/consolidation.exe *)
+
+let app name =
+  match Workloads.Catalogue.find name with
+  | Some app -> app
+  | None -> failwith ("catalogue is missing " ^ name)
+
+let run_pair policy_a policy_b =
+  let vms =
+    [
+      Engine.Config.vm ~threads:24 ~home_nodes:[| 0; 1; 2; 3 |] ~policy:policy_a (app "cg.C");
+      Engine.Config.vm ~threads:24 ~home_nodes:[| 4; 5; 6; 7 |] ~policy:policy_b (app "sp.C");
+    ]
+  in
+  Engine.Runner.run (Engine.Config.make ~seed:3 ~mode:Engine.Config.Xen_plus vms)
+
+let () =
+  print_endline "cg.C and sp.C colocated, 24 vCPUs each, disjoint node halves";
+  print_newline ();
+  (* Baseline: both VMs keep the round-1G default. *)
+  let base = run_pair Policies.Spec.round_1g Policies.Spec.round_1g in
+  Format.printf "both VMs on round-1G (Xen+ default):@.%a@.@." Engine.Result.pp base;
+  (* Each VM selects its best policy (Table 4) through the hypercall:
+     first-touch for cg.C, round-4K/Carrefour for sp.C. *)
+  let best = run_pair Policies.Spec.first_touch Policies.Spec.round_4k_carrefour in
+  Format.printf "per-VM best policies (first-touch | round-4k/carrefour):@.%a@.@."
+    Engine.Result.pp best;
+  List.iter
+    (fun name ->
+      Format.printf "%-6s improvement: %.2fx@." name
+        (Engine.Result.completion base name /. Engine.Result.completion best name))
+    [ "cg.C"; "sp.C" ]

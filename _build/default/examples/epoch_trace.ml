@@ -1,0 +1,33 @@
+(* Epoch trace: watch Carrefour converge, epoch by epoch, through the
+   engine's observer hook.  Prints a CSV you can plot: time, the
+   hottest controller's utilisation, the cumulative access imbalance,
+   and the locality the dynamic policy claws back after a first-touch
+   start that put the whole shared region on one node.
+
+   dune exec examples/epoch_trace.exe [app] > trace.csv *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "kmeans" in
+  let app =
+    match Workloads.Catalogue.find name with
+    | Some app -> app
+    | None ->
+        Printf.eprintf "unknown application %S\n" name;
+        exit 1
+  in
+  Printf.printf "# %s under first-touch/carrefour on xen+ (AMD48)\n" name;
+  Printf.printf "time_s,max_controller_util,imbalance,local_fraction,progress\n";
+  let observer (s : Engine.Config.epoch_snapshot) =
+    (* One line per second of simulated time keeps the trace readable. *)
+    if s.Engine.Config.epoch_index mod 10 = 0 then
+      Printf.printf "%.1f,%.3f,%.3f,%.3f,%.3f\n" s.Engine.Config.time
+        s.Engine.Config.max_controller_util s.Engine.Config.imbalance
+        (List.assoc app.Workloads.App.name s.Engine.Config.local_fraction)
+        (List.assoc app.Workloads.App.name s.Engine.Config.progress)
+  in
+  let vm = Engine.Config.vm ~policy:Policies.Spec.first_touch_carrefour app in
+  let cfg = Engine.Config.make ~seed:8 ~observer ~mode:Engine.Config.Xen_plus [ vm ] in
+  let result = Engine.Runner.run cfg in
+  let vm_result = Engine.Result.single result in
+  Printf.eprintf "completed in %.1f simulated seconds, %d pages migrated\n"
+    vm_result.Engine.Result.completion vm_result.Engine.Result.migrations

@@ -1,0 +1,45 @@
+(* Policy advisor: the paper's closing open problem — automatically
+   selecting the NUMA policy — implemented over the simulator.  The
+   advisor profiles each application briefly under first-touch,
+   classifies it with the paper's Section 3.5.2 thresholds, recommends
+   a policy, and the example validates the recommendation against an
+   exhaustive sweep.
+
+   dune exec examples/policy_advisor.exe [app ...] *)
+
+let apps_of_argv () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [] -> [ "cg.C"; "kmeans"; "sp.C"; "fluidanimate"; "facesim" ]
+  | names -> names
+
+let () =
+  let mode = Engine.Config.Xen_plus in
+  List.iter
+    (fun name ->
+      match Workloads.Catalogue.find name with
+      | None -> Format.printf "unknown application %S@." name
+      | Some app ->
+          Format.printf "== %s ==@." name;
+          let r = Engine.Advisor.recommend ~mode app in
+          Format.printf "%a@." Engine.Advisor.pp_recommendation r;
+          (* Validate against the exhaustive sweep. *)
+          let times =
+            List.map
+              (fun policy ->
+                let vm = Engine.Config.vm ~policy app in
+                let cfg = Engine.Config.make ~mode [ vm ] in
+                let result = Engine.Runner.run cfg in
+                (policy, (Engine.Result.single result).Engine.Result.completion))
+              Policies.Spec.all
+          in
+          let best_policy, best_time =
+            List.fold_left
+              (fun (bp, bt) (p, t) -> if t < bt then (p, t) else (bp, bt))
+              (Policies.Spec.first_touch, Float.infinity)
+              times
+          in
+          let recommended_time = List.assoc r.Engine.Advisor.policy times in
+          Format.printf "exhaustive best: %s (%.1f s); recommendation is within %.0f%%@.@."
+            (Policies.Spec.name best_policy) best_time
+            (100.0 *. ((recommended_time /. best_time) -. 1.0)))
+    (apps_of_argv ())

@@ -1,0 +1,1 @@
+lib/engine/advisor.ml: Config Format Policies Result Runner Workloads

@@ -1,0 +1,1 @@
+lib/engine/advisor.mli: Config Format Policies Workloads

@@ -1,0 +1,1 @@
+lib/engine/config.ml: List Numa Policies Workloads

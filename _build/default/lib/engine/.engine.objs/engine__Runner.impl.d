@@ -1,0 +1,1 @@
+lib/engine/runner.ml: Array Bytes Config Float Guest Hashtbl List Memory Numa Policies Result Sim Workloads Xen

@@ -1,0 +1,40 @@
+(** Automatic NUMA policy selection — the paper's closing open problem
+    ("automatically selecting the most efficient NUMA policy in an
+    hypervisor ... remains an open subject").
+
+    The advisor runs a short profiling window under the first-touch
+    policy and applies the paper's own Section 3.5.2 analysis:
+
+    - imbalance above 130 %: master–slave memory; balancing is needed —
+      recommend round-4K, with Carrefour to recover some locality;
+    - imbalance between 85 and 130 %: first-touch locality is good but
+      the load needs smoothing — recommend first-touch/Carrefour;
+    - imbalance below 85 %: thread-local memory — recommend
+      first-touch (Carrefour would only be misled by transient
+      bursts). *)
+
+type profile = {
+  imbalance : float;
+  interconnect_load : float;
+  local_fraction : float;
+  class_ : Workloads.App.imbalance_class;
+}
+
+type recommendation = {
+  profile : profile;
+  policy : Policies.Spec.t;
+  rationale : string;
+}
+
+val classify : imbalance:float -> Workloads.App.imbalance_class
+(** Table 1's thresholds: ≥ 130 % High, ≥ 85 % Moderate, else Low. *)
+
+val profile :
+  ?seed:int -> ?window:float -> mode:Config.mode -> Workloads.App.t -> profile
+(** Profile the application for a [window] (default 5 s simulated)
+    under first-touch. *)
+
+val recommend :
+  ?seed:int -> ?window:float -> mode:Config.mode -> Workloads.App.t -> recommendation
+
+val pp_recommendation : Format.formatter -> recommendation -> unit

@@ -1,0 +1,67 @@
+type mode = Linux | Xen | Xen_plus
+
+type vm_spec = {
+  app : Workloads.App.t;
+  threads : int;
+  policy : Policies.Spec.t;
+  home_nodes : Numa.Topology.node array option;
+  use_mcs : bool;
+  huge_pages : bool;
+  pinned : bool;
+}
+
+let vm ?home_nodes ?(use_mcs = false) ?(huge_pages = false) ?(pinned = true) ?(threads = 48)
+    ~policy app =
+  if threads <= 0 then invalid_arg "Config.vm: threads must be positive";
+  { app; threads; policy; home_nodes; use_mcs; huge_pages; pinned }
+
+type t = {
+  mode : mode;
+  vms : vm_spec list;
+  epoch : float;
+  seed : int;
+  max_epochs : int;
+  page_kib : int option;
+  carrefour_config : Policies.Carrefour.User_component.config option;
+  machine : Numa.Machine_desc.t;
+  observer : observer option;
+}
+
+and observer = epoch_snapshot -> unit
+
+and epoch_snapshot = {
+  epoch_index : int;
+  time : float;
+  imbalance : float;
+  max_controller_util : float;
+  max_link_util : float;
+  progress : (string * float) list;  (* app name, fraction of work done *)
+  local_fraction : (string * float) list;
+}
+
+let make ?(epoch = 0.1) ?(seed = 42) ?(max_epochs = 40_000) ?page_kib ?carrefour_config
+    ?(machine = Numa.Machine_desc.amd48) ?observer ~mode vms =
+  if vms = [] then invalid_arg "Config.make: no VMs";
+  if epoch <= 0.0 then invalid_arg "Config.make: epoch must be positive";
+  { mode; vms; epoch; seed; max_epochs; page_kib; carrefour_config; machine; observer }
+
+let mode_name = function Linux -> "linux" | Xen -> "xen" | Xen_plus -> "xen+"
+
+(* Pick a page granularity keeping the largest app around <= 48k pages:
+   small apps keep real 4 KiB pages, dc.B's 39 GB uses 1 MiB units. *)
+let heuristic_scale t =
+  let max_fp =
+    List.fold_left (fun acc vm -> max acc vm.app.Workloads.App.footprint_mb) 1 t.vms
+  in
+  let bytes = max_fp * 1024 * 1024 in
+  let rec fit scale =
+    if bytes / (4096 * scale) <= 49_152 || scale >= 1024 then scale else fit (scale * 2)
+  in
+  fit 1
+
+let page_scale t =
+  match t.page_kib with
+  | Some kib ->
+      if kib < 4 || kib land (kib - 1) <> 0 then invalid_arg "Config: page_kib must be a power of two >= 4";
+      kib / 4
+  | None -> heuristic_scale t

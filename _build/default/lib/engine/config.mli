@@ -1,0 +1,87 @@
+(** Run configurations for the simulator.
+
+    A run places one or more applications, each in its own execution
+    container, on the AMD48 model:
+
+    - [Linux]: the application runs natively; the NUMA policy is
+      Linux's (placement at the process page table level, no
+      virtualization costs, native I/O and IPIs);
+    - [Xen]: a domU with Xen's stock configuration — para-virtualized
+      I/O, virtualized IPIs;
+    - [Xen_plus]: the paper's improved baseline — PCI
+      passthrough/IOMMU I/O (disabled when the first-touch policy is
+      active: the IOMMU cannot tolerate invalid P2M entries) and,
+      where requested, MCS spin locks instead of futex sleeps. *)
+
+type mode = Linux | Xen | Xen_plus
+
+type vm_spec = {
+  app : Workloads.App.t;
+  threads : int;  (** Threads = vCPUs; pinned 1:1. *)
+  policy : Policies.Spec.t;
+  home_nodes : Numa.Topology.node array option;
+      (** Force the VM onto specific nodes (consolidation setups). *)
+  use_mcs : bool;
+      (** Replace pthread mutex/condvar by MCS spin loops (the Xen+
+          modification for facesim and streamcluster, also applied to
+          their Linux runs for fairness). *)
+  huge_pages : bool;
+      (** Back the application with 2 MiB pages (the paper's first
+          future-work item): TLB reach grows 512-fold, which matters
+          most under nested paging. *)
+  pinned : bool;
+      (** [true] (the paper's evaluation setting): vCPUs stay on their
+          boot pCPUs.  [false]: the credit scheduler may migrate them
+          to idle pCPUs — the load-balancing freedom the paper's
+          introduction argues for. *)
+}
+
+val vm : ?home_nodes:Numa.Topology.node array -> ?use_mcs:bool -> ?huge_pages:bool ->
+  ?pinned:bool -> ?threads:int -> policy:Policies.Spec.t -> Workloads.App.t -> vm_spec
+(** [threads] defaults to 48 (the full machine). *)
+
+type t = {
+  mode : mode;
+  vms : vm_spec list;
+  epoch : float;        (** Simulated epoch length, seconds. *)
+  seed : int;
+  max_epochs : int;
+  page_kib : int option;
+      (** Simulated page granularity in KiB (power of two, ≥ 4);
+          [None] picks one from the largest footprint so regions stay
+          in the tens of thousands of pages. *)
+  carrefour_config : Policies.Carrefour.User_component.config option;
+      (** Override the Carrefour user-component tuning (used by the
+          heuristic ablations); [None] = engine default. *)
+  machine : Numa.Machine_desc.t;
+      (** Physical host to simulate (default: the paper's AMD48). *)
+  observer : observer option;
+      (** Called at the end of every epoch with live telemetry
+          (progress tracking, CSV traces, convergence plots). *)
+}
+
+and observer = epoch_snapshot -> unit
+
+and epoch_snapshot = {
+  epoch_index : int;
+  time : float;  (** Simulated seconds since the run started. *)
+  imbalance : float;  (** Cumulative per-node access imbalance. *)
+  max_controller_util : float;  (** This epoch. *)
+  max_link_util : float;
+  progress : (string * float) list;
+      (** Per application: fraction of the total work completed. *)
+  local_fraction : (string * float) list;
+      (** Per application: cumulative local-access share. *)
+}
+
+val make : ?epoch:float -> ?seed:int -> ?max_epochs:int -> ?page_kib:int ->
+  ?carrefour_config:Policies.Carrefour.User_component.config ->
+  ?machine:Numa.Machine_desc.t ->
+  ?observer:observer ->
+  mode:mode -> vm_spec list -> t
+
+val mode_name : mode -> string
+
+val page_scale : t -> int
+(** Frames-per-simulated-page factor actually used (from [page_kib] or
+    the footprint heuristic). *)

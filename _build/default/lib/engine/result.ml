@@ -1,0 +1,47 @@
+type vm_result = {
+  app_name : string;
+  policy : string;
+  completion : float;
+  compute_time : float;
+  io_overhead : float;
+  sync_overhead : float;
+  virt_overhead : float;
+  release_overhead : float;
+  faults : int;
+  migrations : int;
+  avg_latency_cycles : float;
+  local_fraction : float;
+}
+
+type t = {
+  vms : vm_result list;
+  imbalance : float;
+  interconnect_load : float;
+  epochs : int;
+}
+
+let completion t name =
+  match List.find_opt (fun vm -> vm.app_name = name) t.vms with
+  | Some vm -> vm.completion
+  | None -> raise Not_found
+
+let single t =
+  match t.vms with
+  | [ vm ] -> vm
+  | _ -> invalid_arg "Result.single: run had several VMs"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun vm ->
+      Format.fprintf fmt
+        "%-14s %-22s %7.2f s (compute %6.2f, io %5.2f, sync %5.2f, virt %5.2f, rel %5.2f) \
+         lat %5.0f cy, local %4.1f%%, %d migrations@,"
+        vm.app_name vm.policy vm.completion vm.compute_time vm.io_overhead vm.sync_overhead
+        vm.virt_overhead vm.release_overhead vm.avg_latency_cycles
+        (100.0 *. vm.local_fraction) vm.migrations)
+    t.vms;
+  Format.fprintf fmt "imbalance %.0f%%, interconnect %.0f%%, %d epochs@]"
+    (100.0 *. t.imbalance)
+    (100.0 *. t.interconnect_load)
+    t.epochs

@@ -1,0 +1,34 @@
+(** Results of a simulated run. *)
+
+type vm_result = {
+  app_name : string;
+  policy : string;
+  completion : float;  (** Seconds from start to the last thread's finish,
+                           including virtualization and I/O overheads. *)
+  compute_time : float;    (** Epoch-loop part of [completion]. *)
+  io_overhead : float;     (** Serial per-request I/O path overhead. *)
+  sync_overhead : float;   (** Blocked-wakeup time, summed over threads. *)
+  virt_overhead : float;   (** Hypercalls, faults, migrations (thread share). *)
+  release_overhead : float;  (** Page-release hypercall churn (first-touch). *)
+  faults : int;
+  migrations : int;        (** Pages migrated by Carrefour. *)
+  avg_latency_cycles : float;  (** Work-weighted mean memory latency. *)
+  local_fraction : float;  (** Fraction of accesses served on the local node. *)
+}
+
+type t = {
+  vms : vm_result list;
+  imbalance : float;          (** Table-1 imbalance over the whole run. *)
+  interconnect_load : float;  (** Table-1 interconnect metric. *)
+  epochs : int;
+}
+
+val completion : t -> string -> float
+(** Completion time of the VM running the named app.
+    @raise Not_found if absent. *)
+
+val single : t -> vm_result
+(** The only VM of a single-app run.
+    @raise Invalid_argument when the run had several VMs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,895 @@
+let access_bytes = 64.0
+
+(* ------------------------------------------------------------------ *)
+(* Internal state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type region = {
+  pfns : int array;
+  weights : float array;  (* popularity by hot rank (rank 0 hottest) *)
+  page_node : int array;
+  node_weight : float array;  (* per-node popularity sums *)
+  replicated : Bytes.t;  (* pages whose read traffic is served locally *)
+  mutable replicated_local : float;
+      (* popularity mass served on the reader's own node (replicated
+         read-only pages); node_weight + replicated_local sums to 1 *)
+  mutable shift : int;
+      (* phase rotation: page (shift + rank) mod pages holds hot
+         rank [rank]; algorithmic phases move the hot front *)
+}
+
+type location = Shared of int | Private of int * int  (* thread, index *)
+
+type vm_state = {
+  spec : Config.vm_spec;
+  domain : Xen.Domain.t;
+  manager : Policies.Manager.t;
+  pool : Guest.Pfn_pool.t;
+  process : Guest.Process.t;
+  shared : region;
+  privates : region array;
+  pfn_index : (int, location) Hashtbl.t;
+  remaining : float array;
+  avg_lat : float array;
+  finish : float array;  (* -1 while running *)
+  thread_node : int array;
+  thread_dst : float array array;
+  thread_accesses : float array;  (* this epoch, per thread *)
+  thread_doit : float array;  (* tentative instructions this epoch *)
+  thread_cap : float array;   (* instruction capacity this epoch *)
+  src_shared : float array;  (* accesses into the shared region per source node *)
+  mutable shared_accesses_epoch : float;
+  mutable burst_victim : int;
+  mutable burst_source : int;
+  mutable burst_accesses_epoch : float;
+  mutable io_bytes_left : float;
+  mutable sync_overhead : float;
+  mutable migrations : int;
+  mutable weighted_lat : float;
+  mutable total_accesses : float;
+  mutable local_accesses : float;
+  mutable private_sample_cursor : int;
+  tlb_cycles_per_instr : float;
+  work_per_thread : float;
+  mutable phase : int;
+  rng : Sim.Rng.t;
+}
+
+let vm_running st = Array.exists (fun f -> f < 0.0) st.finish
+
+(* ------------------------------------------------------------------ *)
+(* Cost models per mode                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Native Linux: no hypercalls, guest page faults are cheap minor
+   faults, native IPIs and wake-ups, native I/O. *)
+let native_costs =
+  {
+    Xen.Costs.default with
+    Xen.Costs.hypercall_entry = 0.0;
+    page_op_send = 0.0;
+    page_invalidate = 0.0;
+    hypervisor_fault = 1.0e-6;
+    page_map = 0.0;
+  }
+
+let costs_of_mode = function
+  | Config.Linux -> native_costs
+  | Config.Xen | Config.Xen_plus -> Xen.Costs.default
+
+let wakeup_of_mode costs = function
+  | Config.Linux -> costs.Xen.Costs.blocked_wakeup_native
+  | Config.Xen | Config.Xen_plus -> costs.Xen.Costs.blocked_wakeup_guest
+
+(* I/O path: Linux is native; stock Xen uses the dom0-mediated pv
+   drivers; Xen+ uses PCI passthrough with the IOMMU — unless the
+   first-touch policy is active, which is incompatible with the IOMMU
+   (invalid P2M entries abort DMA with an asynchronous error). *)
+let io_path mode (policy : Policies.Spec.t) =
+  match mode with
+  | Config.Linux -> `Native
+  | Config.Xen -> `Pv
+  | Config.Xen_plus ->
+      if policy.Policies.Spec.placement = Policies.Spec.First_touch then `Pv else `Passthrough
+
+let io_request_overhead costs = function
+  | `Native -> costs.Xen.Costs.disk_native_request
+  | `Pv -> costs.Xen.Costs.disk_native_request +. costs.Xen.Costs.disk_pv_extra
+  | `Passthrough -> costs.Xen.Costs.disk_native_request +. costs.Xen.Costs.disk_passthrough_extra
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let zipf_weights ~pages ~s =
+  let w = Array.init pages (fun i -> (float_of_int (i + 1)) ** (-.s)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+let uniform_weights ~pages = Array.make pages (1.0 /. float_of_int pages)
+
+(* Touch [pages] consecutive virtual pages as [cpu]; returns the region
+   with its placement resolved through the guest and hypervisor page
+   tables. *)
+let build_region system st_pool process domain ~vfn0 ~pages ~weights ~cpu ~nodes =
+  ignore st_pool;
+  let pfns = Array.make pages 0 in
+  let page_node = Array.make pages 0 in
+  let node_weight = Array.make nodes 0.0 in
+  for i = 0 to pages - 1 do
+    match Guest.Process.touch process (vfn0 + i) with
+    | None -> invalid_arg "Runner: guest physical memory exhausted"
+    | Some pfn ->
+        pfns.(i) <- pfn;
+        (match Xen.P2m.get domain.Xen.Domain.p2m pfn with
+        | Xen.P2m.Invalid ->
+            ignore (Xen.Domain.handle_fault domain ~costs:system.Xen.System.costs ~pfn ~cpu)
+        | Xen.P2m.Mapped _ -> ());
+        let node =
+          match Xen.P2m.get domain.Xen.Domain.p2m pfn with
+          | Xen.P2m.Mapped { mfn; _ } -> Memory.Machine.node_of_mfn system.Xen.System.machine mfn
+          | Xen.P2m.Invalid -> domain.Xen.Domain.home_nodes.(0)
+        in
+        page_node.(i) <- node;
+        node_weight.(node) <- node_weight.(node) +. weights.(i)
+  done;
+  { pfns; weights; page_node; node_weight; replicated = Bytes.make pages '\000';
+    replicated_local = 0.0; shift = 0 }
+
+(* TLB walk cycles per instruction: ~0.3 memory accesses per
+   instruction, each missing the TLB per the coverage model; nested
+   paging makes every walk ~3x dearer, huge pages make walks rare. *)
+let tlb_cycles_per_instr (cfg : Config.t) (spec : Config.vm_spec) =
+  let app = spec.Config.app in
+  let page_size = if spec.Config.huge_pages then Guest.Tlb.Huge_2m else Guest.Tlb.Small_4k in
+  let virtualized = cfg.Config.mode <> Config.Linux in
+  let hot_access_share = Float.min 0.95 (0.45 +. (0.4 *. app.Workloads.App.zipf_s)) in
+  0.3
+  *. Guest.Tlb.cycles_per_access Guest.Tlb.opteron page_size ~virtualized
+       ~footprint_bytes:(app.Workloads.App.footprint_mb * 1024 * 1024)
+       ~hot_access_share
+
+(* Popularity of page [i] under the region's current rotation. *)
+let eff_weight region i =
+  let pages = Array.length region.weights in
+  region.weights.(((i - region.shift) mod pages + pages) mod pages)
+
+(* Move the hot front: re-aggregate per-node popularity under the new
+   rotation (replicated pages keep serving their read share locally). *)
+let rotate_region region ~shift ~read_fraction =
+  if shift <> region.shift then begin
+    region.shift <- shift;
+    Array.fill region.node_weight 0 (Array.length region.node_weight) 0.0;
+    region.replicated_local <- 0.0;
+    Array.iteri
+      (fun i node ->
+        let w = eff_weight region i in
+        if Bytes.get region.replicated i <> '\000' then begin
+          region.node_weight.(node) <- region.node_weight.(node) +. (w *. (1.0 -. read_fraction));
+          region.replicated_local <- region.replicated_local +. (w *. read_fraction)
+        end
+        else region.node_weight.(node) <- region.node_weight.(node) +. w)
+      region.page_node
+  end
+
+let carrefour_config (cfg : Config.t) machine =
+  match cfg.Config.carrefour_config with
+  | Some config -> config
+  | None ->
+      let frame_bytes = Memory.Machine.frame_bytes machine in
+      let budget = max 16 (32 * 1024 * 1024 / frame_bytes) in
+      {
+        Policies.Carrefour.User_component.default_config with
+        Policies.Carrefour.User_component.mc_threshold = 0.50;
+        ic_threshold = 0.12;
+        dominant_fraction = 0.75;
+        min_accesses = 4.0;
+        migration_budget = budget;
+      }
+
+let setup_vm (cfg : Config.t) system root_rng (spec : Config.vm_spec) =
+  let app = spec.Config.app in
+  let topo = system.Xen.System.topo in
+  let nodes = Numa.Topology.node_count topo in
+  let machine = system.Xen.System.machine in
+  let frame_bytes = Memory.Machine.frame_bytes machine in
+  let footprint_bytes = app.Workloads.App.footprint_mb * 1024 * 1024 in
+  (* The paper's VMs own far more memory than any single application
+     uses; two extra GiB ensure the (always fragmented) first and last
+     guest GiB of the round-1G allocator are not where the application
+     lives. *)
+  let mem_bytes = footprint_bytes + (footprint_bytes / 4) + (2 * 1024 * 1024 * 1024) in
+  let domain =
+    Xen.System.create_domain system ~name:app.Workloads.App.name ~kind:Xen.Domain.DomU
+      ~vcpus:spec.Config.threads ~mem_bytes ?home_nodes:spec.Config.home_nodes ()
+  in
+  let rng = Sim.Rng.split root_rng in
+  let policy = spec.Config.policy in
+  let boot =
+    match cfg.Config.mode with
+    | Config.Linux -> policy  (* Linux applies its policy directly. *)
+    | Config.Xen | Config.Xen_plus ->
+        if policy.Policies.Spec.placement = Policies.Spec.Round_1g then Policies.Spec.round_1g
+        else Policies.Spec.round_4k
+  in
+  let manager =
+    Policies.Manager.attach ~carrefour_config:(carrefour_config cfg machine) system domain ~boot ~rng
+  in
+  (match cfg.Config.mode with
+  | Config.Linux -> ()
+  | Config.Xen | Config.Xen_plus ->
+      if not (Policies.Spec.equal policy boot) then begin
+        match Policies.Manager.set_policy manager policy with
+        | Ok () ->
+            (* On a switch to first-touch the guest reports its whole
+               free list; every entry is invalidated so the first touch
+               of each page faults into the hypervisor. *)
+            if policy.Policies.Spec.placement = Policies.Spec.First_touch then
+              ignore
+                (Policies.Manager.release_free_pages manager
+                   (List.init domain.Xen.Domain.mem_frames (fun pfn -> pfn)))
+        | Error msg -> invalid_arg ("Runner: " ^ msg)
+      end);
+  (* Policy installation and boot population are not application time. *)
+  Xen.Domain.reset_account domain;
+  let threads = spec.Config.threads in
+  let total_pages = max (threads + 1) (footprint_bytes / frame_bytes) in
+  let shared_pages =
+    max 1 (int_of_float (app.Workloads.App.shared_bytes_fraction *. float_of_int total_pages))
+  in
+  let private_pages = max 1 ((total_pages - shared_pages) / threads) in
+  let vframes = shared_pages + (threads * private_pages) + 64 in
+  let gib_frames = max 1 (1024 * 1024 * 1024 / frame_bytes) in
+  let first_fresh = min gib_frames (domain.Xen.Domain.mem_frames / 4) in
+  let pool = Guest.Pfn_pool.create ~frames:domain.Xen.Domain.mem_frames ~first_fresh () in
+  let process = Guest.Process.create ~pid:1 ~vframes ~pool in
+  let master_cpu = domain.Xen.Domain.vcpu_pin.(0) in
+  let shared =
+    build_region system pool process domain ~vfn0:0 ~pages:shared_pages
+      ~weights:(zipf_weights ~pages:shared_pages ~s:app.Workloads.App.zipf_s)
+      ~cpu:master_cpu ~nodes
+  in
+  let privates =
+    Array.init threads (fun t ->
+        build_region system pool process domain
+          ~vfn0:(shared_pages + (t * private_pages))
+          ~pages:private_pages
+          ~weights:(uniform_weights ~pages:private_pages)
+          ~cpu:domain.Xen.Domain.vcpu_pin.(t) ~nodes)
+  in
+  let pfn_index = Hashtbl.create (total_pages * 2) in
+  Array.iteri (fun i pfn -> Hashtbl.replace pfn_index pfn (Shared i)) shared.pfns;
+  Array.iteri
+    (fun t region -> Array.iteri (fun i pfn -> Hashtbl.replace pfn_index pfn (Private (t, i))) region.pfns)
+    privates;
+  let work =
+    Workloads.App.instructions_per_thread app ~threads
+      ~freq_hz:cfg.Config.machine.Numa.Machine_desc.freq_hz
+  in
+  {
+    spec;
+    domain;
+    manager;
+    pool;
+    process;
+    shared;
+    privates;
+    pfn_index;
+    remaining = Array.make threads work;
+    avg_lat = Array.make threads 190.0;
+    finish = Array.make threads (-1.0);
+    thread_node =
+      Array.init threads (fun t -> Numa.Topology.node_of_cpu topo domain.Xen.Domain.vcpu_pin.(t));
+    thread_dst = Array.init threads (fun _ -> Array.make nodes 0.0);
+    thread_accesses = Array.make threads 0.0;
+    thread_doit = Array.make threads 0.0;
+    thread_cap = Array.make threads 0.0;
+    src_shared = Array.make nodes 0.0;
+    shared_accesses_epoch = 0.0;
+    burst_victim = -1;
+    burst_source = -1;
+    burst_accesses_epoch = 0.0;
+    io_bytes_left = Workloads.App.disk_bytes_total app;
+    sync_overhead = 0.0;
+    migrations = 0;
+    weighted_lat = 0.0;
+    total_accesses = 0.0;
+    local_accesses = 0.0;
+    private_sample_cursor = 0;
+    tlb_cycles_per_instr = tlb_cycles_per_instr cfg spec;
+    work_per_thread = work;
+    phase = 0;
+    rng;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Epoch mechanics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Occupancy of each pCPU by still-running threads, for the CPU share
+   of consolidated VMs.  dom0's vCPUs (pinned on node 0) count as
+   occupants while they are busy shuttling pv I/O. *)
+let compute_occupancy system states ~dom0 ~dom0_active =
+  let occ = Array.make (Array.length system.Xen.System.pcpu_load) 0 in
+  List.iter
+    (fun st ->
+      Array.iteri
+        (fun t f ->
+          if f < 0.0 then begin
+            let pcpu = st.domain.Xen.Domain.vcpu_pin.(t) in
+            occ.(pcpu) <- occ.(pcpu) + 1
+          end)
+        st.finish)
+    states;
+  (match dom0 with
+  | Some (d : Xen.Domain.t) ->
+      for v = 0 to min dom0_active d.Xen.Domain.vcpus - 1 do
+        occ.(d.Xen.Domain.vcpu_pin.(v)) <- occ.(d.Xen.Domain.vcpu_pin.(v)) + 1
+      done
+  | None -> ());
+  occ
+
+(* Blocking events that actually halt a CPU.  Network servers wait
+   several times per request (packet, locks), hence the factor; above
+   ~25k halts/s wake-ups coalesce — a loaded CPU finds new work before
+   it can halt — which bounds the exposure. *)
+let blocking_events_per_s app =
+  let base = Workloads.App.sync_events_per_s app in
+  let scaled = if app.Workloads.App.net_service then 3.0 *. base else base in
+  Float.min 25_000.0 scaled
+
+let epoch_sync_overhead cfg st =
+  let app = st.spec.Config.app in
+  let costs = costs_of_mode cfg.Config.mode in
+  let events = blocking_events_per_s app *. cfg.Config.epoch in
+  let primitive = if st.spec.Config.use_mcs then Guest.Sync.Mcs_spin else Guest.Sync.Futex_sleep in
+  let per_event =
+    match primitive with
+    | Guest.Sync.Mcs_spin -> 0.0
+    | Guest.Sync.Futex_sleep ->
+        (2.0 *. costs.Xen.Costs.context_switch) +. wakeup_of_mode costs cfg.Config.mode
+  in
+  let total = events *. per_event in
+  let threads = float_of_int st.spec.Config.threads in
+  Float.min (0.85 *. cfg.Config.epoch) (total /. threads)
+
+(* Distribute one thread's epoch accesses over destination nodes. *)
+let distribute_thread st t ~accesses =
+  let app = st.spec.Config.app in
+  let nodes = Array.length st.src_shared in
+  let dst = st.thread_dst.(t) in
+  let m = app.Workloads.App.master_bias in
+  let burst_share = if st.burst_source = t then 0.5 else 0.0 in
+  let acc_burst = burst_share *. accesses in
+  let rest = accesses -. acc_burst in
+  let acc_shared = m *. rest in
+  let acc_own = rest -. acc_shared in
+  let own_node = st.thread_node.(t) in
+  (* Replicated read-only pages are served from the local copy. *)
+  dst.(own_node) <-
+    dst.(own_node)
+    +. (acc_shared *. st.shared.replicated_local)
+    +. (acc_own *. st.privates.(t).replicated_local);
+  for n = 0 to nodes - 1 do
+    dst.(n) <- dst.(n) +. (acc_shared *. st.shared.node_weight.(n));
+    dst.(n) <- dst.(n) +. (acc_own *. st.privates.(t).node_weight.(n))
+  done;
+  if acc_burst > 0.0 && st.burst_victim >= 0 then begin
+    let victim = st.privates.(st.burst_victim) in
+    for n = 0 to nodes - 1 do
+      dst.(n) <- dst.(n) +. (acc_burst *. victim.node_weight.(n))
+    done;
+    st.burst_accesses_epoch <- st.burst_accesses_epoch +. acc_burst
+  end;
+  st.src_shared.(st.thread_node.(t)) <- st.src_shared.(st.thread_node.(t)) +. acc_shared;
+  st.shared_accesses_epoch <- st.shared_accesses_epoch +. acc_shared
+
+(* Charge the epoch's disk DMA traffic.  Native Linux allocates the DMA
+   buffer contiguously, hence on a single node; under Xen the hypervisor
+   page table spreads guest-contiguous buffers over the home nodes
+   (the effect the paper observes in Section 5.3.3). *)
+let disk_traffic cfg st counters ~bus_node ~node_demand =
+  let app = st.spec.Config.app in
+  if st.io_bytes_left > 0.0 then begin
+    let bytes = Float.min st.io_bytes_left (app.Workloads.App.disk_mb_s *. 1e6 *. cfg.Config.epoch) in
+    st.io_bytes_left <- st.io_bytes_left -. bytes;
+    match cfg.Config.mode with
+    | Config.Linux ->
+        let node = st.thread_node.(0) in
+        node_demand.(node) <- node_demand.(node) +. bytes;
+        Numa.Counters.record_accesses counters ~src:bus_node ~dst:node
+          ~count:(bytes /. access_bytes) ~bytes_per_access:access_bytes
+    | Config.Xen | Config.Xen_plus ->
+        let home = st.domain.Xen.Domain.home_nodes in
+        let share = bytes /. float_of_int (Array.length home) in
+        Array.iter
+          (fun node ->
+            node_demand.(node) <- node_demand.(node) +. share;
+            Numa.Counters.record_accesses counters ~src:bus_node ~dst:node
+              ~count:(share /. access_bytes) ~bytes_per_access:access_bytes)
+          home
+  end
+
+(* Hot-page samples for Carrefour: the top of the shared region's
+   popularity distribution, a rotating window of each thread's private
+   pages, and — during a burst — the victim's hammered pages. *)
+let build_samples st =
+  let nodes = Array.length st.src_shared in
+  let samples = ref [] in
+  let shared_total = st.shared_accesses_epoch in
+  if shared_total > 0.0 then begin
+    let pages = Array.length st.shared.pfns in
+    let src_norm = Array.map (fun s -> s /. shared_total) st.src_shared in
+    (* IBS-style sampling: pages are drawn with probability proportional
+       to their access frequency, so hot pages dominate the table but
+       every accessed page is eventually observed. *)
+    let seen = Hashtbl.create 128 in
+    let emit rank =
+      let i = (st.shared.shift + rank) mod pages in
+      if not (Hashtbl.mem seen i) then begin
+        Hashtbl.replace seen i ();
+        let w = st.shared.weights.(rank) in
+        let node_accesses = Array.map (fun s -> s *. shared_total *. w) src_norm in
+        let read_fraction = st.spec.Config.app.Workloads.App.read_fraction in
+        samples :=
+          { Policies.Carrefour.pfn = st.shared.pfns.(i); node_accesses; read_fraction }
+          :: !samples
+      end
+    in
+    for rank = 0 to min 32 pages - 1 do
+      emit rank
+    done;
+    let app = st.spec.Config.app in
+    for _ = 1 to min 96 pages do
+      emit (Sim.Rng.zipf st.rng ~n:pages ~s:app.Workloads.App.zipf_s)
+    done
+  end;
+  let threads = Array.length st.privates in
+  for t = 0 to threads - 1 do
+    if st.finish.(t) < 0.0 then begin
+      let region = st.privates.(t) in
+      let pages = Array.length region.pfns in
+      let per_page =
+        (* Uniform accesses of the owner over its private pages. *)
+        let app = st.spec.Config.app in
+        let own = 1.0 -. app.Workloads.App.master_bias in
+        own *. st.thread_accesses.(t) /. float_of_int pages
+      in
+      let k = min 8 pages in
+      for j = 0 to k - 1 do
+        let i = (st.private_sample_cursor + j) mod pages in
+        let node_accesses = Array.make nodes 0.0 in
+        node_accesses.(st.thread_node.(t)) <- per_page;
+        (* During a burst the source thread hammers the victim's pages:
+           a single dominant remote node, Carrefour's migration bait. *)
+        if t = st.burst_victim && st.burst_source >= 0 then
+          node_accesses.(st.thread_node.(st.burst_source)) <-
+            node_accesses.(st.thread_node.(st.burst_source))
+            +. (st.burst_accesses_epoch /. float_of_int pages *. 8.0);
+        samples :=
+          {
+            Policies.Carrefour.pfn = region.pfns.(i);
+            node_accesses;
+            read_fraction = st.spec.Config.app.Workloads.App.read_fraction;
+          }
+          :: !samples
+      done
+    end
+  done;
+  st.private_sample_cursor <- st.private_sample_cursor + 8;
+  !samples
+
+(* Refresh cached placement after Carrefour migrations and
+   replications. *)
+let refresh_placement st samples =
+  let read_fraction = st.spec.Config.app.Workloads.App.read_fraction in
+  let carrefour = Policies.Manager.carrefour st.manager in
+  List.iter
+    (fun (s : Policies.Carrefour.sample) ->
+      match Hashtbl.find_opt st.pfn_index s.Policies.Carrefour.pfn with
+      | None -> ()
+      | Some loc -> (
+          match Policies.Manager.node_of_pfn st.manager s.Policies.Carrefour.pfn with
+          | None -> ()
+          | Some node ->
+              let region, i =
+                match loc with
+                | Shared i -> (st.shared, i)
+                | Private (t, i) -> (st.privates.(t), i)
+              in
+              let w = eff_weight region i in
+              (* Replication status change: the read share of the
+                 page's popularity moves between the home node and the
+                 everywhere-local pool. *)
+              let replicated_now =
+                match carrefour with
+                | Some sys ->
+                    Policies.Carrefour.System_component.is_replicated sys
+                      s.Policies.Carrefour.pfn
+                | None -> false
+              in
+              let was = Bytes.get region.replicated i <> '\000' in
+              if replicated_now && not was then begin
+                let moved = w *. read_fraction in
+                region.node_weight.(region.page_node.(i)) <-
+                  region.node_weight.(region.page_node.(i)) -. moved;
+                region.replicated_local <- region.replicated_local +. moved;
+                Bytes.set region.replicated i '\001'
+              end
+              else if was && not replicated_now then begin
+                let moved = w *. read_fraction in
+                region.node_weight.(region.page_node.(i)) <-
+                  region.node_weight.(region.page_node.(i)) +. moved;
+                region.replicated_local <- region.replicated_local -. moved;
+                Bytes.set region.replicated i '\000'
+              end;
+              let old_node = region.page_node.(i) in
+              if old_node <> node then begin
+                let moved = if replicated_now then w *. (1.0 -. read_fraction) else w in
+                region.node_weight.(old_node) <- region.node_weight.(old_node) -. moved;
+                region.node_weight.(node) <- region.node_weight.(node) +. moved;
+                region.page_node.(i) <- node;
+                st.migrations <- st.migrations + 1
+              end))
+    samples
+
+(* ------------------------------------------------------------------ *)
+(* Completion accounting                                               *)
+(* ------------------------------------------------------------------ *)
+
+let release_churn_overhead cfg st ~active_seconds =
+  match (cfg.Config.mode, st.spec.Config.policy.Policies.Spec.placement) with
+  | (Config.Xen | Config.Xen_plus), Policies.Spec.First_touch -> (
+      match st.spec.Config.app.Workloads.App.page_release_period with
+      | None -> 0.0
+      | Some period ->
+          let costs = Xen.Costs.default in
+          let per_release =
+            (costs.Xen.Costs.hypercall_entry /. 128.0)
+            +. costs.Xen.Costs.page_op_send +. costs.Xen.Costs.page_invalidate
+            +. costs.Xen.Costs.hypervisor_fault +. costs.Xen.Costs.page_map
+          in
+          active_seconds /. period *. per_release /. float_of_int st.spec.Config.threads)
+  | _ -> 0.0
+
+let vm_result cfg system st =
+  let app = st.spec.Config.app in
+  let threads = float_of_int st.spec.Config.threads in
+  let scale = float_of_int (Memory.Machine.page_scale system.Xen.System.machine) in
+  let compute_time = Array.fold_left Float.max 0.0 st.finish in
+  let account = st.domain.Xen.Domain.account in
+  let virt_overhead =
+    ((account.Xen.Domain.fault_time *. scale)
+    +. account.Xen.Domain.hypercall_time +. account.Xen.Domain.migrate_time)
+    /. threads
+  in
+  let path = io_path cfg.Config.mode st.spec.Config.policy in
+  let io_overhead =
+    if Workloads.App.uses_disk app then begin
+      let costs = costs_of_mode cfg.Config.mode in
+      let requests =
+        Workloads.App.disk_bytes_total app /. float_of_int app.Workloads.App.io_block_bytes
+      in
+      requests *. io_request_overhead costs path
+    end
+    else 0.0
+  in
+  let release_overhead = release_churn_overhead cfg st ~active_seconds:compute_time in
+  {
+    Result.app_name = app.Workloads.App.name;
+    policy = Policies.Spec.name st.spec.Config.policy;
+    completion = compute_time +. io_overhead +. virt_overhead +. release_overhead;
+    compute_time;
+    io_overhead;
+    sync_overhead = st.sync_overhead;
+    virt_overhead;
+    release_overhead;
+    faults = account.Xen.Domain.fault_count;
+    migrations = st.migrations;
+    avg_latency_cycles =
+      (if st.total_accesses > 0.0 then st.weighted_lat /. st.total_accesses else 0.0);
+    local_fraction =
+      (if st.total_accesses > 0.0 then st.local_accesses /. st.total_accesses else 0.0);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run (cfg : Config.t) =
+  let scale = Config.page_scale cfg in
+  let machine_desc = cfg.Config.machine in
+  let topo = machine_desc.Numa.Machine_desc.topology () in
+  let costs = costs_of_mode cfg.Config.mode in
+  let system = Xen.System.create ~page_scale:scale ~costs topo in
+  let counters = Numa.Counters.create topo in
+  let root_rng = Sim.Rng.create ~seed:cfg.Config.seed in
+  (* dom0 handles the pv I/O path; the paper pins it to node 0's
+     CPUs.  Its vCPUs only occupy pCPUs while I/O flows through it. *)
+  let dom0 =
+    match cfg.Config.mode with
+    | Config.Linux -> None
+    | Config.Xen | Config.Xen_plus ->
+        Some
+          (Xen.System.create_domain system ~name:"dom0" ~kind:Xen.Domain.Dom0 ~vcpus:6
+             ~mem_bytes:(2 * 1024 * 1024 * 1024) ~home_nodes:[| 0 |] ())
+  in
+  (match dom0 with
+  | Some d -> Array.iter (fun p -> system.Xen.System.pcpu_load.(p) <- system.Xen.System.pcpu_load.(p) - 1) d.Xen.Domain.vcpu_pin
+  | None -> ());
+  let states = List.map (setup_vm cfg system root_rng) cfg.Config.vms in
+  let latency = machine_desc.Numa.Machine_desc.latency in
+  let freq = machine_desc.Numa.Machine_desc.freq_hz in
+  let nodes = Numa.Topology.node_count topo in
+  let bus_node =
+    match machine_desc.Numa.Machine_desc.pci_bus_nodes with
+    | _ :: n :: _ -> n
+    | [ n ] -> n
+    | [] -> 0
+  in
+  let epoch_len = cfg.Config.epoch in
+  let now = ref 0.0 in
+  let epochs = ref 0 in
+  let epoch_accesses = Array.make (List.length states) 0.0 in
+  (* A controller's sustained random-access throughput is well below
+     its streaming peak (bank cycle time, row misses): 62% of the
+     13 GiB/s plate number, as derived by the request-level simulator
+     (Microsim.Memsim.random_access_efficiency). *)
+  let controller_capacity =
+    0.62 *. Numa.Topology.controller_gib_per_s topo *. (1024.0 ** 3.0) *. epoch_len
+  in
+  let node_demand = Array.make nodes 0.0 in
+  let dom0_active = ref 0 in
+  (* One dom0 vCPU shuttles roughly 150 MB/s of pv I/O. *)
+  let dom0_core_mb_s = 150.0 in
+  let sched_rng = Sim.Rng.split root_rng in
+  let any_unpinned = List.exists (fun st -> not st.spec.Config.pinned) states in
+  let st_of_domain id =
+    List.find (fun st -> st.domain.Xen.Domain.id = id) states
+  in
+  let running () = List.exists vm_running states in
+  while running () && !epochs < cfg.Config.max_epochs do
+    Array.fill node_demand 0 nodes 0.0;
+    (* Credit-scheduler accounting period: rebalance unpinned vCPUs
+       onto idle pCPUs.  The vCPU moves; its memory does not — exactly
+       the hazard the paper's introduction describes for guest-visible
+       NUMA topologies. *)
+    if any_unpinned then begin
+      let domains = List.map (fun st -> st.domain) states in
+      let movable (d : Xen.Domain.t) = not (st_of_domain d.Xen.Domain.id).spec.Config.pinned in
+      let active (d : Xen.Domain.t) v = (st_of_domain d.Xen.Domain.id).finish.(v) < 0.0 in
+      let migrations = Xen.Sched.balance topo ~rng:sched_rng ~domains ~movable ~active in
+      List.iter
+        (fun (m : Xen.Sched.migration) ->
+          let st = st_of_domain m.Xen.Sched.domain_id in
+          st.thread_node.(m.Xen.Sched.vcpu) <- Numa.Topology.node_of_cpu topo m.Xen.Sched.to_pcpu;
+          (* the migration itself costs an IPI + context switch *)
+          Xen.Ipi.send st.domain ~costs:system.Xen.System.costs)
+        migrations
+    end;
+    (* dom0 load for this epoch, from the pv I/O still flowing. *)
+    (dom0_active :=
+       match dom0 with
+       | None -> 0
+       | Some _ ->
+           let pv_mb_s =
+             List.fold_left
+               (fun acc st ->
+                 if
+                   vm_running st && st.io_bytes_left > 0.0
+                   && io_path cfg.Config.mode st.spec.Config.policy = `Pv
+                 then acc +. st.spec.Config.app.Workloads.App.disk_mb_s
+                 else acc)
+               0.0 states
+           in
+           min 6 (int_of_float (Float.round (pv_mb_s /. dom0_core_mb_s))));
+    let occupancy = compute_occupancy system states ~dom0 ~dom0_active:!dom0_active in
+    List.iteri
+      (fun vi st ->
+        if vm_running st then begin
+          (* reset per-epoch traffic *)
+          Array.iter (fun dst -> Array.fill dst 0 nodes 0.0) st.thread_dst;
+          Array.fill st.thread_accesses 0 (Array.length st.thread_accesses) 0.0;
+          Array.fill st.src_shared 0 nodes 0.0;
+          st.shared_accesses_epoch <- 0.0;
+          st.burst_accesses_epoch <- 0.0;
+          epoch_accesses.(vi) <- 0.0;
+          let app = st.spec.Config.app in
+          (* algorithmic phases: as the run progresses, the hot front
+             of the shared region moves; static placements do not
+             notice, dynamic policies must chase *)
+          if app.Workloads.App.phases > 1 then begin
+            let total = st.work_per_thread *. float_of_int st.spec.Config.threads in
+            let left = Array.fold_left ( +. ) 0.0 st.remaining in
+            let frac = Float.max 0.0 (1.0 -. (left /. total)) in
+            let phase =
+              min (app.Workloads.App.phases - 1)
+                (int_of_float (frac *. float_of_int app.Workloads.App.phases))
+            in
+            if phase <> st.phase then begin
+              st.phase <- phase;
+              let pages = Array.length st.shared.pfns in
+              rotate_region st.shared
+                ~shift:(phase * (pages / app.Workloads.App.phases) mod pages)
+                ~read_fraction:app.Workloads.App.read_fraction
+            end
+          end;
+          (* burst pattern: one thread transiently hammers another's pages *)
+          if
+            app.Workloads.App.remote_burst > 0.0
+            && Sim.Rng.bernoulli st.rng app.Workloads.App.remote_burst
+            && st.spec.Config.threads > 1
+          then begin
+            st.burst_victim <- Sim.Rng.int st.rng st.spec.Config.threads;
+            st.burst_source <- (st.burst_victim + 1 + Sim.Rng.int st.rng (st.spec.Config.threads - 1))
+                               mod st.spec.Config.threads
+          end
+          else begin
+            st.burst_victim <- -1;
+            st.burst_source <- -1
+          end;
+          let oh = epoch_sync_overhead cfg st in
+          (* Carrefour's continuous hardware-counter sampling is not
+             free: the paper observes it slightly degrades applications
+             it cannot help. *)
+          let carrefour_tax =
+            match Policies.Manager.carrefour st.manager with Some _ -> 0.98 | None -> 1.0
+          in
+          let mr = app.Workloads.App.miss_rate in
+          Array.fill st.thread_doit 0 (Array.length st.thread_doit) 0.0;
+          Array.fill st.thread_cap 0 (Array.length st.thread_cap) 0.0;
+          for t = 0 to st.spec.Config.threads - 1 do
+            if st.finish.(t) < 0.0 then begin
+              let pcpu = st.domain.Xen.Domain.vcpu_pin.(t) in
+              let share = 1.0 /. float_of_int (max 1 occupancy.(pcpu)) in
+              let avail = (epoch_len -. oh) *. share *. carrefour_tax in
+              st.sync_overhead <- st.sync_overhead +. oh;
+              let cpi = 1.0 +. (mr *. st.avg_lat.(t)) +. st.tlb_cycles_per_instr in
+              let cap = avail *. freq /. cpi in
+              if cap > 0.0 then begin
+                let doit = Float.min st.remaining.(t) cap in
+                st.thread_doit.(t) <- doit;
+                st.thread_cap.(t) <- cap;
+                let accesses = doit *. mr in
+                st.thread_accesses.(t) <- accesses;
+                distribute_thread st t ~accesses;
+                epoch_accesses.(vi) <- epoch_accesses.(vi) +. accesses
+              end
+            end
+          done;
+          disk_traffic cfg st counters ~bus_node ~node_demand
+        end)
+      states;
+    (* Bandwidth clamp: a memory controller serves at most its
+       (random-access effective) capacity per epoch.  When the demand
+       on a node overflows, every thread touching that node stalls in
+       proportion — the throughput collapse that makes master-slave
+       patterns so expensive, beyond the latency inflation alone. *)
+    List.iter
+      (fun st ->
+        if vm_running st then
+          for t = 0 to st.spec.Config.threads - 1 do
+            let dst = st.thread_dst.(t) in
+            for n = 0 to nodes - 1 do
+              node_demand.(n) <- node_demand.(n) +. (dst.(n) *. access_bytes)
+            done
+          done)
+      states;
+    let node_scale =
+      Array.map
+        (fun demand -> if demand > controller_capacity then controller_capacity /. demand else 1.0)
+        node_demand
+    in
+    List.iter
+      (fun st ->
+        if vm_running st then begin
+          for t = 0 to st.spec.Config.threads - 1 do
+            if st.thread_doit.(t) > 0.0 then begin
+              let dst = st.thread_dst.(t) in
+              (* A sequential access stream advances at the pace of its
+                 most throttled destination. *)
+              let realized = ref 1.0 in
+              for n = 0 to nodes - 1 do
+                if dst.(n) > 1e-9 && node_scale.(n) < !realized then realized := node_scale.(n)
+              done;
+              let realized = !realized in
+              let final = st.thread_doit.(t) *. realized in
+              st.remaining.(t) <- st.remaining.(t) -. final;
+              if st.remaining.(t) <= 0.0 then
+                st.finish.(t) <-
+                  !now +. (epoch_len *. (final /. Float.max 1.0 (st.thread_cap.(t) *. realized)));
+              if realized < 1.0 then begin
+                st.thread_accesses.(t) <- st.thread_accesses.(t) *. realized;
+                for n = 0 to nodes - 1 do
+                  dst.(n) <- dst.(n) *. realized
+                done
+              end;
+              (* commit the realized traffic to the hardware counters *)
+              let src = st.thread_node.(t) in
+              for n = 0 to nodes - 1 do
+                if dst.(n) > 0.0 then
+                  Numa.Counters.record_accesses counters ~src ~dst:n ~count:dst.(n)
+                    ~bytes_per_access:access_bytes
+              done
+            end
+          done
+        end)
+      states;
+    Numa.Counters.end_epoch counters ~duration:epoch_len;
+    (* latency feedback and per-thread stats *)
+    List.iter
+      (fun st ->
+        if vm_running st then begin
+          for t = 0 to st.spec.Config.threads - 1 do
+            let dst = st.thread_dst.(t) in
+            let total = Array.fold_left ( +. ) 0.0 dst in
+            if total > 0.0 then begin
+              let src = st.thread_node.(t) in
+              let lat = ref 0.0 in
+              for n = 0 to nodes - 1 do
+                if dst.(n) > 0.0 then begin
+                  let hops = Numa.Topology.distance topo src n in
+                  let sat = Numa.Counters.max_route_saturation counters ~src ~dst:n in
+                  lat := !lat +. (dst.(n) /. total *. Numa.Latency.mem_cycles latency ~hops ~saturation:sat)
+                end
+              done;
+              st.avg_lat.(t) <- !lat;
+              st.weighted_lat <- st.weighted_lat +. (total *. !lat);
+              st.total_accesses <- st.total_accesses +. total;
+              st.local_accesses <- st.local_accesses +. dst.(src)
+            end
+          done;
+          (* Carrefour runs its user component once per second (every
+             tenth epoch), like the real system. *)
+          match Policies.Manager.carrefour st.manager with
+          | None -> ()
+          | Some _ ->
+              if !epochs mod 10 = 0 then begin
+                let samples = build_samples st in
+                match Policies.Manager.carrefour_epoch st.manager ~counters ~samples with
+                | Some _ -> refresh_placement st samples
+                | None -> ()
+              end
+        end)
+      states;
+    (match cfg.Config.observer with
+    | None -> ()
+    | Some observer ->
+        let progress st =
+          let total = Array.fold_left ( +. ) 0.0 st.remaining in
+          let work =
+            float_of_int st.spec.Config.threads
+            *. Workloads.App.instructions_per_thread st.spec.Config.app
+                 ~threads:st.spec.Config.threads
+                 ~freq_hz:cfg.Config.machine.Numa.Machine_desc.freq_hz
+          in
+          Float.max 0.0 (Float.min 1.0 (1.0 -. (total /. work)))
+        in
+        observer
+          {
+            Config.epoch_index = !epochs;
+            time = !now +. epoch_len;
+            imbalance = Numa.Counters.imbalance counters;
+            max_controller_util =
+              Array.fold_left Float.max 0.0 (Numa.Counters.last_controller_utilisation counters);
+            max_link_util =
+              Array.fold_left Float.max 0.0 (Numa.Counters.last_link_utilisation counters);
+            progress =
+              List.map (fun st -> (st.spec.Config.app.Workloads.App.name, progress st)) states;
+            local_fraction =
+              List.map
+                (fun st ->
+                  ( st.spec.Config.app.Workloads.App.name,
+                    if st.total_accesses > 0.0 then st.local_accesses /. st.total_accesses
+                    else 0.0 ))
+                states;
+          });
+    incr epochs;
+    now := !now +. epoch_len
+  done;
+  {
+    Result.vms = List.map (vm_result cfg system) states;
+    imbalance = Numa.Counters.imbalance counters;
+    interconnect_load = Numa.Counters.interconnect_load counters;
+    epochs = !epochs;
+  }

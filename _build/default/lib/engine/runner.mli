@@ -1,0 +1,20 @@
+(** The epoch simulator.
+
+    Advances simulated time in fixed epochs.  Per epoch, each running
+    thread executes as many instructions as its CPU share and current
+    average memory latency allow; its memory accesses are distributed
+    over the application's pages according to its access pattern,
+    resolved through the guest page table and the hypervisor page
+    table to NUMA nodes, and charged to the memory controllers and
+    interconnect links.  Contention measured in one epoch feeds the
+    latency of the next (one-epoch lag fixed point).  Carrefour, when
+    active, receives per-epoch hot-page samples and migrates pages
+    through the internal interface.  Completion time folds in the
+    virtualization costs (hypercalls, faults, migrations), the I/O
+    path overhead and the page-release churn. *)
+
+val run : Config.t -> Result.t
+(** Simulate the configuration to completion (or [max_epochs]). *)
+
+val access_bytes : float
+(** Bytes charged per memory access (one cache line). *)

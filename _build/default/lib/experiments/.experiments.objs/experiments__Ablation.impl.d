@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Engine Guest Hashtbl List Numa Policies Printf Report Runs Sim Workloads Xen

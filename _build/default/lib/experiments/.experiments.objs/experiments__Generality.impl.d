@@ -1,0 +1,1 @@
+lib/experiments/generality.ml: Engine Float List Numa Policies Report Workloads

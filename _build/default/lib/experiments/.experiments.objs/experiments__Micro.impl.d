@@ -1,0 +1,1 @@
+lib/experiments/micro.ml: Array Format Guest List Memory Microsim Numa Policies Printf Report Sim Xen

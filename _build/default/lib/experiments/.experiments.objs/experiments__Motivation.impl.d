@@ -1,0 +1,1 @@
+lib/experiments/motivation.ml: Engine List Policies Report Workloads

@@ -1,0 +1,1 @@
+lib/experiments/multi_vm.ml: Engine List Policies Printf Report Workloads

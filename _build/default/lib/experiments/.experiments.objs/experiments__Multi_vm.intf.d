@@ -1,0 +1,1 @@
+lib/experiments/multi_vm.mli:

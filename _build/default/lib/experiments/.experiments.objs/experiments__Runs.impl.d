@@ -1,0 +1,1 @@
+lib/experiments/runs.ml: Engine Hashtbl List Policies Printf Workloads

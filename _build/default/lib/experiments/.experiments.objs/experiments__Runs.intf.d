@@ -1,0 +1,1 @@
+lib/experiments/runs.mli: Engine Policies Workloads

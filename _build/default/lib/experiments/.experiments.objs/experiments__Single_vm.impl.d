@@ -1,0 +1,1 @@
+lib/experiments/single_vm.ml: Engine Float List Policies Printf Report Runs Workloads

@@ -1,0 +1,1 @@
+lib/experiments/single_vm.mli: Policies Workloads

@@ -1,0 +1,228 @@
+let carrefour_variant ?(replication = false) ~interleave ~locality () =
+  let base = Policies.Carrefour.User_component.default_config in
+  {
+    base with
+    Policies.Carrefour.User_component.mc_threshold = (if interleave then 0.50 else 2.0);
+    ic_threshold = (if locality || replication then 0.12 else 2.0);
+    dominant_fraction = 0.75;
+    min_accesses = 4.0;
+    migration_budget = 256;
+    enable_replication = replication;
+    replication_read_threshold = 0.85;
+  }
+
+let run_variant ?(seed = 42) ?replication ~app_name ~policy ~interleave ~locality () =
+  let app =
+    match Workloads.Catalogue.find app_name with
+    | Some app -> app
+    | None -> invalid_arg "Ablation: unknown app"
+  in
+  let vm = Engine.Config.vm ~policy app in
+  let cfg =
+    Engine.Config.make ~seed ~mode:Engine.Config.Linux
+      ~carrefour_config:(carrefour_variant ?replication ~interleave ~locality ())
+      [ vm ]
+  in
+  let result = Engine.Runner.run cfg in
+  let vm_result = Engine.Result.single result in
+  (vm_result.Engine.Result.completion, vm_result.Engine.Result.migrations)
+
+let print_carrefour_heuristics ?seed () =
+  let variants =
+    [
+      ("both heuristics", true, true);
+      ("interleave only", true, false);
+      ("migration only", false, true);
+      ("neither (static)", false, false);
+    ]
+  in
+  List.iter
+    (fun (app_name, policy, label) ->
+      Printf.printf "Carrefour heuristic ablation: %s under %s\n" app_name label;
+      Report.Table.print
+        ~header:[ "variant"; "completion"; "migrations" ]
+        (List.map
+           (fun (name, interleave, locality) ->
+             let completion, migrations =
+               run_variant ?seed ~app_name ~policy ~interleave ~locality ()
+             in
+             [ name; Report.Table.fmt_secs completion; string_of_int migrations ])
+           variants);
+      print_newline ())
+    [
+      ("kmeans", Policies.Spec.first_touch_carrefour, "first-touch (controller overload)");
+      ("cg.C", Policies.Spec.round_4k_carrefour, "round-4k (lost locality)");
+    ]
+
+(* Oldest-first replay: applies every op in order, so a Release that
+   precedes a reallocation wrongly invalidates a live page. *)
+let replay_oldest_first ops ~f =
+  let final = Hashtbl.create 64 in
+  Array.iter
+    (fun op -> Hashtbl.replace final (Guest.Pv_queue.op_pfn op) op)
+    ops;
+  Array.iter
+    (fun op ->
+      match op with
+      | Guest.Pv_queue.Release pfn -> f pfn `Invalidate
+      | Guest.Pv_queue.Alloc pfn -> f pfn `Leave)
+    ops;
+  final
+
+let print_replay_direction () =
+  (* A queue in which half the released pages are reallocated before
+     the flush. *)
+  let ops =
+    Array.concat
+      [
+        Array.init 32 (fun i -> Guest.Pv_queue.Release i);
+        Array.init 16 (fun i -> Guest.Pv_queue.Alloc i);  (* pages 0..15 reallocated *)
+      ]
+  in
+  let wrong = ref 0 and correct_invalidate = ref 0 in
+  let live pfn = pfn < 16 in
+  ignore
+    (replay_oldest_first ops ~f:(fun pfn action ->
+         if action = `Invalidate && live pfn then incr wrong));
+  Guest.Pv_queue.replay ops ~f:(fun pfn action ->
+      match action with
+      | `Invalidate ->
+          incr correct_invalidate;
+          assert (not (live pfn))
+      | `Leave -> ());
+  print_endline "Queue replay direction (Section 4.2.4)";
+  Report.Table.print
+    ~header:[ "replay order"; "live pages wrongly invalidated"; "free pages invalidated" ]
+    [
+      [ "oldest first (naive)"; string_of_int !wrong; "32" ];
+      [ "most recent first (paper)"; "0"; string_of_int !correct_invalidate ];
+    ];
+  print_newline ()
+
+let print_mcs ?(seed = 42) () =
+  print_endline "MCS spin locks vs futex sleeps under Xen+ (Section 5.3.2)";
+  Report.Table.print
+    ~header:[ "app"; "futex"; "mcs"; "improvement" ]
+    (List.map
+       (fun name ->
+         let app =
+           match Workloads.Catalogue.find name with Some a -> a | None -> assert false
+         in
+         let futex =
+           Runs.completion ~seed (Runs.xen_plus ~mcs:false app Policies.Spec.round_4k)
+         in
+         let mcs = Runs.completion ~seed (Runs.xen_plus ~mcs:true app Policies.Spec.round_4k) in
+         [
+           name;
+           Report.Table.fmt_secs futex;
+           Report.Table.fmt_secs mcs;
+           Report.Table.fmt_pct ((futex /. mcs) -. 1.0);
+         ])
+       Runs.mcs_apps);
+  print_newline ()
+
+(* The replication heuristic the paper discarded.  Under the strict
+   read-only threshold (a single write collapses the replicas, so only
+   pages with a ~100% read fraction are worth replicating) nothing in
+   these read-mostly workloads qualifies and the effect is marginal —
+   the paper's observation.  A permissive threshold would help the
+   graph kernels in this model, but only because the model does not
+   charge the coherence machinery a real implementation would need. *)
+let print_replication ?(seed = 42) () =
+  print_endline "Replication heuristic (discarded in the paper, Section 3.4)";
+  let run ?threshold ~replication app_name =
+    let cfg = carrefour_variant ~replication ~interleave:true ~locality:true () in
+    let cfg =
+      match threshold with
+      | Some t -> { cfg with Policies.Carrefour.User_component.replication_read_threshold = t }
+      | None -> cfg
+    in
+    let app =
+      match Workloads.Catalogue.find app_name with Some a -> a | None -> assert false
+    in
+    let vm = Engine.Config.vm ~policy:Policies.Spec.round_4k_carrefour app in
+    let result =
+      Engine.Runner.run
+        (Engine.Config.make ~seed ~mode:Engine.Config.Linux ~carrefour_config:cfg [ vm ])
+    in
+    (Engine.Result.single result).Engine.Result.completion
+  in
+  Report.Table.print
+    ~header:[ "app"; "no replication"; "strict (read-only)"; "permissive (>=85% reads)" ]
+    (List.map
+       (fun app_name ->
+         let base = run ~replication:false app_name in
+         let strict = run ~replication:true ~threshold:0.999 app_name in
+         let permissive = run ~replication:true ~threshold:0.85 app_name in
+         let delta t = Printf.sprintf "%s (%+.1f%%)" (Report.Table.fmt_secs t) (100.0 *. ((base /. t) -. 1.0)) in
+         [ app_name; Report.Table.fmt_secs base; delta strict; delta permissive ])
+       [ "pagerank"; "bfs"; "memcached" ]);
+  print_endline
+    "(strict threshold: no read-mostly page qualifies -> marginal effect, as in the paper)";
+  print_newline ()
+
+(* Future work #1: large pages.  The nested page walk makes TLB misses
+   ~3x dearer in a VM, so 2 MiB guest pages pay off most there. *)
+let print_huge_pages ?(seed = 42) () =
+  print_endline "Large pages (the paper's first future-work item)";
+  Report.Table.print
+    ~header:[ "app"; "mode"; "4 KiB pages"; "2 MiB pages"; "improvement" ]
+    (List.concat_map
+       (fun app_name ->
+         let app =
+           match Workloads.Catalogue.find app_name with Some a -> a | None -> assert false
+         in
+         let policy = app.Workloads.App.paper.Workloads.App.best_xen in
+         let policy =
+           if Policies.Spec.runtime_selectable policy then policy else Policies.Spec.round_4k
+         in
+         List.map
+           (fun (label, mode) ->
+             let run huge_pages =
+               let vm = Engine.Config.vm ~huge_pages ~policy app in
+               (Engine.Result.single
+                  (Engine.Runner.run (Engine.Config.make ~seed ~mode [ vm ])))
+                 .Engine.Result.completion
+             in
+             let small = run false and huge = run true in
+             [
+               app_name;
+               label;
+               Report.Table.fmt_secs small;
+               Report.Table.fmt_secs huge;
+               Printf.sprintf "%+.1f%%" (100.0 *. ((small /. huge) -. 1.0));
+             ])
+           [ ("linux", Engine.Config.Linux); ("xen+", Engine.Config.Xen_plus) ])
+       [ "mg.D"; "dc.B"; "kmeans" ]);
+  print_newline ()
+
+let print_round1g_fragmentation () =
+  let system = Xen.System.create ~page_scale:1 (Numa.Amd48.topology ()) in
+  let rng = Sim.Rng.create ~seed:3 in
+  print_endline "round-1G boot allocation granularity (Section 3.3)";
+  Report.Table.print
+    ~header:[ "domain size"; "1 GiB regions"; "2 MiB regions"; "4 KiB pages" ]
+    (List.map
+       (fun gib ->
+         let domain =
+           Xen.System.create_domain system
+             ~name:(Printf.sprintf "frag-%dg" gib)
+             ~kind:Xen.Domain.DomU ~vcpus:1
+             ~mem_bytes:(gib * 1024 * 1024 * 1024)
+             ()
+         in
+         let manager =
+           Policies.Manager.attach system domain ~boot:Policies.Spec.round_1g ~rng
+         in
+         let stats = Policies.Manager.stats manager in
+         let row =
+           [
+             Printf.sprintf "%d GiB" gib;
+             string_of_int stats.Policies.Manager.populated_1g;
+             string_of_int stats.Policies.Manager.populated_2m;
+             string_of_int stats.Policies.Manager.populated_4k;
+           ]
+         in
+         Xen.System.destroy_domain system domain;
+         row)
+       [ 1; 4; 16 ])

@@ -1,0 +1,31 @@
+(** Ablations of the design choices DESIGN.md calls out. *)
+
+val print_carrefour_heuristics : ?seed:int -> unit -> unit
+(** Carrefour with both heuristics, interleave only, migration
+    (locality) only, and neither — on a controller-saturating
+    application (kmeans, first-touch) and an interconnect-bound one
+    (cg.C, round-4K). *)
+
+val print_replay_direction : unit -> unit
+(** Most-recent-first queue replay (the paper's rule) versus a naive
+    oldest-first replay: the latter invalidates pages that were
+    reallocated while queued — a correctness violation the replay
+    order prevents. *)
+
+val print_mcs : ?seed:int -> unit -> unit
+(** Futex sleeps versus MCS spin loops for the two applications the
+    paper patches (facesim, streamcluster), under Xen+. *)
+
+val print_replication : ?seed:int -> unit -> unit
+(** The discarded replication heuristic: enabling it on read-mostly
+    workloads brings only a marginal gain over the migration heuristic
+    (the paper's §3.4 rationale). *)
+
+val print_huge_pages : ?seed:int -> unit -> unit
+(** Future work #1: 4 KiB vs 2 MiB guest pages, native and
+    virtualized — the nested-walk cost makes large pages matter more
+    inside a VM. *)
+
+val print_round1g_fragmentation : unit -> unit
+(** How the round-1G boot allocator degrades to 2 MiB / 4 KiB chunks on
+    the (always fragmented) first and last guest GiB. *)

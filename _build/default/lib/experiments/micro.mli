@@ -1,0 +1,51 @@
+(** Mechanism-level microprobes: Table 3, Figure 5, the DMA path
+    measurements of Sections 2.2.2 / 5.3.1 / 4.4.1, and the hypercall
+    batching study of Sections 4.2.3–4.2.4. *)
+
+val print_tab3 : unit -> unit
+(** Cache and memory latency on AMD48 (idle and contended). *)
+
+val print_fig5 : unit -> unit
+(** IPI cost repartition, native vs guest. *)
+
+type dma_row = {
+  block : int;
+  native : float;
+  pv : float;
+  passthrough : float;
+}
+
+val dma_sweep : unit -> dma_row list
+(** One DMA read per block size over the three I/O paths, executed
+    through the real P2M/IOMMU machinery (4 KiB reproduces 74 / 307 /
+    186 µs). *)
+
+val print_dma : unit -> unit
+(** The sweep plus the first-touch × IOMMU incompatibility demo: after
+    switching to first-touch and releasing pages, a passthrough DMA
+    aborts with an asynchronous IOMMU fault while the pv path recovers
+    synchronously. *)
+
+type batching_report = {
+  per_release_unbatched : float;
+      (** Effective cost of one hypercall per release (entry +
+          invalidate + remote TLB shootdown IPIs). *)
+  per_release_batched : float;   (** Measured amortized cost. *)
+  lock_hold_per_op : float;
+      (** Guest-side queue time per operation — the partition lock
+          hold time (the re-touch fault is outside the lock). *)
+  invalidate_share : float;      (** Fraction of batched hypercall time
+                                     spent invalidating (paper: 87.5 %). *)
+  wrmem_slowdown_unbatched : float;
+  wrmem_slowdown_batched : float;
+  reallocated_in_queue : int;    (** Alloc-most-recent pages left in place. *)
+  invalidated : int;
+}
+
+val batching : ?ops:int -> unit -> batching_report
+(** Drive [ops] alloc/release churn cycles through the real
+    Pv_queue → page-ops-hypercall machinery. *)
+
+val print_batching : unit -> unit
+(** The batching report plus the queue-partitioning contention table
+    (global lock vs 4 / 16 partitions). *)

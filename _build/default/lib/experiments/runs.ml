@@ -1,0 +1,49 @@
+type key = {
+  mode : Engine.Config.mode;
+  app : string;
+  policy : Policies.Spec.t;
+  mcs : bool;
+}
+
+let cache : (key * int, Engine.Result.t) Hashtbl.t = Hashtbl.create 256
+
+let run ?(seed = 42) key =
+  match Hashtbl.find_opt cache (key, seed) with
+  | Some result -> result
+  | None ->
+      let app =
+        match Workloads.Catalogue.find key.app with
+        | Some app -> app
+        | None -> invalid_arg (Printf.sprintf "Runs.run: unknown app %S" key.app)
+      in
+      let vm = Engine.Config.vm ~use_mcs:key.mcs ~policy:key.policy app in
+      let cfg = Engine.Config.make ~seed ~mode:key.mode [ vm ] in
+      let result = Engine.Runner.run cfg in
+      Hashtbl.replace cache (key, seed) result;
+      result
+
+let completion ?seed key = (Engine.Result.single (run ?seed key)).Engine.Result.completion
+
+let linux ?(mcs = false) app policy =
+  { mode = Engine.Config.Linux; app = app.Workloads.App.name; policy; mcs }
+
+let xen app policy = { mode = Engine.Config.Xen; app = app.Workloads.App.name; policy; mcs = false }
+
+let xen_plus ?(mcs = false) app policy =
+  { mode = Engine.Config.Xen_plus; app = app.Workloads.App.name; policy; mcs }
+
+let mcs_apps = [ "facesim"; "streamcluster" ]
+
+let uses_mcs app = List.mem app.Workloads.App.name mcs_apps
+
+let linux_numa app =
+  linux ~mcs:(uses_mcs app) app app.Workloads.App.paper.Workloads.App.best_linux
+
+let xen_plus_numa app =
+  xen_plus ~mcs:(uses_mcs app) app app.Workloads.App.paper.Workloads.App.best_xen
+
+let xen_stock app = xen app Policies.Spec.round_1g
+
+let xen_plus_default app = xen_plus ~mcs:(uses_mcs app) app Policies.Spec.round_1g
+
+let clear_cache () = Hashtbl.reset cache

@@ -1,0 +1,43 @@
+(** Shared, memoized single-application runs.
+
+    The figures and tables of the paper reuse the same underlying runs
+    (e.g. the Linux first-touch run is the baseline of Figure 2 and a
+    series of Figures 1, 6 and 10); this cache executes each distinct
+    (mode, app, policy, mcs) combination once per process. *)
+
+type key = {
+  mode : Engine.Config.mode;
+  app : string;
+  policy : Policies.Spec.t;
+  mcs : bool;
+}
+
+val run : ?seed:int -> key -> Engine.Result.t
+(** Simulate (memoized).  @raise Invalid_argument on an unknown app. *)
+
+val completion : ?seed:int -> key -> float
+
+val linux : ?mcs:bool -> Workloads.App.t -> Policies.Spec.t -> key
+val xen : Workloads.App.t -> Policies.Spec.t -> key
+val xen_plus : ?mcs:bool -> Workloads.App.t -> Policies.Spec.t -> key
+
+val mcs_apps : string list
+(** Applications that get MCS spin locks in Xen+ and LinuxNUMA
+    (facesim and streamcluster, Section 5.3.2). *)
+
+val uses_mcs : Workloads.App.t -> bool
+
+val linux_numa : Workloads.App.t -> key
+(** LinuxNUMA: best Linux policy (Table 4) with MCS where applicable. *)
+
+val xen_plus_numa : Workloads.App.t -> key
+(** Xen+NUMA: best Xen+ policy (Table 4) with MCS where applicable. *)
+
+val xen_stock : Workloads.App.t -> key
+(** Stock Xen: round-1G, pv I/O, no MCS. *)
+
+val xen_plus_default : Workloads.App.t -> key
+(** Xen+ baseline: round-1G with passthrough I/O and MCS where
+    applicable. *)
+
+val clear_cache : unit -> unit

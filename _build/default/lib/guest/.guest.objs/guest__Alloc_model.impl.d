@@ -1,0 +1,1 @@
+lib/guest/alloc_model.ml: Format Sim

@@ -1,0 +1,1 @@
+lib/guest/pfn_pool.ml: Array List Memory

@@ -1,0 +1,1 @@
+lib/guest/process.ml: Gpt Pfn_pool

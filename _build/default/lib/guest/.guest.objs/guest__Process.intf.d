@@ -1,0 +1,1 @@
+lib/guest/process.mli: Gpt Memory Pfn_pool

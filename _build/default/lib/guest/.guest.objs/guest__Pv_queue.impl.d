@@ -1,0 +1,1 @@
+lib/guest/pv_queue.ml: Array Hashtbl Memory

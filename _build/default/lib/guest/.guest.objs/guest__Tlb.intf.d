@@ -1,0 +1,1 @@
+lib/guest/tlb.mli:

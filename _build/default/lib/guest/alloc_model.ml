@@ -1,0 +1,23 @@
+type kind = Glibc | Streamflow | Scalloc
+
+type t = { kind : kind; release_period : float option }
+
+let glibc = { kind = Glibc; release_period = Some 0.01 }
+
+let streamflow ~release_period =
+  if release_period <= 0.0 then invalid_arg "Alloc_model.streamflow: bad period";
+  { kind = Streamflow; release_period = Some release_period }
+
+let scalloc = { kind = Scalloc; release_period = None }
+
+let releases_in t ~duration =
+  assert (duration >= 0.0);
+  match t.release_period with
+  | None -> 0
+  | Some period -> int_of_float (duration /. period)
+
+let pp fmt t =
+  let name = match t.kind with Glibc -> "glibc" | Streamflow -> "streamflow" | Scalloc -> "scalloc" in
+  match t.release_period with
+  | None -> Format.fprintf fmt "%s (no page releases)" name
+  | Some p -> Format.fprintf fmt "%s (release every %a)" name Sim.Units.pp_seconds p

@@ -1,0 +1,39 @@
+(** User-level allocator behaviour.
+
+    What matters to the hypervisor is how often the allocator returns
+    physical pages to the guest OS:
+
+    - the default glibc allocator caches freed memory and releases
+      pages rarely;
+    - the Streamflow allocator (used by Mosbench for scalability)
+      continuously calls mmap/munmap — wrmem releases a physical page
+      every 15 µs — which stresses the release hypercall and motivates
+      batching (Section 4.2.3);
+    - scalloc/llalloc-style allocators (the paper's future work) almost
+      never release pages. *)
+
+type kind =
+  | Glibc
+  | Streamflow
+  | Scalloc
+
+type t = {
+  kind : kind;
+  release_period : float option;
+      (** Mean seconds between page releases to the guest OS, [None]
+          when releases are negligible. *)
+}
+
+val glibc : t
+(** Releases roughly once per 10 ms of execution. *)
+
+val streamflow : release_period:float -> t
+(** mmap/munmap churn at the given period (wrmem: 15e-6). *)
+
+val scalloc : t
+(** Virtually never releases. *)
+
+val releases_in : t -> duration:float -> int
+(** Expected number of page releases over [duration] seconds. *)
+
+val pp : Format.formatter -> t -> unit

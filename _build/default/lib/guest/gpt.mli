@@ -1,0 +1,34 @@
+(** Guest page table: per-process mapping of virtual frame numbers to
+    guest-physical frame numbers, with Linux's lazy allocation.
+
+    Creating a mapping does not allocate physical memory; the first
+    access to a virtual page takes a guest page fault, and the fault
+    handler allocates a physical frame.  This guest-level laziness is
+    what the hypervisor cannot see — the motivation for the paper's
+    external interface (Figure 4). *)
+
+type t
+
+val create : frames:int -> t
+(** Address space of [frames] virtual frames, all unmapped. *)
+
+val frames : t -> int
+
+val get : t -> Memory.Page.vfn -> Memory.Page.pfn option
+
+val map : t -> Memory.Page.vfn -> Memory.Page.pfn -> unit
+(** @raise Invalid_argument if the vfn is already mapped. *)
+
+val unmap : t -> Memory.Page.vfn -> Memory.Page.pfn option
+(** Remove the mapping, returning the physical frame it held. *)
+
+val mapped_count : t -> int
+
+val fault_count : t -> int
+(** Guest page faults taken so far (first touches). *)
+
+val touch :
+  t -> Memory.Page.vfn -> alloc:(unit -> Memory.Page.pfn option) -> Memory.Page.pfn option
+(** [touch t vfn ~alloc] resolves an access: returns the mapped frame,
+    or on first touch calls [alloc] to obtain one, maps it and counts a
+    guest fault.  [None] only if [alloc] fails (out of memory). *)

@@ -1,0 +1,70 @@
+type state = Fresh | Allocated | Free
+
+type t = {
+  states : state array;
+  mutable free_stack : Memory.Page.pfn list;
+  mutable next_fresh : int;
+  mutable allocated : int;
+  mutable recycled : int;
+  on_alloc : Memory.Page.pfn -> unit;
+  on_release : Memory.Page.pfn -> unit;
+}
+
+let nop _ = ()
+
+let create ~frames ?(first_fresh = 0) ?(on_alloc = nop) ?(on_release = nop) () =
+  if frames <= 0 then invalid_arg "Pfn_pool.create: frames must be positive";
+  if first_fresh < 0 || first_fresh >= frames then
+    invalid_arg "Pfn_pool.create: first_fresh out of range";
+  {
+    states = Array.make frames Fresh;
+    free_stack = [];
+    next_fresh = first_fresh;
+    allocated = 0;
+    recycled = 0;
+    on_alloc;
+    on_release;
+  }
+
+let frames t = Array.length t.states
+
+let alloc t =
+  match t.free_stack with
+  | pfn :: rest ->
+      t.free_stack <- rest;
+      t.states.(pfn) <- Allocated;
+      t.allocated <- t.allocated + 1;
+      t.recycled <- t.recycled + 1;
+      t.on_alloc pfn;
+      Some pfn
+  | [] ->
+      if t.next_fresh >= Array.length t.states then None
+      else begin
+        let pfn = t.next_fresh in
+        t.next_fresh <- t.next_fresh + 1;
+        t.states.(pfn) <- Allocated;
+        t.allocated <- t.allocated + 1;
+        t.on_alloc pfn;
+        Some pfn
+      end
+
+let release t pfn =
+  if pfn < 0 || pfn >= Array.length t.states then invalid_arg "Pfn_pool.release: out of range";
+  match t.states.(pfn) with
+  | Allocated ->
+      t.states.(pfn) <- Free;
+      t.free_stack <- pfn :: t.free_stack;
+      t.allocated <- t.allocated - 1;
+      t.on_release pfn
+  | Free -> invalid_arg "Pfn_pool.release: double release"
+  | Fresh -> invalid_arg "Pfn_pool.release: frame was never allocated"
+
+let allocated t = t.allocated
+
+let free_count t = List.length t.free_stack
+
+let recycled t = t.recycled
+
+let is_free t pfn =
+  if pfn < 0 || pfn >= Array.length t.states then invalid_arg "Pfn_pool.is_free: out of range";
+  t.states.(pfn) = Free

@@ -1,0 +1,45 @@
+(** Guest physical frame pool: the guest OS's free list.
+
+    Frames released by a process return to a LIFO free list and are
+    eagerly recycled for the next allocation — the behaviour that makes
+    the hypervisor blind to reallocation (Figure 4 of the paper): the
+    same guest-physical frame moves from one virtual page to another
+    without the hypervisor being involved.  Linux zeroes pages on
+    release, so all free frames are interchangeable (Section 4.4.2).
+
+    [on_alloc]/[on_release] hooks let the para-virtualized kernel feed
+    the {!Pv_queue} (under the same critical section, as the paper's
+    design requires). *)
+
+type t
+
+val create :
+  frames:int ->
+  ?first_fresh:int ->
+  ?on_alloc:(Memory.Page.pfn -> unit) ->
+  ?on_release:(Memory.Page.pfn -> unit) ->
+  unit ->
+  t
+(** Pool over guest-physical frames [\[0, frames)], all initially
+    unallocated ("fresh").  [first_fresh] (default 0) reserves the low
+    frames for the kernel and DMA zones: fresh allocations start there,
+    mirroring how Linux keeps user pages out of low memory. *)
+
+val frames : t -> int
+
+val alloc : t -> Memory.Page.pfn option
+(** Pop the most recently released frame, else the next fresh frame;
+    [None] when the guest-physical space is exhausted. *)
+
+val release : t -> Memory.Page.pfn -> unit
+(** Return a frame to the free list (zeroing is implicit).
+    @raise Invalid_argument on double release or out-of-range frame. *)
+
+val allocated : t -> int
+val free_count : t -> int
+
+val recycled : t -> int
+(** Allocations served from the free list rather than fresh frames —
+    measures how often the Figure-4 reuse pattern occurs. *)
+
+val is_free : t -> Memory.Page.pfn -> bool

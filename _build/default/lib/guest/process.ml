@@ -1,0 +1,23 @@
+type t = { pid : int; gpt : Gpt.t; pool : Pfn_pool.t }
+
+let create ~pid ~vframes ~pool = { pid; gpt = Gpt.create ~frames:vframes; pool }
+
+let pid t = t.pid
+
+let gpt t = t.gpt
+
+let touch t vfn = Gpt.touch t.gpt vfn ~alloc:(fun () -> Pfn_pool.alloc t.pool)
+
+let free_range t ~first ~count =
+  assert (count >= 0);
+  let released = ref 0 in
+  for vfn = first to first + count - 1 do
+    match Gpt.unmap t.gpt vfn with
+    | Some pfn ->
+        Pfn_pool.release t.pool pfn;
+        incr released
+    | None -> ()
+  done;
+  !released
+
+let resident t = Gpt.mapped_count t.gpt

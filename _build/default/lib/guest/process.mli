@@ -1,0 +1,29 @@
+(** A guest process: a virtual address space over the guest's shared
+    physical frame pool.
+
+    Ties {!Gpt} lazy allocation to the {!Pfn_pool}: the first touch of
+    a virtual page takes a guest fault and grabs a (possibly recycled)
+    physical frame; freeing a virtual range returns the frames to the
+    pool.  With the pool's hooks wired to a {!Pv_queue}, this is the
+    full guest half of the paper's first-touch machinery. *)
+
+type t
+
+val create : pid:int -> vframes:int -> pool:Pfn_pool.t -> t
+(** Process with a virtual address space of [vframes] frames, backed by
+    the (shared) pool. *)
+
+val pid : t -> int
+
+val gpt : t -> Gpt.t
+
+val touch : t -> Memory.Page.vfn -> Memory.Page.pfn option
+(** Resolve an access to [vfn], allocating on first touch; [None] when
+    the pool is exhausted. *)
+
+val free_range : t -> first:Memory.Page.vfn -> count:int -> int
+(** munmap: unmap the virtual range and release its physical frames to
+    the pool; returns the number of frames released. *)
+
+val resident : t -> int
+(** Mapped (resident) frames. *)

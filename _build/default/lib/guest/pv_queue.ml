@@ -1,0 +1,81 @@
+type op =
+  | Alloc of Memory.Page.pfn
+  | Release of Memory.Page.pfn
+
+let op_pfn = function Alloc pfn | Release pfn -> pfn
+
+type stats = {
+  mutable enqueued : int;
+  mutable flushes : int;
+  mutable ops_sent : int;
+  mutable guest_time : float;
+}
+
+type partition = {
+  mutable entries : op array;
+  mutable len : int;
+}
+
+type t = {
+  parts : partition array;
+  mask : int;
+  capacity : int;
+  flush : op array -> float;
+  stats : stats;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(partitions = 4) ?(capacity = 128) ~flush () =
+  if not (is_power_of_two partitions) then
+    invalid_arg "Pv_queue.create: partitions must be a power of two";
+  if capacity <= 0 then invalid_arg "Pv_queue.create: capacity must be positive";
+  {
+    parts = Array.init partitions (fun _ -> { entries = Array.make capacity (Alloc 0); len = 0 });
+    mask = partitions - 1;
+    capacity;
+    flush;
+    stats = { enqueued = 0; flushes = 0; ops_sent = 0; guest_time = 0.0 };
+  }
+
+let partitions t = Array.length t.parts
+
+let partition_of t pfn = pfn land t.mask
+
+let flush_partition t part =
+  if part.len > 0 then begin
+    let ops = Array.sub part.entries 0 part.len in
+    (* The partition lock is held across the hypercall: no other core
+       can reallocate a queued page while the hypervisor processes it. *)
+    let time = t.flush ops in
+    t.stats.flushes <- t.stats.flushes + 1;
+    t.stats.ops_sent <- t.stats.ops_sent + part.len;
+    t.stats.guest_time <- t.stats.guest_time +. time;
+    part.len <- 0
+  end
+
+let record t op =
+  let part = t.parts.(partition_of t (op_pfn op)) in
+  part.entries.(part.len) <- op;
+  part.len <- part.len + 1;
+  t.stats.enqueued <- t.stats.enqueued + 1;
+  if part.len = t.capacity then flush_partition t part
+
+let flush_all t = Array.iter (flush_partition t) t.parts
+
+let pending t = Array.fold_left (fun acc p -> acc + p.len) 0 t.parts
+
+let stats t = t.stats
+
+let replay ops ~f =
+  let seen = Hashtbl.create (Array.length ops) in
+  for i = Array.length ops - 1 downto 0 do
+    let op = ops.(i) in
+    let pfn = op_pfn op in
+    if not (Hashtbl.mem seen pfn) then begin
+      Hashtbl.replace seen pfn ();
+      match op with
+      | Release _ -> f pfn `Invalidate
+      | Alloc _ -> f pfn `Leave
+    end
+  done

@@ -1,0 +1,74 @@
+(** Guest side of the paper's external interface: the batched
+    allocation/release queue (Sections 4.2.3–4.2.4).
+
+    Calling the hypervisor on every page release is far too expensive
+    (an application like wrmem releases a page every 15 µs; an empty
+    hypercall per release divides its performance by 3).  Instead the
+    guest OS accumulates (op, page) pairs — where op is allocation or
+    release — in a queue and flushes the whole queue in one hypercall
+    when it fills.
+
+    Because a page can be reallocated while sitting in the queue, both
+    allocations and releases are recorded, and the hypervisor replays
+    the queue from the most recent entry keeping only the most recent
+    operation per page: a final Release means the page is free and its
+    P2M entry can be invalidated; a final Alloc means the page may
+    already be in use and is left on its current node (copying would be
+    too costly for this rare case).
+
+    A single global queue serializes all cores on its lock, so the
+    queue is partitioned by the two least significant bits of the page
+    frame number, each partition with its own lock; the guest holds the
+    partition lock across the flush hypercall so no other core can
+    reallocate a page that is in flight. *)
+
+type op =
+  | Alloc of Memory.Page.pfn
+  | Release of Memory.Page.pfn
+
+val op_pfn : op -> Memory.Page.pfn
+
+type stats = {
+  mutable enqueued : int;
+  mutable flushes : int;
+  mutable ops_sent : int;
+  mutable guest_time : float;
+      (** Guest-visible time spent flushing (hypercall + lock hold). *)
+}
+
+type t
+
+val create :
+  ?partitions:int ->
+  ?capacity:int ->
+  flush:(op array -> float) ->
+  unit ->
+  t
+(** [create ~partitions ~capacity ~flush ()] — [partitions] defaults to
+    4 (two PFN bits) and must be a power of two; [capacity] (default
+    128) is the per-partition entry count that triggers a flush.
+    [flush ops] is the hypervisor's handler; it returns the time the
+    hypercall took, which is charged to [stats.guest_time]. *)
+
+val partitions : t -> int
+
+val partition_of : t -> Memory.Page.pfn -> int
+(** Partition index = low bits of the pfn. *)
+
+val record : t -> op -> unit
+(** Append under the partition lock; flushes the partition through the
+    hypercall if it reaches capacity. *)
+
+val flush_all : t -> unit
+(** Force-flush every non-empty partition (used at policy switch). *)
+
+val pending : t -> int
+(** Entries currently queued across all partitions. *)
+
+val stats : t -> stats
+
+val replay : op array -> f:(Memory.Page.pfn -> [ `Invalidate | `Leave ] -> unit) -> unit
+(** Hypervisor-side replay semantics, reusable by policies: walk the
+    queue from the most recent entry, visit each page once, and apply
+    [`Invalidate] if its most recent op is a Release, [`Leave] if it is
+    an Alloc. *)

@@ -1,0 +1,55 @@
+module Mcs = struct
+  type t = {
+    mutable holder : int option;
+    queue : int Queue.t;
+    in_lock : bool array;  (* thread currently holds or waits *)
+  }
+
+  let create ~threads =
+    if threads <= 0 then invalid_arg "Mcs.create: threads must be positive";
+    { holder = None; queue = Queue.create (); in_lock = Array.make threads false }
+
+  let check t thread =
+    if thread < 0 || thread >= Array.length t.in_lock then
+      invalid_arg "Mcs: thread out of range"
+
+  let acquire t ~thread =
+    check t thread;
+    if t.in_lock.(thread) then invalid_arg "Mcs.acquire: thread already holds or waits";
+    t.in_lock.(thread) <- true;
+    match t.holder with
+    | None ->
+        t.holder <- Some thread;
+        `Acquired
+    | Some _ ->
+        Queue.add thread t.queue;
+        `Queued (Queue.length t.queue - 1)
+
+  let release t ~thread =
+    check t thread;
+    (match t.holder with
+    | Some h when h = thread -> ()
+    | Some _ | None -> invalid_arg "Mcs.release: thread is not the holder");
+    t.in_lock.(thread) <- false;
+    if Queue.is_empty t.queue then begin
+      t.holder <- None;
+      None
+    end
+    else begin
+      let next = Queue.pop t.queue in
+      t.holder <- Some next;
+      Some next
+    end
+
+  let holder t = t.holder
+  let waiters t = Queue.length t.queue
+end
+
+type primitive = Futex_sleep | Mcs_spin
+
+let wait_overhead primitive ~context_switch ~ipi =
+  match primitive with
+  | Futex_sleep -> (2.0 *. context_switch) +. ipi
+  | Mcs_spin -> 0.0
+
+let switches_per_event = function Futex_sleep -> 2 | Mcs_spin -> 0

@@ -1,0 +1,47 @@
+(** Guest synchronization primitives.
+
+    Two implementations of mutual exclusion matter to the paper:
+
+    - futex-backed pthread mutexes/condvars: a waiting thread sleeps
+      (intentional context switch); waking it requires an IPI, which
+      costs 0.9 µs native but 10.9 µs in guest mode (Section 5.3.2);
+    - MCS spin locks: waiters spin on a per-waiter flag in a queue and
+      never leave the CPU, so no context switch and no IPI — the
+      "Xen+" mitigation applied to facesim and streamcluster.
+
+    {!Mcs} is a faithful queue-lock structure over simulated thread
+    ids; {!wait_overhead} is the cost model the engine charges per
+    blocking event. *)
+
+module Mcs : sig
+  type t
+
+  val create : threads:int -> t
+
+  val acquire : t -> thread:int -> [ `Acquired | `Queued of int ]
+  (** Enqueue the thread; [`Acquired] if the lock was free,
+      [`Queued pos] with the 0-based queue position otherwise.
+      @raise Invalid_argument if the thread already holds or waits. *)
+
+  val release : t -> thread:int -> int option
+  (** Release by the holder; returns the thread that now holds the
+      lock, if any.
+      @raise Invalid_argument if [thread] is not the holder. *)
+
+  val holder : t -> int option
+  val waiters : t -> int
+end
+
+type primitive =
+  | Futex_sleep  (** pthread mutex/condvar: sleep + IPI wake-up. *)
+  | Mcs_spin     (** spin loop: never leaves the CPU. *)
+
+val wait_overhead :
+  primitive -> context_switch:float -> ipi:float -> float
+(** Time charged per blocking synchronization event: two context
+    switches (sleep and wake) plus the wake-up IPI for [Futex_sleep];
+    zero for [Mcs_spin]. *)
+
+val switches_per_event : primitive -> int
+(** Intentional context switches generated per blocking event (2 for
+    futex, 0 for spin) — drives the Table 2 context-switch column. *)

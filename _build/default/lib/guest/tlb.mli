@@ -1,0 +1,48 @@
+(** TLB reach model — the substrate behind the paper's first
+    future-work item ("handling large pages in order to decrease the
+    number of TLB misses should further improve performance").
+
+    The cost of a TLB miss is very different native vs virtualized:
+    with nested paging the hardware walks {e two} page tables (guest
+    and hypervisor), up to 24 memory references instead of 4, which is
+    why large pages matter more inside a VM.
+
+    The model is a coverage argument: a TLB with [entries] entries of
+    [page_bytes] pages covers [entries * page_bytes] of address space;
+    accesses beyond the covered hot set miss with a probability that
+    grows with the uncovered fraction of the footprint.  With a skewed
+    (Zipf) access pattern most accesses hit the covered hot pages, so
+    the miss ratio is scaled by the cold-tail access share. *)
+
+type t = {
+  entries_4k : int;  (** 4 KiB-page entries (L2 DTLB). *)
+  entries_2m : int;  (** 2 MiB-page entries. *)
+  walk_cycles_native : float;  (** One-dimensional page walk. *)
+  walk_cycles_virtualized : float;
+      (** Two-dimensional (nested) page walk under a hypervisor. *)
+  spatial_accesses_per_4k : float;
+      (** Consecutive accesses a thread makes within one 4 KiB page
+          before leaving it; larger pages absorb proportionally more
+          accesses per TLB entry. *)
+}
+
+val opteron : t
+(** The AMD Opteron 6174: 1024-entry 4 KiB L2 DTLB, 48-entry unified
+    L1 that also holds 2 MiB entries; ~60-cycle native walks, ~3x that
+    for nested walks. *)
+
+type page_size = Small_4k | Huge_2m
+
+val coverage_bytes : t -> page_size -> int
+(** Address space the TLB can map at once for the given page size. *)
+
+val miss_ratio : t -> page_size -> footprint_bytes:int -> hot_access_share:float -> float
+(** Fraction of memory accesses that miss the TLB.  [hot_access_share]
+    is the share of accesses going to the covered hot set (1.0 for a
+    fully cache-resident hot set, lower for uniform patterns). *)
+
+val walk_cycles : t -> virtualized:bool -> float
+
+val cycles_per_access :
+  t -> page_size -> virtualized:bool -> footprint_bytes:int -> hot_access_share:float -> float
+(** Expected TLB-walk cycles added to each memory access. *)

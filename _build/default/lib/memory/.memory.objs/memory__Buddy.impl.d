@@ -1,0 +1,1 @@
+lib/memory/buddy.ml: Array Bytes Char Int Set

@@ -1,0 +1,1 @@
+lib/memory/machine.ml: Array Buddy Numa Page

@@ -1,0 +1,1 @@
+lib/memory/machine.mli: Numa Page

@@ -1,0 +1,145 @@
+module Int_set = Set.Make (Int)
+
+let max_order = 20
+
+type t = {
+  base : int;
+  total : int;
+  free_sets : Int_set.t array;  (* free block bases, per order *)
+  (* allocated.(f - base) = order + 1 when an allocated block of that
+     order starts at frame f; detects double frees and order
+     mismatches. *)
+  allocated : Bytes.t;
+  mutable free : int;
+}
+
+let block_frames order = 1 lsl order
+
+let add_block t ~base ~order =
+  t.free_sets.(order) <- Int_set.add base t.free_sets.(order)
+
+let create ~base ~frames =
+  if frames <= 0 then invalid_arg "Buddy.create: frames must be positive";
+  if base < 0 then invalid_arg "Buddy.create: negative base";
+  let t =
+    { base; total = frames; free_sets = Array.make (max_order + 1) Int_set.empty;
+      allocated = Bytes.make frames '\000'; free = 0 }
+  in
+  let trailing_zeros n =
+    let rec tz n i = if n land 1 = 1 then i else tz (n lsr 1) (i + 1) in
+    if n = 0 then max_order else tz n 0
+  in
+  (* Greedy cover by maximal aligned power-of-two blocks. *)
+  let cur = ref base and stop = base + frames in
+  while !cur < stop do
+    let align_order = min max_order (trailing_zeros !cur) in
+    let rec fit o = if o > 0 && !cur + block_frames o > stop then fit (o - 1) else o in
+    let order = fit align_order in
+    add_block t ~base:!cur ~order;
+    t.free <- t.free + block_frames order;
+    cur := !cur + block_frames order
+  done;
+  assert (t.free = frames);
+  t
+
+let free_frames t = t.free
+let total_frames t = t.total
+
+let largest_free_order t =
+  let rec scan o = if o < 0 then None else if Int_set.is_empty t.free_sets.(o) then scan (o - 1) else Some o in
+  scan max_order
+
+let alloc t ~order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.alloc: bad order";
+  let rec find o =
+    if o > max_order then None
+    else if Int_set.is_empty t.free_sets.(o) then find (o + 1)
+    else Some o
+  in
+  match find order with
+  | None -> None
+  | Some found ->
+      let block = Int_set.min_elt t.free_sets.(found) in
+      t.free_sets.(found) <- Int_set.remove block t.free_sets.(found);
+      (* Split down to the requested order, freeing the upper halves. *)
+      let rec split o =
+        if o > order then begin
+          let o' = o - 1 in
+          add_block t ~base:(block + block_frames o') ~order:o';
+          split o'
+        end
+      in
+      split found;
+      t.free <- t.free - block_frames order;
+      Bytes.set t.allocated (block - t.base) (Char.chr (order + 1));
+      Some block
+
+let split_allocation t ~base ~order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.split_allocation: bad order";
+  (match Char.code (Bytes.get t.allocated (base - t.base)) with
+  | 0 -> invalid_arg "Buddy.split_allocation: block not allocated"
+  | tag when tag - 1 <> order -> invalid_arg "Buddy.split_allocation: order mismatch"
+  | _ -> ());
+  for f = base to base + block_frames order - 1 do
+    Bytes.set t.allocated (f - t.base) '\001'
+  done
+
+let in_range t ~base ~order =
+  base >= t.base && base + block_frames order <= t.base + t.total
+
+let free t ~base ~order =
+  if order < 0 || order > max_order then invalid_arg "Buddy.free: bad order";
+  if not (in_range t ~base ~order) then invalid_arg "Buddy.free: block out of range";
+  (match Char.code (Bytes.get t.allocated (base - t.base)) with
+  | 0 -> invalid_arg "Buddy.free: double free"
+  | tag when tag - 1 <> order -> invalid_arg "Buddy.free: order mismatch"
+  | _ -> ());
+  Bytes.set t.allocated (base - t.base) '\000';
+  t.free <- t.free + block_frames order;
+  let rec coalesce base order =
+    if order >= max_order then add_block t ~base ~order
+    else begin
+      let buddy = base lxor block_frames order in
+      if Int_set.mem buddy t.free_sets.(order) && in_range t ~base:(min base buddy) ~order:(order + 1)
+      then begin
+        t.free_sets.(order) <- Int_set.remove buddy t.free_sets.(order);
+        coalesce (min base buddy) (order + 1)
+      end
+      else add_block t ~base ~order
+    end
+  in
+  coalesce base order
+
+let reserve t ~base ~frames =
+  let lo = base and hi = base + frames in
+  let reserved = ref 0 in
+  (* Recursively carve the intersection of a free block with [lo,hi). *)
+  let rec carve block order =
+    let b_lo = block and b_hi = block + block_frames order in
+    if b_hi <= lo || b_lo >= hi then begin
+      add_block t ~base:block ~order
+    end
+    else if b_lo >= lo && b_hi <= hi then begin
+      reserved := !reserved + block_frames order;
+      t.free <- t.free - block_frames order
+    end
+    else begin
+      assert (order > 0);
+      let o' = order - 1 in
+      carve block o';
+      carve (block + block_frames o') o'
+    end
+  in
+  for order = 0 to max_order do
+    let overlapping =
+      Int_set.filter
+        (fun block -> block < hi && block + block_frames order > lo)
+        t.free_sets.(order)
+    in
+    Int_set.iter
+      (fun block ->
+        t.free_sets.(order) <- Int_set.remove block t.free_sets.(order);
+        carve block order)
+      overlapping
+  done;
+  !reserved

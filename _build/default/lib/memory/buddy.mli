@@ -1,0 +1,50 @@
+(** Binary buddy allocator over a contiguous range of frame numbers.
+
+    Xen's heap allocator hands out power-of-two blocks of machine
+    frames; the round-1G policy asks for order-18 (1 GiB) blocks and
+    falls back to order-9 (2 MiB) then order-0 (4 KiB) under
+    fragmentation.  This is a faithful buddy system: blocks split on
+    allocation and coalesce with their buddy on free. *)
+
+type t
+
+val create : base:int -> frames:int -> t
+(** [create ~base ~frames] manages frames [\[base, base + frames)],
+    initially all free.  [frames] need not be a power of two; the range
+    is covered greedily by maximal aligned power-of-two blocks.
+    @raise Invalid_argument if [frames <= 0] or [base < 0]. *)
+
+val max_order : int
+(** Largest supported order (20, i.e. 4 GiB blocks of 4 KiB frames). *)
+
+val alloc : t -> order:int -> int option
+(** [alloc t ~order] returns the base frame of a free block of
+    [2^order] frames, or [None] if no block of that size can be carved.
+    Splits larger blocks as needed, preferring the smallest suitable
+    block and the lowest address (like Xen's heap). *)
+
+val free : t -> base:int -> order:int -> unit
+(** Return a block; coalesces with free buddies.
+    @raise Invalid_argument if the block is outside the managed range
+    or (detectable) double-free of an aligned block. *)
+
+val split_allocation : t -> base:int -> order:int -> unit
+(** Re-register an allocated block of [2^order] frames as [2^order]
+    individual order-0 allocations, so its frames can later be freed
+    one at a time (Xen's round-1G boot allocation is carved into 4 KiB
+    P2M entries that are invalidated and freed individually).
+    @raise Invalid_argument if no allocated block of that order starts
+    at [base]. *)
+
+val free_frames : t -> int
+(** Total free frames. *)
+
+val total_frames : t -> int
+
+val largest_free_order : t -> int option
+(** Order of the largest currently-free block, [None] if full. *)
+
+val reserve : t -> base:int -> frames:int -> int
+(** [reserve t ~base ~frames] removes the given frame range from the
+    free pool (used to model BIOS / I/O holes).  Frames already
+    allocated are skipped; returns the number actually reserved. *)

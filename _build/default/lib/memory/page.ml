@@ -1,0 +1,13 @@
+type mfn = int
+type pfn = int
+type vfn = int
+
+let size_4k = 4096
+let size_2m = 2 * 1024 * 1024
+let size_1g = 1024 * 1024 * 1024
+let frames_per_2m = size_2m / size_4k
+let frames_per_1g = size_1g / size_4k
+let order_4k = 0
+let order_2m = 9
+let order_1g = 18
+let frames_of_bytes ~bytes = (bytes + size_4k - 1) / size_4k

@@ -1,0 +1,1 @@
+lib/microsim/memsim.ml: Array Float List Numa Option Sim

@@ -1,0 +1,1 @@
+lib/microsim/memsim.mli: Numa

@@ -1,0 +1,1 @@
+lib/numa/amd48.ml: Latency Topology

@@ -1,0 +1,1 @@
+lib/numa/amd48.mli: Latency Topology

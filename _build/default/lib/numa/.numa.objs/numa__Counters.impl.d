@@ -1,0 +1,1 @@
+lib/numa/counters.ml: Array Float List Sim Topology

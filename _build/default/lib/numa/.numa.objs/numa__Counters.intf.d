@@ -1,0 +1,1 @@
+lib/numa/counters.mli: Topology

@@ -1,0 +1,1 @@
+lib/numa/latency.ml: Array Float

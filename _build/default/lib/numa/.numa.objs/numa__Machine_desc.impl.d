@@ -1,0 +1,1 @@
+lib/numa/machine_desc.ml: Amd48 Latency List String Topology

@@ -1,0 +1,1 @@
+lib/numa/machine_desc.mli: Latency Topology

@@ -1,0 +1,1 @@
+lib/numa/topology.ml: Array Format List Queue Sim

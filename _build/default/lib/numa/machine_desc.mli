@@ -1,0 +1,28 @@
+(** A machine description bundles everything the simulator needs to
+    model one physical host: topology, latency model, clock, and where
+    the I/O buses hang.  {!Amd48} provides the paper's machine;
+    {!Intel32} a contrasting fully-connected four-node host to check
+    that the policy conclusions are not an artefact of one topology. *)
+
+type t = {
+  name : string;
+  topology : unit -> Topology.t;
+  latency : Latency.t;
+  freq_hz : float;
+  cache_line : int;
+  pci_bus_nodes : int list;
+}
+
+val amd48 : t
+(** The paper's 48-core, 8-node Opteron host. *)
+
+val intel32 : t
+(** A 32-core, 4-node host in the style of a Xeon E5-4600 box: QPI
+    links between every socket pair (single-hop everywhere, so the
+    interconnect saturates less easily but remote latency is uniform),
+    8 cores and 32 GiB per node, faster controllers. *)
+
+val all : t list
+
+val find : string -> t option
+(** Case-insensitive lookup by name ("amd48", "intel32"). *)

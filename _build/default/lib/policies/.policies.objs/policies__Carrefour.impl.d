@@ -1,0 +1,1 @@
+lib/policies/carrefour.ml: Array Float Hashtbl Internal List Memory Numa Sim Xen

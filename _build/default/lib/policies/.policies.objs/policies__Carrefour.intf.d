@@ -1,0 +1,1 @@
+lib/policies/carrefour.mli: Memory Numa Sim Xen

@@ -1,0 +1,1 @@
+lib/policies/internal.ml: Memory Xen

@@ -1,0 +1,1 @@
+lib/policies/internal.mli: Memory Numa Xen

@@ -1,0 +1,1 @@
+lib/policies/manager.ml: Array Carrefour Guest Internal List Memory Numa Sim Spec Xen

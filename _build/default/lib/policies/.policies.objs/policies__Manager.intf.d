@@ -1,0 +1,1 @@
+lib/policies/manager.mli: Carrefour Guest Memory Numa Sim Spec Xen

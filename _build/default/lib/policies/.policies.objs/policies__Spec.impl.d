@@ -1,0 +1,1 @@
+lib/policies/spec.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/policies/spec.mli: Format

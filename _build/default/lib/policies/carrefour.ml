@@ -1,0 +1,295 @@
+type sample = {
+  pfn : Memory.Page.pfn;
+  node_accesses : float array;
+  read_fraction : float;
+}
+
+module System_component = struct
+  type heat = {
+    counts : float array;
+    mutable reads : float;
+    mutable total : float;
+  }
+
+  type t = {
+    system : Xen.System.t;
+    domain : Xen.Domain.t;
+    table : (Memory.Page.pfn, heat) Hashtbl.t;
+    replicas : (Memory.Page.pfn, Memory.Page.mfn list) Hashtbl.t;
+    mutable epoch : int;
+  }
+
+  let create system domain =
+    { system; domain; table = Hashtbl.create 1024; replicas = Hashtbl.create 64; epoch = 0 }
+
+  let decay t =
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun pfn heat ->
+        let total = ref 0.0 in
+        Array.iteri
+          (fun i c ->
+            heat.counts.(i) <- c /. 2.0;
+            total := !total +. heat.counts.(i))
+          heat.counts;
+        heat.reads <- heat.reads /. 2.0;
+        heat.total <- !total;
+        if !total < 1.0 then stale := pfn :: !stale)
+      t.table;
+    List.iter (Hashtbl.remove t.table) !stale
+
+  let collapse t ~pfn =
+    match Hashtbl.find_opt t.replicas pfn with
+    | None -> ()
+    | Some mfns ->
+        List.iter (fun mfn -> Memory.Machine.free t.system.Xen.System.machine ~mfn ~order:0) mfns;
+        Hashtbl.remove t.replicas pfn
+
+  let record_samples t samples =
+    decay t;
+    t.epoch <- t.epoch + 1;
+    List.iter
+      (fun s ->
+        (* Any write to a replicated page invalidates its replicas:
+           the copies would otherwise go stale.  This write-collapse
+           thrashing is what makes replication marginal on read-mostly
+           (but not read-only) workloads — the paper's reason for
+           discarding the heuristic. *)
+        if s.read_fraction < 0.999 && Hashtbl.mem t.replicas s.pfn then collapse t ~pfn:s.pfn;
+        let added = Array.fold_left ( +. ) 0.0 s.node_accesses in
+        match Hashtbl.find_opt t.table s.pfn with
+        | Some heat ->
+            Array.iteri (fun i c -> heat.counts.(i) <- heat.counts.(i) +. c) s.node_accesses;
+            heat.reads <- heat.reads +. (s.read_fraction *. added);
+            heat.total <- heat.total +. added
+        | None ->
+            Hashtbl.replace t.table s.pfn
+              {
+                counts = Array.copy s.node_accesses;
+                reads = s.read_fraction *. added;
+                total = added;
+              })
+      samples
+
+  type metrics = {
+    controller_util : float array;
+    max_link_util : float;
+    imbalance : float;
+    hot_pages : sample list;
+  }
+
+  let heat_total counts = Array.fold_left ( +. ) 0.0 counts
+
+  let read_metrics t ~counters =
+    let hot =
+      Hashtbl.fold
+        (fun pfn heat acc ->
+          let read_fraction = if heat.total > 0.0 then heat.reads /. heat.total else 1.0 in
+          { pfn; node_accesses = Array.copy heat.counts; read_fraction } :: acc)
+        t.table []
+    in
+    let hot =
+      List.sort (fun a b -> compare (heat_total b.node_accesses) (heat_total a.node_accesses)) hot
+    in
+    let link_util = Numa.Counters.last_link_utilisation counters in
+    {
+      controller_util = Numa.Counters.last_controller_utilisation counters;
+      max_link_util = Array.fold_left Float.max 0.0 link_util;
+      imbalance = Numa.Counters.imbalance counters;
+      hot_pages = hot;
+    }
+
+  let current_node t pfn = Internal.node_of_pfn t.system t.domain pfn
+
+  let is_replicated t pfn = Hashtbl.mem t.replicas pfn
+
+  let replicated_pages t = Hashtbl.length t.replicas
+
+  let migrate t ~pfn ~node =
+    collapse t ~pfn;
+    match Internal.migrate_page t.system t.domain ~pfn ~node with
+    | Ok _ -> true
+    | Error (`Enomem | `Not_mapped) -> false
+
+  (* Replication: hold one frame per other node and charge the copies;
+     the page itself keeps its P2M entry (a real implementation would
+     need per-vCPU translations, which is exactly why the paper's Xen
+     port discards the heuristic). *)
+  let replicate t ~pfn =
+    if Hashtbl.mem t.replicas pfn then false
+    else
+      match Internal.node_of_pfn t.system t.domain pfn with
+      | None -> false
+      | Some home ->
+          let machine = t.system.Xen.System.machine in
+          let topo = t.system.Xen.System.topo in
+          let frames = ref [] in
+          let ok = ref true in
+          for node = 0 to Numa.Topology.node_count topo - 1 do
+            if node <> home && !ok then begin
+              match Memory.Machine.alloc_frame machine ~node with
+              | Some mfn -> frames := mfn :: !frames
+              | None -> ok := false
+            end
+          done;
+          if not !ok then begin
+            List.iter (fun mfn -> Memory.Machine.free machine ~mfn ~order:0) !frames;
+            false
+          end
+          else begin
+            let costs = t.system.Xen.System.costs in
+            let bytes = float_of_int (Memory.Machine.frame_bytes machine) in
+            let copies = float_of_int (List.length !frames) in
+            let account = t.domain.Xen.Domain.account in
+            account.Xen.Domain.migrate_time <-
+              account.Xen.Domain.migrate_time
+              +. (copies *. (costs.Xen.Costs.page_migrate_fixed +. (bytes *. costs.Xen.Costs.copy_byte)));
+            Hashtbl.replace t.replicas pfn !frames;
+            true
+          end
+
+  let tracked_pages t = Hashtbl.length t.table
+end
+
+module User_component = struct
+  type config = {
+    mc_threshold : float;
+    ic_threshold : float;
+    dominant_fraction : float;
+    min_accesses : float;
+    migration_budget : int;
+    max_hot_pages : int;
+    enable_replication : bool;
+    replication_read_threshold : float;
+    min_reader_nodes : int;
+  }
+
+  let default_config =
+    {
+      mc_threshold = 0.55;
+      ic_threshold = 0.60;
+      dominant_fraction = 0.80;
+      min_accesses = 8.0;
+      migration_budget = 4096;
+      max_hot_pages = 16384;
+      enable_replication = false;
+      replication_read_threshold = 0.95;
+      min_reader_nodes = 3;
+    }
+
+  type reason = Interleave | Locality | Replicate
+
+  type action = { pfn : Memory.Page.pfn; dest : Numa.Topology.node; reason : reason }
+
+  let take n list =
+    let rec go n acc = function
+      | [] -> List.rev acc
+      | _ when n = 0 -> List.rev acc
+      | x :: rest -> go (n - 1) (x :: acc) rest
+    in
+    go n [] list
+
+  let reader_nodes node_accesses total =
+    Array.fold_left (fun acc c -> if c > 0.02 *. total then acc + 1 else acc) 0 node_accesses
+
+  let decide config ~rng ~metrics ~current_node =
+    let hot = take config.max_hot_pages metrics.System_component.hot_pages in
+    let utils = metrics.System_component.controller_util in
+    let mean_util = Sim.Stats.mean utils in
+    let overloaded =
+      Array.to_list utils
+      |> List.mapi (fun n u -> (n, u))
+      |> List.filter (fun (_, u) -> u > config.mc_threshold && u > 1.25 *. mean_util)
+      |> List.map fst
+    in
+    let underloaded =
+      Array.to_list utils
+      |> List.mapi (fun n u -> (n, u))
+      |> List.filter (fun (_, u) -> u < mean_util)
+      |> List.map fst
+      |> Array.of_list
+    in
+    let controllers_overloaded = overloaded <> [] && Array.length underloaded > 0 in
+    let interconnect_saturated =
+      metrics.System_component.max_link_util > config.ic_threshold
+    in
+    let actions = ref [] and seen = Hashtbl.create 64 and budget = ref config.migration_budget in
+    let emit pfn dest reason =
+      if !budget > 0 && not (Hashtbl.mem seen pfn) then begin
+        Hashtbl.replace seen pfn ();
+        decr budget;
+        actions := { pfn; dest; reason } :: !actions
+      end
+    in
+    (* Interleave heuristic: hot pages sitting on an overloaded
+       controller move to a random underloaded node. *)
+    if controllers_overloaded then
+      List.iter
+        (fun s ->
+          if System_component.heat_total s.node_accesses >= config.min_accesses then
+            match current_node s.pfn with
+            | Some node when List.mem node overloaded ->
+                emit s.pfn (Sim.Rng.pick rng underloaded) Interleave
+            | Some _ | None -> ())
+        hot;
+    (* Under interconnect saturation: replicate hot read-only pages
+       with many readers (when enabled), migrate single-remote-reader
+       pages to their reader. *)
+    if interconnect_saturated then
+      List.iter
+        (fun s ->
+          let total = System_component.heat_total s.node_accesses in
+          if total >= config.min_accesses then begin
+            let readers = reader_nodes s.node_accesses total in
+            if
+              config.enable_replication
+              && s.read_fraction >= config.replication_read_threshold
+              && readers >= config.min_reader_nodes
+            then emit s.pfn 0 Replicate
+            else begin
+              let best = ref 0 in
+              Array.iteri
+                (fun n c -> if c > s.node_accesses.(!best) then best := n)
+                s.node_accesses;
+              let dominant = s.node_accesses.(!best) /. total in
+              if dominant >= config.dominant_fraction then
+                match current_node s.pfn with
+                | Some node when node <> !best -> emit s.pfn !best Locality
+                | Some _ | None -> ()
+            end
+          end)
+        hot;
+    List.rev !actions
+end
+
+type report = {
+  interleave_migrations : int;
+  locality_migrations : int;
+  replications : int;
+  failed : int;
+}
+
+let run_epoch sys ~config ~rng ~counters =
+  let metrics = System_component.read_metrics sys ~counters in
+  let actions =
+    User_component.decide config ~rng ~metrics ~current_node:(System_component.current_node sys)
+  in
+  let interleave = ref 0 and locality = ref 0 and replications = ref 0 and failed = ref 0 in
+  List.iter
+    (fun (a : User_component.action) ->
+      match a.reason with
+      | User_component.Replicate ->
+          if System_component.replicate sys ~pfn:a.pfn then incr replications else incr failed
+      | User_component.Interleave ->
+          if System_component.migrate sys ~pfn:a.pfn ~node:a.dest then incr interleave
+          else incr failed
+      | User_component.Locality ->
+          if System_component.migrate sys ~pfn:a.pfn ~node:a.dest then incr locality
+          else incr failed)
+    actions;
+  {
+    interleave_migrations = !interleave;
+    locality_migrations = !locality;
+    replications = !replications;
+    failed = !failed;
+  }

@@ -1,0 +1,134 @@
+(** The Carrefour dynamic policy, ported into the hypervisor
+    (Sections 3.4 and 4.3).
+
+    Carrefour monitors memory access patterns through hardware
+    counters and migrates the hottest physical pages.  Two heuristics
+    are enabled by default, as in the paper:
+
+    - {e interleave}: when memory controllers are overloaded, randomly
+      migrate hot pages from overloaded nodes to underloaded nodes;
+    - {e migration}: when the interconnect saturates, migrate hot pages
+      that are remotely accessed by a single node to that node.
+
+    The replication heuristic — replicate hot read-only pages on every
+    reader node — is additionally available behind
+    {!User_component.config.enable_replication} (default off, matching
+    the paper: its effect is marginal and a real in-Xen implementation
+    would require radical memory-manager changes; here the replica
+    frames live in a side table of the system component).
+
+    The {e system component} runs inside Xen: it aggregates the
+    per-vCPU access samples (IBS-style) and exposes metrics; the
+    {e user component} runs as a dom0 process: it reads the metrics
+    through a hypercall and decides which pages to migrate where; the
+    migrations go through the internal interface. *)
+
+type sample = {
+  pfn : Memory.Page.pfn;
+  node_accesses : float array;
+      (** Accesses to this page during the epoch, indexed by the NUMA
+          node of the {e accessing} vCPU. *)
+  read_fraction : float;
+      (** Share of the accesses that were reads (1.0 = read-only),
+          from the IBS load/store bit.  Only the replication heuristic
+          consumes it. *)
+}
+
+module System_component : sig
+  type t
+
+  val create : Xen.System.t -> Xen.Domain.t -> t
+
+  val record_samples : t -> sample list -> unit
+  (** Feed one epoch of hardware samples; page heat decays by half
+      each epoch so stale hotness fades. *)
+
+  type metrics = {
+    controller_util : float array;
+    max_link_util : float;
+    imbalance : float;
+    hot_pages : sample list;  (** Hottest first, capped. *)
+  }
+
+  val read_metrics : t -> counters:Numa.Counters.t -> metrics
+  (** What the user component's hypercall returns: utilisations from
+      the hardware monitors plus the accumulated hot-page table. *)
+
+  val current_node : t -> Memory.Page.pfn -> Numa.Topology.node option
+
+  val migrate : t -> pfn:Memory.Page.pfn -> node:Numa.Topology.node -> bool
+  (** Apply one migration through the internal interface; [false] if
+      the page is unmapped or the target node is out of memory.
+      Migrating a replicated page first collapses its replicas. *)
+
+  val replicate : t -> pfn:Memory.Page.pfn -> bool
+  (** Replicate the page: a copy is allocated on every other node and
+      recorded in the replica table (the machine frames are really
+      held); reads can then be served locally everywhere.  [false] if
+      unmapped, already replicated, or out of memory. *)
+
+  val collapse : t -> pfn:Memory.Page.pfn -> unit
+  (** Drop the replicas of a page (a write invalidates them). *)
+
+  val is_replicated : t -> Memory.Page.pfn -> bool
+
+  val replicated_pages : t -> int
+
+  val tracked_pages : t -> int
+end
+
+module User_component : sig
+  type config = {
+    mc_threshold : float;  (** Controller utilisation triggering interleave. *)
+    ic_threshold : float;  (** Link utilisation triggering migration. *)
+    dominant_fraction : float;
+        (** Share of accesses from one node that makes a page a
+            locality-migration candidate. *)
+    min_accesses : float;  (** Heat below which a page is ignored. *)
+    migration_budget : int;  (** Max migrations per epoch. *)
+    max_hot_pages : int;  (** Hot-page table readout cap. *)
+    enable_replication : bool;  (** Off by default (discarded in the paper). *)
+    replication_read_threshold : float;
+        (** Minimum read fraction for a replication candidate. *)
+    min_reader_nodes : int;
+        (** Minimum distinct reader nodes for replication to pay. *)
+  }
+
+  val default_config : config
+
+  type reason = Interleave | Locality | Replicate
+
+  type action = {
+    pfn : Memory.Page.pfn;
+    dest : Numa.Topology.node;  (** Meaningless for [Replicate]. *)
+    reason : reason;
+  }
+
+  val decide :
+    config ->
+    rng:Sim.Rng.t ->
+    metrics:System_component.metrics ->
+    current_node:(Memory.Page.pfn -> Numa.Topology.node option) ->
+    action list
+  (** Pure decision logic (testable in isolation): interleave actions
+      when controllers are overloaded, locality actions when the
+      interconnect saturates, hottest pages first, capped by the
+      budget. *)
+end
+
+type report = {
+  interleave_migrations : int;
+  locality_migrations : int;
+  replications : int;
+  failed : int;
+}
+
+val run_epoch :
+  System_component.t ->
+  config:User_component.config ->
+  rng:Sim.Rng.t ->
+  counters:Numa.Counters.t ->
+  report
+(** One user-component period: read metrics, decide, apply.  Migration
+    costs are charged to the domain account by the internal
+    interface. *)

@@ -1,0 +1,49 @@
+type map_error = [ `Enomem ]
+type migrate_error = [ `Enomem | `Not_mapped ]
+
+let machine (system : Xen.System.t) = system.Xen.System.machine
+
+let map_page system (domain : Xen.Domain.t) ~pfn ~node =
+  match Memory.Machine.alloc_frame_fallback (machine system) ~prefer:node with
+  | None -> Error `Enomem
+  | Some mfn ->
+      (match Xen.P2m.invalidate domain.Xen.Domain.p2m pfn with
+      | Some old_mfn -> Memory.Machine.free (machine system) ~mfn:old_mfn ~order:0
+      | None -> ());
+      Xen.P2m.set domain.Xen.Domain.p2m pfn ~mfn ~writable:true;
+      Ok mfn
+
+let migrate_page system (domain : Xen.Domain.t) ~pfn ~node =
+  match Xen.P2m.get domain.Xen.Domain.p2m pfn with
+  | Xen.P2m.Invalid -> Error `Not_mapped
+  | Xen.P2m.Mapped { mfn = old_mfn; writable } ->
+      let old_node = Memory.Machine.node_of_mfn (machine system) old_mfn in
+      if old_node = node then Ok old_mfn
+      else begin
+        match Memory.Machine.alloc_frame (machine system) ~node with
+        | None -> Error `Enomem
+        | Some new_mfn ->
+            (* Write-protect the entry so concurrent guest writes fault
+               and stall until the copy completes, then remap. *)
+            Xen.P2m.write_protect domain.Xen.Domain.p2m pfn;
+            let costs = system.Xen.System.costs in
+            let bytes = Memory.Machine.frame_bytes (machine system) in
+            (* One scaled frame stands for [page_scale] real 4 KiB pages,
+               each paying the fixed write-protect/remap cost. *)
+            let scale = float_of_int (Memory.Machine.page_scale (machine system)) in
+            let copy_time =
+              (scale *. costs.Xen.Costs.page_migrate_fixed)
+              +. (float_of_int bytes *. costs.Xen.Costs.copy_byte)
+            in
+            Xen.P2m.set domain.Xen.Domain.p2m pfn ~mfn:new_mfn ~writable;
+            Memory.Machine.free (machine system) ~mfn:old_mfn ~order:0;
+            let account = domain.Xen.Domain.account in
+            account.Xen.Domain.migrate_time <- account.Xen.Domain.migrate_time +. copy_time;
+            account.Xen.Domain.migrated_pages <- account.Xen.Domain.migrated_pages + 1;
+            Ok new_mfn
+      end
+
+let node_of_pfn system (domain : Xen.Domain.t) pfn =
+  match Xen.P2m.get domain.Xen.Domain.p2m pfn with
+  | Xen.P2m.Invalid -> None
+  | Xen.P2m.Mapped { mfn; _ } -> Some (Memory.Machine.node_of_mfn (machine system) mfn)

@@ -1,0 +1,39 @@
+(** The paper's {e internal interface} (Section 4.1): the two
+    mechanisms a NUMA policy needs from the hypervisor.
+
+    Both operate on the hypervisor page table (P2M), never on the guest
+    page table: the hypervisor cannot know which guest-physical pages
+    the guest OS uses nor synchronize with it on its own page tables,
+    so policies place a guest-physical page on a node by backing it
+    with a machine page of that node. *)
+
+type map_error = [ `Enomem ]
+type migrate_error = [ `Enomem | `Not_mapped ]
+
+val map_page :
+  Xen.System.t ->
+  Xen.Domain.t ->
+  pfn:Memory.Page.pfn ->
+  node:Numa.Topology.node ->
+  (Memory.Page.mfn, map_error) result
+(** Map the guest-physical page [pfn] onto a fresh machine page of
+    [node] (falling back round-robin to other nodes when [node] is
+    full, like Xen's heap).  The previous backing frame, if any, is
+    freed.  Time is charged by the caller (the fault path charges it
+    through {!Xen.Domain.handle_fault}; boot population is free). *)
+
+val migrate_page :
+  Xen.System.t ->
+  Xen.Domain.t ->
+  pfn:Memory.Page.pfn ->
+  node:Numa.Topology.node ->
+  (Memory.Page.mfn, migrate_error) result
+(** Migrate a mapped page to [node]: write-protect the P2M entry (so
+    concurrent guest writes fault and wait), copy the page to a frame
+    of the new node, update the entry and free the old frame.  No-op
+    success if the page already lives on [node].  Charges the fixed
+    migration cost plus the per-byte copy cost to the domain's
+    account. *)
+
+val node_of_pfn : Xen.System.t -> Xen.Domain.t -> Memory.Page.pfn -> Numa.Topology.node option
+(** Node currently backing the page, [None] for an invalid entry. *)

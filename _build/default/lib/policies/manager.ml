@@ -1,0 +1,222 @@
+type stats = {
+  mutable populated_1g : int;
+  mutable populated_2m : int;
+  mutable populated_4k : int;
+  mutable ops_received : int;
+  mutable invalidated : int;
+  mutable left_in_place : int;
+  mutable first_touch_maps : int;
+  mutable policy_switches : int;
+}
+
+type t = {
+  system : Xen.System.t;
+  domain : Xen.Domain.t;
+  mutable spec : Spec.t;
+  rng : Sim.Rng.t;
+  stats : stats;
+  mutable rr_cursor : int;  (* round-robin cursor over home nodes *)
+  mutable carrefour : Carrefour.System_component.t option;
+  carrefour_config : Carrefour.User_component.config;
+}
+
+let fresh_stats () =
+  {
+    populated_1g = 0;
+    populated_2m = 0;
+    populated_4k = 0;
+    ops_received = 0;
+    invalidated = 0;
+    left_in_place = 0;
+    first_touch_maps = 0;
+    policy_switches = 0;
+  }
+
+let next_home_node t =
+  let home = t.domain.Xen.Domain.home_nodes in
+  let node = home.(t.rr_cursor mod Array.length home) in
+  t.rr_cursor <- t.rr_cursor + 1;
+  node
+
+let map_or_fail t pfn node =
+  match Internal.map_page t.system t.domain ~pfn ~node with
+  | Ok _ -> ()
+  | Error `Enomem -> invalid_arg "Manager: machine out of memory while populating domain"
+
+(* Eager 4 KiB round-robin over the home nodes (Linux interleave). *)
+let populate_round_4k t =
+  for pfn = 0 to t.domain.Xen.Domain.mem_frames - 1 do
+    map_or_fail t pfn (next_home_node t);
+    t.stats.populated_4k <- t.stats.populated_4k + 1
+  done
+
+(* Xen's historical allocator: 1 GiB regions round-robin over the home
+   nodes, falling back to 2 MiB then 4 KiB chunks under fragmentation.
+   The first and last guest GiB are always fragmented (BIOS and I/O
+   holes), so they take the fine-grained path. *)
+let populate_round_1g t =
+  let machine = t.system.Xen.System.machine in
+  let frames = t.domain.Xen.Domain.mem_frames in
+  let scale = Memory.Machine.page_scale machine in
+  let per_1g = max 1 (Memory.Page.frames_per_1g / scale) in
+  let per_2m = max 1 (Memory.Page.frames_per_2m / scale) in
+  let order_1g = Memory.Machine.order_1g machine in
+  let order_2m = Memory.Machine.order_2m machine in
+  let spans = (frames + per_1g - 1) / per_1g in
+  let map_block pfn0 mfn0 count =
+    for i = 0 to count - 1 do
+      Xen.P2m.set t.domain.Xen.Domain.p2m (pfn0 + i) ~mfn:(mfn0 + i) ~writable:true
+    done
+  in
+  let populate_4k pfn0 count =
+    for i = 0 to count - 1 do
+      map_or_fail t (pfn0 + i) (next_home_node t);
+      t.stats.populated_4k <- t.stats.populated_4k + 1
+    done
+  in
+  let populate_2m pfn0 count =
+    let chunks = count / per_2m in
+    for c = 0 to chunks - 1 do
+      let pfn = pfn0 + (c * per_2m) in
+      match Memory.Machine.alloc_on machine ~node:(next_home_node t) ~order:order_2m with
+      | Some mfn ->
+          Memory.Machine.split_block machine ~mfn ~order:order_2m;
+          map_block pfn mfn per_2m;
+          t.stats.populated_2m <- t.stats.populated_2m + 1
+      | None -> populate_4k pfn per_2m
+    done;
+    let rest = count mod per_2m in
+    if rest > 0 then populate_4k (pfn0 + (chunks * per_2m)) rest
+  in
+  for g = 0 to spans - 1 do
+    let pfn0 = g * per_1g in
+    let count = min per_1g (frames - pfn0) in
+    let fragmented = g = 0 || g = spans - 1 || count < per_1g in
+    if fragmented then populate_2m pfn0 count
+    else begin
+      match Memory.Machine.alloc_on machine ~node:(next_home_node t) ~order:order_1g with
+      | Some mfn ->
+          Memory.Machine.split_block machine ~mfn ~order:order_1g;
+          map_block pfn0 mfn count;
+          t.stats.populated_1g <- t.stats.populated_1g + 1
+      | None -> populate_2m pfn0 count
+    end
+  done
+
+let install_fault_handler t =
+  t.domain.Xen.Domain.fault_handler <-
+    Some
+      (fun pfn ~cpu ->
+        let node =
+          match t.spec.Spec.placement with
+          | Spec.First_touch -> Numa.Topology.node_of_cpu t.system.Xen.System.topo cpu
+          | Spec.Round_4k | Spec.Round_1g -> next_home_node t
+        in
+        match Internal.map_page t.system t.domain ~pfn ~node with
+        | Ok _ -> t.stats.first_touch_maps <- t.stats.first_touch_maps + 1
+        | Error `Enomem -> ())
+
+let make_carrefour t = Carrefour.System_component.create t.system t.domain
+
+let attach ?(carrefour_config = Carrefour.User_component.default_config) system domain ~boot ~rng =
+  let t =
+    {
+      system;
+      domain;
+      spec = boot;
+      rng;
+      stats = fresh_stats ();
+      rr_cursor = 0;
+      carrefour = None;
+      carrefour_config;
+    }
+  in
+  (match boot.Spec.placement with
+  | Spec.Round_4k -> populate_round_4k t
+  | Spec.Round_1g -> populate_round_1g t
+  | Spec.First_touch -> ());
+  if boot.Spec.carrefour then t.carrefour <- Some (make_carrefour t);
+  install_fault_handler t;
+  domain.Xen.Domain.policy_name <- Spec.name boot;
+  t
+
+let domain t = t.domain
+let system t = t.system
+let spec t = t.spec
+let stats t = t.stats
+
+let charge_hypercall t id time =
+  let account = t.domain.Xen.Domain.account in
+  account.Xen.Domain.hypercall_count <- account.Xen.Domain.hypercall_count + 1;
+  account.Xen.Domain.hypercall_time <- account.Xen.Domain.hypercall_time +. time;
+  Xen.Hypercall.record t.domain.Xen.Domain.hypercalls id ~time
+
+let set_policy t new_spec =
+  if not (Spec.runtime_selectable new_spec) then
+    Error "round-1g is boot-only; the hypercall cannot select it"
+  else begin
+    charge_hypercall t Xen.Hypercall.Set_numa_policy
+      t.system.Xen.System.costs.Xen.Costs.hypercall_entry;
+    t.stats.policy_switches <- t.stats.policy_switches + 1;
+    t.spec <- new_spec;
+    (match (new_spec.Spec.carrefour, t.carrefour) with
+    | true, None -> t.carrefour <- Some (make_carrefour t)
+    | false, Some _ -> t.carrefour <- None
+    | true, Some _ | false, None -> ());
+    t.domain.Xen.Domain.policy_name <- Spec.name new_spec;
+    Ok ()
+  end
+
+let page_ops_hypercall t ops =
+  let costs = t.system.Xen.System.costs in
+  let n = Array.length ops in
+  t.stats.ops_received <- t.stats.ops_received + n;
+  let time = ref (costs.Xen.Costs.hypercall_entry +. (float_of_int n *. costs.Xen.Costs.page_op_send)) in
+  let first_touch = t.spec.Spec.placement = Spec.First_touch in
+  Guest.Pv_queue.replay ops ~f:(fun pfn action ->
+      match action with
+      | `Invalidate ->
+          if first_touch then begin
+            match Xen.P2m.invalidate t.domain.Xen.Domain.p2m pfn with
+            | Some mfn ->
+                Memory.Machine.free t.system.Xen.System.machine ~mfn ~order:0;
+                t.stats.invalidated <- t.stats.invalidated + 1;
+                time := !time +. costs.Xen.Costs.page_invalidate
+            | None -> ()
+          end
+      | `Leave -> t.stats.left_in_place <- t.stats.left_in_place + 1);
+  charge_hypercall t Xen.Hypercall.Page_ops !time;
+  !time
+
+let release_free_pages t pfns =
+  let batch = 128 in
+  let rec go pfns acc =
+    match pfns with
+    | [] -> acc
+    | _ ->
+        let now, rest =
+          let rec split n acc = function
+            | [] -> (List.rev acc, [])
+            | x :: xs when n > 0 -> split (n - 1) (x :: acc) xs
+            | xs -> (List.rev acc, xs)
+          in
+          split batch [] pfns
+        in
+        let ops = Array.of_list (List.map (fun pfn -> Guest.Pv_queue.Release pfn) now) in
+        go rest (acc +. page_ops_hypercall t ops)
+  in
+  go pfns 0.0
+
+let carrefour t = t.carrefour
+
+let carrefour_epoch t ~counters ~samples =
+  match t.carrefour with
+  | None -> None
+  | Some sys ->
+      (* The dom0 user component reads metrics through a hypercall. *)
+      charge_hypercall t Xen.Hypercall.Carrefour_read_metrics
+        t.system.Xen.System.costs.Xen.Costs.hypercall_entry;
+      Carrefour.System_component.record_samples sys samples;
+      Some (Carrefour.run_epoch sys ~config:t.carrefour_config ~rng:t.rng ~counters)
+
+let node_of_pfn t pfn = Internal.node_of_pfn t.system t.domain pfn

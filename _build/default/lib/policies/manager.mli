@@ -1,0 +1,71 @@
+(** Per-domain NUMA policy engine: the paper's {e external interface}
+    (Section 4.2) plus the boot-time placement.
+
+    A domain boots with an eager placement — round-4K by default, or
+    round-1G for testing (Xen's historical default).  At runtime, the
+    first hypercall ({!set_policy}) switches the placement to
+    first-touch and/or toggles Carrefour; the second hypercall
+    ({!page_ops_hypercall}) delivers the guest's batched
+    allocation/release queue, from which the first-touch policy
+    invalidates the P2M entries of free pages so their next touch
+    faults into the hypervisor and lands them on the toucher's node. *)
+
+type stats = {
+  mutable populated_1g : int;   (** 1 GiB regions placed at boot. *)
+  mutable populated_2m : int;
+  mutable populated_4k : int;
+  mutable ops_received : int;   (** Queue entries received. *)
+  mutable invalidated : int;    (** Free pages whose entry was cleared. *)
+  mutable left_in_place : int;  (** Reallocated-while-queued pages kept. *)
+  mutable first_touch_maps : int;  (** Pages placed by the fault path. *)
+  mutable policy_switches : int;
+}
+
+type t
+
+val attach :
+  ?carrefour_config:Carrefour.User_component.config ->
+  Xen.System.t ->
+  Xen.Domain.t ->
+  boot:Spec.t ->
+  rng:Sim.Rng.t ->
+  t
+(** Populate the domain's memory per the boot placement (nothing for a
+    first-touch boot: every entry starts invalid) and install the
+    hypervisor fault handler.
+    @raise Invalid_argument when machine memory cannot back the
+    domain. *)
+
+val domain : t -> Xen.Domain.t
+val system : t -> Xen.System.t
+val spec : t -> Spec.t
+val stats : t -> stats
+
+val set_policy : t -> Spec.t -> (unit, string) result
+(** The policy-selection hypercall.  Fails on non-runtime-selectable
+    specs (round-1G is boot-only).  Charges one hypercall. *)
+
+val page_ops_hypercall : t -> Guest.Pv_queue.op array -> float
+(** The batched page-ops hypercall: replays the queue with
+    most-recent-op-wins semantics; a final Release invalidates the P2M
+    entry and frees the machine frame, a final Alloc leaves the page on
+    its current node.  Returns the hypercall duration (the guest holds
+    the partition lock for that long) and charges it to the domain.
+    Under a non-first-touch placement the queue is accepted but entries
+    are only accounted, never invalidated. *)
+
+val release_free_pages : t -> Memory.Page.pfn list -> float
+(** Convenience used when switching to first-touch: the guest reports
+    its whole free list; equivalent to one big [page_ops_hypercall]
+    with Release entries (split into capacity-sized batches). *)
+
+val carrefour : t -> Carrefour.System_component.t option
+(** The Carrefour system component, present while the spec has
+    Carrefour enabled. *)
+
+val carrefour_epoch :
+  t -> counters:Numa.Counters.t -> samples:Carrefour.sample list -> Carrefour.report option
+(** Feed one epoch of samples and run the user component; [None] when
+    Carrefour is off. *)
+
+val node_of_pfn : t -> Memory.Page.pfn -> Numa.Topology.node option

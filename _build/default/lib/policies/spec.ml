@@ -1,0 +1,43 @@
+type placement = Round_1g | Round_4k | First_touch
+
+type t = { placement : placement; carrefour : bool }
+
+let round_1g = { placement = Round_1g; carrefour = false }
+let round_4k = { placement = Round_4k; carrefour = false }
+let first_touch = { placement = First_touch; carrefour = false }
+let round_4k_carrefour = { placement = Round_4k; carrefour = true }
+let first_touch_carrefour = { placement = First_touch; carrefour = true }
+
+let all = [ first_touch; first_touch_carrefour; round_4k; round_4k_carrefour; round_1g ]
+
+let runtime_selectable t = t.placement <> Round_1g
+
+let placement_name = function
+  | Round_1g -> "round-1g"
+  | Round_4k -> "round-4k"
+  | First_touch -> "first-touch"
+
+let name t =
+  if t.carrefour then placement_name t.placement ^ "/carrefour" else placement_name t.placement
+
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let base, carrefour =
+    match String.index_opt s '/' with
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1) = "carrefour")
+    | None -> (
+        match String.index_opt s '+' with
+        | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1) = "carrefour")
+        | None -> (s, false))
+  in
+  match base with
+  | "round-1g" | "r1g" | "round1g" ->
+      if carrefour then Error "round-1g cannot be combined with carrefour"
+      else Ok { placement = Round_1g; carrefour = false }
+  | "round-4k" | "r4k" | "round4k" | "interleave" -> Ok { placement = Round_4k; carrefour }
+  | "first-touch" | "ft" | "firsttouch" -> Ok { placement = First_touch; carrefour }
+  | _ -> Error (Printf.sprintf "unknown NUMA policy %S" s)
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let equal a b = a.placement = b.placement && a.carrefour = b.carrefour

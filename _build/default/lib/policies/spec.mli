@@ -1,0 +1,48 @@
+(** NUMA policy specifications.
+
+    A policy combines a static placement (where a page lands when it is
+    first mapped) with the optional Carrefour dynamic policy on top
+    (which migrates pages afterwards).  The paper studies:
+
+    - [Round_1g]: Xen's default — eager allocation in 1 GiB regions
+      round-robin over the home nodes (2 MiB / 4 KiB under
+      fragmentation);
+    - [Round_4k]: eager 4 KiB pages round-robin over the home nodes
+      (Linux's interleave policy, and the boot default of the paper's
+      modified Xen);
+    - [First_touch]: lazy — a page is placed on the NUMA node of the
+      CPU that first touches it (Linux's default);
+    - each optionally combined with [carrefour].
+
+    Round-1G cannot be selected at runtime (only at boot, for testing):
+    the evaluation shows it is much less useful than the others. *)
+
+type placement = Round_1g | Round_4k | First_touch
+
+type t = {
+  placement : placement;
+  carrefour : bool;
+}
+
+val round_1g : t
+val round_4k : t
+val first_touch : t
+val round_4k_carrefour : t
+val first_touch_carrefour : t
+
+val all : t list
+(** The five specs above, in the paper's presentation order. *)
+
+val runtime_selectable : t -> bool
+(** All except boot-only round-1G combinations. *)
+
+val name : t -> string
+(** Paper-style name: ["first-touch/carrefour"], ["round-4k"], ... *)
+
+val of_string : string -> (t, string) result
+(** Parses names as printed by {!name}; accepts ["ft"], ["r4k"],
+    ["r1g"] shorthands and a ["+carrefour"] / ["/carrefour"] suffix. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,49 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ~header ?align rows =
+  let cols = List.length header in
+  let align =
+    match align with
+    | Some a ->
+        if List.length a <> cols then invalid_arg "Table.render: align length mismatch";
+        Array.of_list a
+    | None -> Array.init cols (fun i -> if i = 0 then Left else Right)
+  in
+  let normalise row =
+    let n = List.length row in
+    if n > cols then invalid_arg "Table.render: row wider than header"
+    else row @ List.init (cols - n) (fun _ -> "")
+  in
+  let rows = List.map normalise rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align.(i) widths.(i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Buffer.add_string buf (String.make (Array.fold_left ( + ) (2 * (cols - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~header ?align rows = print_string (render ~header ?align rows)
+
+let fmt_pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+let fmt_ratio x = Printf.sprintf "%.2fx" x
+let fmt_secs x = Printf.sprintf "%.2fs" x

@@ -1,0 +1,19 @@
+(** ASCII tables for experiment output. *)
+
+type align = Left | Right
+
+val render : header:string list -> ?align:align list -> string list list -> string
+(** Render a table with a header row, column separators and padding.
+    [align] defaults to left for the first column and right for the
+    rest.  Rows shorter than the header are padded with empty cells. *)
+
+val print : header:string list -> ?align:align list -> string list list -> unit
+(** [render] to stdout. *)
+
+val fmt_pct : float -> string
+(** Format a fraction as a percentage ("135%"). *)
+
+val fmt_ratio : float -> string
+(** Format a ratio ("2.31x"). *)
+
+val fmt_secs : float -> string

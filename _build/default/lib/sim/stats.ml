@@ -1,0 +1,83 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (acc /. float_of_int n)
+  end
+
+let relative_stddev a =
+  let m = mean a in
+  if m = 0.0 then 0.0 else stddev a /. m
+
+let summary_of_array a =
+  let count = Array.length a in
+  let min = Array.fold_left Float.min Float.infinity a in
+  let max = Array.fold_left Float.max Float.neg_infinity a in
+  { count; mean = mean a; stddev = stddev a; min; max }
+
+let percentile a p =
+  assert (p >= 0.0 && p <= 100.0);
+  let n = Array.length a in
+  assert (n > 0);
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let geometric_mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun acc x -> assert (x > 0.0); acc +. log x) 0.0 a in
+    exp (acc /. float_of_int n)
+  end
+
+module Online = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = t.mean
+
+  let stddev t =
+    if t.count = 0 then 0.0 else sqrt (t.m2 /. float_of_int t.count)
+
+  let max t = t.max
+  let min t = t.min
+end

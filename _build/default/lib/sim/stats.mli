@@ -1,0 +1,44 @@
+(** Streaming and array statistics used by counters and reports. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summary_of_array : float array -> summary
+(** Summary of a non-empty array ([count = 0] summary for an empty one,
+    with [mean]/[stddev] 0 and infinite [min], neg-infinite [max]). *)
+
+val mean : float array -> float
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val relative_stddev : float array -> float
+(** Standard deviation divided by the mean — the paper's "imbalance"
+    metric (Table 1) over per-node access counts.  Returns 0 when the
+    mean is 0. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]]; linear interpolation
+    between ranks.  The array is sorted internally (copy). *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive values. *)
+
+(** Online accumulator (Welford) for mean/variance without storing
+    samples. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val max : t -> float
+  val min : t -> float
+end

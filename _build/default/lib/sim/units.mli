@@ -1,0 +1,27 @@
+(** Unit helpers shared across the simulator.
+
+    Time is represented as seconds in [float]; sizes as bytes in [int];
+    frequencies in Hz.  These helpers keep the unit conversions explicit
+    at call sites. *)
+
+val kib : int -> int
+val mib : int -> int
+val gib : int -> int
+
+val us : float -> float
+(** Microseconds to seconds. *)
+
+val ns : float -> float
+(** Nanoseconds to seconds. *)
+
+val ms : float -> float
+(** Milliseconds to seconds. *)
+
+val seconds_of_cycles : cycles:float -> freq_hz:float -> float
+val cycles_of_seconds : seconds:float -> freq_hz:float -> float
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable byte count ("16.0 GiB"). *)
+
+val pp_seconds : Format.formatter -> float -> unit
+(** Human-readable duration ("307 us", "1.24 s"). *)

@@ -1,0 +1,1 @@
+lib/workloads/catalogue.ml: App Float List Policies String

@@ -1,0 +1,67 @@
+type suite = Parsec | Npb | Mosbench | Xstream | Ycsb
+
+let suite_name = function
+  | Parsec -> "parsec"
+  | Npb -> "npb"
+  | Mosbench -> "mosbench"
+  | Xstream -> "x-stream"
+  | Ycsb -> "ycsb"
+
+type imbalance_class = Low | Moderate | High
+
+let class_name = function Low -> "low" | Moderate -> "moderate" | High -> "high"
+
+type paper_ref = {
+  imbalance_ft : float;
+  imbalance_r4k : float;
+  interconnect_ft : float;
+  interconnect_r4k : float;
+  class_ : imbalance_class;
+  best_linux : Policies.Spec.t;
+  best_xen : Policies.Spec.t;
+}
+
+type t = {
+  name : string;
+  suite : suite;
+  footprint_mb : int;
+  disk_mb_s : float;
+  ctx_switch_k_s : float;
+  master_bias : float;
+  shared_bytes_fraction : float;
+  miss_rate : float;
+  zipf_s : float;
+  read_fraction : float;
+  remote_burst : float;
+  phases : int;
+  native_seconds : float;
+  page_release_period : float option;
+  io_block_bytes : int;
+  net_service : bool;
+  paper : paper_ref;
+}
+
+(* Work sizing: the application's problem size is fixed (strong
+   scaling), calibrated so a 48-thread native first-touch run lasts
+   about [native_seconds].  The average access is assumed to cost
+   roughly the uncontended local latency plus a small remote share:
+   cpi = 1 + miss_rate * latency cycles. *)
+let instructions_per_thread t ~threads ~freq_hz =
+  assert (threads > 0);
+  let assumed_latency = 190.0 in
+  let cpi = 1.0 +. (t.miss_rate *. assumed_latency) in
+  let total = 48.0 *. t.native_seconds *. freq_hz /. cpi in
+  total /. float_of_int threads
+
+let sync_events_per_s t = t.ctx_switch_k_s *. 1000.0 /. 2.0
+
+let disk_bytes_total t = t.disk_mb_s *. 1e6 *. t.native_seconds
+
+let uses_disk t = t.disk_mb_s > 0.0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s (%s): footprint %d MB, disk %.0f MB/s, ctx %.1f k/s, bias %.2f, miss %.4f, class %s"
+    t.name (suite_name t.suite) t.footprint_mb t.disk_mb_s t.ctx_switch_k_s t.master_bias
+    t.miss_rate
+    (class_name t.paper.class_)

@@ -1,0 +1,93 @@
+(** Application behaviour model.
+
+    The NUMA policies only see an application through (a) which thread
+    first touches each page, (b) how accesses are distributed over
+    pages and threads, (c) how memory-intensive it is, and (d) its I/O,
+    synchronization, and page-release behaviour.  Each of the paper's
+    29 applications is described by these parameters, derived from the
+    paper's own characterisation (Tables 1 and 2).
+
+    The central parameter is [master_bias]: the fraction of memory
+    accesses that target pages first touched by the master thread
+    (master–slave initialisation).  Under first-touch those pages all
+    land on the master's node, producing exactly the imbalance the
+    paper measures; under round-4K they spread.  Applications with a
+    low bias are thread-local: first-touch is ideal for them. *)
+
+type suite = Parsec | Npb | Mosbench | Xstream | Ycsb
+
+val suite_name : suite -> string
+
+type imbalance_class = Low | Moderate | High
+(** Table 1's classification: FT imbalance below 85 % (Low), between
+    85 and 130 % (Moderate), above 130 % (High). *)
+
+val class_name : imbalance_class -> string
+
+(** Raw numbers from the paper, kept for calibration and reporting. *)
+type paper_ref = {
+  imbalance_ft : float;      (** Table 1, first-touch imbalance (1.35 = 135 %). *)
+  imbalance_r4k : float;     (** Table 1, round-4K imbalance. *)
+  interconnect_ft : float;   (** Table 1, first-touch interconnect load. *)
+  interconnect_r4k : float;  (** Table 1, round-4K interconnect load. *)
+  class_ : imbalance_class;  (** Table 1, imbalance level. *)
+  best_linux : Policies.Spec.t;  (** Table 4, LinuxNUMA column. *)
+  best_xen : Policies.Spec.t;    (** Table 4, Xen+NUMA column. *)
+}
+
+type t = {
+  name : string;
+  suite : suite;
+  (* Table 2 *)
+  footprint_mb : int;
+  disk_mb_s : float;
+  ctx_switch_k_s : float;
+  (* Derived / modelled behaviour *)
+  master_bias : float;
+      (** Fraction of accesses to master-initialised shared pages. *)
+  shared_bytes_fraction : float;
+      (** Fraction of the footprint in the master-initialised region. *)
+  miss_rate : float;
+      (** LLC misses per instruction — memory intensity. *)
+  zipf_s : float;  (** Popularity skew over shared pages (0 = uniform). *)
+  read_fraction : float;
+  remote_burst : float;
+      (** Per-epoch probability of a transient remote burst on one
+          thread's private pages — the pattern that misleads Carrefour
+          on thread-local applications. *)
+  phases : int;
+      (** Algorithmic phases (iterations) over the run: each phase
+          shifts which part of the shared region is hot, so a dynamic
+          policy must keep chasing while static placements are
+          oblivious.  1 = single-pass/steady workload. *)
+  native_seconds : float;
+      (** Approximate native first-touch completion time used to size
+          the total work (ratios between configurations are what the
+          evaluation reports). *)
+  page_release_period : float option;
+      (** Seconds between page releases to the guest OS (Streamflow
+          churn); [None] for allocator-cached apps. *)
+  io_block_bytes : int;
+  net_service : bool;
+      (** Request-driven server that sleeps on network packets
+          (memcached, cassandra, mongodb): pays the virtualized-IPI
+          wake-up path on every request. *)
+  paper : paper_ref;
+}
+
+val instructions_per_thread : t -> threads:int -> freq_hz:float -> float
+(** Work per thread under strong scaling: the fixed problem size is
+    calibrated so a 48-thread native first-touch run lasts roughly
+    [native_seconds]; fewer threads each carry more work. *)
+
+val sync_events_per_s : t -> float
+(** Blocking synchronization events per second (half the context-switch
+    rate: one sleep + one wake per event). *)
+
+val disk_bytes_total : t -> float
+(** Total bytes read from disk over a run ([disk_mb_s] sustained over
+    [native_seconds]). *)
+
+val uses_disk : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/xen/balloon.ml: Array Domain Hashtbl List Memory P2m System

@@ -1,0 +1,1 @@
+lib/xen/balloon.mli: Domain Memory System

@@ -1,0 +1,1 @@
+lib/xen/dma.ml: Array Costs Domain Format List Memory P2m Pci System

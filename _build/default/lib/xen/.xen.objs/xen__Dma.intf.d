@@ -1,0 +1,1 @@
+lib/xen/dma.mli: Domain Format Memory Pci System

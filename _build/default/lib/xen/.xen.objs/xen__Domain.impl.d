@@ -1,0 +1,1 @@
+lib/xen/domain.ml: Array Costs Format Hypercall Memory Numa P2m String

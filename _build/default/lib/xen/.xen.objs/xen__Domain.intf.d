@@ -1,0 +1,1 @@
+lib/xen/domain.mli: Costs Format Hypercall Memory Numa P2m

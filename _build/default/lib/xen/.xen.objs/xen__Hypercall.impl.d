@@ -1,0 +1,1 @@
+lib/xen/hypercall.ml: Array Format List Sim

@@ -1,0 +1,1 @@
+lib/xen/hypercall.mli: Format

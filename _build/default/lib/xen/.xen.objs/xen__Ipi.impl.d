@@ -1,0 +1,1 @@
+lib/xen/ipi.ml: Costs Domain List

@@ -1,0 +1,1 @@
+lib/xen/ipi.mli: Costs Domain

@@ -1,0 +1,1 @@
+lib/xen/p2m.ml: Array Bytes Memory

@@ -1,0 +1,1 @@
+lib/xen/pci.ml: Domain Hashtbl List Numa Printf

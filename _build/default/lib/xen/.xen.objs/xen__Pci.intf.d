@@ -1,0 +1,1 @@
+lib/xen/pci.mli: Domain Numa

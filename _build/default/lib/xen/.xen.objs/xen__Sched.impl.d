@@ -1,0 +1,1 @@
+lib/xen/sched.ml: Array Domain List Numa Sim

@@ -1,0 +1,1 @@
+lib/xen/system.ml: Array Costs Domain Hypercall List Memory Numa P2m

@@ -1,0 +1,1 @@
+lib/xen/system.mli: Costs Domain Memory Numa

@@ -1,0 +1,46 @@
+type t = {
+  system : System.t;
+  domain : Domain.t;
+  ballooned : (Memory.Page.pfn, unit) Hashtbl.t;
+}
+
+let create system domain = { system; domain; ballooned = Hashtbl.create 64 }
+
+let inflate t ~pfns =
+  List.fold_left
+    (fun acc pfn ->
+      if Hashtbl.mem t.ballooned pfn then acc
+      else
+        match P2m.invalidate t.domain.Domain.p2m pfn with
+        | Some mfn ->
+            Memory.Machine.free t.system.System.machine ~mfn ~order:0;
+            Hashtbl.replace t.ballooned pfn ();
+            acc + 1
+        | None -> acc)
+    0 pfns
+
+let deflate t ~count =
+  let taken = ref [] in
+  (try
+     Hashtbl.iter
+       (fun pfn () ->
+         if List.length !taken >= count then raise Exit;
+         (* The hypervisor repopulates from wherever it has memory —
+            the guest has no say in the placement. *)
+         let prefer = t.domain.Domain.home_nodes.(0) in
+         match Memory.Machine.alloc_frame_fallback t.system.System.machine ~prefer with
+         | Some mfn ->
+             P2m.set t.domain.Domain.p2m pfn ~mfn ~writable:true;
+             taken := pfn :: !taken
+         | None -> raise Exit)
+       t.ballooned
+   with Exit -> ());
+  List.iter (Hashtbl.remove t.ballooned) !taken;
+  !taken
+
+let ballooned t = Hashtbl.length t.ballooned
+
+let is_ballooned t pfn = Hashtbl.mem t.ballooned pfn
+
+let guest_touch t pfn =
+  if Hashtbl.mem t.ballooned pfn then Error `Ballooned else Ok ()

@@ -1,0 +1,39 @@
+(** The ballooning driver — and why it cannot implement first-touch.
+
+    Ballooning lets a guest return pages to the hypervisor, which may
+    hand them to other domains: once a page is inflated into the
+    balloon, the guest {e must not touch it} until it explicitly
+    deflates the balloon and the hypervisor gives memory back.
+
+    The first-touch policy needs the opposite contract: the guest keeps
+    full ownership of its free pages and may reallocate one to a new
+    process at any instant; the hypervisor only needs to know the page
+    content is dead.  Section 4.2.3 rejects ballooning for exactly this
+    reason, and this module makes the difference executable: touching a
+    ballooned page is a protocol violation, while a page released
+    through the page-ops queue simply faults and gets remapped. *)
+
+type t
+
+val create : System.t -> Domain.t -> t
+
+val inflate : t -> pfns:Memory.Page.pfn list -> int
+(** Give pages to the hypervisor: their P2M entries are removed and the
+    machine frames returned to the heap (available to other domains).
+    Returns the number of frames actually reclaimed. *)
+
+val deflate : t -> count:int -> Memory.Page.pfn list
+(** Ask memory back: up to [count] previously ballooned guest-physical
+    pages are repopulated (from any node — the hypervisor chooses) and
+    returned. *)
+
+val ballooned : t -> int
+(** Pages currently in the balloon. *)
+
+val is_ballooned : t -> Memory.Page.pfn -> bool
+
+val guest_touch : t -> Memory.Page.pfn -> (unit, [ `Ballooned ]) result
+(** What happens if the guest uses a page anyway: a ballooned page is a
+    protocol violation (the frame may already belong to another
+    domain) — the hypervisor must kill or refuse; a normal page is
+    fine. *)

@@ -1,0 +1,56 @@
+(** Cost model of the virtualization mechanisms, in seconds.
+
+    Calibrated on the paper's measurements:
+    - an empty hypercall every 15 µs (wrmem's release rate) divides
+      performance by 3 (Section 4.2.3);
+    - during a batched page-ops hypercall, 87.5 % of the time goes to
+      invalidating entries and 12.5 % to sending the queue
+      (Section 4.2.4);
+    - sending an IPI costs 0.9 µs native and 10.9 µs in guest mode
+      (Figure 5);
+    - reading a 4 KiB block costs 74 µs native, 307 µs through the
+      para-virtualized path, 186 µs through PCI passthrough
+      (Sections 2.2.2 and 5.3.1). *)
+
+type t = {
+  hypercall_entry : float;
+      (** Guest→hypervisor world switch (vmexit + dispatch + vmentry). *)
+  page_op_send : float;
+      (** Copying one queue entry to the hypervisor during the batched
+          page-ops hypercall. *)
+  page_invalidate : float;
+      (** Invalidating one P2M entry (including TLB shootdown share). *)
+  hypervisor_fault : float;
+      (** Taking one hypervisor page fault (first touch of an
+          unmapped guest-physical page). *)
+  page_map : float;
+      (** Installing one P2M entry from the fault handler. *)
+  page_migrate_fixed : float;
+      (** Write-protecting and remapping one page during migration. *)
+  copy_byte : float;
+      (** Per-byte memory copy cost during migration. *)
+  ipi_native : float;
+  ipi_guest : float;
+  context_switch : float;
+      (** One intentional guest context switch (enter/leave sleep). *)
+  blocked_wakeup_native : float;
+      (** Latency for a sleeping thread to resume after its wake-up
+          event in native mode (scheduler wake path). *)
+  blocked_wakeup_guest : float;
+      (** Same under virtualization: the halted vCPU was descheduled by
+          the hypervisor, so the wake-up pays the guest IPI plus vCPU
+          re-scheduling — the blocked-waiter wake-up problem that makes
+          frequent context switchers suffer (Section 5.3.2). *)
+  disk_native_request : float;
+      (** Native per-request software overhead (setup, interrupt). *)
+  disk_pv_extra : float;
+      (** Additional per-request cost of the dom0-mediated pv path. *)
+  disk_passthrough_extra : float;
+      (** Additional per-request cost with IOMMU + PCI passthrough. *)
+  disk_bandwidth : float;  (** Sustained transfer rate, bytes/s. *)
+}
+
+val default : t
+
+val disk_request : t -> path:[ `Native | `Pv | `Passthrough ] -> bytes:int -> float
+(** End-to-end time of one disk read of [bytes] over the given path. *)

@@ -1,0 +1,52 @@
+type path = Native | Pv | Passthrough
+
+type error =
+  | Iommu_fault of { pfn : Memory.Page.pfn }
+  | No_passthrough_bus
+
+let pp_error fmt = function
+  | Iommu_fault { pfn } ->
+      Format.fprintf fmt "asynchronous IOMMU fault on pfn %d: guest already saw EIO" pfn
+  | No_passthrough_bus -> Format.fprintf fmt "domain owns no passthrough bus for the device"
+
+let charge_io domain time =
+  let a = domain.Domain.account in
+  a.Domain.io_time <- a.Domain.io_time +. time;
+  a.Domain.io_requests <- a.Domain.io_requests + 1
+
+(* Resolve a buffer page for the pv path: an invalid entry faults
+   synchronously into the hypervisor, which can map it in time. *)
+let pv_resolve system domain pfn =
+  match P2m.get domain.Domain.p2m pfn with
+  | P2m.Mapped _ -> 0.0
+  | P2m.Invalid ->
+      let (_ : bool) =
+        Domain.handle_fault domain ~costs:system.System.costs ~pfn ~cpu:domain.Domain.vcpu_pin.(0)
+      in
+      system.System.costs.Costs.hypervisor_fault
+
+let read system domain ~pci ~path ~buffer ~bytes =
+  let costs = system.System.costs in
+  match path with
+  | Native ->
+      let time = Costs.disk_request costs ~path:`Native ~bytes in
+      charge_io domain time;
+      Ok time
+  | Pv ->
+      let fault_time = List.fold_left (fun acc pfn -> acc +. pv_resolve system domain pfn) 0.0 buffer in
+      let time = Costs.disk_request costs ~path:`Pv ~bytes +. fault_time in
+      charge_io domain time;
+      Ok time
+  | Passthrough ->
+      if not (Pci.domain_has_passthrough pci domain Pci.Disk) then Error No_passthrough_bus
+      else begin
+        (* The IOMMU walks the P2M itself; the first invalid entry
+           aborts the transfer with an asynchronous error. *)
+        let bad = List.find_opt (fun pfn -> P2m.get domain.Domain.p2m pfn = P2m.Invalid) buffer in
+        match bad with
+        | Some pfn -> Error (Iommu_fault { pfn })
+        | None ->
+            let time = Costs.disk_request costs ~path:`Passthrough ~bytes in
+            charge_io domain time;
+            Ok time
+      end

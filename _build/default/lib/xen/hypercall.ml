@@ -1,0 +1,46 @@
+type id =
+  | Set_numa_policy
+  | Page_ops
+  | Carrefour_read_metrics
+
+let all = [ Set_numa_policy; Page_ops; Carrefour_read_metrics ]
+
+let nr = function
+  | Set_numa_policy -> 48
+  | Page_ops -> 49
+  | Carrefour_read_metrics -> 50
+
+let name = function
+  | Set_numa_policy -> "set_numa_policy"
+  | Page_ops -> "page_ops"
+  | Carrefour_read_metrics -> "carrefour_read_metrics"
+
+type stats = {
+  mutable calls : int;
+  mutable time : float;
+}
+
+let index = function Set_numa_policy -> 0 | Page_ops -> 1 | Carrefour_read_metrics -> 2
+
+type table = stats array
+
+let create_table () = Array.init (List.length all) (fun _ -> { calls = 0; time = 0.0 })
+
+let record t id ~time =
+  let s = t.(index id) in
+  s.calls <- s.calls + 1;
+  s.time <- s.time +. time
+
+let stats t id = t.(index id)
+
+let total_calls t = Array.fold_left (fun acc s -> acc + s.calls) 0 t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun id ->
+      let s = stats t id in
+      Format.fprintf fmt "%2d %-24s %8d calls  %a@," (nr id) (name id) s.calls
+        Sim.Units.pp_seconds s.time)
+    all;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,59 @@
+type entry =
+  | Invalid
+  | Mapped of { mfn : Memory.Page.mfn; writable : bool }
+
+(* Packed representation: mfns.(pfn) = -1 for Invalid; the writable bits
+   live in a separate byte table.  A full-machine P2M at page_scale 1
+   has tens of millions of entries, so compactness matters. *)
+type t = {
+  mfns : int array;
+  writable : Bytes.t;
+  mutable mapped : int;
+}
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "P2m.create: frames must be positive";
+  { mfns = Array.make frames (-1); writable = Bytes.make frames '\000'; mapped = 0 }
+
+let frames t = Array.length t.mfns
+
+let check t pfn =
+  if pfn < 0 || pfn >= Array.length t.mfns then invalid_arg "P2m: pfn out of range"
+
+let get t pfn =
+  check t pfn;
+  let mfn = t.mfns.(pfn) in
+  if mfn < 0 then Invalid
+  else Mapped { mfn; writable = Bytes.get t.writable pfn <> '\000' }
+
+let set t pfn ~mfn ~writable =
+  check t pfn;
+  assert (mfn >= 0);
+  if t.mfns.(pfn) < 0 then t.mapped <- t.mapped + 1;
+  t.mfns.(pfn) <- mfn;
+  Bytes.set t.writable pfn (if writable then '\001' else '\000')
+
+let invalidate t pfn =
+  check t pfn;
+  let mfn = t.mfns.(pfn) in
+  if mfn < 0 then None
+  else begin
+    t.mfns.(pfn) <- -1;
+    Bytes.set t.writable pfn '\000';
+    t.mapped <- t.mapped - 1;
+    Some mfn
+  end
+
+let write_protect t pfn =
+  check t pfn;
+  if t.mfns.(pfn) >= 0 then Bytes.set t.writable pfn '\000'
+
+let mapped_count t = t.mapped
+
+let iter_mapped t f =
+  Array.iteri (fun pfn mfn -> if mfn >= 0 then f pfn mfn) t.mfns
+
+let fold_mapped t ~init ~f =
+  let acc = ref init in
+  iter_mapped t (fun pfn mfn -> acc := f !acc pfn mfn);
+  !acc

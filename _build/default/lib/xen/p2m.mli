@@ -1,0 +1,36 @@
+(** The hypervisor page table (physical-to-machine, P2M).
+
+    One per domain: maps guest-physical frame numbers to machine frame
+    numbers.  This is the table every NUMA policy manipulates through
+    the internal interface — mapping a guest-physical page onto a
+    machine page of the chosen node, invalidating entries of released
+    pages so the next touch faults into the hypervisor, and
+    write-protecting entries during migration. *)
+
+type entry =
+  | Invalid  (** Access faults into the hypervisor. *)
+  | Mapped of { mfn : Memory.Page.mfn; writable : bool }
+
+type t
+
+val create : frames:int -> t
+(** P2M covering guest-physical frames [\[0, frames)], all [Invalid]. *)
+
+val frames : t -> int
+
+val get : t -> Memory.Page.pfn -> entry
+(** @raise Invalid_argument on an out-of-range pfn. *)
+
+val set : t -> Memory.Page.pfn -> mfn:Memory.Page.mfn -> writable:bool -> unit
+
+val invalidate : t -> Memory.Page.pfn -> Memory.Page.mfn option
+(** Clear the entry, returning the machine frame it held (if any). *)
+
+val write_protect : t -> Memory.Page.pfn -> unit
+(** Clear the writable bit of a mapped entry; no-op on [Invalid]. *)
+
+val mapped_count : t -> int
+
+val iter_mapped : t -> (Memory.Page.pfn -> Memory.Page.mfn -> unit) -> unit
+
+val fold_mapped : t -> init:'a -> f:('a -> Memory.Page.pfn -> Memory.Page.mfn -> 'a) -> 'a

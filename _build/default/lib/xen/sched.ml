@@ -1,0 +1,55 @@
+type migration = {
+  domain_id : int;
+  vcpu : int;
+  from_pcpu : int;
+  to_pcpu : int;
+}
+
+let occupancy topo ~domains ~active =
+  let occ = Array.make (Numa.Topology.cpu_count topo) 0 in
+  List.iter
+    (fun (d : Domain.t) ->
+      Array.iteri
+        (fun v pcpu -> if active d v then occ.(pcpu) <- occ.(pcpu) + 1)
+        d.Domain.vcpu_pin)
+    domains;
+  occ
+
+let balance topo ~rng ~domains ~movable ~active =
+  let occ = occupancy topo ~domains ~active in
+  let migrations = ref [] in
+  let idlest () =
+    let best = ref 0 in
+    Array.iteri (fun pcpu load -> if load < occ.(!best) then best := pcpu) occ;
+    !best
+  in
+  (* Candidate pool: (domain, vcpu) pairs running on pCPUs with >= 2
+     active vCPUs; steal for idle pCPUs until balanced. *)
+  let continue_ = ref true in
+  while !continue_ do
+    let target = idlest () in
+    if occ.(target) > 0 then continue_ := false
+    else begin
+      let candidates =
+        List.concat_map
+          (fun (d : Domain.t) ->
+            if not (movable d) then []
+            else
+              List.filter
+                (fun v -> active d v && occ.(d.Domain.vcpu_pin.(v)) >= 2)
+                (List.init d.Domain.vcpus (fun v -> v))
+              |> List.map (fun v -> (d, v)))
+          domains
+      in
+      match candidates with
+      | [] -> continue_ := false
+      | _ ->
+          let d, v = List.nth candidates (Sim.Rng.int rng (List.length candidates)) in
+          let from_pcpu = d.Domain.vcpu_pin.(v) in
+          d.Domain.vcpu_pin.(v) <- target;
+          occ.(from_pcpu) <- occ.(from_pcpu) - 1;
+          occ.(target) <- occ.(target) + 1;
+          migrations := { domain_id = d.Domain.id; vcpu = v; from_pcpu; to_pcpu = target } :: !migrations
+    end
+  done;
+  List.rev !migrations

@@ -1,0 +1,41 @@
+(** A simplified credit scheduler: proportional sharing with vCPU load
+    balancing.
+
+    The paper's evaluation pins every vCPU, but its {e motivation}
+    (Section 1) is about what pinning costs: exposing the NUMA topology
+    to the guest (the Amazon EC2 approach) only works if vCPUs never
+    move, because a migration silently changes which physical node is
+    "local" — no mainstream guest OS supports a mutating NUMA
+    topology.  Hiding the topology lets the hypervisor balance load
+    freely; the paper's in-hypervisor policies then keep memory
+    placement right (Carrefour literally migrates the pages after the
+    vCPUs).
+
+    This module provides the balancing half: given the current
+    assignment of vCPUs to pCPUs, steal work from overloaded pCPUs for
+    idle ones, like Xen's credit scheduler does on each accounting
+    period.  Decisions are deterministic given the RNG state. *)
+
+type migration = {
+  domain_id : int;
+  vcpu : int;
+  from_pcpu : int;
+  to_pcpu : int;
+}
+
+val balance :
+  Numa.Topology.t ->
+  rng:Sim.Rng.t ->
+  domains:Domain.t list ->
+  movable:(Domain.t -> bool) ->
+  active:(Domain.t -> int -> bool) ->
+  migration list
+(** One accounting period: while some pCPU runs ≥ 2 active vCPUs and
+    another runs none, migrate one active vCPU of a [movable] domain to
+    the idlest pCPU (topology-blind, like the classic credit
+    scheduler).  Mutates the domains' [vcpu_pin] arrays and returns the
+    migrations performed. *)
+
+val occupancy :
+  Numa.Topology.t -> domains:Domain.t list -> active:(Domain.t -> int -> bool) -> int array
+(** Active vCPUs per pCPU under the current assignment. *)

@@ -1,0 +1,47 @@
+(** The hypervisor system: machine memory, domains, vCPU placement.
+
+    Implements Xen's NUMA-aware domain builder: a new domain is packed
+    onto the minimal number of underloaded NUMA nodes that can host one
+    physical CPU per vCPU and the domain's memory — these become its
+    {e home nodes} — and its vCPUs are pinned there.  Memory is NOT
+    populated at creation: the boot NUMA policy does that (round-1G or
+    round-4K), which lives in the [policies] library. *)
+
+type t = {
+  topo : Numa.Topology.t;
+  machine : Memory.Machine.t;
+  costs : Costs.t;
+  mutable domains : Domain.t list;
+  pcpu_load : int array;  (** Number of vCPUs pinned to each pCPU. *)
+  mutable next_id : int;
+}
+
+val create : ?page_scale:int -> ?costs:Costs.t -> Numa.Topology.t -> t
+
+val create_domain :
+  t ->
+  name:string ->
+  kind:Domain.kind ->
+  vcpus:int ->
+  mem_bytes:int ->
+  ?home_nodes:Numa.Topology.node array ->
+  unit ->
+  Domain.t
+(** Builds a domain.  When [home_nodes] is omitted, selects the
+    [max(ceil(vcpus / cpus_per_node), ceil(mem / mem_per_node))] least
+    loaded nodes.  vCPUs are pinned one per pCPU across the home nodes,
+    least-loaded pCPU first (consolidation stacks several vCPUs per
+    pCPU once all are busy).
+    @raise Invalid_argument if the request cannot fit the machine. *)
+
+val find_domain : t -> id:int -> Domain.t option
+
+val destroy_domain : t -> Domain.t -> unit
+(** Unmaps and frees every machine frame held by the domain's P2M. *)
+
+val pcpu_share : t -> Numa.Topology.cpu -> float
+(** CPU time share a vCPU pinned on this pCPU receives
+    ([1 / occupancy]; 1.0 when the pCPU is idle or single-booked). *)
+
+val mem_frames_of_bytes : t -> int -> int
+(** Guest-physical frames covering the byte count, in scaled frames. *)

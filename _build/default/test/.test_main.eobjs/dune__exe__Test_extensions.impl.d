@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Engine Float Guest List Numa Policies Sim Workloads Xen

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Array Gen Guest Hashtbl List QCheck QCheck_alcotest

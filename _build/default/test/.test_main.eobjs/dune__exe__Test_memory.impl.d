@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Gen List Memory Numa Printf QCheck QCheck_alcotest Sim

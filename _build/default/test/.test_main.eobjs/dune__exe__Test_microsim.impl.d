@@ -1,0 +1,1 @@
+test/test_microsim.ml: Alcotest Array Float List Microsim Numa Printf

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Engine Float Format Guest List Memory Numa Policies QCheck QCheck_alcotest Sim String Workloads

@@ -1,0 +1,1 @@
+test/test_numa.ml: Alcotest Array Float Gen List Numa QCheck QCheck_alcotest

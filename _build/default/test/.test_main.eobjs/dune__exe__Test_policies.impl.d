@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Guest List Memory Numa Policies QCheck QCheck_alcotest Sim Xen

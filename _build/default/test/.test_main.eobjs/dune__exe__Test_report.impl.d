@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Experiments List Policies Report String Sys Workloads

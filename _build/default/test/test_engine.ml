@@ -1,0 +1,234 @@
+(* Integration tests for the engine: configuration, determinism, and
+   the qualitative behaviours the paper reports. *)
+
+let app name =
+  match Workloads.Catalogue.find name with Some a -> a | None -> Alcotest.failf "no app %s" name
+
+let run ?(mode = Engine.Config.Linux) ?(policy = Policies.Spec.first_touch) ?(threads = 48)
+    ?(seed = 42) ?use_mcs name =
+  let vm = Engine.Config.vm ?use_mcs ~threads ~policy (app name) in
+  Engine.Runner.run (Engine.Config.make ~seed ~mode [ vm ])
+
+let completion result = (Engine.Result.single result).Engine.Result.completion
+
+(* ------------------------------- config ---------------------------- *)
+
+let test_config_page_scale_heuristic () =
+  let cfg small = Engine.Config.make ~mode:Engine.Config.Linux [ Engine.Config.vm ~policy:Policies.Spec.first_touch (app small) ] in
+  (* bodytrack (7 MB) keeps real 4 KiB pages; dc.B (39 GB) scales up. *)
+  Alcotest.(check int) "small app scale 1" 1 (Engine.Config.page_scale (cfg "bodytrack"));
+  Alcotest.(check bool) "dc.B scales" true (Engine.Config.page_scale (cfg "dc.B") >= 256)
+
+let test_config_page_kib_override () =
+  let cfg =
+    Engine.Config.make ~page_kib:64 ~mode:Engine.Config.Linux
+      [ Engine.Config.vm ~policy:Policies.Spec.first_touch (app "cg.C") ]
+  in
+  Alcotest.(check int) "64 KiB pages = scale 16" 16 (Engine.Config.page_scale cfg)
+
+let test_config_validation () =
+  Alcotest.check_raises "no vms" (Invalid_argument "Config.make: no VMs") (fun () ->
+      ignore (Engine.Config.make ~mode:Engine.Config.Linux []));
+  Alcotest.check_raises "bad threads" (Invalid_argument "Config.vm: threads must be positive")
+    (fun () -> ignore (Engine.Config.vm ~threads:0 ~policy:Policies.Spec.first_touch (app "cg.C")))
+
+(* ---------------------------- determinism --------------------------- *)
+
+let test_runner_deterministic () =
+  let r1 = run ~seed:7 "cg.C" and r2 = run ~seed:7 "cg.C" in
+  Alcotest.(check (float 1e-12)) "same completion" (completion r1) (completion r2);
+  Alcotest.(check (float 1e-12)) "same imbalance" r1.Engine.Result.imbalance r2.Engine.Result.imbalance
+
+let test_runner_result_fields () =
+  let r = run "cg.C" in
+  let vm = Engine.Result.single r in
+  Alcotest.(check string) "app name" "cg.C" vm.Engine.Result.app_name;
+  Alcotest.(check string) "policy" "first-touch" vm.Engine.Result.policy;
+  Alcotest.(check bool) "epochs counted" true (r.Engine.Result.epochs > 0);
+  Alcotest.(check bool) "positive completion" true (vm.Engine.Result.completion > 0.0);
+  Alcotest.(check (float 1e-9)) "completion lookup" vm.Engine.Result.completion
+    (Engine.Result.completion r "cg.C")
+
+(* ----------------------- Table 1 reproductions ---------------------- *)
+
+let test_imbalance_matches_table1 () =
+  (* The first-touch imbalance is the calibrated quantity: it must land
+     close to the paper's measurement. *)
+  List.iter
+    (fun (name, expected) ->
+      let r = run name in
+      Alcotest.(check (float 0.15))
+        (name ^ " FT imbalance")
+        expected r.Engine.Result.imbalance)
+    [ ("cg.C", 0.07); ("facesim", 2.53); ("kmeans", 2.51); ("wrmem", 1.35) ]
+
+let test_round4k_balances () =
+  let ft = run "kmeans" in
+  let r4k = run ~policy:Policies.Spec.round_4k "kmeans" in
+  Alcotest.(check bool) "round-4k balances the controllers" true
+    (r4k.Engine.Result.imbalance < 0.3 *. ft.Engine.Result.imbalance);
+  Alcotest.(check bool) "first-touch keeps locality" true
+    ((Engine.Result.single ft).Engine.Result.local_fraction
+    > (Engine.Result.single r4k).Engine.Result.local_fraction)
+
+(* ------------------- policy behaviour per class --------------------- *)
+
+let test_low_class_prefers_first_touch () =
+  (* cg.C: thread-local accesses; round-4k destroys locality. *)
+  let ft = completion (run "cg.C") in
+  let r4k = completion (run ~policy:Policies.Spec.round_4k "cg.C") in
+  Alcotest.(check bool) "FT at least 25% faster" true (r4k > 1.25 *. ft)
+
+let test_high_class_prefers_round4k () =
+  (* kmeans: master-slave; first-touch saturates the master's node. *)
+  let ft = completion (run "kmeans") in
+  let r4k = completion (run ~policy:Policies.Spec.round_4k "kmeans") in
+  Alcotest.(check bool) "R4K at least 25% faster" true (ft > 1.25 *. r4k)
+
+let test_carrefour_rescues_first_touch () =
+  (* On a master-slave app, Carrefour's interleave heuristic spreads
+     the hot pages off the overloaded node. *)
+  let ft = completion (run "facesim") in
+  let ftc = completion (run ~policy:Policies.Spec.first_touch_carrefour "facesim") in
+  Alcotest.(check bool) "FT/C faster than FT" true (ftc < 0.9 *. ft)
+
+let test_carrefour_migrations_happen () =
+  let r = run ~policy:Policies.Spec.first_touch_carrefour "kmeans" in
+  Alcotest.(check bool) "pages migrated" true ((Engine.Result.single r).Engine.Result.migrations > 0)
+
+let test_carrefour_localises_round4k () =
+  (* On a thread-local app under round-4k, the migration heuristic
+     pulls pages back to their accessing node. *)
+  let r4k = run ~policy:Policies.Spec.round_4k "cg.C" in
+  let r4kc = run ~policy:Policies.Spec.round_4k_carrefour "cg.C" in
+  Alcotest.(check bool) "locality recovered" true
+    ((Engine.Result.single r4kc).Engine.Result.local_fraction
+    > (Engine.Result.single r4k).Engine.Result.local_fraction +. 0.2)
+
+(* ------------------------ virtualization costs ---------------------- *)
+
+let test_xen_slower_than_linux_on_ipi_heavy_app () =
+  (* ua.C context-switches 37k times per second: the virtualized
+     IPI/wake-up path hurts (Sections 5.3.2, 5.5). *)
+  let linux = completion (run "ua.C") in
+  let xen = completion (run ~mode:Engine.Config.Xen "ua.C") in
+  Alcotest.(check bool) "at least 30% overhead" true (xen > 1.3 *. linux)
+
+let test_mcs_removes_wakeup_cost () =
+  let futex = completion (run ~mode:Engine.Config.Xen_plus ~policy:Policies.Spec.round_4k "streamcluster") in
+  let mcs =
+    completion
+      (run ~mode:Engine.Config.Xen_plus ~policy:Policies.Spec.round_4k ~use_mcs:true "streamcluster")
+  in
+  Alcotest.(check bool) "MCS at least 15% faster" true (futex > 1.15 *. mcs)
+
+let test_passthrough_beats_pv_io () =
+  (* dc.B reads 175 MB/s from disk: Xen+'s passthrough shaves the pv
+     per-request overhead (Section 5.3.3). *)
+  let xen = run ~mode:Engine.Config.Xen ~policy:Policies.Spec.round_1g "dc.B" in
+  let xen_plus = run ~mode:Engine.Config.Xen_plus ~policy:Policies.Spec.round_1g "dc.B" in
+  let io r = (Engine.Result.single r).Engine.Result.io_overhead in
+  Alcotest.(check bool) "io overhead reduced" true (io xen_plus < 0.6 *. io xen);
+  Alcotest.(check bool) "completion reduced" true (completion xen_plus < completion xen)
+
+let test_first_touch_disables_passthrough () =
+  (* The IOMMU incompatibility: under first-touch, Xen+ falls back to
+     the pv I/O path (Section 4.4.1). *)
+  let r1g = run ~mode:Engine.Config.Xen_plus ~policy:Policies.Spec.round_1g "dc.B" in
+  let ft = run ~mode:Engine.Config.Xen_plus "dc.B" in
+  let io r = (Engine.Result.single r).Engine.Result.io_overhead in
+  Alcotest.(check bool) "first-touch pays pv io" true (io ft > 1.5 *. io r1g)
+
+let test_release_churn_charged_only_under_first_touch () =
+  let ft = run ~mode:Engine.Config.Xen_plus "wrmem" in
+  let r4k = run ~mode:Engine.Config.Xen_plus ~policy:Policies.Spec.round_4k "wrmem" in
+  Alcotest.(check bool) "ft churn positive" true
+    ((Engine.Result.single ft).Engine.Result.release_overhead > 0.0);
+  Alcotest.(check (float 1e-12)) "r4k no churn" 0.0
+    (Engine.Result.single r4k).Engine.Result.release_overhead
+
+let test_virt_overhead_only_under_xen () =
+  let linux = run "cg.C" in
+  let xen = run ~mode:Engine.Config.Xen "cg.C" in
+  Alcotest.(check bool) "xen faults cost more" true
+    ((Engine.Result.single xen).Engine.Result.virt_overhead
+    > (Engine.Result.single linux).Engine.Result.virt_overhead)
+
+(* --------------------------- consolidation -------------------------- *)
+
+let test_consolidation_halves_throughput () =
+  let solo = completion (run ~mode:Engine.Config.Xen_plus ~policy:Policies.Spec.round_4k "cg.C") in
+  let vms =
+    [
+      Engine.Config.vm ~threads:48 ~policy:Policies.Spec.round_4k (app "cg.C");
+      Engine.Config.vm ~threads:48 ~policy:Policies.Spec.round_4k (app "ep.D");
+    ]
+  in
+  let r = Engine.Runner.run (Engine.Config.make ~mode:Engine.Config.Xen_plus vms) in
+  let consolidated = Engine.Result.completion r "cg.C" in
+  Alcotest.(check bool) "roughly half speed" true
+    (consolidated > 1.5 *. solo && consolidated < 3.5 *. solo)
+
+let test_split_halves_are_disjoint () =
+  let vms =
+    [
+      Engine.Config.vm ~threads:24 ~home_nodes:[| 0; 1; 2; 3 |] ~policy:Policies.Spec.round_4k
+        (app "cg.C");
+      Engine.Config.vm ~threads:24 ~home_nodes:[| 4; 5; 6; 7 |] ~policy:Policies.Spec.round_4k
+        (app "ep.D");
+    ]
+  in
+  let r = Engine.Runner.run (Engine.Config.make ~mode:Engine.Config.Xen_plus vms) in
+  Alcotest.(check int) "two results" 2 (List.length r.Engine.Result.vms);
+  List.iter
+    (fun vm -> Alcotest.(check bool) "both finish" true (vm.Engine.Result.completion > 0.0))
+    r.Engine.Result.vms
+
+(* ------------------------------ threads ----------------------------- *)
+
+let test_fewer_threads_slower () =
+  let t48 = completion (run ~threads:48 "ep.D") in
+  let t12 = completion (run ~threads:12 "ep.D") in
+  Alcotest.(check bool) "12 threads slower than 48" true (t12 > 2.0 *. t48)
+
+let suite =
+  [
+    ( "engine.config",
+      [
+        Alcotest.test_case "page scale heuristic" `Quick test_config_page_scale_heuristic;
+        Alcotest.test_case "page_kib override" `Quick test_config_page_kib_override;
+        Alcotest.test_case "validation" `Quick test_config_validation;
+      ] );
+    ( "engine.runner",
+      [
+        Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+        Alcotest.test_case "result fields" `Quick test_runner_result_fields;
+        Alcotest.test_case "Table 1 imbalance" `Slow test_imbalance_matches_table1;
+        Alcotest.test_case "round-4k balances" `Quick test_round4k_balances;
+      ] );
+    ( "engine.policies",
+      [
+        Alcotest.test_case "low class prefers first-touch" `Quick test_low_class_prefers_first_touch;
+        Alcotest.test_case "high class prefers round-4k" `Quick test_high_class_prefers_round4k;
+        Alcotest.test_case "carrefour rescues first-touch" `Quick test_carrefour_rescues_first_touch;
+        Alcotest.test_case "carrefour migrates" `Quick test_carrefour_migrations_happen;
+        Alcotest.test_case "carrefour localises round-4k" `Quick test_carrefour_localises_round4k;
+      ] );
+    ( "engine.virtualization",
+      [
+        Alcotest.test_case "ipi-heavy app suffers" `Quick test_xen_slower_than_linux_on_ipi_heavy_app;
+        Alcotest.test_case "mcs removes wakeups" `Quick test_mcs_removes_wakeup_cost;
+        Alcotest.test_case "passthrough beats pv" `Quick test_passthrough_beats_pv_io;
+        Alcotest.test_case "first-touch disables passthrough" `Quick
+          test_first_touch_disables_passthrough;
+        Alcotest.test_case "release churn first-touch only" `Quick
+          test_release_churn_charged_only_under_first_touch;
+        Alcotest.test_case "virt overhead xen only" `Quick test_virt_overhead_only_under_xen;
+      ] );
+    ( "engine.consolidation",
+      [
+        Alcotest.test_case "two VMs share the CPUs" `Slow test_consolidation_halves_throughput;
+        Alcotest.test_case "split halves" `Quick test_split_halves_are_disjoint;
+        Alcotest.test_case "fewer threads slower" `Quick test_fewer_threads_slower;
+      ] );
+  ]

@@ -1,0 +1,176 @@
+(* Tests for the extension substrates: TLB/huge pages, the credit
+   scheduler, the policy advisor, and their engine integration. *)
+
+let app name =
+  match Workloads.Catalogue.find name with Some a -> a | None -> Alcotest.failf "no app %s" name
+
+(* -------------------------------- tlb ------------------------------ *)
+
+let tlb = Guest.Tlb.opteron
+
+let test_tlb_coverage () =
+  Alcotest.(check int) "4k coverage" (1024 * 4096) (Guest.Tlb.coverage_bytes tlb Guest.Tlb.Small_4k);
+  Alcotest.(check int) "2m coverage" (48 * 2 * 1024 * 1024)
+    (Guest.Tlb.coverage_bytes tlb Guest.Tlb.Huge_2m)
+
+let test_tlb_small_footprint_never_misses () =
+  Alcotest.(check (float 1e-12)) "fits in reach" 0.0
+    (Guest.Tlb.miss_ratio tlb Guest.Tlb.Small_4k ~footprint_bytes:(1024 * 1024)
+       ~hot_access_share:0.5)
+
+let test_tlb_huge_pages_reduce_misses () =
+  let footprint_bytes = 4 * 1024 * 1024 * 1024 in
+  let small =
+    Guest.Tlb.miss_ratio tlb Guest.Tlb.Small_4k ~footprint_bytes ~hot_access_share:0.5
+  in
+  let huge = Guest.Tlb.miss_ratio tlb Guest.Tlb.Huge_2m ~footprint_bytes ~hot_access_share:0.5 in
+  Alcotest.(check bool) "misses exist at 4k" true (small > 0.0);
+  Alcotest.(check bool) "2M at least 100x fewer" true (huge < small /. 100.0)
+
+let test_tlb_nested_walk_costlier () =
+  Alcotest.(check bool) "virtualized walk ~3x" true
+    (Guest.Tlb.walk_cycles tlb ~virtualized:true >= 2.5 *. Guest.Tlb.walk_cycles tlb ~virtualized:false)
+
+let test_tlb_hot_share_reduces_misses () =
+  let footprint_bytes = 1024 * 1024 * 1024 in
+  let cold = Guest.Tlb.miss_ratio tlb Guest.Tlb.Small_4k ~footprint_bytes ~hot_access_share:0.1 in
+  let hot = Guest.Tlb.miss_ratio tlb Guest.Tlb.Small_4k ~footprint_bytes ~hot_access_share:0.9 in
+  Alcotest.(check bool) "skew helps" true (hot < cold)
+
+let test_engine_huge_pages_help_virtualized_big_app () =
+  let run huge_pages =
+    let vm = Engine.Config.vm ~huge_pages ~policy:Policies.Spec.round_4k (app "mg.D") in
+    (Engine.Result.single
+       (Engine.Runner.run (Engine.Config.make ~seed:5 ~mode:Engine.Config.Xen_plus [ vm ])))
+      .Engine.Result.completion
+  in
+  let small = run false and huge = run true in
+  Alcotest.(check bool) "2M pages at least 5% faster in a VM" true (small > 1.05 *. huge)
+
+(* ------------------------------- sched ------------------------------ *)
+
+let sched_system () = Xen.System.create ~page_scale:262144 (Numa.Amd48.topology ())
+
+let test_sched_occupancy () =
+  let s = sched_system () in
+  let d =
+    Xen.System.create_domain s ~name:"a" ~kind:Xen.Domain.DomU ~vcpus:4 ~mem_bytes:(1 lsl 30) ()
+  in
+  let occ = Xen.Sched.occupancy s.Xen.System.topo ~domains:[ d ] ~active:(fun _ _ -> true) in
+  Alcotest.(check int) "4 active" 4 (Array.fold_left ( + ) 0 occ);
+  let occ_none = Xen.Sched.occupancy s.Xen.System.topo ~domains:[ d ] ~active:(fun _ _ -> false) in
+  Alcotest.(check int) "0 active" 0 (Array.fold_left ( + ) 0 occ_none)
+
+let test_sched_balance_spreads () =
+  let s = sched_system () in
+  let d =
+    Xen.System.create_domain s ~name:"stacked" ~kind:Xen.Domain.DomU ~vcpus:8
+      ~mem_bytes:(1 lsl 30) ~home_nodes:[| 0 |] ()
+  in
+  (* 8 vCPUs on node 0's 6 pCPUs: at least two pCPUs are double-booked
+     while 42 others idle. *)
+  let rng = Sim.Rng.create ~seed:1 in
+  let migrations =
+    Xen.Sched.balance s.Xen.System.topo ~rng ~domains:[ d ] ~movable:(fun _ -> true)
+      ~active:(fun _ _ -> true)
+  in
+  Alcotest.(check bool) "migrated some" true (List.length migrations >= 2);
+  let occ = Xen.Sched.occupancy s.Xen.System.topo ~domains:[ d ] ~active:(fun _ _ -> true) in
+  Alcotest.(check int) "no pCPU double-booked" 1 (Array.fold_left max 0 occ)
+
+let test_sched_respects_movable () =
+  let s = sched_system () in
+  let d =
+    Xen.System.create_domain s ~name:"frozen" ~kind:Xen.Domain.DomU ~vcpus:8
+      ~mem_bytes:(1 lsl 30) ~home_nodes:[| 0 |] ()
+  in
+  let rng = Sim.Rng.create ~seed:2 in
+  let before = Array.copy d.Xen.Domain.vcpu_pin in
+  let migrations =
+    Xen.Sched.balance s.Xen.System.topo ~rng ~domains:[ d ] ~movable:(fun _ -> false)
+      ~active:(fun _ _ -> true)
+  in
+  Alcotest.(check int) "nothing moved" 0 (List.length migrations);
+  Alcotest.(check (array int)) "pins intact" before d.Xen.Domain.vcpu_pin
+
+let test_sched_balanced_is_stable () =
+  let s = sched_system () in
+  let d =
+    Xen.System.create_domain s ~name:"even" ~kind:Xen.Domain.DomU ~vcpus:48
+      ~mem_bytes:(1 lsl 30) ()
+  in
+  let rng = Sim.Rng.create ~seed:3 in
+  Alcotest.(check int) "1:1 layout untouched" 0
+    (List.length
+       (Xen.Sched.balance s.Xen.System.topo ~rng ~domains:[ d ] ~movable:(fun _ -> true)
+          ~active:(fun _ _ -> true)))
+
+let test_engine_unpinned_migration_breaks_locality () =
+  let run pinned policy =
+    let victim = Engine.Config.vm ~threads:48 ~pinned ~policy (app "cg.C") in
+    let neighbour = Engine.Config.vm ~threads:24 ~policy:Policies.Spec.round_4k (app "ep.D") in
+    let r = Engine.Runner.run (Engine.Config.make ~seed:4 ~mode:Engine.Config.Xen_plus [ victim; neighbour ]) in
+    match List.find_opt (fun vm -> vm.Engine.Result.app_name = "cg.C") r.Engine.Result.vms with
+    | Some vm -> vm
+    | None -> Alcotest.fail "victim missing"
+  in
+  let pinned = run true Policies.Spec.first_touch in
+  let migrated = run false Policies.Spec.first_touch in
+  let healed = run false Policies.Spec.first_touch_carrefour in
+  Alcotest.(check bool) "migration hurts locality" true
+    (migrated.Engine.Result.local_fraction < pinned.Engine.Result.local_fraction -. 0.1);
+  Alcotest.(check bool) "carrefour chases the vCPUs" true
+    (healed.Engine.Result.local_fraction > migrated.Engine.Result.local_fraction +. 0.05);
+  Alcotest.(check bool) "pages were moved" true (healed.Engine.Result.migrations > 0)
+
+(* ------------------------------ advisor ----------------------------- *)
+
+let test_advisor_classify () =
+  Alcotest.(check bool) "high" true (Engine.Advisor.classify ~imbalance:2.5 = Workloads.App.High);
+  Alcotest.(check bool) "moderate" true
+    (Engine.Advisor.classify ~imbalance:1.0 = Workloads.App.Moderate);
+  Alcotest.(check bool) "low" true (Engine.Advisor.classify ~imbalance:0.3 = Workloads.App.Low)
+
+let test_advisor_recommendations () =
+  let recommend name =
+    (Engine.Advisor.recommend ~mode:Engine.Config.Xen_plus (app name)).Engine.Advisor.policy
+  in
+  Alcotest.(check string) "thread-local app -> first-touch" "first-touch"
+    (Policies.Spec.name (recommend "cg.C"));
+  Alcotest.(check string) "master-slave app -> round-4k/carrefour" "round-4k/carrefour"
+    (Policies.Spec.name (recommend "kmeans"))
+
+let test_advisor_profile_fields () =
+  let p = Engine.Advisor.profile ~mode:Engine.Config.Linux (app "facesim") in
+  Alcotest.(check bool) "imbalance near Table 1" true
+    (Float.abs (p.Engine.Advisor.imbalance -. 2.53) < 0.3);
+  Alcotest.(check bool) "classified high" true (p.Engine.Advisor.class_ = Workloads.App.High)
+
+let suite =
+  [
+    ( "guest.tlb",
+      [
+        Alcotest.test_case "coverage" `Quick test_tlb_coverage;
+        Alcotest.test_case "small footprint" `Quick test_tlb_small_footprint_never_misses;
+        Alcotest.test_case "huge pages reduce misses" `Quick test_tlb_huge_pages_reduce_misses;
+        Alcotest.test_case "nested walk costlier" `Quick test_tlb_nested_walk_costlier;
+        Alcotest.test_case "hot share" `Quick test_tlb_hot_share_reduces_misses;
+        Alcotest.test_case "engine: 2M pages help in VM" `Slow
+          test_engine_huge_pages_help_virtualized_big_app;
+      ] );
+    ( "xen.sched",
+      [
+        Alcotest.test_case "occupancy" `Quick test_sched_occupancy;
+        Alcotest.test_case "balance spreads" `Quick test_sched_balance_spreads;
+        Alcotest.test_case "respects movable" `Quick test_sched_respects_movable;
+        Alcotest.test_case "balanced stays put" `Quick test_sched_balanced_is_stable;
+        Alcotest.test_case "engine: migration vs carrefour" `Slow
+          test_engine_unpinned_migration_breaks_locality;
+      ] );
+    ( "engine.advisor",
+      [
+        Alcotest.test_case "classify thresholds" `Quick test_advisor_classify;
+        Alcotest.test_case "recommendations" `Quick test_advisor_recommendations;
+        Alcotest.test_case "profile fields" `Quick test_advisor_profile_fields;
+      ] );
+  ]

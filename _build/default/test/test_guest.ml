@@ -1,0 +1,324 @@
+(* Tests for the guest library: gpt, pfn_pool, pv_queue, sync,
+   alloc_model, process. *)
+
+(* -------------------------------- gpt ----------------------------- *)
+
+let test_gpt_lazy () =
+  let g = Guest.Gpt.create ~frames:8 in
+  Alcotest.(check (option int)) "unmapped" None (Guest.Gpt.get g 3);
+  Alcotest.(check int) "no faults yet" 0 (Guest.Gpt.fault_count g);
+  let next = ref 100 in
+  let alloc () = incr next; Some !next in
+  Alcotest.(check (option int)) "first touch allocates" (Some 101) (Guest.Gpt.touch g 3 ~alloc);
+  Alcotest.(check int) "one fault" 1 (Guest.Gpt.fault_count g);
+  Alcotest.(check (option int)) "second touch reuses" (Some 101) (Guest.Gpt.touch g 3 ~alloc);
+  Alcotest.(check int) "still one fault" 1 (Guest.Gpt.fault_count g)
+
+let test_gpt_map_unmap () =
+  let g = Guest.Gpt.create ~frames:4 in
+  Guest.Gpt.map g 0 42;
+  Alcotest.(check int) "mapped count" 1 (Guest.Gpt.mapped_count g);
+  Alcotest.check_raises "remap rejected" (Invalid_argument "Gpt.map: vfn already mapped")
+    (fun () -> Guest.Gpt.map g 0 7);
+  Alcotest.(check (option int)) "unmap returns pfn" (Some 42) (Guest.Gpt.unmap g 0);
+  Alcotest.(check (option int)) "second unmap" None (Guest.Gpt.unmap g 0);
+  Alcotest.(check int) "count back" 0 (Guest.Gpt.mapped_count g)
+
+let test_gpt_alloc_failure () =
+  let g = Guest.Gpt.create ~frames:2 in
+  Alcotest.(check (option int)) "oom" None (Guest.Gpt.touch g 0 ~alloc:(fun () -> None))
+
+(* ------------------------------ pfn_pool --------------------------- *)
+
+let test_pool_lifo_recycling () =
+  let pool = Guest.Pfn_pool.create ~frames:8 () in
+  let a = match Guest.Pfn_pool.alloc pool with Some p -> p | None -> -1 in
+  let b = match Guest.Pfn_pool.alloc pool with Some p -> p | None -> -1 in
+  Alcotest.(check int) "fresh 0" 0 a;
+  Alcotest.(check int) "fresh 1" 1 b;
+  Guest.Pfn_pool.release pool a;
+  Alcotest.(check (option int)) "recycles most recent" (Some a) (Guest.Pfn_pool.alloc pool);
+  Alcotest.(check int) "one recycled" 1 (Guest.Pfn_pool.recycled pool)
+
+let test_pool_exhaustion () =
+  let pool = Guest.Pfn_pool.create ~frames:2 () in
+  ignore (Guest.Pfn_pool.alloc pool);
+  ignore (Guest.Pfn_pool.alloc pool);
+  Alcotest.(check (option int)) "exhausted" None (Guest.Pfn_pool.alloc pool)
+
+let test_pool_double_release () =
+  let pool = Guest.Pfn_pool.create ~frames:4 () in
+  (match Guest.Pfn_pool.alloc pool with
+  | Some p ->
+      Guest.Pfn_pool.release pool p;
+      Alcotest.check_raises "double release" (Invalid_argument "Pfn_pool.release: double release")
+        (fun () -> Guest.Pfn_pool.release pool p)
+  | None -> Alcotest.fail "alloc failed")
+
+let test_pool_release_fresh_rejected () =
+  let pool = Guest.Pfn_pool.create ~frames:4 () in
+  Alcotest.check_raises "never allocated"
+    (Invalid_argument "Pfn_pool.release: frame was never allocated") (fun () ->
+      Guest.Pfn_pool.release pool 3)
+
+let test_pool_hooks_fire () =
+  let allocs = ref [] and releases = ref [] in
+  let pool =
+    Guest.Pfn_pool.create ~frames:4
+      ~on_alloc:(fun p -> allocs := p :: !allocs)
+      ~on_release:(fun p -> releases := p :: !releases)
+      ()
+  in
+  (match Guest.Pfn_pool.alloc pool with
+  | Some p -> Guest.Pfn_pool.release pool p
+  | None -> Alcotest.fail "alloc failed");
+  Alcotest.(check (list int)) "alloc hook" [ 0 ] !allocs;
+  Alcotest.(check (list int)) "release hook" [ 0 ] !releases
+
+let test_pool_first_fresh () =
+  let pool = Guest.Pfn_pool.create ~frames:16 ~first_fresh:8 () in
+  Alcotest.(check (option int)) "starts above the kernel zone" (Some 8)
+    (Guest.Pfn_pool.alloc pool)
+
+(* ------------------------------ pv_queue --------------------------- *)
+
+let test_queue_partition_of () =
+  let q = Guest.Pv_queue.create ~partitions:4 ~flush:(fun _ -> 0.0) () in
+  Alcotest.(check int) "4 partitions" 4 (Guest.Pv_queue.partitions q);
+  Alcotest.(check int) "pfn 5 -> 1" 1 (Guest.Pv_queue.partition_of q 5);
+  Alcotest.(check int) "pfn 7 -> 3" 3 (Guest.Pv_queue.partition_of q 7)
+
+let test_queue_flush_on_capacity () =
+  let flushed = ref [] in
+  let q =
+    Guest.Pv_queue.create ~partitions:1 ~capacity:4
+      ~flush:(fun ops -> flushed := Array.to_list ops :: !flushed; 1e-6)
+      ()
+  in
+  for i = 1 to 3 do
+    Guest.Pv_queue.record q (Guest.Pv_queue.Release i)
+  done;
+  Alcotest.(check int) "not yet flushed" 0 (List.length !flushed);
+  Alcotest.(check int) "3 pending" 3 (Guest.Pv_queue.pending q);
+  Guest.Pv_queue.record q (Guest.Pv_queue.Release 4);
+  Alcotest.(check int) "flushed once" 1 (List.length !flushed);
+  Alcotest.(check int) "nothing pending" 0 (Guest.Pv_queue.pending q);
+  let stats = Guest.Pv_queue.stats q in
+  Alcotest.(check int) "4 ops sent" 4 stats.Guest.Pv_queue.ops_sent;
+  Alcotest.(check (float 1e-12)) "time charged" 1e-6 stats.Guest.Pv_queue.guest_time
+
+let test_queue_partition_isolation () =
+  let flushes = ref 0 in
+  let q =
+    Guest.Pv_queue.create ~partitions:4 ~capacity:2 ~flush:(fun _ -> incr flushes; 0.0) ()
+  in
+  (* pfns 0,4,8,... all land in partition 0; others untouched. *)
+  Guest.Pv_queue.record q (Guest.Pv_queue.Release 0);
+  Guest.Pv_queue.record q (Guest.Pv_queue.Release 4);
+  Alcotest.(check int) "partition 0 flushed" 1 !flushes;
+  Guest.Pv_queue.record q (Guest.Pv_queue.Release 1);
+  Alcotest.(check int) "partition 1 untouched" 1 !flushes
+
+let test_queue_flush_all () =
+  let total = ref 0 in
+  let q =
+    Guest.Pv_queue.create ~partitions:4 ~capacity:100
+      ~flush:(fun ops -> total := !total + Array.length ops; 0.0)
+      ()
+  in
+  for i = 0 to 9 do
+    Guest.Pv_queue.record q (Guest.Pv_queue.Alloc i)
+  done;
+  Guest.Pv_queue.flush_all q;
+  Alcotest.(check int) "all delivered" 10 !total;
+  Alcotest.(check int) "empty" 0 (Guest.Pv_queue.pending q)
+
+let test_queue_replay_most_recent_wins () =
+  (* Release 7 then Alloc 7: the page was reallocated while queued,
+     so it must be left in place (Section 4.2.4). *)
+  let ops = [| Guest.Pv_queue.Release 7; Guest.Pv_queue.Alloc 7 |] in
+  let result = ref [] in
+  Guest.Pv_queue.replay ops ~f:(fun pfn action -> result := (pfn, action) :: !result);
+  Alcotest.(check int) "visited once" 1 (List.length !result);
+  (match !result with
+  | [ (7, `Leave) ] -> ()
+  | _ -> Alcotest.fail "expected Leave for reallocated page");
+  (* Alloc then Release: final state free -> invalidate. *)
+  let ops = [| Guest.Pv_queue.Alloc 3; Guest.Pv_queue.Release 3 |] in
+  let result = ref [] in
+  Guest.Pv_queue.replay ops ~f:(fun pfn action -> result := (pfn, action) :: !result);
+  match !result with
+  | [ (3, `Invalidate) ] -> ()
+  | _ -> Alcotest.fail "expected Invalidate for released page"
+
+let prop_queue_replay_visits_each_page_once =
+  QCheck.Test.make ~name:"replay visits each page exactly once" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 100) (pair bool (int_range 0 20)))
+    (fun spec ->
+      let ops =
+        Array.of_list
+          (List.map
+             (fun (alloc, pfn) ->
+               if alloc then Guest.Pv_queue.Alloc pfn else Guest.Pv_queue.Release pfn)
+             spec)
+      in
+      let seen = Hashtbl.create 16 in
+      let dup = ref false in
+      Guest.Pv_queue.replay ops ~f:(fun pfn _ ->
+          if Hashtbl.mem seen pfn then dup := true;
+          Hashtbl.replace seen pfn ());
+      let distinct = List.sort_uniq compare (List.map snd spec) in
+      (not !dup) && Hashtbl.length seen = List.length distinct)
+
+let prop_queue_replay_matches_final_state =
+  QCheck.Test.make ~name:"replay action = final op per page" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (pair bool (int_range 0 20)))
+    (fun spec ->
+      let ops =
+        Array.of_list
+          (List.map
+             (fun (alloc, pfn) ->
+               if alloc then Guest.Pv_queue.Alloc pfn else Guest.Pv_queue.Release pfn)
+             spec)
+      in
+      let ok = ref true in
+      Guest.Pv_queue.replay ops ~f:(fun pfn action ->
+          (* find last op for pfn *)
+          let last = ref None in
+          Array.iter
+            (fun op -> if Guest.Pv_queue.op_pfn op = pfn then last := Some op)
+            ops;
+          match (!last, action) with
+          | Some (Guest.Pv_queue.Release _), `Invalidate -> ()
+          | Some (Guest.Pv_queue.Alloc _), `Leave -> ()
+          | _ -> ok := false);
+      !ok)
+
+(* -------------------------------- sync ----------------------------- *)
+
+let test_mcs_basic () =
+  let lock = Guest.Sync.Mcs.create ~threads:4 in
+  Alcotest.(check bool) "t0 acquires" true (Guest.Sync.Mcs.acquire lock ~thread:0 = `Acquired);
+  Alcotest.(check bool) "t1 queued" true (Guest.Sync.Mcs.acquire lock ~thread:1 = `Queued 0);
+  Alcotest.(check bool) "t2 queued" true (Guest.Sync.Mcs.acquire lock ~thread:2 = `Queued 1);
+  Alcotest.(check int) "2 waiters" 2 (Guest.Sync.Mcs.waiters lock);
+  Alcotest.(check (option int)) "handoff to t1" (Some 1) (Guest.Sync.Mcs.release lock ~thread:0);
+  Alcotest.(check (option int)) "holder is t1" (Some 1) (Guest.Sync.Mcs.holder lock);
+  Alcotest.(check (option int)) "handoff to t2" (Some 2) (Guest.Sync.Mcs.release lock ~thread:1);
+  Alcotest.(check (option int)) "last release" None (Guest.Sync.Mcs.release lock ~thread:2);
+  Alcotest.(check (option int)) "free" None (Guest.Sync.Mcs.holder lock)
+
+let test_mcs_errors () =
+  let lock = Guest.Sync.Mcs.create ~threads:2 in
+  ignore (Guest.Sync.Mcs.acquire lock ~thread:0);
+  Alcotest.check_raises "reacquire" (Invalid_argument "Mcs.acquire: thread already holds or waits")
+    (fun () -> ignore (Guest.Sync.Mcs.acquire lock ~thread:0));
+  Alcotest.check_raises "wrong releaser" (Invalid_argument "Mcs.release: thread is not the holder")
+    (fun () -> ignore (Guest.Sync.Mcs.release lock ~thread:1))
+
+let test_sync_costs () =
+  let futex = Guest.Sync.wait_overhead Guest.Sync.Futex_sleep ~context_switch:1.5e-6 ~ipi:10.9e-6 in
+  Alcotest.(check (float 1e-12)) "futex = 2 switches + ipi" 13.9e-6 futex;
+  Alcotest.(check (float 1e-12)) "spin free" 0.0
+    (Guest.Sync.wait_overhead Guest.Sync.Mcs_spin ~context_switch:1.5e-6 ~ipi:10.9e-6);
+  Alcotest.(check int) "futex switches" 2 (Guest.Sync.switches_per_event Guest.Sync.Futex_sleep);
+  Alcotest.(check int) "spin switches" 0 (Guest.Sync.switches_per_event Guest.Sync.Mcs_spin)
+
+let prop_mcs_fifo =
+  QCheck.Test.make ~name:"mcs hands off in fifo order" ~count:100
+    QCheck.(int_range 2 16)
+    (fun n ->
+      let lock = Guest.Sync.Mcs.create ~threads:n in
+      for t = 0 to n - 1 do
+        ignore (Guest.Sync.Mcs.acquire lock ~thread:t)
+      done;
+      let order = ref [] in
+      let holder = ref 0 in
+      for _ = 1 to n - 1 do
+        match Guest.Sync.Mcs.release lock ~thread:!holder with
+        | Some next ->
+            order := next :: !order;
+            holder := next
+        | None -> ()
+      done;
+      List.rev !order = List.init (n - 1) (fun i -> i + 1))
+
+(* ----------------------------- alloc_model ------------------------ *)
+
+let test_alloc_model () =
+  Alcotest.(check int) "glibc over 1s" 100 (Guest.Alloc_model.releases_in Guest.Alloc_model.glibc ~duration:1.0);
+  let wrmem = Guest.Alloc_model.streamflow ~release_period:15e-6 in
+  Alcotest.(check int) "wrmem over 15us" 1 (Guest.Alloc_model.releases_in wrmem ~duration:15e-6);
+  Alcotest.(check int) "wrmem over 1s" 66666 (Guest.Alloc_model.releases_in wrmem ~duration:1.0);
+  Alcotest.(check int) "scalloc never" 0 (Guest.Alloc_model.releases_in Guest.Alloc_model.scalloc ~duration:100.0)
+
+(* ------------------------------- process --------------------------- *)
+
+let test_process_touch_and_free () =
+  let pool = Guest.Pfn_pool.create ~frames:32 () in
+  let p = Guest.Process.create ~pid:1 ~vframes:16 ~pool in
+  for vfn = 0 to 7 do
+    match Guest.Process.touch p vfn with
+    | Some _ -> ()
+    | None -> Alcotest.fail "touch failed"
+  done;
+  Alcotest.(check int) "8 resident" 8 (Guest.Process.resident p);
+  Alcotest.(check int) "8 allocated in pool" 8 (Guest.Pfn_pool.allocated pool);
+  let released = Guest.Process.free_range p ~first:0 ~count:4 in
+  Alcotest.(check int) "4 released" 4 released;
+  Alcotest.(check int) "4 resident" 4 (Guest.Process.resident p);
+  Alcotest.(check int) "4 in pool" 4 (Guest.Pfn_pool.allocated pool)
+
+let test_process_reuse_after_free () =
+  (* The Figure-4 pattern: a page moves from one virtual address to
+     another through the free list, invisibly to any hypervisor. *)
+  let pool = Guest.Pfn_pool.create ~frames:4 () in
+  let p = Guest.Process.create ~pid:1 ~vframes:8 ~pool in
+  let pfn0 = match Guest.Process.touch p 0 with Some x -> x | None -> -1 in
+  ignore (Guest.Process.free_range p ~first:0 ~count:1);
+  let pfn1 = match Guest.Process.touch p 5 with Some x -> x | None -> -1 in
+  Alcotest.(check int) "same physical frame recycled" pfn0 pfn1
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "guest.gpt",
+      [
+        Alcotest.test_case "lazy allocation" `Quick test_gpt_lazy;
+        Alcotest.test_case "map/unmap" `Quick test_gpt_map_unmap;
+        Alcotest.test_case "alloc failure" `Quick test_gpt_alloc_failure;
+      ] );
+    ( "guest.pfn_pool",
+      [
+        Alcotest.test_case "lifo recycling" `Quick test_pool_lifo_recycling;
+        Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
+        Alcotest.test_case "double release" `Quick test_pool_double_release;
+        Alcotest.test_case "release fresh rejected" `Quick test_pool_release_fresh_rejected;
+        Alcotest.test_case "hooks fire" `Quick test_pool_hooks_fire;
+        Alcotest.test_case "first_fresh offset" `Quick test_pool_first_fresh;
+      ] );
+    ( "guest.pv_queue",
+      [
+        Alcotest.test_case "partition_of" `Quick test_queue_partition_of;
+        Alcotest.test_case "flush on capacity" `Quick test_queue_flush_on_capacity;
+        Alcotest.test_case "partition isolation" `Quick test_queue_partition_isolation;
+        Alcotest.test_case "flush_all" `Quick test_queue_flush_all;
+        Alcotest.test_case "most recent op wins" `Quick test_queue_replay_most_recent_wins;
+        qcheck prop_queue_replay_visits_each_page_once;
+        qcheck prop_queue_replay_matches_final_state;
+      ] );
+    ( "guest.sync",
+      [
+        Alcotest.test_case "mcs basic" `Quick test_mcs_basic;
+        Alcotest.test_case "mcs errors" `Quick test_mcs_errors;
+        Alcotest.test_case "wait costs" `Quick test_sync_costs;
+        qcheck prop_mcs_fifo;
+      ] );
+    ("guest.alloc_model", [ Alcotest.test_case "release rates" `Quick test_alloc_model ]);
+    ( "guest.process",
+      [
+        Alcotest.test_case "touch and free" `Quick test_process_touch_and_free;
+        Alcotest.test_case "figure-4 reuse" `Quick test_process_reuse_after_free;
+      ] );
+  ]

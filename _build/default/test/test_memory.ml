@@ -1,0 +1,249 @@
+(* Tests for the memory library: page constants, buddy allocator,
+   machine memory. *)
+
+(* ------------------------------- page ----------------------------- *)
+
+let test_page_constants () =
+  Alcotest.(check int) "4k" 4096 Memory.Page.size_4k;
+  Alcotest.(check int) "2m frames" 512 Memory.Page.frames_per_2m;
+  Alcotest.(check int) "1g frames" 262144 Memory.Page.frames_per_1g;
+  Alcotest.(check int) "2m order" 9 Memory.Page.order_2m;
+  Alcotest.(check int) "1g order" 18 Memory.Page.order_1g;
+  Alcotest.(check int) "frames of 1 byte" 1 (Memory.Page.frames_of_bytes ~bytes:1);
+  Alcotest.(check int) "frames of 4096" 1 (Memory.Page.frames_of_bytes ~bytes:4096);
+  Alcotest.(check int) "frames of 4097" 2 (Memory.Page.frames_of_bytes ~bytes:4097)
+
+(* ------------------------------- buddy ---------------------------- *)
+
+let test_buddy_exhausts_exactly () =
+  let b = Memory.Buddy.create ~base:0 ~frames:16 in
+  Alcotest.(check int) "16 free" 16 (Memory.Buddy.free_frames b);
+  let blocks = ref [] in
+  let rec drain () =
+    match Memory.Buddy.alloc b ~order:0 with
+    | Some f ->
+        blocks := f :: !blocks;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "16 allocated" 16 (List.length !blocks);
+  Alcotest.(check int) "none free" 0 (Memory.Buddy.free_frames b);
+  (* All distinct and in range. *)
+  let sorted = List.sort_uniq compare !blocks in
+  Alcotest.(check int) "distinct" 16 (List.length sorted);
+  List.iter (fun f -> Alcotest.(check bool) "in range" true (f >= 0 && f < 16)) sorted
+
+let test_buddy_split_and_coalesce () =
+  let b = Memory.Buddy.create ~base:0 ~frames:16 in
+  let f0 = match Memory.Buddy.alloc b ~order:0 with Some f -> f | None -> -1 in
+  Alcotest.(check (option int)) "largest after split" (Some 3) (Memory.Buddy.largest_free_order b);
+  Memory.Buddy.free b ~base:f0 ~order:0;
+  Alcotest.(check (option int)) "coalesced back" (Some 4) (Memory.Buddy.largest_free_order b);
+  Alcotest.(check int) "all free" 16 (Memory.Buddy.free_frames b)
+
+let test_buddy_alloc_alignment () =
+  let b = Memory.Buddy.create ~base:0 ~frames:1024 in
+  for order = 0 to 6 do
+    match Memory.Buddy.alloc b ~order with
+    | Some f ->
+        Alcotest.(check int) (Printf.sprintf "order %d aligned" order) 0 (f mod (1 lsl order))
+    | None -> Alcotest.fail "allocation failed"
+  done
+
+let test_buddy_double_free_detected () =
+  let b = Memory.Buddy.create ~base:0 ~frames:16 in
+  (match Memory.Buddy.alloc b ~order:2 with
+  | Some f ->
+      Memory.Buddy.free b ~base:f ~order:2;
+      Alcotest.check_raises "double free" (Invalid_argument "Buddy.free: double free")
+        (fun () -> Memory.Buddy.free b ~base:f ~order:2)
+  | None -> Alcotest.fail "alloc failed")
+
+let test_buddy_out_of_range_free () =
+  let b = Memory.Buddy.create ~base:0 ~frames:16 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Buddy.free: block out of range")
+    (fun () -> Memory.Buddy.free b ~base:100 ~order:0)
+
+let test_buddy_non_power_of_two () =
+  let b = Memory.Buddy.create ~base:0 ~frames:100 in
+  Alcotest.(check int) "100 free" 100 (Memory.Buddy.free_frames b);
+  (* Largest aligned block inside 100 frames is 64. *)
+  Alcotest.(check (option int)) "largest order 6" (Some 6) (Memory.Buddy.largest_free_order b)
+
+let test_buddy_nonzero_base () =
+  let b = Memory.Buddy.create ~base:4096 ~frames:256 in
+  (match Memory.Buddy.alloc b ~order:8 with
+  | Some f -> Alcotest.(check int) "whole range" 4096 f
+  | None -> Alcotest.fail "alloc failed");
+  Alcotest.(check (option int)) "empty" None (Memory.Buddy.alloc b ~order:0)
+
+let test_buddy_reserve () =
+  let b = Memory.Buddy.create ~base:0 ~frames:64 in
+  let reserved = Memory.Buddy.reserve b ~base:10 ~frames:10 in
+  Alcotest.(check int) "10 reserved" 10 reserved;
+  Alcotest.(check int) "54 free" 54 (Memory.Buddy.free_frames b);
+  (* The hole is never handed out. *)
+  let rec drain acc =
+    match Memory.Buddy.alloc b ~order:0 with Some f -> drain (f :: acc) | None -> acc
+  in
+  let all = drain [] in
+  Alcotest.(check int) "54 allocatable" 54 (List.length all);
+  List.iter
+    (fun f -> if f >= 10 && f < 20 then Alcotest.failf "hole frame %d handed out" f)
+    all
+
+let test_buddy_fragmentation_fallback () =
+  let b = Memory.Buddy.create ~base:0 ~frames:256 in
+  (* Fragment: allocate every other order-0 block of the first 128. *)
+  let held = ref [] in
+  for _ = 1 to 64 do
+    match Memory.Buddy.alloc b ~order:1 with
+    | Some f ->
+        (* keep the low half, free the high half: fragments order-1 space *)
+        Memory.Buddy.split_allocation b ~base:f ~order:1;
+        Memory.Buddy.free b ~base:(f + 1) ~order:0;
+        held := f :: !held
+    | None -> Alcotest.fail "alloc failed"
+  done;
+  Alcotest.(check (option int)) "big blocks left" (Some 7) (Memory.Buddy.largest_free_order b);
+  Alcotest.(check bool) "order 7 alloc still works" true
+    (Memory.Buddy.alloc b ~order:7 <> None);
+  Alcotest.(check (option int)) "no more big blocks" None (Memory.Buddy.alloc b ~order:7)
+
+(* qcheck: random alloc/free traces conserve frames and never overlap *)
+let prop_buddy_trace =
+  QCheck.Test.make ~name:"buddy conserves frames under random traces" ~count:100
+    QCheck.(pair int (list_of_size (Gen.int_range 1 200) (int_range 0 4)))
+    (fun (seed, orders) ->
+      let b = Memory.Buddy.create ~base:0 ~frames:1024 in
+      let rng = Sim.Rng.create ~seed in
+      let held = ref [] in
+      List.iter
+        (fun order ->
+          if Sim.Rng.bool rng || !held = [] then begin
+            match Memory.Buddy.alloc b ~order with
+            | Some f -> held := (f, order) :: !held
+            | None -> ()
+          end
+          else begin
+            match !held with
+            | (f, o) :: rest ->
+                Memory.Buddy.free b ~base:f ~order:o;
+                held := rest
+            | [] -> ()
+          end)
+        orders;
+      let held_frames = List.fold_left (fun acc (_, o) -> acc + (1 lsl o)) 0 !held in
+      Memory.Buddy.free_frames b + held_frames = 1024)
+
+let prop_buddy_full_free_coalesces =
+  QCheck.Test.make ~name:"freeing everything restores one max block" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 0 3))
+    (fun orders ->
+      let b = Memory.Buddy.create ~base:0 ~frames:256 in
+      let held =
+        List.filter_map
+          (fun order ->
+            match Memory.Buddy.alloc b ~order with Some f -> Some (f, order) | None -> None)
+          orders
+      in
+      List.iter (fun (f, o) -> Memory.Buddy.free b ~base:f ~order:o) held;
+      Memory.Buddy.free_frames b = 256 && Memory.Buddy.largest_free_order b = Some 8)
+
+(* ------------------------------ machine --------------------------- *)
+
+let machine ?(page_scale = 1) () = Memory.Machine.create ~page_scale (Numa.Amd48.topology ())
+
+let test_machine_layout () =
+  let m = machine () in
+  Alcotest.(check int) "frames/node" (16 * 1024 * 1024 * 1024 / 4096) (Memory.Machine.frames_per_node m);
+  Alcotest.(check int) "frame bytes" 4096 (Memory.Machine.frame_bytes m);
+  Alcotest.(check int) "node of frame 0" 0 (Memory.Machine.node_of_mfn m 0);
+  let fpn = Memory.Machine.frames_per_node m in
+  Alcotest.(check int) "node of frame fpn" 1 (Memory.Machine.node_of_mfn m fpn);
+  Alcotest.(check int) "node of last" 7 (Memory.Machine.node_of_mfn m ((8 * fpn) - 1))
+
+let test_machine_alloc_on_node () =
+  let m = machine () in
+  (match Memory.Machine.alloc_frame m ~node:3 with
+  | Some mfn -> Alcotest.(check int) "frame from node 3" 3 (Memory.Machine.node_of_mfn m mfn)
+  | None -> Alcotest.fail "alloc failed");
+  Alcotest.(check int) "one frame used"
+    (Memory.Machine.frames_per_node m - 1)
+    (Memory.Machine.free_frames_on m 3)
+
+let test_machine_fallback () =
+  let m = Memory.Machine.create ~page_scale:262144 (Numa.Amd48.topology ()) in
+  (* 1 GiB scaled frames: 16 per node.  Exhaust node 0 and watch the
+     fallback round-robin spill (Section 3.1). *)
+  for _ = 1 to 16 do
+    match Memory.Machine.alloc_frame m ~node:0 with
+    | Some _ -> ()
+    | None -> Alcotest.fail "node 0 should have frames"
+  done;
+  Alcotest.(check int) "node 0 empty" 0 (Memory.Machine.free_frames_on m 0);
+  match Memory.Machine.alloc_frame_fallback m ~prefer:0 with
+  | Some mfn ->
+      Alcotest.(check bool) "spilled to another node" true (Memory.Machine.node_of_mfn m mfn <> 0)
+  | None -> Alcotest.fail "fallback failed"
+
+let test_machine_scaled_orders () =
+  let m = machine ~page_scale:256 () in
+  Alcotest.(check int) "frame bytes 1 MiB" (1024 * 1024) (Memory.Machine.frame_bytes m);
+  Alcotest.(check int) "1g order scaled" 10 (Memory.Machine.order_1g m);
+  Alcotest.(check int) "2m order scaled" 1 (Memory.Machine.order_2m m);
+  Alcotest.(check int) "order of 3 MiB" 2 (Memory.Machine.order_of_bytes m ~bytes:(3 * 1024 * 1024))
+
+let test_machine_free_respects_node () =
+  let m = machine () in
+  match Memory.Machine.alloc_on m ~node:2 ~order:4 with
+  | Some mfn ->
+      Memory.Machine.free m ~mfn ~order:4;
+      Alcotest.(check int) "all back" (Memory.Machine.frames_per_node m)
+        (Memory.Machine.free_frames_on m 2)
+  | None -> Alcotest.fail "alloc failed"
+
+let test_machine_used_per_node () =
+  let m = machine () in
+  ignore (Memory.Machine.alloc_frame m ~node:1);
+  ignore (Memory.Machine.alloc_frame m ~node:1);
+  ignore (Memory.Machine.alloc_frame m ~node:6);
+  let used = Memory.Machine.used_frames_per_node m in
+  Alcotest.(check int) "node 1" 2 used.(1);
+  Alcotest.(check int) "node 6" 1 used.(6);
+  Alcotest.(check int) "node 0" 0 used.(0)
+
+let test_machine_rejects_bad_scale () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Machine.create: page_scale must be a positive power of two") (fun () ->
+      ignore (Memory.Machine.create ~page_scale:3 (Numa.Amd48.topology ())))
+
+let suite =
+  [
+    ("memory.page", [ Alcotest.test_case "constants" `Quick test_page_constants ]);
+    ( "memory.buddy",
+      [
+        Alcotest.test_case "exhausts exactly" `Quick test_buddy_exhausts_exactly;
+        Alcotest.test_case "split and coalesce" `Quick test_buddy_split_and_coalesce;
+        Alcotest.test_case "alignment" `Quick test_buddy_alloc_alignment;
+        Alcotest.test_case "double free" `Quick test_buddy_double_free_detected;
+        Alcotest.test_case "out of range free" `Quick test_buddy_out_of_range_free;
+        Alcotest.test_case "non power of two size" `Quick test_buddy_non_power_of_two;
+        Alcotest.test_case "nonzero base" `Quick test_buddy_nonzero_base;
+        Alcotest.test_case "reserve hole" `Quick test_buddy_reserve;
+        Alcotest.test_case "fragmentation fallback" `Quick test_buddy_fragmentation_fallback;
+        QCheck_alcotest.to_alcotest prop_buddy_trace;
+        QCheck_alcotest.to_alcotest prop_buddy_full_free_coalesces;
+      ] );
+    ( "memory.machine",
+      [
+        Alcotest.test_case "layout" `Quick test_machine_layout;
+        Alcotest.test_case "alloc on node" `Quick test_machine_alloc_on_node;
+        Alcotest.test_case "first-touch fallback" `Quick test_machine_fallback;
+        Alcotest.test_case "scaled orders" `Quick test_machine_scaled_orders;
+        Alcotest.test_case "free returns to node" `Quick test_machine_free_respects_node;
+        Alcotest.test_case "used per node" `Quick test_machine_used_per_node;
+        Alcotest.test_case "rejects bad scale" `Quick test_machine_rejects_bad_scale;
+      ] );
+  ]

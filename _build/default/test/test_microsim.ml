@@ -1,0 +1,99 @@
+(* Tests for the request-level memory-system simulator. *)
+
+let topo = Numa.Amd48.topology ()
+
+let cycles ns = ns *. Numa.Amd48.freq_hz /. 1e9
+
+let within msg expected actual tolerance_pct =
+  let tol = expected *. tolerance_pct /. 100.0 in
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.0f +/- %.0f%%, got %.0f" msg expected tolerance_pct actual
+
+let test_idle_latencies_match_table3 () =
+  List.iter
+    (fun (hops, expected) ->
+      let r = Microsim.Memsim.latency_probe ~topo ~threads:1 ~hops () in
+      within
+        (Printf.sprintf "idle %d hops" hops)
+        expected
+        (cycles r.Microsim.Memsim.mean_latency_ns)
+        8.0)
+    [ (0, 156.0); (1, 276.0); (2, 383.0) ]
+
+let test_contended_latencies_match_table3 () =
+  List.iter
+    (fun (hops, expected) ->
+      let r = Microsim.Memsim.latency_probe ~topo ~threads:48 ~hops () in
+      within
+        (Printf.sprintf "contended %d hops" hops)
+        expected
+        (cycles r.Microsim.Memsim.mean_latency_ns)
+        12.0)
+    [ (0, 697.0); (1, 740.0); (2, 863.0) ]
+
+let test_contention_inflates_latency () =
+  let idle = Microsim.Memsim.latency_probe ~topo ~threads:1 ~hops:0 () in
+  let loaded = Microsim.Memsim.latency_probe ~topo ~threads:48 ~hops:0 () in
+  Alcotest.(check bool) "48 threads much slower" true
+    (loaded.Microsim.Memsim.mean_latency_ns > 3.0 *. idle.Microsim.Memsim.mean_latency_ns)
+
+let test_latency_monotone_in_hops () =
+  let lat hops =
+    (Microsim.Memsim.latency_probe ~topo ~threads:1 ~hops ()).Microsim.Memsim.mean_latency_ns
+  in
+  let l0 = lat 0 and l1 = lat 1 and l2 = lat 2 in
+  Alcotest.(check bool) "0 < 1 < 2 hops" true (l0 < l1 && l1 < l2)
+
+let test_bandwidth_saturates () =
+  (* More parallelism cannot push a controller past its bank pool. *)
+  let t1 = Microsim.Memsim.bandwidth_probe ~topo ~threads:1 ~window:1 () in
+  let t8 = Microsim.Memsim.bandwidth_probe ~topo ~threads:6 ~window:8 () in
+  let t16 = Microsim.Memsim.bandwidth_probe ~topo ~threads:6 ~window:16 () in
+  Alcotest.(check bool) "parallelism helps" true
+    (t8.Microsim.Memsim.throughput_gib_s > 3.0 *. t1.Microsim.Memsim.throughput_gib_s);
+  within "saturation plateau" t8.Microsim.Memsim.throughput_gib_s
+    t16.Microsim.Memsim.throughput_gib_s 10.0
+
+let test_efficiency_in_range () =
+  let eff = Microsim.Memsim.random_access_efficiency ~topo () in
+  Alcotest.(check bool) "between 50% and 80% of peak" true (eff > 0.5 && eff < 0.8)
+
+let test_deterministic () =
+  let a = Microsim.Memsim.latency_probe ~topo ~threads:48 ~hops:1 () in
+  let b = Microsim.Memsim.latency_probe ~topo ~threads:48 ~hops:1 () in
+  Alcotest.(check (float 1e-9)) "same result" a.Microsim.Memsim.mean_latency_ns
+    b.Microsim.Memsim.mean_latency_ns
+
+let test_request_budget_respected () =
+  let r =
+    Microsim.Memsim.run ~topo ~agents:[ (0, 0); (1, 0) ] ~window:2 ~requests_per_agent:100 ()
+  in
+  Alcotest.(check int) "exactly 200 requests" 200 r.Microsim.Memsim.requests;
+  Alcotest.(check int) "two agent means" 2 (Array.length r.Microsim.Memsim.per_agent_mean_ns)
+
+let test_p95_above_mean_under_load () =
+  let r = Microsim.Memsim.latency_probe ~topo ~threads:48 ~hops:0 () in
+  Alcotest.(check bool) "p95 >= mean" true
+    (r.Microsim.Memsim.p95_latency_ns >= r.Microsim.Memsim.mean_latency_ns *. 0.9)
+
+let test_rejects_bad_args () =
+  Alcotest.check_raises "window 0" (Invalid_argument "Memsim.run: window must be positive")
+    (fun () -> ignore (Microsim.Memsim.run ~topo ~agents:[ (0, 0) ] ~window:0 ~requests_per_agent:1 ()))
+
+let suite =
+  [
+    ( "microsim.memsim",
+      [
+        Alcotest.test_case "idle latencies (Table 3)" `Quick test_idle_latencies_match_table3;
+        Alcotest.test_case "contended latencies (Table 3)" `Slow
+          test_contended_latencies_match_table3;
+        Alcotest.test_case "contention inflates" `Quick test_contention_inflates_latency;
+        Alcotest.test_case "monotone in hops" `Quick test_latency_monotone_in_hops;
+        Alcotest.test_case "bandwidth saturates" `Quick test_bandwidth_saturates;
+        Alcotest.test_case "efficiency range" `Quick test_efficiency_in_range;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "request budget" `Quick test_request_budget_respected;
+        Alcotest.test_case "p95 sane" `Quick test_p95_above_mean_under_load;
+        Alcotest.test_case "bad args" `Quick test_rejects_bad_args;
+      ] );
+  ]

@@ -1,0 +1,595 @@
+(* Tests for the policies library: spec, internal interface, manager
+   (boot placement, external interface), carrefour. *)
+
+(* -------------------------------- spec ----------------------------- *)
+
+let test_spec_names () =
+  Alcotest.(check string) "ft" "first-touch" (Policies.Spec.name Policies.Spec.first_touch);
+  Alcotest.(check string) "ftc" "first-touch/carrefour"
+    (Policies.Spec.name Policies.Spec.first_touch_carrefour);
+  Alcotest.(check string) "r4k" "round-4k" (Policies.Spec.name Policies.Spec.round_4k);
+  Alcotest.(check string) "r1g" "round-1g" (Policies.Spec.name Policies.Spec.round_1g)
+
+let test_spec_parse () =
+  let ok s expected =
+    match Policies.Spec.of_string s with
+    | Ok p -> Alcotest.(check bool) s true (Policies.Spec.equal p expected)
+    | Error m -> Alcotest.fail m
+  in
+  ok "first-touch" Policies.Spec.first_touch;
+  ok "ft" Policies.Spec.first_touch;
+  ok "FT/carrefour" Policies.Spec.first_touch_carrefour;
+  ok "round-4k+carrefour" Policies.Spec.round_4k_carrefour;
+  ok "interleave" Policies.Spec.round_4k;
+  ok "r1g" Policies.Spec.round_1g;
+  (match Policies.Spec.of_string "round-1g/carrefour" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "r1g+carrefour must be rejected");
+  match Policies.Spec.of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus must be rejected"
+
+let test_spec_runtime_selectable () =
+  Alcotest.(check bool) "ft yes" true (Policies.Spec.runtime_selectable Policies.Spec.first_touch);
+  Alcotest.(check bool) "r1g no (boot only)" false
+    (Policies.Spec.runtime_selectable Policies.Spec.round_1g);
+  Alcotest.(check int) "five specs" 5 (List.length Policies.Spec.all)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Policies.Spec.of_string (Policies.Spec.name spec) with
+      | Ok parsed ->
+          Alcotest.(check bool) (Policies.Spec.name spec) true (Policies.Spec.equal parsed spec)
+      | Error m -> Alcotest.fail m)
+    Policies.Spec.all
+
+(* ------------------------------ internal --------------------------- *)
+
+let small_system () =
+  (* 1 GiB scaled frames: 16 frames per node. *)
+  Xen.System.create ~page_scale:262144 (Numa.Amd48.topology ())
+
+let make_domain ?(vcpus = 6) ?(gib = 4) s =
+  Xen.System.create_domain s ~name:"t" ~kind:Xen.Domain.DomU ~vcpus
+    ~mem_bytes:(gib * 1024 * 1024 * 1024) ()
+
+let test_internal_map_page () =
+  let s = small_system () in
+  let d = make_domain s in
+  (match Policies.Internal.map_page s d ~pfn:0 ~node:3 with
+  | Ok mfn -> Alcotest.(check int) "on node 3" 3 (Memory.Machine.node_of_mfn s.Xen.System.machine mfn)
+  | Error `Enomem -> Alcotest.fail "enomem");
+  match Xen.P2m.get d.Xen.Domain.p2m 0 with
+  | Xen.P2m.Mapped { writable; _ } -> Alcotest.(check bool) "writable" true writable
+  | Xen.P2m.Invalid -> Alcotest.fail "not mapped"
+
+let test_internal_map_replaces_and_frees () =
+  let s = small_system () in
+  let d = make_domain s in
+  let free0 = Memory.Machine.free_frames s.Xen.System.machine in
+  ignore (Policies.Internal.map_page s d ~pfn:0 ~node:1);
+  ignore (Policies.Internal.map_page s d ~pfn:0 ~node:2);
+  (* Remapping freed the first frame: net usage is one frame. *)
+  Alcotest.(check int) "one frame used" (free0 - 1) (Memory.Machine.free_frames s.Xen.System.machine)
+
+let test_internal_migrate () =
+  let s = small_system () in
+  let d = make_domain ~gib:8 s in
+  ignore (Policies.Internal.map_page s d ~pfn:5 ~node:0);
+  (match Policies.Internal.migrate_page s d ~pfn:5 ~node:7 with
+  | Ok mfn -> Alcotest.(check int) "now on 7" 7 (Memory.Machine.node_of_mfn s.Xen.System.machine mfn)
+  | Error _ -> Alcotest.fail "migrate failed");
+  Alcotest.(check (option int)) "node_of_pfn agrees" (Some 7) (Policies.Internal.node_of_pfn s d 5);
+  Alcotest.(check int) "accounted" 1 d.Xen.Domain.account.Xen.Domain.migrated_pages;
+  Alcotest.(check bool) "copy time charged" true
+    (d.Xen.Domain.account.Xen.Domain.migrate_time > 0.0)
+
+let test_internal_migrate_noop_same_node () =
+  let s = small_system () in
+  let d = make_domain s in
+  ignore (Policies.Internal.map_page s d ~pfn:1 ~node:4);
+  (match Policies.Internal.migrate_page s d ~pfn:1 ~node:4 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "noop migrate failed");
+  Alcotest.(check int) "no page copied" 0 d.Xen.Domain.account.Xen.Domain.migrated_pages
+
+let test_internal_migrate_unmapped () =
+  let s = small_system () in
+  let d = make_domain s in
+  match Policies.Internal.migrate_page s d ~pfn:2 ~node:1 with
+  | Error `Not_mapped -> ()
+  | Ok _ | Error `Enomem -> Alcotest.fail "expected Not_mapped"
+
+let test_internal_migrate_preserves_protection () =
+  let s = small_system () in
+  let d = make_domain s in
+  ignore (Policies.Internal.map_page s d ~pfn:3 ~node:0);
+  Xen.P2m.write_protect d.Xen.Domain.p2m 3;
+  ignore (Policies.Internal.migrate_page s d ~pfn:3 ~node:2);
+  match Xen.P2m.get d.Xen.Domain.p2m 3 with
+  | Xen.P2m.Mapped { writable; _ } -> Alcotest.(check bool) "stays read-only" false writable
+  | Xen.P2m.Invalid -> Alcotest.fail "unmapped"
+
+(* ------------------------------- manager --------------------------- *)
+
+let attach ?(boot = Policies.Spec.round_4k) ?(vcpus = 6) ?(gib = 4) s =
+  let d = make_domain ~vcpus ~gib s in
+  let rng = Sim.Rng.create ~seed:1 in
+  (d, Policies.Manager.attach s d ~boot ~rng)
+
+let test_manager_round4k_boot () =
+  let s = small_system () in
+  let d, m = attach s in
+  Alcotest.(check int) "fully populated" d.Xen.Domain.mem_frames
+    (Xen.P2m.mapped_count d.Xen.Domain.p2m);
+  (* Round-robin over home nodes: consecutive pfns on consecutive homes. *)
+  let home = d.Xen.Domain.home_nodes in
+  for pfn = 0 to min 7 (d.Xen.Domain.mem_frames - 1) do
+    Alcotest.(check (option int)) "round robin"
+      (Some home.(pfn mod Array.length home))
+      (Policies.Manager.node_of_pfn m pfn)
+  done
+
+let test_manager_round1g_boot () =
+  let s = Xen.System.create ~page_scale:65536 (Numa.Amd48.topology ()) in
+  (* 256 MiB scaled frames: 4 frames = 1 GiB. *)
+  let d = Xen.System.create_domain s ~name:"r1g" ~kind:Xen.Domain.DomU ~vcpus:6 ~mem_bytes:(6 * 1024 * 1024 * 1024) () in
+  let rng = Sim.Rng.create ~seed:2 in
+  let m = Policies.Manager.attach s d ~boot:Policies.Spec.round_1g ~rng in
+  let stats = Policies.Manager.stats m in
+  Alcotest.(check int) "fully populated" d.Xen.Domain.mem_frames
+    (Xen.P2m.mapped_count d.Xen.Domain.p2m);
+  (* 6 GiB: first and last GiB fragmented, 4 middle 1 GiB regions. *)
+  Alcotest.(check int) "four 1G regions" 4 stats.Policies.Manager.populated_1g;
+  Alcotest.(check bool) "fragmented ends used finer grain" true
+    (stats.Policies.Manager.populated_2m > 0 || stats.Policies.Manager.populated_4k > 0);
+  (* A middle 1 GiB span lives on a single node. *)
+  let n1 = Policies.Manager.node_of_pfn m 4 and n2 = Policies.Manager.node_of_pfn m 5 in
+  Alcotest.(check bool) "1G span on one node" true (n1 = n2)
+
+let test_manager_first_touch_boot_lazy () =
+  let s = small_system () in
+  let d, _m = attach ~boot:Policies.Spec.first_touch s in
+  Alcotest.(check int) "nothing populated" 0 (Xen.P2m.mapped_count d.Xen.Domain.p2m)
+
+let test_manager_first_touch_fault_places_locally () =
+  let s = small_system () in
+  let d, m = attach ~boot:Policies.Spec.first_touch s in
+  (* Fault from a cpu on the second home node. *)
+  let cpu = List.hd (Numa.Topology.cpus_of_node s.Xen.System.topo 1) in
+  Alcotest.(check bool) "fault mapped" true
+    (Xen.Domain.handle_fault d ~costs:s.Xen.System.costs ~pfn:0 ~cpu);
+  Alcotest.(check (option int)) "on toucher's node" (Some 1) (Policies.Manager.node_of_pfn m 0);
+  Alcotest.(check int) "stat" 1 (Policies.Manager.stats m).Policies.Manager.first_touch_maps
+
+let test_manager_set_policy () =
+  let s = small_system () in
+  let d, m = attach s in
+  (match Policies.Manager.set_policy m Policies.Spec.first_touch_carrefour with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "carrefour on" true (Policies.Manager.carrefour m <> None);
+  Alcotest.(check string) "domain label" "first-touch/carrefour" d.Xen.Domain.policy_name;
+  (match Policies.Manager.set_policy m Policies.Spec.round_4k with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "carrefour off" true (Policies.Manager.carrefour m = None);
+  match Policies.Manager.set_policy m Policies.Spec.round_1g with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "round-1g must be boot-only"
+
+let test_manager_page_ops_invalidate () =
+  let s = small_system () in
+  let d, m = attach s in
+  (match Policies.Manager.set_policy m Policies.Spec.first_touch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let free0 = Memory.Machine.free_frames s.Xen.System.machine in
+  let time = Policies.Manager.page_ops_hypercall m [| Guest.Pv_queue.Release 0; Guest.Pv_queue.Release 1 |] in
+  Alcotest.(check bool) "time positive" true (time > 0.0);
+  Alcotest.(check bool) "entries invalid" true (Xen.P2m.get d.Xen.Domain.p2m 0 = Xen.P2m.Invalid);
+  Alcotest.(check int) "frames freed" (free0 + 2) (Memory.Machine.free_frames s.Xen.System.machine);
+  Alcotest.(check int) "stats invalidated" 2 (Policies.Manager.stats m).Policies.Manager.invalidated;
+  (* set_policy charged one hypercall, page_ops a second. *)
+  Alcotest.(check int) "hypercalls accounted" 2 d.Xen.Domain.account.Xen.Domain.hypercall_count
+
+let test_manager_page_ops_reallocated_left () =
+  let s = small_system () in
+  let d, m = attach s in
+  (match Policies.Manager.set_policy m Policies.Spec.first_touch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let node_before = Policies.Manager.node_of_pfn m 2 in
+  ignore
+    (Policies.Manager.page_ops_hypercall m
+       [| Guest.Pv_queue.Release 2; Guest.Pv_queue.Alloc 2 |]);
+  Alcotest.(check (option int)) "left on its node" node_before (Policies.Manager.node_of_pfn m 2);
+  Alcotest.(check bool) "still mapped" true (Xen.P2m.get d.Xen.Domain.p2m 2 <> Xen.P2m.Invalid);
+  Alcotest.(check int) "left_in_place" 1 (Policies.Manager.stats m).Policies.Manager.left_in_place
+
+let test_manager_page_ops_inert_without_first_touch () =
+  let s = small_system () in
+  let d, m = attach s in
+  ignore (Policies.Manager.page_ops_hypercall m [| Guest.Pv_queue.Release 0 |]);
+  Alcotest.(check bool) "entry survives under round-4k" true
+    (Xen.P2m.get d.Xen.Domain.p2m 0 <> Xen.P2m.Invalid)
+
+let test_manager_release_free_pages_batches () =
+  let s = small_system () in
+  let d, m = attach s in
+  (match Policies.Manager.set_policy m Policies.Spec.first_touch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let pfns = List.init d.Xen.Domain.mem_frames (fun i -> i) in
+  let time = Policies.Manager.release_free_pages m pfns in
+  Alcotest.(check bool) "positive time" true (time > 0.0);
+  Alcotest.(check int) "all invalidated" 0 (Xen.P2m.mapped_count d.Xen.Domain.p2m)
+
+(* ------------------------------ carrefour -------------------------- *)
+
+let metrics ~controller_util ~max_link_util ~hot =
+  {
+    Policies.Carrefour.System_component.controller_util;
+    max_link_util;
+    imbalance = Sim.Stats.relative_stddev controller_util;
+    hot_pages = hot;
+  }
+
+let hot_page ?(read_fraction = 0.5) pfn ~node ~count =
+  let node_accesses = Array.make 8 0.0 in
+  node_accesses.(node) <- count;
+  { Policies.Carrefour.pfn; node_accesses; read_fraction }
+
+let config = Policies.Carrefour.User_component.default_config
+
+let test_carrefour_interleave_on_overload () =
+  let rng = Sim.Rng.create ~seed:1 in
+  let hot = List.init 10 (fun i -> hot_page i ~node:0 ~count:100.0) in
+  let controller_util = [| 0.9; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05 |] in
+  let m = metrics ~controller_util ~max_link_util:0.0 ~hot in
+  let actions =
+    Policies.Carrefour.User_component.decide config ~rng ~metrics:m ~current_node:(fun _ -> Some 0)
+  in
+  Alcotest.(check int) "all hot pages moved" 10 (List.length actions);
+  List.iter
+    (fun (a : Policies.Carrefour.User_component.action) ->
+      Alcotest.(check bool) "interleave reason" true
+        (a.Policies.Carrefour.User_component.reason = Policies.Carrefour.User_component.Interleave);
+      Alcotest.(check bool) "to an underloaded node" true
+        (a.Policies.Carrefour.User_component.dest <> 0))
+    actions
+
+let test_carrefour_locality_on_saturation () =
+  let rng = Sim.Rng.create ~seed:2 in
+  (* Page 3 accessed only from node 5, currently on node 0. *)
+  let hot = [ hot_page 3 ~node:5 ~count:50.0 ] in
+  let m = metrics ~controller_util:(Array.make 8 0.2) ~max_link_util:0.9 ~hot in
+  let actions =
+    Policies.Carrefour.User_component.decide config ~rng ~metrics:m ~current_node:(fun _ -> Some 0)
+  in
+  match actions with
+  | [ a ] ->
+      Alcotest.(check int) "to the accessing node" 5 a.Policies.Carrefour.User_component.dest;
+      Alcotest.(check bool) "locality reason" true
+        (a.Policies.Carrefour.User_component.reason = Policies.Carrefour.User_component.Locality)
+  | _ -> Alcotest.failf "expected one action, got %d" (List.length actions)
+
+let test_carrefour_idle_no_actions () =
+  let rng = Sim.Rng.create ~seed:3 in
+  let hot = [ hot_page 1 ~node:2 ~count:1000.0 ] in
+  let m = metrics ~controller_util:(Array.make 8 0.2) ~max_link_util:0.05 ~hot in
+  Alcotest.(check int) "nothing to do" 0
+    (List.length
+       (Policies.Carrefour.User_component.decide config ~rng ~metrics:m
+          ~current_node:(fun _ -> Some 0)))
+
+let test_carrefour_respects_budget () =
+  let rng = Sim.Rng.create ~seed:4 in
+  let hot = List.init 100 (fun i -> hot_page i ~node:0 ~count:100.0) in
+  let controller_util = [| 0.9; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05 |] in
+  let m = metrics ~controller_util ~max_link_util:0.0 ~hot in
+  let tight = { config with Policies.Carrefour.User_component.migration_budget = 7 } in
+  Alcotest.(check int) "budget capped" 7
+    (List.length
+       (Policies.Carrefour.User_component.decide tight ~rng ~metrics:m
+          ~current_node:(fun _ -> Some 0)))
+
+let test_carrefour_min_accesses_filter () =
+  let rng = Sim.Rng.create ~seed:5 in
+  let hot = [ hot_page 1 ~node:0 ~count:0.5 ] in
+  let controller_util = [| 0.9; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05 |] in
+  let m = metrics ~controller_util ~max_link_util:0.9 ~hot in
+  Alcotest.(check int) "cold page ignored" 0
+    (List.length
+       (Policies.Carrefour.User_component.decide config ~rng ~metrics:m
+          ~current_node:(fun _ -> Some 0)))
+
+let test_carrefour_system_decay () =
+  let s = small_system () in
+  let d, _m = attach s in
+  let sys = Policies.Carrefour.System_component.create s d in
+  Policies.Carrefour.System_component.record_samples sys [ hot_page 0 ~node:1 ~count:4.0 ];
+  Alcotest.(check int) "tracked" 1 (Policies.Carrefour.System_component.tracked_pages sys);
+  (* Heat halves every epoch: after a few silent epochs the page drops
+     below 1 and is forgotten. *)
+  for _ = 1 to 4 do
+    Policies.Carrefour.System_component.record_samples sys []
+  done;
+  Alcotest.(check int) "forgotten" 0 (Policies.Carrefour.System_component.tracked_pages sys)
+
+let test_carrefour_end_to_end_migration () =
+  let s = small_system () in
+  let d, m = attach s in
+  (match Policies.Manager.set_policy m Policies.Spec.round_4k_carrefour with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let counters = Numa.Counters.create s.Xen.System.topo in
+  (* Saturate node of pfn 0 and feed a single-remote-node hot page. *)
+  let victim_node =
+    match Policies.Manager.node_of_pfn m 0 with Some n -> n | None -> Alcotest.fail "pfn 0 unmapped"
+  in
+  let gib = 1024.0 *. 1024.0 *. 1024.0 in
+  Numa.Counters.record_accesses counters ~src:victim_node ~dst:victim_node
+    ~count:(13.0 *. gib /. 64.0) ~bytes_per_access:64.0;
+  Numa.Counters.end_epoch counters ~duration:1.0;
+  let remote = (victim_node + 1) mod 8 in
+  let sample = hot_page 0 ~node:remote ~count:1000.0 in
+  (match Policies.Manager.carrefour_epoch m ~counters ~samples:[ sample ] with
+  | Some report ->
+      Alcotest.(check bool) "some migration happened" true
+        (report.Policies.Carrefour.interleave_migrations
+         + report.Policies.Carrefour.locality_migrations
+         > 0)
+  | None -> Alcotest.fail "carrefour should be active");
+  Alcotest.(check bool) "page moved off the hot node" true
+    (Policies.Manager.node_of_pfn m 0 <> Some victim_node);
+  Alcotest.(check bool) "migration accounted" true
+    (d.Xen.Domain.account.Xen.Domain.migrated_pages > 0)
+
+let test_carrefour_replication_mechanics () =
+  let s = small_system () in
+  let d, _m = attach s in
+  let sys = Policies.Carrefour.System_component.create s d in
+  let free0 = Memory.Machine.free_frames s.Xen.System.machine in
+  Alcotest.(check bool) "replicate" true (Policies.Carrefour.System_component.replicate sys ~pfn:0);
+  Alcotest.(check bool) "marked" true (Policies.Carrefour.System_component.is_replicated sys 0);
+  (* One replica frame per other node is really held. *)
+  Alcotest.(check int) "7 frames held" (free0 - 7) (Memory.Machine.free_frames s.Xen.System.machine);
+  Alcotest.(check bool) "double replicate refused" false
+    (Policies.Carrefour.System_component.replicate sys ~pfn:0);
+  Alcotest.(check bool) "copy cost charged" true
+    (d.Xen.Domain.account.Xen.Domain.migrate_time > 0.0);
+  Policies.Carrefour.System_component.collapse sys ~pfn:0;
+  Alcotest.(check bool) "collapsed" false (Policies.Carrefour.System_component.is_replicated sys 0);
+  Alcotest.(check int) "frames returned" free0 (Memory.Machine.free_frames s.Xen.System.machine)
+
+let test_carrefour_write_collapses_replica () =
+  let s = small_system () in
+  let d, _m = attach s in
+  let sys = Policies.Carrefour.System_component.create s d in
+  ignore (Policies.Carrefour.System_component.replicate sys ~pfn:1);
+  (* A read-only sample keeps the replicas... *)
+  Policies.Carrefour.System_component.record_samples sys
+    [ hot_page ~read_fraction:1.0 1 ~node:2 ~count:10.0 ];
+  Alcotest.(check bool) "reads keep replicas" true
+    (Policies.Carrefour.System_component.is_replicated sys 1);
+  (* ...but a write invalidates them. *)
+  Policies.Carrefour.System_component.record_samples sys
+    [ hot_page ~read_fraction:0.9 1 ~node:2 ~count:10.0 ];
+  Alcotest.(check bool) "write collapses" false
+    (Policies.Carrefour.System_component.is_replicated sys 1)
+
+let test_carrefour_migrate_collapses_replica () =
+  let s = small_system () in
+  let d, _m = attach s in
+  let sys = Policies.Carrefour.System_component.create s d in
+  ignore (Policies.Carrefour.System_component.replicate sys ~pfn:2);
+  ignore (Policies.Carrefour.System_component.migrate sys ~pfn:2 ~node:5);
+  Alcotest.(check bool) "migration collapses replicas" false
+    (Policies.Carrefour.System_component.is_replicated sys 2)
+
+let replication_config =
+  {
+    config with
+    Policies.Carrefour.User_component.enable_replication = true;
+    replication_read_threshold = 0.95;
+    min_reader_nodes = 3;
+  }
+
+let multi_reader_page ?(read_fraction = 1.0) pfn ~count =
+  { Policies.Carrefour.pfn; node_accesses = Array.make 8 count; read_fraction }
+
+let test_carrefour_replication_decision () =
+  let rng = Sim.Rng.create ~seed:6 in
+  let hot = [ multi_reader_page 4 ~count:50.0 ] in
+  let m = metrics ~controller_util:(Array.make 8 0.2) ~max_link_util:0.9 ~hot in
+  (match
+     Policies.Carrefour.User_component.decide replication_config ~rng ~metrics:m
+       ~current_node:(fun _ -> Some 0)
+   with
+  | [ a ] ->
+      Alcotest.(check bool) "replicate reason" true
+        (a.Policies.Carrefour.User_component.reason = Policies.Carrefour.User_component.Replicate)
+  | actions -> Alcotest.failf "expected one replicate action, got %d" (List.length actions));
+  (* Same page with writes: not a candidate. *)
+  let hot = [ multi_reader_page ~read_fraction:0.7 5 ~count:50.0 ] in
+  let m = metrics ~controller_util:(Array.make 8 0.2) ~max_link_util:0.9 ~hot in
+  let actions =
+    Policies.Carrefour.User_component.decide replication_config ~rng ~metrics:m
+      ~current_node:(fun _ -> Some 0)
+  in
+  Alcotest.(check bool) "written page not replicated" true
+    (List.for_all
+       (fun (a : Policies.Carrefour.User_component.action) ->
+         a.Policies.Carrefour.User_component.reason
+         <> Policies.Carrefour.User_component.Replicate)
+       actions)
+
+let test_carrefour_replication_off_by_default () =
+  let rng = Sim.Rng.create ~seed:7 in
+  let hot = [ multi_reader_page 6 ~count:50.0 ] in
+  let m = metrics ~controller_util:(Array.make 8 0.2) ~max_link_util:0.9 ~hot in
+  Alcotest.(check bool) "default config never replicates" true
+    (List.for_all
+       (fun (a : Policies.Carrefour.User_component.action) ->
+         a.Policies.Carrefour.User_component.reason
+         <> Policies.Carrefour.User_component.Replicate)
+       (Policies.Carrefour.User_component.decide config ~rng ~metrics:m
+          ~current_node:(fun _ -> Some 0)))
+
+let prop_carrefour_actions_within_budget_and_hot =
+  QCheck.Test.make ~name:"carrefour actions subset of hot pages, within budget" ~count:100
+    QCheck.(pair (int_range 1 50) (int_range 1 64))
+    (fun (pages, budget) ->
+      let rng = Sim.Rng.create ~seed:(pages + budget) in
+      let hot = List.init pages (fun i -> hot_page i ~node:0 ~count:100.0) in
+      let controller_util = [| 0.9; 0.1; 0.1; 0.1; 0.1; 0.1; 0.1; 0.1 |] in
+      let m = metrics ~controller_util ~max_link_util:0.9 ~hot in
+      let cfg = { config with Policies.Carrefour.User_component.migration_budget = budget } in
+      let actions =
+        Policies.Carrefour.User_component.decide cfg ~rng ~metrics:m
+          ~current_node:(fun _ -> Some 0)
+      in
+      List.length actions <= budget
+      && List.for_all
+           (fun (a : Policies.Carrefour.User_component.action) ->
+             a.Policies.Carrefour.User_component.pfn < pages)
+           actions)
+
+(* ------------------------- failure injection ------------------------ *)
+
+(* Exhaust one node's 16 one-GiB frames. *)
+let drain_node s node =
+  let rec go acc =
+    match Memory.Machine.alloc_frame s.Xen.System.machine ~node with
+    | Some mfn -> go (mfn :: acc)
+    | None -> acc
+  in
+  go []
+
+let test_failure_migrate_to_full_node () =
+  let s = small_system () in
+  let d = make_domain s in
+  ignore (Policies.Internal.map_page s d ~pfn:0 ~node:0);
+  let held = drain_node s 7 in
+  (match Policies.Internal.migrate_page s d ~pfn:0 ~node:7 with
+  | Error `Enomem -> ()
+  | Ok _ -> Alcotest.fail "migration to a full node must fail"
+  | Error `Not_mapped -> Alcotest.fail "page is mapped");
+  (* The page survives on its original node; nothing leaked. *)
+  Alcotest.(check (option int)) "still on node 0" (Some 0) (Policies.Internal.node_of_pfn s d 0);
+  Alcotest.(check int) "no pages copied" 0 d.Xen.Domain.account.Xen.Domain.migrated_pages;
+  List.iter (fun mfn -> Memory.Machine.free s.Xen.System.machine ~mfn ~order:0) held
+
+let test_failure_map_when_machine_full () =
+  let s = small_system () in
+  let d = make_domain s in
+  let held = List.concat_map (fun node -> drain_node s node) [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  (match Policies.Internal.map_page s d ~pfn:1 ~node:3 with
+  | Error `Enomem -> ()
+  | Ok _ -> Alcotest.fail "map must fail when the machine is full");
+  Alcotest.(check bool) "entry still invalid" true (Xen.P2m.get d.Xen.Domain.p2m 1 = Xen.P2m.Invalid);
+  List.iter (fun mfn -> Memory.Machine.free s.Xen.System.machine ~mfn ~order:0) held
+
+let test_failure_carrefour_reports_failed () =
+  let s = small_system () in
+  let d, m = attach s in
+  (match Policies.Manager.set_policy m Policies.Spec.round_4k_carrefour with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore d;
+  let victim_node =
+    match Policies.Manager.node_of_pfn m 0 with Some n -> n | None -> Alcotest.fail "unmapped"
+  in
+  (* Fill every other node so no migration can find a frame. *)
+  let held =
+    List.concat_map
+      (fun node -> if node = victim_node then [] else drain_node s node)
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let counters = Numa.Counters.create s.Xen.System.topo in
+  let gib = 1024.0 *. 1024.0 *. 1024.0 in
+  Numa.Counters.record_accesses counters ~src:victim_node ~dst:victim_node
+    ~count:(13.0 *. gib /. 64.0) ~bytes_per_access:64.0;
+  Numa.Counters.end_epoch counters ~duration:1.0;
+  (match Policies.Manager.carrefour_epoch m ~counters ~samples:[ hot_page 0 ~node:victim_node ~count:1000.0 ] with
+  | Some report ->
+      Alcotest.(check bool) "failure counted, no crash" true
+        (report.Policies.Carrefour.failed > 0
+        || report.Policies.Carrefour.interleave_migrations
+           + report.Policies.Carrefour.locality_migrations
+           = 0)
+  | None -> Alcotest.fail "carrefour active");
+  List.iter (fun mfn -> Memory.Machine.free s.Xen.System.machine ~mfn ~order:0) held
+
+let test_failure_replicate_leaks_nothing () =
+  let s = small_system () in
+  let d, _m = attach s in
+  let sys = Policies.Carrefour.System_component.create s d in
+  let held = drain_node s 6 in
+  let free0 = Memory.Machine.free_frames s.Xen.System.machine in
+  Alcotest.(check bool) "replicate fails (node 6 full)" false
+    (Policies.Carrefour.System_component.replicate sys ~pfn:0);
+  Alcotest.(check int) "no frames leaked" free0 (Memory.Machine.free_frames s.Xen.System.machine);
+  List.iter (fun mfn -> Memory.Machine.free s.Xen.System.machine ~mfn ~order:0) held
+
+let suite =
+  [
+    ( "policies.failure-injection",
+      [
+        Alcotest.test_case "migrate to full node" `Quick test_failure_migrate_to_full_node;
+        Alcotest.test_case "map when machine full" `Quick test_failure_map_when_machine_full;
+        Alcotest.test_case "carrefour out of memory" `Quick test_failure_carrefour_reports_failed;
+        Alcotest.test_case "replicate leaks nothing" `Quick test_failure_replicate_leaks_nothing;
+      ] );
+    ( "policies.spec",
+      [
+        Alcotest.test_case "names" `Quick test_spec_names;
+        Alcotest.test_case "parse" `Quick test_spec_parse;
+        Alcotest.test_case "runtime selectable" `Quick test_spec_runtime_selectable;
+        Alcotest.test_case "name roundtrip" `Quick test_spec_roundtrip;
+      ] );
+    ( "policies.internal",
+      [
+        Alcotest.test_case "map page" `Quick test_internal_map_page;
+        Alcotest.test_case "map replaces and frees" `Quick test_internal_map_replaces_and_frees;
+        Alcotest.test_case "migrate" `Quick test_internal_migrate;
+        Alcotest.test_case "migrate noop same node" `Quick test_internal_migrate_noop_same_node;
+        Alcotest.test_case "migrate unmapped" `Quick test_internal_migrate_unmapped;
+        Alcotest.test_case "migrate preserves protection" `Quick
+          test_internal_migrate_preserves_protection;
+      ] );
+    ( "policies.manager",
+      [
+        Alcotest.test_case "round-4k boot" `Quick test_manager_round4k_boot;
+        Alcotest.test_case "round-1g boot" `Quick test_manager_round1g_boot;
+        Alcotest.test_case "first-touch boot lazy" `Quick test_manager_first_touch_boot_lazy;
+        Alcotest.test_case "first-touch fault placement" `Quick
+          test_manager_first_touch_fault_places_locally;
+        Alcotest.test_case "set_policy hypercall" `Quick test_manager_set_policy;
+        Alcotest.test_case "page ops invalidate" `Quick test_manager_page_ops_invalidate;
+        Alcotest.test_case "reallocated left in place" `Quick test_manager_page_ops_reallocated_left;
+        Alcotest.test_case "inert without first-touch" `Quick
+          test_manager_page_ops_inert_without_first_touch;
+        Alcotest.test_case "release free pages" `Quick test_manager_release_free_pages_batches;
+      ] );
+    ( "policies.carrefour",
+      [
+        Alcotest.test_case "interleave on overload" `Quick test_carrefour_interleave_on_overload;
+        Alcotest.test_case "locality on saturation" `Quick test_carrefour_locality_on_saturation;
+        Alcotest.test_case "idle does nothing" `Quick test_carrefour_idle_no_actions;
+        Alcotest.test_case "budget" `Quick test_carrefour_respects_budget;
+        Alcotest.test_case "min accesses" `Quick test_carrefour_min_accesses_filter;
+        Alcotest.test_case "heat decay" `Quick test_carrefour_system_decay;
+        Alcotest.test_case "end-to-end migration" `Quick test_carrefour_end_to_end_migration;
+        Alcotest.test_case "replication mechanics" `Quick test_carrefour_replication_mechanics;
+        Alcotest.test_case "write collapses replicas" `Quick test_carrefour_write_collapses_replica;
+        Alcotest.test_case "migrate collapses replicas" `Quick
+          test_carrefour_migrate_collapses_replica;
+        Alcotest.test_case "replication decision" `Quick test_carrefour_replication_decision;
+        Alcotest.test_case "replication off by default" `Quick
+          test_carrefour_replication_off_by_default;
+        QCheck_alcotest.to_alcotest prop_carrefour_actions_within_budget_and_hot;
+      ] );
+  ]

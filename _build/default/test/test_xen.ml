@@ -1,0 +1,409 @@
+(* Tests for the xen library: costs, p2m, domain, system, ipi, pci, dma. *)
+
+let check_us = Alcotest.(check (float 1e-7))
+
+(* ------------------------------- costs ----------------------------- *)
+
+let test_costs_dma_calibration () =
+  (* Section 2.2.2: 4 KiB reads cost 74/307/186 us over the three paths. *)
+  let c = Xen.Costs.default in
+  check_us "native 4k" 74e-6 (Xen.Costs.disk_request c ~path:`Native ~bytes:4096);
+  check_us "pv 4k" 307e-6 (Xen.Costs.disk_request c ~path:`Pv ~bytes:4096);
+  check_us "passthrough 4k" 186e-6 (Xen.Costs.disk_request c ~path:`Passthrough ~bytes:4096)
+
+let test_costs_overhead_amortises () =
+  (* "the larger the amount of bytes read, the lower the overhead". *)
+  let c = Xen.Costs.default in
+  let ratio bytes =
+    Xen.Costs.disk_request c ~path:`Pv ~bytes /. Xen.Costs.disk_request c ~path:`Native ~bytes
+  in
+  Alcotest.(check bool) "4k pv ratio > 1m pv ratio" true (ratio 4096 > ratio (1024 * 1024));
+  Alcotest.(check bool) "1m ratio close to 1" true (ratio (1024 * 1024) < 1.1)
+
+let test_costs_ipi () =
+  let c = Xen.Costs.default in
+  check_us "native ipi" 0.9e-6 c.Xen.Costs.ipi_native;
+  check_us "guest ipi" 10.9e-6 c.Xen.Costs.ipi_guest
+
+(* -------------------------------- p2m ------------------------------ *)
+
+let test_p2m_basic () =
+  let p = Xen.P2m.create ~frames:8 in
+  Alcotest.(check int) "empty" 0 (Xen.P2m.mapped_count p);
+  Alcotest.(check bool) "invalid" true (Xen.P2m.get p 0 = Xen.P2m.Invalid);
+  Xen.P2m.set p 0 ~mfn:42 ~writable:true;
+  (match Xen.P2m.get p 0 with
+  | Xen.P2m.Mapped { mfn; writable } ->
+      Alcotest.(check int) "mfn" 42 mfn;
+      Alcotest.(check bool) "writable" true writable
+  | Xen.P2m.Invalid -> Alcotest.fail "should be mapped");
+  Alcotest.(check int) "one mapped" 1 (Xen.P2m.mapped_count p)
+
+let test_p2m_invalidate () =
+  let p = Xen.P2m.create ~frames:4 in
+  Xen.P2m.set p 2 ~mfn:7 ~writable:false;
+  Alcotest.(check (option int)) "returns old mfn" (Some 7) (Xen.P2m.invalidate p 2);
+  Alcotest.(check (option int)) "already invalid" None (Xen.P2m.invalidate p 2);
+  Alcotest.(check int) "none mapped" 0 (Xen.P2m.mapped_count p)
+
+let test_p2m_write_protect () =
+  let p = Xen.P2m.create ~frames:4 in
+  Xen.P2m.set p 1 ~mfn:9 ~writable:true;
+  Xen.P2m.write_protect p 1;
+  (match Xen.P2m.get p 1 with
+  | Xen.P2m.Mapped { writable; _ } -> Alcotest.(check bool) "read-only" false writable
+  | Xen.P2m.Invalid -> Alcotest.fail "still mapped");
+  (* No-op on invalid entries. *)
+  Xen.P2m.write_protect p 0;
+  Alcotest.(check bool) "entry 0 untouched" true (Xen.P2m.get p 0 = Xen.P2m.Invalid)
+
+let test_p2m_remap_keeps_count () =
+  let p = Xen.P2m.create ~frames:4 in
+  Xen.P2m.set p 0 ~mfn:1 ~writable:true;
+  Xen.P2m.set p 0 ~mfn:2 ~writable:true;
+  Alcotest.(check int) "still one" 1 (Xen.P2m.mapped_count p)
+
+let test_p2m_iteration () =
+  let p = Xen.P2m.create ~frames:8 in
+  Xen.P2m.set p 1 ~mfn:10 ~writable:true;
+  Xen.P2m.set p 5 ~mfn:50 ~writable:true;
+  let pairs = Xen.P2m.fold_mapped p ~init:[] ~f:(fun acc pfn mfn -> (pfn, mfn) :: acc) in
+  Alcotest.(check (list (pair int int))) "fold" [ (5, 50); (1, 10) ] pairs
+
+let test_p2m_bounds () =
+  let p = Xen.P2m.create ~frames:4 in
+  Alcotest.check_raises "out of range" (Invalid_argument "P2m: pfn out of range") (fun () ->
+      ignore (Xen.P2m.get p 4))
+
+let prop_p2m_set_get_roundtrip =
+  QCheck.Test.make ~name:"p2m set/get roundtrip" ~count:300
+    QCheck.(triple (int_range 0 63) (int_range 0 10000) bool)
+    (fun (pfn, mfn, writable) ->
+      let p = Xen.P2m.create ~frames:64 in
+      Xen.P2m.set p pfn ~mfn ~writable;
+      Xen.P2m.get p pfn = Xen.P2m.Mapped { mfn; writable })
+
+(* ------------------------------- system ---------------------------- *)
+
+let make_system ?(page_scale = 262144) () =
+  (* 1 GiB scaled frames by default: tiny tables, fast tests. *)
+  Xen.System.create ~page_scale (Numa.Amd48.topology ())
+
+let test_system_domain_builder_packs () =
+  let s = make_system () in
+  (* 12 vCPUs, 2 GiB: needs ceil(12/6) = 2 nodes. *)
+  let d =
+    Xen.System.create_domain s ~name:"d1" ~kind:Xen.Domain.DomU ~vcpus:12
+      ~mem_bytes:(2 * 1024 * 1024 * 1024) ()
+  in
+  Alcotest.(check (array int)) "2 lowest nodes" [| 0; 1 |] d.Xen.Domain.home_nodes;
+  Alcotest.(check int) "12 vcpus pinned" 12 (Array.length d.Xen.Domain.vcpu_pin);
+  Array.iter
+    (fun pcpu ->
+      let node = Numa.Topology.node_of_cpu s.Xen.System.topo pcpu in
+      Alcotest.(check bool) "pinned to home" true (node = 0 || node = 1))
+    d.Xen.Domain.vcpu_pin
+
+let test_system_domain_memory_bound () =
+  let s = make_system () in
+  (* 40 GiB needs 3 nodes even with 1 vCPU. *)
+  let d =
+    Xen.System.create_domain s ~name:"big" ~kind:Xen.Domain.DomU ~vcpus:1
+      ~mem_bytes:(40 * 1024 * 1024 * 1024) ()
+  in
+  Alcotest.(check int) "3 home nodes" 3 (Array.length d.Xen.Domain.home_nodes)
+
+let test_system_second_domain_avoids_first () =
+  let s = make_system () in
+  let _d1 =
+    Xen.System.create_domain s ~name:"a" ~kind:Xen.Domain.DomU ~vcpus:24
+      ~mem_bytes:(1 lsl 30) ()
+  in
+  let d2 =
+    Xen.System.create_domain s ~name:"b" ~kind:Xen.Domain.DomU ~vcpus:24
+      ~mem_bytes:(1 lsl 30) ()
+  in
+  (* The first domain packed nodes 0-3; the second must land on 4-7. *)
+  Alcotest.(check (array int)) "disjoint homes" [| 4; 5; 6; 7 |] d2.Xen.Domain.home_nodes
+
+let test_system_consolidation_shares () =
+  let s = make_system () in
+  let d1 =
+    Xen.System.create_domain s ~name:"a" ~kind:Xen.Domain.DomU ~vcpus:48
+      ~mem_bytes:(1 lsl 30) ()
+  in
+  let _d2 =
+    Xen.System.create_domain s ~name:"b" ~kind:Xen.Domain.DomU ~vcpus:48
+      ~mem_bytes:(1 lsl 30) ()
+  in
+  (* Every pCPU runs two vCPUs: share is 1/2. *)
+  Alcotest.(check (float 1e-9)) "half share" 0.5 (Xen.System.pcpu_share s d1.Xen.Domain.vcpu_pin.(0))
+
+let test_system_explicit_homes_and_destroy () =
+  let s = make_system () in
+  let d =
+    Xen.System.create_domain s ~name:"pinned" ~kind:Xen.Domain.DomU ~vcpus:6
+      ~mem_bytes:(1 lsl 30) ~home_nodes:[| 5 |] ()
+  in
+  Alcotest.(check (array int)) "forced home" [| 5 |] d.Xen.Domain.home_nodes;
+  let free_before = Memory.Machine.free_frames s.Xen.System.machine in
+  (* Map some memory then destroy: frames must come back. *)
+  (match Memory.Machine.alloc_frame s.Xen.System.machine ~node:5 with
+  | Some mfn -> Xen.P2m.set d.Xen.Domain.p2m 0 ~mfn ~writable:true
+  | None -> Alcotest.fail "alloc failed");
+  Xen.System.destroy_domain s d;
+  Alcotest.(check int) "frames restored" free_before (Memory.Machine.free_frames s.Xen.System.machine);
+  Alcotest.(check bool) "domain gone" true (Xen.System.find_domain s ~id:d.Xen.Domain.id = None)
+
+let test_domain_fault_dispatch () =
+  let s = make_system () in
+  let d =
+    Xen.System.create_domain s ~name:"f" ~kind:Xen.Domain.DomU ~vcpus:1 ~mem_bytes:(1 lsl 30) ()
+  in
+  Alcotest.(check bool) "no handler" false
+    (Xen.Domain.handle_fault d ~costs:s.Xen.System.costs ~pfn:0 ~cpu:0);
+  d.Xen.Domain.fault_handler <-
+    Some (fun pfn ~cpu:_ -> Xen.P2m.set d.Xen.Domain.p2m pfn ~mfn:3 ~writable:true);
+  Alcotest.(check bool) "handler maps" true
+    (Xen.Domain.handle_fault d ~costs:s.Xen.System.costs ~pfn:0 ~cpu:0);
+  Alcotest.(check int) "2 faults accounted" 2 d.Xen.Domain.account.Xen.Domain.fault_count;
+  Alcotest.(check bool) "fault time accrued" true
+    (d.Xen.Domain.account.Xen.Domain.fault_time > 0.0)
+
+(* --------------------------------- ipi ----------------------------- *)
+
+let test_ipi_totals () =
+  check_us "native total (Figure 5)" 0.9e-6 (Xen.Ipi.total Xen.Ipi.Native);
+  check_us "guest total (Figure 5)" 10.9e-6 (Xen.Ipi.total Xen.Ipi.Guest)
+
+let test_ipi_stage_sums () =
+  let native = List.fold_left (fun acc s -> acc +. s.Xen.Ipi.native) 0.0 Xen.Ipi.stages in
+  let guest = List.fold_left (fun acc s -> acc +. s.Xen.Ipi.guest) 0.0 Xen.Ipi.stages in
+  check_us "stages sum native" (Xen.Ipi.total Xen.Ipi.Native) native;
+  check_us "stages sum guest" (Xen.Ipi.total Xen.Ipi.Guest) guest
+
+let test_ipi_account () =
+  let s = make_system () in
+  let d = Xen.System.create_domain s ~name:"i" ~kind:Xen.Domain.DomU ~vcpus:1 ~mem_bytes:(1 lsl 30) () in
+  Xen.Ipi.send d ~costs:s.Xen.System.costs;
+  Alcotest.(check int) "count" 1 d.Xen.Domain.account.Xen.Domain.ipi_count;
+  check_us "time" 10.9e-6 d.Xen.Domain.account.Xen.Domain.ipi_time
+
+(* --------------------------------- pci ----------------------------- *)
+
+let test_pci_bus_granularity () =
+  let s = make_system () in
+  let d1 = Xen.System.create_domain s ~name:"a" ~kind:Xen.Domain.DomU ~vcpus:1 ~mem_bytes:(1 lsl 30) () in
+  let d2 = Xen.System.create_domain s ~name:"b" ~kind:Xen.Domain.DomU ~vcpus:1 ~mem_bytes:(1 lsl 30) () in
+  let pci = Xen.Pci.amd48 () in
+  (match Xen.Pci.assign_bus pci ~bus_id:1 d1 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "d1 has disk passthrough" true
+    (Xen.Pci.domain_has_passthrough pci d1 Xen.Pci.Disk);
+  (* The whole bus is taken: d2 cannot share it. *)
+  (match Xen.Pci.assign_bus pci ~bus_id:1 d2 with
+  | Ok () -> Alcotest.fail "bus sharing must be rejected"
+  | Error _ -> ());
+  (* Re-assignment to the same domain is idempotent. *)
+  (match Xen.Pci.assign_bus pci ~bus_id:1 d1 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Xen.Pci.release_bus pci ~bus_id:1;
+  Alcotest.(check bool) "released" false (Xen.Pci.domain_has_passthrough pci d1 Xen.Pci.Disk)
+
+let test_pci_amd48_buses () =
+  let pci = Xen.Pci.amd48 () in
+  let buses = Xen.Pci.buses pci in
+  Alcotest.(check int) "two buses" 2 (List.length buses);
+  Alcotest.(check (list int)) "on nodes 0 and 6" [ 0; 6 ]
+    (List.map (fun b -> b.Xen.Pci.node) buses)
+
+(* ------------------------------ hypercall --------------------------- *)
+
+let test_hypercall_numbers () =
+  Alcotest.(check int) "set_numa_policy" 48 (Xen.Hypercall.nr Xen.Hypercall.Set_numa_policy);
+  Alcotest.(check int) "page_ops" 49 (Xen.Hypercall.nr Xen.Hypercall.Page_ops);
+  Alcotest.(check int) "carrefour" 50 (Xen.Hypercall.nr Xen.Hypercall.Carrefour_read_metrics);
+  Alcotest.(check int) "three entry points" 3 (List.length Xen.Hypercall.all)
+
+let test_hypercall_accounting () =
+  let t = Xen.Hypercall.create_table () in
+  Xen.Hypercall.record t Xen.Hypercall.Page_ops ~time:1e-6;
+  Xen.Hypercall.record t Xen.Hypercall.Page_ops ~time:2e-6;
+  Xen.Hypercall.record t Xen.Hypercall.Set_numa_policy ~time:5e-7;
+  let ops = Xen.Hypercall.stats t Xen.Hypercall.Page_ops in
+  Alcotest.(check int) "two page_ops" 2 ops.Xen.Hypercall.calls;
+  Alcotest.(check (float 1e-12)) "time summed" 3e-6 ops.Xen.Hypercall.time;
+  Alcotest.(check int) "total" 3 (Xen.Hypercall.total_calls t);
+  Alcotest.(check int) "carrefour untouched" 0
+    (Xen.Hypercall.stats t Xen.Hypercall.Carrefour_read_metrics).Xen.Hypercall.calls
+
+let test_hypercall_table_via_manager () =
+  let s = make_system () in
+  let d = Xen.System.create_domain s ~name:"hc" ~kind:Xen.Domain.DomU ~vcpus:1 ~mem_bytes:(4 * 1024 * 1024 * 1024) () in
+  let rng = Sim.Rng.create ~seed:13 in
+  let m = Policies.Manager.attach s d ~boot:Policies.Spec.round_4k ~rng in
+  (match Policies.Manager.set_policy m Policies.Spec.first_touch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (Policies.Manager.page_ops_hypercall m [| Guest.Pv_queue.Release 0 |]);
+  Alcotest.(check int) "one policy switch recorded" 1
+    (Xen.Hypercall.stats d.Xen.Domain.hypercalls Xen.Hypercall.Set_numa_policy).Xen.Hypercall.calls;
+  Alcotest.(check int) "one page_ops recorded" 1
+    (Xen.Hypercall.stats d.Xen.Domain.hypercalls Xen.Hypercall.Page_ops).Xen.Hypercall.calls
+
+(* ------------------------------- balloon ---------------------------- *)
+
+let test_balloon_inflate_deflate () =
+  let s = make_system () in
+  let d = Xen.System.create_domain s ~name:"b" ~kind:Xen.Domain.DomU ~vcpus:1 ~mem_bytes:(4 * 1024 * 1024 * 1024) () in
+  (* Back a few pages first. *)
+  for pfn = 0 to 3 do
+    ignore (Policies.Internal.map_page s d ~pfn ~node:0)
+  done;
+  let balloon = Xen.Balloon.create s d in
+  let free0 = Memory.Machine.free_frames s.Xen.System.machine in
+  Alcotest.(check int) "2 reclaimed" 2 (Xen.Balloon.inflate balloon ~pfns:[ 0; 1 ]);
+  Alcotest.(check int) "frames back to the heap" (free0 + 2)
+    (Memory.Machine.free_frames s.Xen.System.machine);
+  Alcotest.(check int) "ballooned" 2 (Xen.Balloon.ballooned balloon);
+  (* The guest MUST NOT use a ballooned page — that is why ballooning
+     cannot implement first-touch (Section 4.2.3). *)
+  (match Xen.Balloon.guest_touch balloon 0 with
+  | Error `Ballooned -> ()
+  | Ok () -> Alcotest.fail "ballooned page must not be usable");
+  (match Xen.Balloon.guest_touch balloon 2 with
+  | Ok () -> ()
+  | Error `Ballooned -> Alcotest.fail "page 2 was never ballooned");
+  let back = Xen.Balloon.deflate balloon ~count:2 in
+  Alcotest.(check int) "deflated both" 2 (List.length back);
+  Alcotest.(check int) "balloon empty" 0 (Xen.Balloon.ballooned balloon);
+  List.iter
+    (fun pfn ->
+      Alcotest.(check bool) "repopulated" true (Xen.P2m.get d.Xen.Domain.p2m pfn <> Xen.P2m.Invalid))
+    back
+
+let test_balloon_vs_page_ops_queue () =
+  (* The contrast of Section 4.2.3: a page released through the
+     page-ops queue stays usable (its next touch just faults and is
+     remapped), while a ballooned page is gone until deflation. *)
+  let s = make_system () in
+  let d = Xen.System.create_domain s ~name:"q" ~kind:Xen.Domain.DomU ~vcpus:1 ~mem_bytes:(4 * 1024 * 1024 * 1024) () in
+  let rng = Sim.Rng.create ~seed:9 in
+  let m = Policies.Manager.attach s d ~boot:Policies.Spec.round_4k ~rng in
+  (match Policies.Manager.set_policy m Policies.Spec.first_touch with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (Policies.Manager.page_ops_hypercall m [| Guest.Pv_queue.Release 0 |]);
+  (* Reallocate and touch: the hypervisor fault path restores it. *)
+  Alcotest.(check bool) "touch after queue release works" true
+    (Xen.Domain.handle_fault d ~costs:s.Xen.System.costs ~pfn:0 ~cpu:d.Xen.Domain.vcpu_pin.(0));
+  Alcotest.(check bool) "remapped" true (Xen.P2m.get d.Xen.Domain.p2m 0 <> Xen.P2m.Invalid)
+
+(* --------------------------------- dma ----------------------------- *)
+
+let io_setup () =
+  let s = Xen.System.create ~page_scale:1 (Numa.Amd48.topology ()) in
+  let d = Xen.System.create_domain s ~name:"io" ~kind:Xen.Domain.DomU ~vcpus:1 ~mem_bytes:(16 * 1024 * 1024) () in
+  let rng = Sim.Rng.create ~seed:1 in
+  let manager = Policies.Manager.attach s d ~boot:Policies.Spec.round_4k ~rng in
+  let pci = Xen.Pci.amd48 () in
+  (match Xen.Pci.assign_bus pci ~bus_id:1 d with Ok () -> () | Error m -> failwith m);
+  (s, d, manager, pci)
+
+let test_dma_paths () =
+  let s, d, _m, pci = io_setup () in
+  (match Xen.Dma.read s d ~pci ~path:Xen.Dma.Native ~buffer:[] ~bytes:4096 with
+  | Ok t -> check_us "native" 74e-6 t
+  | Error _ -> Alcotest.fail "native failed");
+  (match Xen.Dma.read s d ~pci ~path:Xen.Dma.Pv ~buffer:[ 0 ] ~bytes:4096 with
+  | Ok t -> check_us "pv" 307e-6 t
+  | Error _ -> Alcotest.fail "pv failed");
+  (match Xen.Dma.read s d ~pci ~path:Xen.Dma.Passthrough ~buffer:[ 0 ] ~bytes:4096 with
+  | Ok t -> check_us "passthrough" 186e-6 t
+  | Error _ -> Alcotest.fail "passthrough failed");
+  Alcotest.(check int) "3 requests accounted" 3 d.Xen.Domain.account.Xen.Domain.io_requests
+
+let test_dma_iommu_fault_on_invalid_entry () =
+  let s, d, manager, pci = io_setup () in
+  (match Policies.Manager.set_policy manager Policies.Spec.first_touch with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  ignore (Policies.Manager.release_free_pages manager [ 5 ]);
+  Alcotest.(check bool) "entry invalidated" true (Xen.P2m.get d.Xen.Domain.p2m 5 = Xen.P2m.Invalid);
+  (match Xen.Dma.read s d ~pci ~path:Xen.Dma.Passthrough ~buffer:[ 4; 5 ] ~bytes:8192 with
+  | Error (Xen.Dma.Iommu_fault { pfn }) -> Alcotest.(check int) "faulting pfn" 5 pfn
+  | Ok _ -> Alcotest.fail "IOMMU must abort on invalid entry"
+  | Error Xen.Dma.No_passthrough_bus -> Alcotest.fail "bus is assigned");
+  (* The pv path recovers synchronously and remaps the page. *)
+  (match Xen.Dma.read s d ~pci ~path:Xen.Dma.Pv ~buffer:[ 4; 5 ] ~bytes:8192 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "pv path must recover");
+  Alcotest.(check bool) "page remapped by pv fault" true
+    (Xen.P2m.get d.Xen.Domain.p2m 5 <> Xen.P2m.Invalid)
+
+let test_dma_requires_bus () =
+  let s = Xen.System.create ~page_scale:1 (Numa.Amd48.topology ()) in
+  let d = Xen.System.create_domain s ~name:"nobus" ~kind:Xen.Domain.DomU ~vcpus:1 ~mem_bytes:(16 * 1024 * 1024) () in
+  let pci = Xen.Pci.amd48 () in
+  match Xen.Dma.read s d ~pci ~path:Xen.Dma.Passthrough ~buffer:[] ~bytes:4096 with
+  | Error Xen.Dma.No_passthrough_bus -> ()
+  | Ok _ | Error _ -> Alcotest.fail "must require a passthrough bus"
+
+let suite =
+  [
+    ( "xen.costs",
+      [
+        Alcotest.test_case "dma calibration" `Quick test_costs_dma_calibration;
+        Alcotest.test_case "overhead amortises" `Quick test_costs_overhead_amortises;
+        Alcotest.test_case "ipi costs" `Quick test_costs_ipi;
+      ] );
+    ( "xen.p2m",
+      [
+        Alcotest.test_case "basic" `Quick test_p2m_basic;
+        Alcotest.test_case "invalidate" `Quick test_p2m_invalidate;
+        Alcotest.test_case "write protect" `Quick test_p2m_write_protect;
+        Alcotest.test_case "remap keeps count" `Quick test_p2m_remap_keeps_count;
+        Alcotest.test_case "iteration" `Quick test_p2m_iteration;
+        Alcotest.test_case "bounds" `Quick test_p2m_bounds;
+        QCheck_alcotest.to_alcotest prop_p2m_set_get_roundtrip;
+      ] );
+    ( "xen.system",
+      [
+        Alcotest.test_case "domain builder packs" `Quick test_system_domain_builder_packs;
+        Alcotest.test_case "memory-bound homes" `Quick test_system_domain_memory_bound;
+        Alcotest.test_case "second domain avoids first" `Quick test_system_second_domain_avoids_first;
+        Alcotest.test_case "consolidation shares" `Quick test_system_consolidation_shares;
+        Alcotest.test_case "explicit homes + destroy" `Quick test_system_explicit_homes_and_destroy;
+        Alcotest.test_case "fault dispatch" `Quick test_domain_fault_dispatch;
+      ] );
+    ( "xen.ipi",
+      [
+        Alcotest.test_case "totals" `Quick test_ipi_totals;
+        Alcotest.test_case "stage sums" `Quick test_ipi_stage_sums;
+        Alcotest.test_case "account" `Quick test_ipi_account;
+      ] );
+    ( "xen.pci",
+      [
+        Alcotest.test_case "bus granularity" `Quick test_pci_bus_granularity;
+        Alcotest.test_case "amd48 buses" `Quick test_pci_amd48_buses;
+      ] );
+    ( "xen.hypercall",
+      [
+        Alcotest.test_case "numbers" `Quick test_hypercall_numbers;
+        Alcotest.test_case "accounting" `Quick test_hypercall_accounting;
+        Alcotest.test_case "manager records" `Quick test_hypercall_table_via_manager;
+      ] );
+    ( "xen.balloon",
+      [
+        Alcotest.test_case "inflate/deflate" `Quick test_balloon_inflate_deflate;
+        Alcotest.test_case "balloon vs page-ops queue" `Quick test_balloon_vs_page_ops_queue;
+      ] );
+    ( "xen.dma",
+      [
+        Alcotest.test_case "three paths" `Quick test_dma_paths;
+        Alcotest.test_case "iommu fault on invalid entry" `Quick test_dma_iommu_fault_on_invalid_entry;
+        Alcotest.test_case "requires bus" `Quick test_dma_requires_bus;
+      ] );
+  ]
