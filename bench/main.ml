@@ -2,7 +2,13 @@
    and runs a bechamel microbenchmark suite over the core mechanisms.
 
    Usage: main.exe [all|tab1|tab2|tab3|tab4|fig1|fig2|fig5|fig6|fig7|
-                    fig8|fig9|fig10|dma|batching|ablation|micro] *)
+                    fig8|fig9|fig10|dma|batching|ablation|micro]
+                   [--jobs N] [--json FILE]
+
+   --jobs N     run the experiment grids on N domains (default:
+                XEN_NUMA_JOBS or the host's recommended domain count)
+   --json FILE  also write per-section wall-clock times and the
+                bechamel per-op medians as machine-readable JSON *)
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
@@ -49,6 +55,26 @@ let bench_route () =
   Bechamel.Staged.stage (fun () ->
       incr i;
       Numa.Topology.route topo (!i land 7) ((!i lsr 3) land 7))
+
+let bench_cpus_of_node_list () =
+  let topo = Numa.Amd48.topology () in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      incr i;
+      ignore (Numa.Topology.cpus_of_node topo (!i land 7)))
+
+let bench_cpus_of_node_array () =
+  let topo = Numa.Amd48.topology () in
+  let i = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      incr i;
+      ignore (Numa.Topology.cpu_array_of_node topo (!i land 7)))
+
+let bench_pool_fanout () =
+  (* Fixed 32-task fan-out over 2 workers: the pool's scheduling
+     overhead per batch, not the tasks' cost. *)
+  let tasks = Array.init 32 (fun i () -> i * i) in
+  Bechamel.Staged.stage (fun () -> ignore (Engine.Pool.run_all ~jobs:2 tasks))
 
 let bench_counters () =
   let counters = Numa.Counters.create (Numa.Amd48.topology ()) in
@@ -110,12 +136,18 @@ let micro_tests =
     Test.make ~name:"pv_queue record(+flush)" (bench_pv_queue ());
     Test.make ~name:"queue replay (256 ops)" (bench_replay ());
     Test.make ~name:"topology route" (bench_route ());
+    Test.make ~name:"cpus_of_node (list)" (bench_cpus_of_node_list ());
+    Test.make ~name:"cpus_of_node (array)" (bench_cpus_of_node_array ());
+    Test.make ~name:"pool fanout 32x2" (bench_pool_fanout ());
     Test.make ~name:"counters record" (bench_counters ());
     Test.make ~name:"carrefour decide (128 hot)" (bench_carrefour_decide ());
     Test.make ~name:"rng zipf 32k" (bench_zipf ());
     Test.make ~name:"eventq schedule+next" (bench_eventq ());
     Test.make ~name:"engine 10-epoch run" (bench_engine_epoch ());
   ]
+
+(* Per-op medians of the last micro run, for the --json report. *)
+let micro_estimates : (string * float) list ref = ref []
 
 let run_micro () =
   section "Microbenchmarks (bechamel)";
@@ -125,6 +157,7 @@ let run_micro () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
+  micro_estimates := [];
   List.iter
     (fun test ->
       List.iter
@@ -132,10 +165,13 @@ let run_micro () =
           let result = Benchmark.run cfg instances elt in
           let estimate = Analyze.one ols Toolkit.Instance.monotonic_clock result in
           match Analyze.OLS.estimates estimate with
-          | Some [ t ] -> Printf.printf "%-28s %12.1f ns/op\n" (Test.Elt.name elt) t
+          | Some [ t ] ->
+              micro_estimates := (Test.Elt.name elt, t) :: !micro_estimates;
+              Printf.printf "%-28s %12.1f ns/op\n" (Test.Elt.name elt) t
           | Some _ | None -> Printf.printf "%-28s (no estimate)\n" (Test.Elt.name elt))
         (Test.elements test))
-    micro_tests
+    micro_tests;
+  micro_estimates := List.rev !micro_estimates
 
 (* ------------------------------------------------------------------ *)
 (* Experiment sections                                                 *)
@@ -174,15 +210,88 @@ let sections : (string * (unit -> unit)) list =
     ("micro", run_micro);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json file ~jobs ~timings ~total =
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write --json output: %s\n" msg;
+      exit 1
+  in
+  let entry (name, seconds) = Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %.3f}" (json_escape name) seconds in
+  let micro (name, ns) = Printf.sprintf "    {\"name\": \"%s\", \"ns_per_op\": %.1f}" (json_escape name) ns in
+  Printf.fprintf oc
+    "{\n\
+    \  \"jobs\": %d,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"total_wall_s\": %.3f,\n\
+    \  \"sections\": [\n%s\n  ],\n\
+    \  \"micro\": [\n%s\n  ]\n\
+     }\n"
+    jobs
+    (Domain.recommended_domain_count ())
+    total
+    (String.concat ",\n" (List.map entry timings))
+    (String.concat ",\n" (List.map micro !micro_estimates));
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
+let usage () =
+  Printf.eprintf "usage: main.exe [sections...] [--jobs N] [--json FILE]\navailable sections: all %s\n"
+    (String.concat " " (List.map fst sections));
+  exit 1
+
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
-  let requested = if requested = [] || requested = [ "all" ] then List.map fst sections else requested in
+  let rec parse (names, jobs, json) = function
+    | [] -> (List.rev names, jobs, json)
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse (names, Some j, json) rest
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 1)
+    | "--json" :: file :: rest -> parse (names, jobs, Some file) rest
+    | ("--jobs" | "--json" | "--help" | "-h") :: _ -> usage ()
+    | name :: rest -> parse (name :: names, jobs, json) rest
+  in
+  let requested, jobs, json = parse ([], None, None) (List.tl (Array.to_list Sys.argv)) in
+  (match jobs with Some n -> Engine.Pool.set_default_jobs n | None -> ());
+  let requested =
+    if requested = [] || requested = [ "all" ] then List.map fst sections else requested
+  in
   List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown section %S; available: %s\n" name
-            (String.concat " " (List.map fst sections));
-          exit 1)
-    requested
+    (fun name -> if not (List.mem_assoc name sections) then usage ())
+    requested;
+  let t_start = Unix.gettimeofday () in
+  let timings =
+    List.map
+      (fun name ->
+        let f = List.assoc name sections in
+        let t0 = Unix.gettimeofday () in
+        f ();
+        (name, Unix.gettimeofday () -. t0))
+      requested
+  in
+  let total = Unix.gettimeofday () -. t_start in
+  Printf.printf "\n%-12s %10s\n" "section" "wall (s)";
+  List.iter (fun (name, dt) -> Printf.printf "%-12s %10.2f\n" name dt) timings;
+  Printf.printf "%-12s %10.2f  (%d jobs)\n" "total" total (Engine.Pool.default_jobs ());
+  match json with
+  | Some file -> write_json file ~jobs:(Engine.Pool.default_jobs ()) ~timings ~total
+  | None -> ()

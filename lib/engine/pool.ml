@@ -1,0 +1,100 @@
+(* A work deque protected by a mutex/condvar pair.  Tasks are pushed
+   up front and workers pop until the deque is closed and empty; the
+   condvar only matters for workers that outrun the producer, which
+   keeps the pool usable for staged task production later. *)
+
+type deque = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tasks : int Queue.t;
+  mutable closed : bool;
+}
+
+let deque_create () =
+  { mutex = Mutex.create (); nonempty = Condition.create (); tasks = Queue.create (); closed = false }
+
+let deque_push dq i =
+  Mutex.lock dq.mutex;
+  Queue.push i dq.tasks;
+  Condition.signal dq.nonempty;
+  Mutex.unlock dq.mutex
+
+let deque_close dq =
+  Mutex.lock dq.mutex;
+  dq.closed <- true;
+  Condition.broadcast dq.nonempty;
+  Mutex.unlock dq.mutex
+
+let deque_pop dq =
+  Mutex.lock dq.mutex;
+  let rec take () =
+    if not (Queue.is_empty dq.tasks) then Some (Queue.pop dq.tasks)
+    else if dq.closed then None
+    else begin
+      Condition.wait dq.nonempty dq.mutex;
+      take ()
+    end
+  in
+  let item = take () in
+  Mutex.unlock dq.mutex;
+  item
+
+(* ------------------------------------------------------------------ *)
+(* Worker count resolution                                             *)
+(* ------------------------------------------------------------------ *)
+
+let available_jobs () =
+  match Sys.getenv_opt "XEN_NUMA_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default_override = Atomic.make None
+
+let set_default_jobs n = Atomic.set default_override (Some (max 1 n))
+
+let default_jobs () =
+  match Atomic.get default_override with Some n -> n | None -> available_jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_all ?jobs tasks =
+  let n = Array.length tasks in
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  if n = 0 then [||]
+  else if jobs = 1 || n = 1 then Array.map (fun task -> task ()) tasks
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let dq = deque_create () in
+    for i = 0 to n - 1 do
+      deque_push dq i
+    done;
+    deque_close dq;
+    let rec worker () =
+      match deque_pop dq with
+      | None -> ()
+      | Some i ->
+          (* Disjoint indices: no two workers ever touch the same slot. *)
+          (try results.(i) <- Some (tasks.(i) ())
+           with exn -> failures.(i) <- Some (exn, Printexc.get_raw_backtrace ()));
+          worker ()
+    in
+    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.iter
+      (function
+        | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | None -> ())
+      failures;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_array ?jobs f a = run_all ?jobs (Array.map (fun x () -> f x) a)
+
+let map_list ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))

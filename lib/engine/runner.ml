@@ -18,8 +18,6 @@ type region = {
          rank [rank]; algorithmic phases move the hot front *)
 }
 
-type location = Shared of int | Private of int * int  (* thread, index *)
-
 type vm_state = {
   spec : Config.vm_spec;
   domain : Xen.Domain.t;
@@ -28,7 +26,19 @@ type vm_state = {
   process : Guest.Process.t;
   shared : region;
   privates : region array;
-  pfn_index : (int, location) Hashtbl.t;
+  (* Flat pfn -> region location index.  Guest pfns are small dense
+     ints (< mem_frames), so two int arrays beat a Hashtbl on the
+     per-sample lookup path: no hashing, no boxing, no allocation.
+     owner -1 = untracked, 0 = shared region, t+1 = private region of
+     thread t; slot is the page's index within that region. *)
+  pfn_owner : int array;
+  pfn_slot : int array;
+  (* Scratch for build_samples, reused every Carrefour period instead
+     of a fresh Hashtbl: seen.(i) marks shared page i as already
+     sampled; touched lists the marked indices so only they are
+     cleared afterwards. *)
+  sample_seen : Bytes.t;
+  sample_touched : int array;
   remaining : float array;
   avg_lat : float array;
   finish : float array;  (* -1 while running *)
@@ -257,10 +267,20 @@ let setup_vm (cfg : Config.t) system root_rng (spec : Config.vm_spec) =
           ~weights:(uniform_weights ~pages:private_pages)
           ~cpu:domain.Xen.Domain.vcpu_pin.(t) ~nodes)
   in
-  let pfn_index = Hashtbl.create (total_pages * 2) in
-  Array.iteri (fun i pfn -> Hashtbl.replace pfn_index pfn (Shared i)) shared.pfns;
+  let pfn_owner = Array.make domain.Xen.Domain.mem_frames (-1) in
+  let pfn_slot = Array.make domain.Xen.Domain.mem_frames 0 in
   Array.iteri
-    (fun t region -> Array.iteri (fun i pfn -> Hashtbl.replace pfn_index pfn (Private (t, i))) region.pfns)
+    (fun i pfn ->
+      pfn_owner.(pfn) <- 0;
+      pfn_slot.(pfn) <- i)
+    shared.pfns;
+  Array.iteri
+    (fun t region ->
+      Array.iteri
+        (fun i pfn ->
+          pfn_owner.(pfn) <- t + 1;
+          pfn_slot.(pfn) <- i)
+        region.pfns)
     privates;
   let work =
     Workloads.App.instructions_per_thread app ~threads
@@ -274,7 +294,10 @@ let setup_vm (cfg : Config.t) system root_rng (spec : Config.vm_spec) =
     process;
     shared;
     privates;
-    pfn_index;
+    pfn_owner;
+    pfn_slot;
+    sample_seen = Bytes.make shared_pages '\000';
+    sample_touched = Array.make 128 0;
     remaining = Array.make threads work;
     avg_lat = Array.make threads 190.0;
     finish = Array.make threads (-1.0);
@@ -308,9 +331,10 @@ let setup_vm (cfg : Config.t) system root_rng (spec : Config.vm_spec) =
 
 (* Occupancy of each pCPU by still-running threads, for the CPU share
    of consolidated VMs.  dom0's vCPUs (pinned on node 0) count as
-   occupants while they are busy shuttling pv I/O. *)
-let compute_occupancy system states ~dom0 ~dom0_active =
-  let occ = Array.make (Array.length system.Xen.System.pcpu_load) 0 in
+   occupants while they are busy shuttling pv I/O.  [occ] is a
+   caller-owned buffer refilled every epoch. *)
+let compute_occupancy ~occ states ~dom0 ~dom0_active =
+  Array.fill occ 0 (Array.length occ) 0;
   List.iter
     (fun st ->
       Array.iteri
@@ -326,8 +350,7 @@ let compute_occupancy system states ~dom0 ~dom0_active =
       for v = 0 to min dom0_active d.Xen.Domain.vcpus - 1 do
         occ.(d.Xen.Domain.vcpu_pin.(v)) <- occ.(d.Xen.Domain.vcpu_pin.(v)) + 1
       done
-  | None -> ());
-  occ
+  | None -> ())
 
 (* Blocking events that actually halt a CPU.  Network servers wait
    several times per request (packet, locks), hence the factor; above
@@ -423,11 +446,14 @@ let build_samples st =
     (* IBS-style sampling: pages are drawn with probability proportional
        to their access frequency, so hot pages dominate the table but
        every accessed page is eventually observed. *)
-    let seen = Hashtbl.create 128 in
+    let seen = st.sample_seen in
+    let touched = ref 0 in
     let emit rank =
       let i = (st.shared.shift + rank) mod pages in
-      if not (Hashtbl.mem seen i) then begin
-        Hashtbl.replace seen i ();
+      if Bytes.get seen i = '\000' then begin
+        Bytes.set seen i '\001';
+        st.sample_touched.(!touched) <- i;
+        incr touched;
         let w = st.shared.weights.(rank) in
         let node_accesses = Array.map (fun s -> s *. shared_total *. w) src_norm in
         let read_fraction = st.spec.Config.app.Workloads.App.read_fraction in
@@ -442,6 +468,9 @@ let build_samples st =
     let app = st.spec.Config.app in
     for _ = 1 to min 96 pages do
       emit (Sim.Rng.zipf st.rng ~n:pages ~s:app.Workloads.App.zipf_s)
+    done;
+    for j = 0 to !touched - 1 do
+      Bytes.set seen st.sample_touched.(j) '\000'
     done
   end;
   let threads = Array.length st.privates in
@@ -486,51 +515,46 @@ let refresh_placement st samples =
   let carrefour = Policies.Manager.carrefour st.manager in
   List.iter
     (fun (s : Policies.Carrefour.sample) ->
-      match Hashtbl.find_opt st.pfn_index s.Policies.Carrefour.pfn with
-      | None -> ()
-      | Some loc -> (
-          match Policies.Manager.node_of_pfn st.manager s.Policies.Carrefour.pfn with
-          | None -> ()
-          | Some node ->
-              let region, i =
-                match loc with
-                | Shared i -> (st.shared, i)
-                | Private (t, i) -> (st.privates.(t), i)
-              in
-              let w = eff_weight region i in
-              (* Replication status change: the read share of the
-                 page's popularity moves between the home node and the
-                 everywhere-local pool. *)
-              let replicated_now =
-                match carrefour with
-                | Some sys ->
-                    Policies.Carrefour.System_component.is_replicated sys
-                      s.Policies.Carrefour.pfn
-                | None -> false
-              in
-              let was = Bytes.get region.replicated i <> '\000' in
-              if replicated_now && not was then begin
-                let moved = w *. read_fraction in
-                region.node_weight.(region.page_node.(i)) <-
-                  region.node_weight.(region.page_node.(i)) -. moved;
-                region.replicated_local <- region.replicated_local +. moved;
-                Bytes.set region.replicated i '\001'
-              end
-              else if was && not replicated_now then begin
-                let moved = w *. read_fraction in
-                region.node_weight.(region.page_node.(i)) <-
-                  region.node_weight.(region.page_node.(i)) +. moved;
-                region.replicated_local <- region.replicated_local -. moved;
-                Bytes.set region.replicated i '\000'
-              end;
-              let old_node = region.page_node.(i) in
-              if old_node <> node then begin
-                let moved = if replicated_now then w *. (1.0 -. read_fraction) else w in
-                region.node_weight.(old_node) <- region.node_weight.(old_node) -. moved;
-                region.node_weight.(node) <- region.node_weight.(node) +. moved;
-                region.page_node.(i) <- node;
-                st.migrations <- st.migrations + 1
-              end))
+      let pfn = s.Policies.Carrefour.pfn in
+      let owner = if pfn < Array.length st.pfn_owner then st.pfn_owner.(pfn) else -1 in
+      if owner >= 0 then
+        match Policies.Manager.node_of_pfn st.manager pfn with
+        | None -> ()
+        | Some node ->
+            let i = st.pfn_slot.(pfn) in
+            let region = if owner = 0 then st.shared else st.privates.(owner - 1) in
+            let w = eff_weight region i in
+            (* Replication status change: the read share of the
+               page's popularity moves between the home node and the
+               everywhere-local pool. *)
+            let replicated_now =
+              match carrefour with
+              | Some sys -> Policies.Carrefour.System_component.is_replicated sys pfn
+              | None -> false
+            in
+            let was = Bytes.get region.replicated i <> '\000' in
+            if replicated_now && not was then begin
+              let moved = w *. read_fraction in
+              region.node_weight.(region.page_node.(i)) <-
+                region.node_weight.(region.page_node.(i)) -. moved;
+              region.replicated_local <- region.replicated_local +. moved;
+              Bytes.set region.replicated i '\001'
+            end
+            else if was && not replicated_now then begin
+              let moved = w *. read_fraction in
+              region.node_weight.(region.page_node.(i)) <-
+                region.node_weight.(region.page_node.(i)) +. moved;
+              region.replicated_local <- region.replicated_local -. moved;
+              Bytes.set region.replicated i '\000'
+            end;
+            let old_node = region.page_node.(i) in
+            if old_node <> node then begin
+              let moved = if replicated_now then w *. (1.0 -. read_fraction) else w in
+              region.node_weight.(old_node) <- region.node_weight.(old_node) -. moved;
+              region.node_weight.(node) <- region.node_weight.(node) +. moved;
+              region.page_node.(i) <- node;
+              st.migrations <- st.migrations + 1
+            end)
     samples
 
 (* ------------------------------------------------------------------ *)
@@ -639,6 +663,8 @@ let run (cfg : Config.t) =
     0.62 *. Numa.Topology.controller_gib_per_s topo *. (1024.0 ** 3.0) *. epoch_len
   in
   let node_demand = Array.make nodes 0.0 in
+  let node_scale = Array.make nodes 1.0 in
+  let occupancy = Array.make (Array.length system.Xen.System.pcpu_load) 0 in
   let dom0_active = ref 0 in
   (* One dom0 vCPU shuttles roughly 150 MB/s of pv I/O. *)
   let dom0_core_mb_s = 150.0 in
@@ -683,7 +709,7 @@ let run (cfg : Config.t) =
                0.0 states
            in
            min 6 (int_of_float (Float.round (pv_mb_s /. dom0_core_mb_s))));
-    let occupancy = compute_occupancy system states ~dom0 ~dom0_active:!dom0_active in
+    compute_occupancy ~occ:occupancy states ~dom0 ~dom0_active:!dom0_active;
     List.iteri
       (fun vi st ->
         if vm_running st then begin
@@ -775,11 +801,11 @@ let run (cfg : Config.t) =
             done
           done)
       states;
-    let node_scale =
-      Array.map
-        (fun demand -> if demand > controller_capacity then controller_capacity /. demand else 1.0)
-        node_demand
-    in
+    for n = 0 to nodes - 1 do
+      node_scale.(n) <-
+        (if node_demand.(n) > controller_capacity then controller_capacity /. node_demand.(n)
+         else 1.0)
+    done;
     List.iter
       (fun st ->
         if vm_running st then begin

@@ -36,23 +36,35 @@ let print_carrefour_heuristics ?seed () =
       ("neither (static)", false, false);
     ]
   in
-  List.iter
-    (fun (app_name, policy, label) ->
-      Printf.printf "Carrefour heuristic ablation: %s under %s\n" app_name label;
-      Report.Table.print
-        ~header:[ "variant"; "completion"; "migrations" ]
-        (List.map
-           (fun (name, interleave, locality) ->
-             let completion, migrations =
-               run_variant ?seed ~app_name ~policy ~interleave ~locality ()
-             in
-             [ name; Report.Table.fmt_secs completion; string_of_int migrations ])
-           variants);
-      print_newline ())
+  let configs =
     [
       ("kmeans", Policies.Spec.first_touch_carrefour, "first-touch (controller overload)");
       ("cg.C", Policies.Spec.round_4k_carrefour, "round-4k (lost locality)");
     ]
+  in
+  (* Flatten the (config x variant) grid into independent pool tasks;
+     rows come back in grid order. *)
+  let cells =
+    List.concat_map (fun config -> List.map (fun v -> (config, v)) variants) configs
+  in
+  let rows =
+    Engine.Pool.map_list
+      (fun ((app_name, policy, _), (name, interleave, locality)) ->
+        let completion, migrations =
+          run_variant ?seed ~app_name ~policy ~interleave ~locality ()
+        in
+        [ name; Report.Table.fmt_secs completion; string_of_int migrations ])
+      cells
+  in
+  List.iteri
+    (fun i (app_name, _, label) ->
+      Printf.printf "Carrefour heuristic ablation: %s under %s\n" app_name label;
+      let skip = i * List.length variants in
+      Report.Table.print
+        ~header:[ "variant"; "completion"; "migrations" ]
+        (List.filteri (fun j _ -> j >= skip && j < skip + List.length variants) rows);
+      print_newline ())
+    configs
 
 (* Oldest-first replay: applies every op in order, so a Release that
    precedes a reallocation wrongly invalidates a live page. *)
@@ -103,7 +115,7 @@ let print_mcs ?(seed = 42) () =
   print_endline "MCS spin locks vs futex sleeps under Xen+ (Section 5.3.2)";
   Report.Table.print
     ~header:[ "app"; "futex"; "mcs"; "improvement" ]
-    (List.map
+    (Engine.Pool.map_list
        (fun name ->
          let app =
            match Workloads.Catalogue.find name with Some a -> a | None -> assert false
@@ -149,7 +161,7 @@ let print_replication ?(seed = 42) () =
   in
   Report.Table.print
     ~header:[ "app"; "no replication"; "strict (read-only)"; "permissive (>=85% reads)" ]
-    (List.map
+    (Engine.Pool.map_list
        (fun app_name ->
          let base = run ~replication:false app_name in
          let strict = run ~replication:true ~threshold:0.999 app_name in
@@ -167,8 +179,9 @@ let print_huge_pages ?(seed = 42) () =
   print_endline "Large pages (the paper's first future-work item)";
   Report.Table.print
     ~header:[ "app"; "mode"; "4 KiB pages"; "2 MiB pages"; "improvement" ]
-    (List.concat_map
-       (fun app_name ->
+    (List.concat
+       (Engine.Pool.map_list
+          (fun app_name ->
          let app =
            match Workloads.Catalogue.find app_name with Some a -> a | None -> assert false
          in
@@ -193,7 +206,7 @@ let print_huge_pages ?(seed = 42) () =
                Printf.sprintf "%+.1f%%" (100.0 *. ((small /. huge) -. 1.0));
              ])
            [ ("linux", Engine.Config.Linux); ("xen+", Engine.Config.Xen_plus) ])
-       [ "mg.D"; "dc.B"; "kmeans" ]);
+          [ "mg.D"; "dc.B"; "kmeans" ]));
   print_newline ()
 
 let print_round1g_fragmentation () =

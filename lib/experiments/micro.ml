@@ -22,7 +22,10 @@ let print_tab3 () =
     ~header:
       [ "memory"; "1 thread (model)"; "1 thread (microsim)"; "48 threads (model)";
         "48 threads (microsim)" ]
-    (List.map
+    (* Six independent discrete-event simulations (3 distances x 2
+       load levels): each probe seeds its own RNG, so the pool runs
+       them concurrently with identical output. *)
+    (Engine.Pool.map_list
        (fun (label, hops) ->
          let idle = Microsim.Memsim.latency_probe ~topo ~threads:1 ~hops () in
          let contended = Microsim.Memsim.latency_probe ~topo ~threads:48 ~hops () in

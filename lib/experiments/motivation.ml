@@ -31,14 +31,19 @@ let run_config ?(seed = 42) ~pinned ~policy label =
   }
 
 let run ?seed () =
-  [
-    run_config ?seed ~pinned:true ~policy:Policies.Spec.first_touch
-      "first-touch, vCPUs pinned";
-    run_config ?seed ~pinned:false ~policy:Policies.Spec.first_touch
-      "first-touch, vCPUs migrate";
-    run_config ?seed ~pinned:false ~policy:Policies.Spec.first_touch_carrefour
-      "ft/carrefour, vCPUs migrate";
-  ]
+  Engine.Pool.run_all
+    [|
+      (fun () ->
+        run_config ?seed ~pinned:true ~policy:Policies.Spec.first_touch
+          "first-touch, vCPUs pinned");
+      (fun () ->
+        run_config ?seed ~pinned:false ~policy:Policies.Spec.first_touch
+          "first-touch, vCPUs migrate");
+      (fun () ->
+        run_config ?seed ~pinned:false ~policy:Policies.Spec.first_touch_carrefour
+          "ft/carrefour, vCPUs migrate");
+    |]
+  |> Array.to_list
 
 let print ?seed () =
   print_endline

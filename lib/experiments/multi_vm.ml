@@ -49,7 +49,7 @@ let best_policies (a, b) = (best_policy a, best_policy b)
    runs with both node assignments and averages (the paper observed
    placement sensitivity). *)
 let fig8 ?seed () =
-  List.map
+  Engine.Pool.map_list
     (fun pair ->
       let avg f =
         let a1, b1 = f halves in
@@ -72,7 +72,7 @@ let fig8 ?seed () =
 
 (* Figure 9: 48 vCPUs per VM, two vCPUs per pCPU. *)
 let fig9 ?seed () =
-  List.map
+  Engine.Pool.map_list
     (fun pair ->
       let none = (None, None) in
       let base_a, base_b = run_pair ?seed ~threads:48 ~homes:none pair ~policies:default_policies in

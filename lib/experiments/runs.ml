@@ -6,9 +6,25 @@ type key = {
 }
 
 let cache : (key * int, Engine.Result.t) Hashtbl.t = Hashtbl.create 256
+let cache_mutex = Mutex.create ()
+
+(* FNV-1a over the cell's stable textual identity, folded into the
+   base seed.  Every grid cell owns an RNG stream that is a pure
+   function of (mode, workload, policy, mcs, base seed): cells never
+   share RNG state, so a parallel sweep is bit-identical to the
+   sequential one whatever the schedule. *)
+let task_seed ~base key =
+  let tag =
+    Printf.sprintf "%s|%s|%s|%b" (Engine.Config.mode_name key.mode) key.app
+      (Policies.Spec.name key.policy) key.mcs
+  in
+  let h = ref 0x811C9DC5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF) tag;
+  (base * 0x9E3779B1 lxor !h) land 0x3FFFFFFF
 
 let run ?(seed = 42) key =
-  match Hashtbl.find_opt cache (key, seed) with
+  let cached = Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache (key, seed)) in
+  match cached with
   | Some result -> result
   | None ->
       let app =
@@ -17,10 +33,17 @@ let run ?(seed = 42) key =
         | None -> invalid_arg (Printf.sprintf "Runs.run: unknown app %S" key.app)
       in
       let vm = Engine.Config.vm ~use_mcs:key.mcs ~policy:key.policy app in
-      let cfg = Engine.Config.make ~seed ~mode:key.mode [ vm ] in
+      let cfg = Engine.Config.make ~seed:(task_seed ~base:seed key) ~mode:key.mode [ vm ] in
       let result = Engine.Runner.run cfg in
-      Hashtbl.replace cache (key, seed) result;
-      result
+      (* Two workers may simulate the same cell concurrently; both
+         produce identical results, so first-write-wins keeps the
+         [==]-sharing property callers rely on. *)
+      Mutex.protect cache_mutex (fun () ->
+          match Hashtbl.find_opt cache (key, seed) with
+          | Some first -> first
+          | None ->
+              Hashtbl.replace cache (key, seed) result;
+              result)
 
 let completion ?seed key = (Engine.Result.single (run ?seed key)).Engine.Result.completion
 
@@ -46,4 +69,4 @@ let xen_stock app = xen app Policies.Spec.round_1g
 
 let xen_plus_default app = xen_plus ~mcs:(uses_mcs app) app Policies.Spec.round_1g
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () = Mutex.protect cache_mutex (fun () -> Hashtbl.reset cache)

@@ -13,7 +13,16 @@ type key = {
 }
 
 val run : ?seed:int -> key -> Engine.Result.t
-(** Simulate (memoized).  @raise Invalid_argument on an unknown app. *)
+(** Simulate (memoized).  The engine seed is {!task_seed} of the key,
+    so each grid cell owns an independent, schedule-free RNG stream;
+    the cache is domain-safe and may be hit from {!Engine.Pool}
+    workers concurrently.  @raise Invalid_argument on an unknown
+    app. *)
+
+val task_seed : base:int -> key -> int
+(** Deterministic per-cell seed: a stable hash of the (mode, app,
+    policy, mcs) identity folded into [base].  Independent of
+    execution order, worker count and platform. *)
 
 val completion : ?seed:int -> key -> float
 

@@ -1,5 +1,10 @@
 let apps = Workloads.Catalogue.all
 
+(* Every figure/table maps independent (app, policy, mode) cells; the
+   pool fans the app dimension out over domains.  Results come back in
+   app order, so the printed tables are schedule-independent. *)
+let grid = Engine.Pool.map_list
+
 let overhead t baseline = (t /. baseline) -. 1.0
 let improvement baseline t = baseline /. t
 
@@ -10,7 +15,7 @@ let improvement baseline t = baseline /. t
 type overhead_row = { app : string; overhead : float }
 
 let fig1 ?seed () =
-  List.map
+  grid
     (fun app ->
       let linux = Runs.completion ?seed (Runs.linux app Policies.Spec.first_touch) in
       let xen = Runs.completion ?seed (Runs.xen_stock app) in
@@ -52,7 +57,7 @@ let best_of times = fst (List.fold_left (fun (bp, bt) (p, t) -> if t < bt then (
                            (Policies.Spec.first_touch, Float.infinity) times)
 
 let fig2 ?seed () =
-  List.map
+  grid
     (fun app ->
       let times = linux_policy_times ?seed app in
       let time p = List.assoc p times in
@@ -94,7 +99,7 @@ let classify imb =
   else Workloads.App.Low
 
 let tab1 ?seed () =
-  List.map
+  grid
     (fun app ->
       let ft = Runs.run ?seed (Runs.linux app Policies.Spec.first_touch) in
       let r4k = Runs.run ?seed (Runs.linux app Policies.Spec.round_4k) in
@@ -161,7 +166,7 @@ let print_tab2 () =
 type fig6_row = { app : string; linux : float; xen : float; xen_plus : float }
 
 let fig6 ?seed () =
-  List.map
+  grid
     (fun app ->
       let base = linux_numa_time ?seed app in
       let linux = Runs.completion ?seed (Runs.linux app Policies.Spec.first_touch) in
@@ -206,7 +211,7 @@ let xen_policy_times ?seed app =
 let xen_numa_time ?seed app = best_time (xen_policy_times ?seed app)
 
 let fig7 ?seed () =
-  List.map
+  grid
     (fun app ->
       let times = xen_policy_times ?seed app in
       let time p = List.assoc p times in
@@ -243,7 +248,7 @@ type tab4_row = {
 }
 
 let tab4 ?seed () =
-  List.map
+  grid
     (fun app ->
       let linux_times = linux_policy_times ?seed app in
       let xen_times = xen_policy_times ?seed app in
@@ -280,7 +285,7 @@ let print_tab4 ?seed () =
 type fig10_row = { app : string; xen_plus : float; xen_plus_numa : float }
 
 let fig10 ?seed () =
-  List.map
+  grid
     (fun app ->
       let base = linux_numa_time ?seed app in
       let xen_plus = Runs.completion ?seed (Runs.xen_plus_default app) in

@@ -14,6 +14,9 @@ type t = {
   (* routes.(src * nodes + dst) is the directed link path. *)
   routes : link list array;
   distances : int array;
+  (* node_cpus.(n) is the precomputed CPU id range of node n; shared,
+     callers must not mutate. *)
+  node_cpus : cpu array array;
 }
 
 let node_count t = t.nodes
@@ -28,9 +31,11 @@ let node_of_cpu t c =
   assert (c >= 0 && c < cpu_count t);
   c / t.cpus_per_node
 
-let cpus_of_node t n =
+let cpu_array_of_node t n =
   assert (n >= 0 && n < t.nodes);
-  List.init t.cpus_per_node (fun i -> (n * t.cpus_per_node) + i)
+  t.node_cpus.(n)
+
+let cpus_of_node t n = Array.to_list (cpu_array_of_node t n)
 
 let neighbours_of adjacency n = List.map fst adjacency.(n)
 
@@ -96,7 +101,11 @@ let create ~nodes ~cpus_per_node ~mem_per_node ~controller_gib_per_s ~links:link
       end
     done
   done;
-  { nodes; cpus_per_node; mem_per_node; controller_gib_per_s; links; adjacency; routes; distances }
+  let node_cpus =
+    Array.init nodes (fun n -> Array.init cpus_per_node (fun i -> (n * cpus_per_node) + i))
+  in
+  { nodes; cpus_per_node; mem_per_node; controller_gib_per_s; links; adjacency; routes;
+    distances; node_cpus }
 
 let distance t src dst =
   assert (src >= 0 && src < t.nodes && dst >= 0 && dst < t.nodes);

@@ -48,6 +48,13 @@ val node_of_cpu : t -> cpu -> node
     [c / cpus_per_node]. *)
 
 val cpus_of_node : t -> node -> cpu list
+(** Fresh list of the node's CPU ids (allocates; prefer
+    {!cpu_array_of_node} on hot paths). *)
+
+val cpu_array_of_node : t -> node -> cpu array
+(** The node's CPU ids as a precomputed array, built once at topology
+    creation: O(1), allocation-free.  The array is shared — do not
+    mutate it. *)
 
 val links : t -> link array
 (** All directed links, indexed by [link_id]. *)

@@ -23,7 +23,10 @@ let mem_frames_of_bytes t bytes =
 
 (* Load of a node = vCPUs already pinned to its pCPUs. *)
 let node_load t node =
-  List.fold_left (fun acc cpu -> acc + t.pcpu_load.(cpu)) 0 (Numa.Topology.cpus_of_node t.topo node)
+  Array.fold_left
+    (fun acc cpu -> acc + t.pcpu_load.(cpu))
+    0
+    (Numa.Topology.cpu_array_of_node t.topo node)
 
 let select_home_nodes t ~vcpus ~mem_bytes =
   let cpn = Numa.Topology.cpus_per_node t.topo in
@@ -48,7 +51,8 @@ let select_home_nodes t ~vcpus ~mem_bytes =
    and consolidated domains stack evenly. *)
 let pin_vcpus t ~vcpus ~home_nodes =
   let candidates =
-    Array.of_list (List.concat_map (fun n -> Numa.Topology.cpus_of_node t.topo n) (Array.to_list home_nodes))
+    Array.concat
+      (List.map (fun n -> Numa.Topology.cpu_array_of_node t.topo n) (Array.to_list home_nodes))
   in
   let pin = Array.make vcpus 0 in
   for v = 0 to vcpus - 1 do

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 verification in one command: full build, full test suite, and
+# a parallel-sweep smoke run of the bench driver.
+set -e
+cd "$(dirname "$0")"
+
+dune build
+dune runtest
+dune exec bench/main.exe -- tab1 --jobs 2
+
+echo "tier1: OK"
