@@ -207,6 +207,10 @@ let sections : (string * (unit -> unit)) list =
       fun () -> section "Motivation (Section 1)"; Experiments.Motivation.print () );
     ( "generality",
       fun () -> section "Topology generality"; Experiments.Generality.print () );
+    ( "chaos",
+      fun () ->
+        section "Chaos (fault injection and graceful degradation)";
+        Experiments.Chaos.print () );
     ("micro", run_micro);
   ]
 

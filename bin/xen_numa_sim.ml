@@ -73,11 +73,27 @@ let machine_arg =
   Arg.(value & opt machine_conv Numa.Machine_desc.amd48
        & info [ "machine" ] ~docv:"HOST" ~doc:"Simulated host: amd48 or intel32.")
 
-let run_app app mode policy threads seed mcs huge_pages unpinned machine =
+let faults_conv =
+  let parse s =
+    match Faults.Plan.of_string s with Ok p -> Ok p | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Faults.Plan.pp)
+
+let faults_arg =
+  Arg.(value & opt faults_conv Faults.Plan.empty
+       & info [ "faults" ] ~docv:"PLAN"
+           ~doc:"Fault-injection plan: comma-separated $(i,site=value[\\@FROM[-UNTIL]]) \
+                 elements where site is one of alloc, node-off, migrate, batch-loss, \
+                 op-drop, hypercall, iommu, stall.  Examples: $(b,migrate=1.0), \
+                 $(b,alloc=0.3\\@50-150,stall=0.01), $(b,node-off=2\\@100-).  The \
+                 injection stream is derived from the run seed, so fault runs are \
+                 reproducible.")
+
+let run_app app mode policy threads seed mcs huge_pages unpinned machine faults =
   let vm =
     Engine.Config.vm ~threads ~use_mcs:mcs ~huge_pages ~pinned:(not unpinned) ~policy app
   in
-  let cfg = Engine.Config.make ~seed ~machine ~mode [ vm ] in
+  let cfg = Engine.Config.make ~seed ~machine ~faults ~mode [ vm ] in
   let result = Engine.Runner.run cfg in
   Format.printf "%a@." Engine.Result.pp result
 
@@ -85,7 +101,7 @@ let run_cmd =
   let doc = "Run one application under a NUMA policy" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_app $ app_arg $ mode_arg $ policy_arg $ threads_arg $ seed_arg $ mcs_arg
-          $ huge_arg $ unpinned_arg $ machine_arg)
+          $ huge_arg $ unpinned_arg $ machine_arg $ faults_arg)
 
 let list_apps () =
   Report.Table.print

@@ -24,6 +24,7 @@ type t = {
   page_kib : int option;
   carrefour_config : Policies.Carrefour.User_component.config option;
   machine : Numa.Machine_desc.t;
+  faults : Faults.Plan.t;
   observer : observer option;
 }
 
@@ -40,10 +41,13 @@ and epoch_snapshot = {
 }
 
 let make ?(epoch = 0.1) ?(seed = 42) ?(max_epochs = 40_000) ?page_kib ?carrefour_config
-    ?(machine = Numa.Machine_desc.amd48) ?observer ~mode vms =
+    ?(machine = Numa.Machine_desc.amd48) ?(faults = Faults.Plan.empty) ?observer ~mode vms =
   if vms = [] then invalid_arg "Config.make: no VMs";
   if epoch <= 0.0 then invalid_arg "Config.make: epoch must be positive";
-  { mode; vms; epoch; seed; max_epochs; page_kib; carrefour_config; machine; observer }
+  (match Faults.Plan.validate faults with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Config.make: bad fault plan: " ^ msg));
+  { mode; vms; epoch; seed; max_epochs; page_kib; carrefour_config; machine; faults; observer }
 
 let mode_name = function Linux -> "linux" | Xen -> "xen" | Xen_plus -> "xen+"
 

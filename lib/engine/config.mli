@@ -55,6 +55,10 @@ type t = {
           heuristic ablations); [None] = engine default. *)
   machine : Numa.Machine_desc.t;
       (** Physical host to simulate (default: the paper's AMD48). *)
+  faults : Faults.Plan.t;
+      (** Fault-injection plan (default empty = no faults).  The runner
+          derives the injector's stream from [seed], so a fault run is
+          as reproducible as a clean one. *)
   observer : observer option;
       (** Called at the end of every epoch with live telemetry
           (progress tracking, CSV traces, convergence plots). *)
@@ -77,8 +81,10 @@ and epoch_snapshot = {
 val make : ?epoch:float -> ?seed:int -> ?max_epochs:int -> ?page_kib:int ->
   ?carrefour_config:Policies.Carrefour.User_component.config ->
   ?machine:Numa.Machine_desc.t ->
+  ?faults:Faults.Plan.t ->
   ?observer:observer ->
   mode:mode -> vm_spec list -> t
+(** @raise Invalid_argument on an ill-formed fault plan. *)
 
 val mode_name : mode -> string
 

@@ -1,3 +1,28 @@
+type degradation = {
+  migrate_retries : int;
+  deferred : int;
+  drained : int;
+  fallback_maps : int;
+  breaker_trips : int;
+  breaker_level : int;
+  lost_batches : int;
+  reconciled : int;
+  backoff_time : float;
+}
+
+let no_degradation =
+  {
+    migrate_retries = 0;
+    deferred = 0;
+    drained = 0;
+    fallback_maps = 0;
+    breaker_trips = 0;
+    breaker_level = 0;
+    lost_batches = 0;
+    reconciled = 0;
+    backoff_time = 0.0;
+  }
+
 type vm_result = {
   app_name : string;
   policy : string;
@@ -11,6 +36,7 @@ type vm_result = {
   migrations : int;
   avg_latency_cycles : float;
   local_fraction : float;
+  degradation : degradation;
 }
 
 type t = {
@@ -18,6 +44,7 @@ type t = {
   imbalance : float;
   interconnect_load : float;
   epochs : int;
+  faults_injected : int;
 }
 
 let completion t name =
@@ -41,7 +68,18 @@ let pp fmt t =
         vm.virt_overhead vm.release_overhead vm.avg_latency_cycles
         (100.0 *. vm.local_fraction) vm.migrations)
     t.vms;
-  Format.fprintf fmt "imbalance %.0f%%, interconnect %.0f%%, %d epochs@]"
-    (100.0 *. t.imbalance)
+  List.iter
+    (fun vm ->
+      let d = vm.degradation in
+      if d <> no_degradation then
+        Format.fprintf fmt
+          "%-14s degraded: %d retries, %d deferred (%d drained), %d fallback maps, %d breaker \
+           trips (level %d), %d lost batches, %d reconciled@,"
+          vm.app_name d.migrate_retries d.deferred d.drained d.fallback_maps d.breaker_trips
+          d.breaker_level d.lost_batches d.reconciled)
+    t.vms;
+  Format.fprintf fmt "imbalance %.0f%%, interconnect %.0f%%, %d epochs" (100.0 *. t.imbalance)
     (100.0 *. t.interconnect_load)
-    t.epochs
+    t.epochs;
+  if t.faults_injected > 0 then Format.fprintf fmt ", %d faults injected" t.faults_injected;
+  Format.fprintf fmt "@]"

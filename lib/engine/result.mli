@@ -1,5 +1,19 @@
 (** Results of a simulated run. *)
 
+type degradation = {
+  migrate_retries : int;  (** Migration retries after transient ENOMEM. *)
+  deferred : int;  (** Migrations pushed to the retry queue. *)
+  drained : int;  (** Deferred migrations later completed. *)
+  fallback_maps : int;  (** Mappings placed off the wanted node. *)
+  breaker_trips : int;  (** Circuit-breaker openings. *)
+  breaker_level : int;  (** Final level: 0 full, 1 interleave-only, 2 static. *)
+  lost_batches : int;  (** Page-ops batches lost in transit. *)
+  reconciled : int;  (** Stale P2M entries healed by reconciliation. *)
+  backoff_time : float;  (** Simulated seconds spent backing off. *)
+}
+
+val no_degradation : degradation
+
 type vm_result = {
   app_name : string;
   policy : string;
@@ -14,6 +28,9 @@ type vm_result = {
   migrations : int;        (** Pages migrated by Carrefour. *)
   avg_latency_cycles : float;  (** Work-weighted mean memory latency. *)
   local_fraction : float;  (** Fraction of accesses served on the local node. *)
+  degradation : degradation;
+      (** Graceful-degradation counters ({!no_degradation} on a clean
+          run). *)
 }
 
 type t = {
@@ -21,6 +38,7 @@ type t = {
   imbalance : float;          (** Table-1 imbalance over the whole run. *)
   interconnect_load : float;  (** Table-1 interconnect metric. *)
   epochs : int;
+  faults_injected : int;  (** Total faults the injector fired (0 = clean). *)
 }
 
 val completion : t -> string -> float

@@ -23,6 +23,10 @@ type vm_state = {
   domain : Xen.Domain.t;
   manager : Policies.Manager.t;
   pool : Guest.Pfn_pool.t;
+  queue : Guest.Pv_queue.t option;
+      (* Concrete pv queue driving real alloc/release churn; only built
+         under fault injection (clean runs model the churn analytically
+         in release_churn_overhead). *)
   process : Guest.Process.t;
   shared : region;
   privates : region array;
@@ -197,7 +201,7 @@ let carrefour_config (cfg : Config.t) machine =
         migration_budget = budget;
       }
 
-let setup_vm (cfg : Config.t) system root_rng (spec : Config.vm_spec) =
+let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
   let app = spec.Config.app in
   let topo = system.Xen.System.topo in
   let nodes = Numa.Topology.node_count topo in
@@ -240,6 +244,25 @@ let setup_vm (cfg : Config.t) system root_rng (spec : Config.vm_spec) =
                    (List.init domain.Xen.Domain.mem_frames (fun pfn -> pfn)))
         | Error msg -> invalid_arg ("Runner: " ^ msg)
       end);
+  let queue =
+    match cfg.Config.mode with
+    | Config.Linux -> None
+    | Config.Xen | Config.Xen_plus ->
+        if
+          Faults.Injector.enabled injector
+          && policy.Policies.Spec.placement = Policies.Spec.First_touch
+          && app.Workloads.App.page_release_period <> None
+        then begin
+          let q =
+            Guest.Pv_queue.create
+              ~flush:(fun ops -> Policies.Manager.page_ops_hypercall manager ops)
+              ()
+          in
+          Faults.Injector.install_queue injector q;
+          Some q
+        end
+        else None
+  in
   (* Policy installation and boot population are not application time. *)
   Xen.Domain.reset_account domain;
   let threads = spec.Config.threads in
@@ -291,6 +314,7 @@ let setup_vm (cfg : Config.t) system root_rng (spec : Config.vm_spec) =
     domain;
     manager;
     pool;
+    queue;
     process;
     shared;
     privates;
@@ -576,6 +600,20 @@ let release_churn_overhead cfg st ~active_seconds =
           active_seconds /. period *. per_release /. float_of_int st.spec.Config.threads)
   | _ -> 0.0
 
+let vm_degradation st =
+  let d = Policies.Manager.degrade st.manager in
+  {
+    Result.migrate_retries = d.Policies.Manager.migrate_retries;
+    deferred = d.Policies.Manager.deferred;
+    drained = d.Policies.Manager.drained;
+    fallback_maps = d.Policies.Manager.fallback_maps;
+    breaker_trips = d.Policies.Manager.breaker_trips;
+    breaker_level = d.Policies.Manager.breaker_level;
+    lost_batches = d.Policies.Manager.lost_batches;
+    reconciled = d.Policies.Manager.reconciled;
+    backoff_time = d.Policies.Manager.backoff_time;
+  }
+
 let vm_result cfg system st =
   let app = st.spec.Config.app in
   let threads = float_of_int st.spec.Config.threads in
@@ -614,6 +652,7 @@ let vm_result cfg system st =
       (if st.total_accesses > 0.0 then st.weighted_lat /. st.total_accesses else 0.0);
     local_fraction =
       (if st.total_accesses > 0.0 then st.local_accesses /. st.total_accesses else 0.0);
+    degradation = vm_degradation st;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -641,7 +680,13 @@ let run (cfg : Config.t) =
   (match dom0 with
   | Some d -> Array.iter (fun p -> system.Xen.System.pcpu_load.(p) <- system.Xen.System.pcpu_load.(p) - 1) d.Xen.Domain.vcpu_pin
   | None -> ());
-  let states = List.map (setup_vm cfg system root_rng) cfg.Config.vms in
+  (* The injector owns a private stream derived from the run seed, so a
+     fault run is exactly as reproducible as a clean one.  At epoch -1
+     (boot) no window is armed: population is never perturbed. *)
+  let injector = Faults.Injector.create ~seed:cfg.Config.seed cfg.Config.faults in
+  Faults.Injector.install injector system;
+  let faults_on = Faults.Injector.enabled injector in
+  let states = List.map (setup_vm cfg system injector root_rng) cfg.Config.vms in
   let latency = machine_desc.Numa.Machine_desc.latency in
   let freq = machine_desc.Numa.Machine_desc.freq_hz in
   let nodes = Numa.Topology.node_count topo in
@@ -675,6 +720,7 @@ let run (cfg : Config.t) =
   in
   let running () = List.exists vm_running states in
   while running () && !epochs < cfg.Config.max_epochs do
+    Faults.Injector.set_epoch injector !epochs;
     Array.fill node_demand 0 nodes 0.0;
     (* Credit-scheduler accounting period: rebalance unpinned vCPUs
        onto idle pCPUs.  The vCPU moves; its memory does not — exactly
@@ -766,20 +812,26 @@ let run (cfg : Config.t) =
           Array.fill st.thread_cap 0 (Array.length st.thread_cap) 0.0;
           for t = 0 to st.spec.Config.threads - 1 do
             if st.finish.(t) < 0.0 then begin
-              let pcpu = st.domain.Xen.Domain.vcpu_pin.(t) in
-              let share = 1.0 /. float_of_int (max 1 occupancy.(pcpu)) in
-              let avail = (epoch_len -. oh) *. share *. carrefour_tax in
-              st.sync_overhead <- st.sync_overhead +. oh;
-              let cpi = 1.0 +. (mr *. st.avg_lat.(t)) +. st.tlb_cycles_per_instr in
-              let cap = avail *. freq /. cpi in
-              if cap > 0.0 then begin
-                let doit = Float.min st.remaining.(t) cap in
-                st.thread_doit.(t) <- doit;
-                st.thread_cap.(t) <- cap;
-                let accesses = doit *. mr in
-                st.thread_accesses.(t) <- accesses;
-                distribute_thread st t ~accesses;
-                epoch_accesses.(vi) <- epoch_accesses.(vi) +. accesses
+              if faults_on && Faults.Injector.vcpu_stalls injector then
+                (* Injected stall: the vCPU makes no progress this
+                   epoch; the lost time shows up as blocked time. *)
+                st.sync_overhead <- st.sync_overhead +. epoch_len
+              else begin
+                let pcpu = st.domain.Xen.Domain.vcpu_pin.(t) in
+                let share = 1.0 /. float_of_int (max 1 occupancy.(pcpu)) in
+                let avail = (epoch_len -. oh) *. share *. carrefour_tax in
+                st.sync_overhead <- st.sync_overhead +. oh;
+                let cpi = 1.0 +. (mr *. st.avg_lat.(t)) +. st.tlb_cycles_per_instr in
+                let cap = avail *. freq /. cpi in
+                if cap > 0.0 then begin
+                  let doit = Float.min st.remaining.(t) cap in
+                  st.thread_doit.(t) <- doit;
+                  st.thread_cap.(t) <- cap;
+                  let accesses = doit *. mr in
+                  st.thread_accesses.(t) <- accesses;
+                  distribute_thread st t ~accesses;
+                  epoch_accesses.(vi) <- epoch_accesses.(vi) +. accesses
+                end
               end
             end
           done;
@@ -865,6 +917,41 @@ let run (cfg : Config.t) =
               st.local_accesses <- st.local_accesses +. dst.(src)
             end
           done;
+          (* Fault-mode page churn: real alloc/release traffic through
+             the pv queue, so op drops and lost batches leave stale P2M
+             entries for the reconciliation sweep to heal. *)
+          (match st.queue with
+          | None -> ()
+          | Some q ->
+              let period =
+                match st.spec.Config.app.Workloads.App.page_release_period with
+                | Some p -> p
+                | None -> epoch_len
+              in
+              let iters = min 64 (max 1 (int_of_float (epoch_len /. period))) in
+              let threads = st.spec.Config.threads in
+              for i = 0 to iters - 1 do
+                match Guest.Pfn_pool.alloc st.pool with
+                | None -> ()
+                | Some pfn ->
+                    Guest.Pv_queue.record q (Guest.Pv_queue.Alloc pfn);
+                    (match Xen.P2m.get st.domain.Xen.Domain.p2m pfn with
+                    | Xen.P2m.Invalid ->
+                        ignore
+                          (Xen.Domain.handle_fault st.domain ~costs:system.Xen.System.costs
+                             ~pfn ~cpu:st.domain.Xen.Domain.vcpu_pin.(i mod threads))
+                    | Xen.P2m.Mapped _ -> ());
+                    Guest.Pfn_pool.release st.pool pfn;
+                    Guest.Pv_queue.record q (Guest.Pv_queue.Release pfn)
+              done);
+          (* Degradation housekeeping: drain deferred migrations and
+             periodically reconcile the P2M against the guest free
+             list.  Only under fault injection — a clean run must stay
+             bit-identical to the pre-faults engine. *)
+          if faults_on then
+            Policies.Manager.epoch_tick st.manager ~epoch:!epochs
+              ~guest_free:(fun pfn -> Guest.Pfn_pool.is_free st.pool pfn)
+              ();
           (* Carrefour runs its user component once per second (every
              tenth epoch), like the real system. *)
           match Policies.Manager.carrefour st.manager with
@@ -918,4 +1005,5 @@ let run (cfg : Config.t) =
     imbalance = Numa.Counters.imbalance counters;
     interconnect_load = Numa.Counters.interconnect_load counters;
     epochs = !epochs;
+    faults_injected = Faults.Injector.total_injected injector;
   }

@@ -1,0 +1,131 @@
+type stats = {
+  mutable alloc_failures : int;
+  mutable migrate_failures : int;
+  mutable batches_lost : int;
+  mutable ops_dropped : int;
+  mutable hypercall_errors : int;
+  mutable iommu_faults : int;
+  mutable vcpu_stalls : int;
+}
+
+type t = {
+  plan : Plan.t;
+  rng : Sim.Rng.t;
+  mutable epoch : int;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    alloc_failures = 0;
+    migrate_failures = 0;
+    batches_lost = 0;
+    ops_dropped = 0;
+    hypercall_errors = 0;
+    iommu_faults = 0;
+    vcpu_stalls = 0;
+  }
+
+let create ~seed plan =
+  (match Plan.validate plan with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Faults.Injector.create: " ^ msg));
+  (* A private stream: split once so the injector state is decorrelated
+     from any workload stream built from the same base seed. *)
+  let rng = Sim.Rng.split (Sim.Rng.create ~seed:(seed lxor 0x5DEECE66)) in
+  { plan; rng; epoch = -1; stats = fresh_stats () }
+
+let plan t = t.plan
+let enabled t = not (Plan.is_empty t.plan)
+let set_epoch t epoch = t.epoch <- epoch
+let epoch t = t.epoch
+let stats t = t.stats
+
+let total_injected t =
+  let s = t.stats in
+  s.alloc_failures + s.migrate_failures + s.batches_lost + s.ops_dropped
+  + s.hypercall_errors + s.iommu_faults + s.vcpu_stalls
+
+let armed t (w : Plan.window) =
+  t.epoch >= w.Plan.from_epoch
+  && (match w.Plan.until_epoch with None -> true | Some u -> t.epoch < u)
+
+(* Fold the plan: every armed matching spec draws independently, and
+   the fault fires if any draw does.  Draw-per-spec (no short-circuit)
+   keeps the stream advance a function of the plan and epoch alone. *)
+let query t ~f =
+  List.fold_left
+    (fun fired (s : Plan.spec) ->
+      if not (armed t s.Plan.window) then fired
+      else begin
+        match f s.Plan.site with
+        | None -> fired
+        | Some rate -> Sim.Rng.bernoulli t.rng rate || fired
+      end)
+    false t.plan
+
+let alloc_fails t ~node =
+  let offline =
+    List.exists
+      (fun (s : Plan.spec) ->
+        match s.Plan.site with
+        | Plan.Node_offline n -> n = node && armed t s.Plan.window
+        | _ -> false)
+      t.plan
+  in
+  let flaky =
+    query t ~f:(function Plan.Alloc_flaky r -> Some r | _ -> None)
+  in
+  let fired = offline || flaky in
+  if fired then t.stats.alloc_failures <- t.stats.alloc_failures + 1;
+  fired
+
+let migrate_fails t =
+  let fired = query t ~f:(function Plan.Migrate_enomem r -> Some r | _ -> None) in
+  if fired then t.stats.migrate_failures <- t.stats.migrate_failures + 1;
+  fired
+
+let batch_lost t ~ops =
+  let fired = query t ~f:(function Plan.Batch_loss r -> Some r | _ -> None) in
+  if fired then begin
+    t.stats.batches_lost <- t.stats.batches_lost + 1;
+    t.stats.ops_dropped <- t.stats.ops_dropped + ops
+  end;
+  fired
+
+let op_dropped t =
+  let fired = query t ~f:(function Plan.Op_drop r -> Some r | _ -> None) in
+  if fired then t.stats.ops_dropped <- t.stats.ops_dropped + 1;
+  fired
+
+let hypercall_fails t =
+  let fired = query t ~f:(function Plan.Hypercall_flaky r -> Some r | _ -> None) in
+  if fired then t.stats.hypercall_errors <- t.stats.hypercall_errors + 1;
+  fired
+
+let iommu_faults t =
+  let fired = query t ~f:(function Plan.Iommu_storm r -> Some r | _ -> None) in
+  if fired then t.stats.iommu_faults <- t.stats.iommu_faults + 1;
+  fired
+
+let vcpu_stalls t =
+  let fired = query t ~f:(function Plan.Vcpu_stall r -> Some r | _ -> None) in
+  if fired then t.stats.vcpu_stalls <- t.stats.vcpu_stalls + 1;
+  fired
+
+let install t (system : Xen.System.t) =
+  if enabled t then begin
+    Memory.Machine.set_alloc_veto system.Xen.System.machine
+      (Some (fun ~node ~order:_ -> alloc_fails t ~node));
+    let hooks = system.Xen.System.faults in
+    hooks.Xen.System.migrate_alloc_fails <- (fun () -> migrate_fails t);
+    hooks.Xen.System.hypercall_transient <- (fun () -> hypercall_fails t);
+    hooks.Xen.System.iommu_fault <- (fun _ -> iommu_faults t);
+    hooks.Xen.System.batch_lost <- (fun ops -> batch_lost t ~ops)
+  end
+
+(* Batch loss is NOT installed here: the queue's flush handler is the
+   page-ops hypercall, which already consults [System.faults.batch_lost]
+   — wiring [lose_batch] too would draw twice per batch. *)
+let install_queue t queue =
+  if enabled t then Guest.Pv_queue.set_fault_hooks queue ~drop_op:(fun _ -> op_dropped t) ()

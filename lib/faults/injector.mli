@@ -1,0 +1,61 @@
+(** Deterministic fault injector.
+
+    One injector per run: it owns a private splitmix64 stream derived
+    from the run seed (never shared with the workload RNGs), walks the
+    {!Plan} on every query, and counts what it injected.  Because every
+    run builds its own injector from its own seed, grid sweeps stay
+    bit-reproducible at any worker count — the same guarantee
+    [Runs.task_seed] gives the experiment grids.
+
+    Queries only draw from the stream while at least one matching spec
+    is armed for the current epoch, so an empty (or dormant) plan
+    perturbs nothing. *)
+
+type stats = {
+  mutable alloc_failures : int;   (** Vetoed machine-frame allocations. *)
+  mutable migrate_failures : int; (** Injected migrate-target ENOMEMs. *)
+  mutable batches_lost : int;     (** Page-ops batches lost in transit. *)
+  mutable ops_dropped : int;      (** Queue ops dropped on overflow. *)
+  mutable hypercall_errors : int; (** Transient hypercall failures. *)
+  mutable iommu_faults : int;     (** Injected asynchronous IOMMU faults. *)
+  mutable vcpu_stalls : int;      (** Stolen vCPU epochs. *)
+}
+
+type t
+
+val create : seed:int -> Plan.t -> t
+(** The injector's stream is a pure function of [seed]; epoch starts at
+    [-1] (boot), where no spec is ever armed. *)
+
+val plan : t -> Plan.t
+val enabled : t -> bool
+(** [false] for an empty plan: every query is a constant [false]. *)
+
+val set_epoch : t -> int -> unit
+(** Advance the injection clock; windows are evaluated against it. *)
+
+val epoch : t -> int
+
+(* Per-site queries: [true] means the fault fires now.  Each query
+   updates {!stats} when it fires. *)
+
+val alloc_fails : t -> node:Numa.Topology.node -> bool
+val migrate_fails : t -> bool
+val batch_lost : t -> ops:int -> bool
+val op_dropped : t -> bool
+val hypercall_fails : t -> bool
+val iommu_faults : t -> bool
+val vcpu_stalls : t -> bool
+
+val stats : t -> stats
+val total_injected : t -> int
+
+val install : t -> Xen.System.t -> unit
+(** Arm the hypervisor-side fault sites: the machine allocator veto
+    (transient flakiness and offline nodes) and the
+    {!Xen.System.fault_hooks} consulted by the internal interface, the
+    hypercall layer and the IOMMU. *)
+
+val install_queue : t -> Guest.Pv_queue.t -> unit
+(** Arm the guest-side queue sites (op drop, batch loss) on a
+    para-virtualized queue. *)

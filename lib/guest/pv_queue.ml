@@ -9,6 +9,9 @@ type stats = {
   mutable flushes : int;
   mutable ops_sent : int;
   mutable guest_time : float;
+  mutable dropped : int;
+  mutable lost_batches : int;
+  mutable lost_ops : int;
 }
 
 type partition = {
@@ -22,6 +25,8 @@ type t = {
   capacity : int;
   flush : op array -> float;
   stats : stats;
+  mutable drop_op : op -> bool;
+  mutable lose_batch : op array -> bool;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -35,8 +40,23 @@ let create ?(partitions = 4) ?(capacity = 128) ~flush () =
     mask = partitions - 1;
     capacity;
     flush;
-    stats = { enqueued = 0; flushes = 0; ops_sent = 0; guest_time = 0.0 };
+    stats =
+      {
+        enqueued = 0;
+        flushes = 0;
+        ops_sent = 0;
+        guest_time = 0.0;
+        dropped = 0;
+        lost_batches = 0;
+        lost_ops = 0;
+      };
+    drop_op = (fun _ -> false);
+    lose_batch = (fun _ -> false);
   }
+
+let set_fault_hooks t ?drop_op ?lose_batch () =
+  (match drop_op with Some f -> t.drop_op <- f | None -> ());
+  match lose_batch with Some f -> t.lose_batch <- f | None -> ()
 
 let partitions t = Array.length t.parts
 
@@ -44,22 +64,39 @@ let partition_of t pfn = pfn land t.mask
 
 let flush_partition t part =
   if part.len > 0 then begin
-    let ops = Array.sub part.entries 0 part.len in
-    (* The partition lock is held across the hypercall: no other core
-       can reallocate a queued page while the hypervisor processes it. *)
-    let time = t.flush ops in
-    t.stats.flushes <- t.stats.flushes + 1;
-    t.stats.ops_sent <- t.stats.ops_sent + part.len;
-    t.stats.guest_time <- t.stats.guest_time +. time;
-    part.len <- 0
+    let n = part.len in
+    let ops = Array.sub part.entries 0 n in
+    (* Snapshot and reset BEFORE invoking the handler: a flush callback
+       that re-enters [record] (e.g. a reconciliation sweep releasing
+       pages from inside the hypercall) must find room in the partition
+       instead of writing past capacity. *)
+    part.len <- 0;
+    if t.lose_batch ops then begin
+      (* Injected transit loss: the hypervisor never sees the batch.
+         The guest's view and the P2M now disagree until the periodic
+         reconciliation sweep heals them. *)
+      t.stats.lost_batches <- t.stats.lost_batches + 1;
+      t.stats.lost_ops <- t.stats.lost_ops + n
+    end
+    else begin
+      (* The partition lock is held across the hypercall: no other core
+         can reallocate a queued page while the hypervisor processes it. *)
+      let time = t.flush ops in
+      t.stats.flushes <- t.stats.flushes + 1;
+      t.stats.ops_sent <- t.stats.ops_sent + n;
+      t.stats.guest_time <- t.stats.guest_time +. time
+    end
   end
 
 let record t op =
-  let part = t.parts.(partition_of t (op_pfn op)) in
-  part.entries.(part.len) <- op;
-  part.len <- part.len + 1;
-  t.stats.enqueued <- t.stats.enqueued + 1;
-  if part.len = t.capacity then flush_partition t part
+  if t.drop_op op then t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    let part = t.parts.(partition_of t (op_pfn op)) in
+    part.entries.(part.len) <- op;
+    part.len <- part.len + 1;
+    t.stats.enqueued <- t.stats.enqueued + 1;
+    if part.len = t.capacity then flush_partition t part
+  end
 
 let flush_all t = Array.iter (flush_partition t) t.parts
 

@@ -34,6 +34,9 @@ type stats = {
   mutable ops_sent : int;
   mutable guest_time : float;
       (** Guest-visible time spent flushing (hypercall + lock hold). *)
+  mutable dropped : int;  (** Ops swallowed by an injected drop fault. *)
+  mutable lost_batches : int;  (** Flushed batches lost in transit. *)
+  mutable lost_ops : int;  (** Ops inside those lost batches. *)
 }
 
 type t
@@ -57,7 +60,20 @@ val partition_of : t -> Memory.Page.pfn -> int
 
 val record : t -> op -> unit
 (** Append under the partition lock; flushes the partition through the
-    hypercall if it reaches capacity. *)
+    hypercall if it reaches capacity.  The partition is emptied before
+    the flush handler runs, so a handler may re-enter [record]. *)
+
+val set_fault_hooks :
+  t ->
+  ?drop_op:(op -> bool) ->
+  ?lose_batch:(op array -> bool) ->
+  unit ->
+  unit
+(** Install fault-injection hooks ([Faults.Injector.install_queue]).
+    [drop_op op] returning [true] silently discards the op at [record]
+    time; [lose_batch ops] returning [true] loses a full flushed batch
+    in transit (the hypervisor never replays it).  Both default to
+    never firing. *)
 
 val flush_all : t -> unit
 (** Force-flush every non-empty partition (used at policy switch). *)

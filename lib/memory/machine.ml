@@ -4,6 +4,10 @@ type t = {
   frames_per_node : int;
   pools : Buddy.t array;
   mutable fallback_cursor : int;
+  mutable alloc_veto : (node:int -> order:int -> bool) option;
+      (* Fault-injection hook: a vetoed allocation fails as if the
+         node's pool were exhausted.  Frees are never vetoed, so frame
+         accounting stays exact under any veto sequence. *)
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -20,7 +24,9 @@ let create ?(page_scale = 1) topo =
     Array.init (Numa.Topology.node_count topo) (fun n ->
         Buddy.create ~base:(n * frames_per_node) ~frames:frames_per_node)
   in
-  { topo; page_scale; frames_per_node; pools; fallback_cursor = 0 }
+  { topo; page_scale; frames_per_node; pools; fallback_cursor = 0; alloc_veto = None }
+
+let set_alloc_veto t veto = t.alloc_veto <- veto
 
 let topology t = t.topo
 let page_scale t = t.page_scale
@@ -49,7 +55,9 @@ let order_2m t = scaled_order t Page.order_2m
 
 let alloc_on t ~node ~order =
   assert (node >= 0 && node < Array.length t.pools);
-  Buddy.alloc t.pools.(node) ~order
+  match t.alloc_veto with
+  | Some veto when veto ~node ~order -> None
+  | Some _ | None -> Buddy.alloc t.pools.(node) ~order
 
 let alloc_frame t ~node = alloc_on t ~node ~order:0
 

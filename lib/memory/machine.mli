@@ -21,6 +21,11 @@ val create : ?page_scale:int -> Numa.Topology.t -> t
 val topology : t -> Numa.Topology.t
 val page_scale : t -> int
 
+val set_alloc_veto : t -> (node:Numa.Topology.node -> order:int -> bool) option -> unit
+(** Install (or clear) the fault-injection veto consulted by every
+    allocation: when it returns [true] the allocation fails as if the
+    node's pool were exhausted.  Frees are never vetoed. *)
+
 val frame_bytes : t -> int
 (** Bytes covered by one simulated frame ([4096 * page_scale]). *)
 

@@ -269,23 +269,35 @@ type report = {
   failed : int;
 }
 
-let run_epoch sys ~config ~rng ~counters =
+let run_epoch ?(interleave_only = false) ?migrate sys ~config ~rng ~counters =
   let metrics = System_component.read_metrics sys ~counters in
   let actions =
     User_component.decide config ~rng ~metrics ~current_node:(System_component.current_node sys)
+  in
+  let do_migrate =
+    match migrate with
+    | None -> fun ~pfn ~node -> System_component.migrate sys ~pfn ~node
+    | Some f ->
+        (* A custom migrator (the manager's resilient path) still has to
+           collapse replicas before moving the page. *)
+        fun ~pfn ~node ->
+          System_component.collapse sys ~pfn;
+          f ~pfn ~node
   in
   let interleave = ref 0 and locality = ref 0 and replications = ref 0 and failed = ref 0 in
   List.iter
     (fun (a : User_component.action) ->
       match a.reason with
+      | (User_component.Replicate | User_component.Locality) when interleave_only ->
+          (* Degraded mode: the circuit breaker only trusts the cheap
+             interleave heuristic; locality/replication work is shed. *)
+          ()
       | User_component.Replicate ->
           if System_component.replicate sys ~pfn:a.pfn then incr replications else incr failed
       | User_component.Interleave ->
-          if System_component.migrate sys ~pfn:a.pfn ~node:a.dest then incr interleave
-          else incr failed
+          if do_migrate ~pfn:a.pfn ~node:a.dest then incr interleave else incr failed
       | User_component.Locality ->
-          if System_component.migrate sys ~pfn:a.pfn ~node:a.dest then incr locality
-          else incr failed)
+          if do_migrate ~pfn:a.pfn ~node:a.dest then incr locality else incr failed)
     actions;
   {
     interleave_migrations = !interleave;

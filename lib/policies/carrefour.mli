@@ -124,6 +124,8 @@ type report = {
 }
 
 val run_epoch :
+  ?interleave_only:bool ->
+  ?migrate:(pfn:Memory.Page.pfn -> node:Numa.Topology.node -> bool) ->
   System_component.t ->
   config:User_component.config ->
   rng:Sim.Rng.t ->
@@ -131,4 +133,10 @@ val run_epoch :
   report
 (** One user-component period: read metrics, decide, apply.  Migration
     costs are charged to the domain account by the internal
-    interface. *)
+    interface.
+
+    [interleave_only] (default false) sheds the locality and
+    replication actions — the circuit breaker's first degradation
+    level.  [migrate] substitutes the raw internal-interface migration
+    with a resilient wrapper (retry/defer); replica collapse still
+    happens first. *)

@@ -19,6 +19,10 @@ let migrate_page system (domain : Xen.Domain.t) ~pfn ~node =
   | Xen.P2m.Mapped { mfn = old_mfn; writable } ->
       let old_node = Memory.Machine.node_of_mfn (machine system) old_mfn in
       if old_node = node then Ok old_mfn
+      else if system.Xen.System.faults.Xen.System.migrate_alloc_fails () then
+        (* Injected transient ENOMEM: the target node claims exhaustion
+           before we even try.  Callers degrade (retry/defer). *)
+        Error `Enomem
       else begin
         match Memory.Machine.alloc_frame (machine system) ~node with
         | None -> Error `Enomem

@@ -9,6 +9,53 @@ type stats = {
   mutable policy_switches : int;
 }
 
+(* Graceful-degradation machinery.  Migration failures back off and
+   retry; persistent failures land in a bounded per-domain retry queue
+   drained in later epochs; a circuit breaker suspends the Carrefour
+   heuristics when the recent failure rate is too high and, after
+   repeated trips, degrades the domain to a static placement. *)
+let max_migrate_retries = 3
+let backoff_base = 2e-5 (* seconds; doubles per retry *)
+let pending_cap = 4096
+let drain_budget = 64 (* deferred migrations retried per epoch *)
+let breaker_min_attempts = 8
+let breaker_threshold = 0.5
+let breaker_cooldown = 30 (* epochs the breaker stays open per trip *)
+let reconcile_period = 50 (* epochs between P2M<->free-list sweeps *)
+
+type degrade = {
+  mutable migrate_retries : int;
+  mutable backoff_time : float;
+  mutable deferred : int;
+  mutable drained : int;
+  mutable dropped_deferred : int;
+  mutable fallback_maps : int;
+  mutable breaker_trips : int;
+  mutable breaker_level : int;
+  mutable lost_batches : int;
+  mutable lost_ops : int;
+  mutable hypercall_retries : int;
+  mutable reconcile_sweeps : int;
+  mutable reconciled : int;
+}
+
+let fresh_degrade () =
+  {
+    migrate_retries = 0;
+    backoff_time = 0.0;
+    deferred = 0;
+    drained = 0;
+    dropped_deferred = 0;
+    fallback_maps = 0;
+    breaker_trips = 0;
+    breaker_level = 0;
+    lost_batches = 0;
+    lost_ops = 0;
+    hypercall_retries = 0;
+    reconcile_sweeps = 0;
+    reconciled = 0;
+  }
+
 type t = {
   system : Xen.System.t;
   domain : Xen.Domain.t;
@@ -18,6 +65,12 @@ type t = {
   mutable rr_cursor : int;  (* round-robin cursor over home nodes *)
   mutable carrefour : Carrefour.System_component.t option;
   carrefour_config : Carrefour.User_component.config;
+  degrade : degrade;
+  pending : (Memory.Page.pfn * Numa.Topology.node) Queue.t;
+  mutable epoch : int;
+  mutable breaker_attempts : int;  (* migration window since last evaluation *)
+  mutable breaker_failures : int;
+  mutable breaker_open_until : int;  (* epoch; -1 = closed *)
 }
 
 let fresh_stats () =
@@ -103,17 +156,42 @@ let populate_round_1g t =
     end
   done
 
+let statically_degraded t = t.degrade.breaker_level >= 2
+
+let push_pending t ~pfn ~node =
+  if not (statically_degraded t) then begin
+    if Queue.length t.pending >= pending_cap then begin
+      (* Bounded queue: shed the oldest debt rather than grow without
+         limit under a persistent fault. *)
+      ignore (Queue.pop t.pending);
+      t.degrade.dropped_deferred <- t.degrade.dropped_deferred + 1
+    end;
+    Queue.push (pfn, node) t.pending;
+    t.degrade.deferred <- t.degrade.deferred + 1
+  end
+
 let install_fault_handler t =
   t.domain.Xen.Domain.fault_handler <-
     Some
       (fun pfn ~cpu ->
         let node =
-          match t.spec.Spec.placement with
-          | Spec.First_touch -> Numa.Topology.node_of_cpu t.system.Xen.System.topo cpu
-          | Spec.Round_4k | Spec.Round_1g -> next_home_node t
+          if statically_degraded t then next_home_node t
+          else
+            match t.spec.Spec.placement with
+            | Spec.First_touch -> Numa.Topology.node_of_cpu t.system.Xen.System.topo cpu
+            | Spec.Round_4k | Spec.Round_1g -> next_home_node t
         in
         match Internal.map_page t.system t.domain ~pfn ~node with
-        | Ok _ -> t.stats.first_touch_maps <- t.stats.first_touch_maps + 1
+        | Ok mfn ->
+            t.stats.first_touch_maps <- t.stats.first_touch_maps + 1;
+            let actual = Memory.Machine.node_of_mfn t.system.Xen.System.machine mfn in
+            if actual <> node then begin
+              (* The wanted node was exhausted and the allocator fell
+                 back elsewhere.  Record the misplacement debt: a later
+                 drain re-migrates the page home. *)
+              t.degrade.fallback_maps <- t.degrade.fallback_maps + 1;
+              push_pending t ~pfn ~node
+            end
         | Error `Enomem -> ())
 
 let make_carrefour t = Carrefour.System_component.create t.system t.domain
@@ -129,6 +207,12 @@ let attach ?(carrefour_config = Carrefour.User_component.default_config) system 
       rr_cursor = 0;
       carrefour = None;
       carrefour_config;
+      degrade = fresh_degrade ();
+      pending = Queue.create ();
+      epoch = 0;
+      breaker_attempts = 0;
+      breaker_failures = 0;
+      breaker_open_until = -1;
     }
   in
   (match boot.Spec.placement with
@@ -146,6 +230,15 @@ let spec t = t.spec
 let stats t = t.stats
 
 let charge_hypercall t id time =
+  let time =
+    if t.system.Xen.System.faults.Xen.System.hypercall_transient () then begin
+      (* Transient failure: the guest retries immediately, paying the
+         entry cost a second time for one logical hypercall. *)
+      t.degrade.hypercall_retries <- t.degrade.hypercall_retries + 1;
+      time +. t.system.Xen.System.costs.Xen.Costs.hypercall_entry
+    end
+    else time
+  in
   let account = t.domain.Xen.Domain.account in
   account.Xen.Domain.hypercall_count <- account.Xen.Domain.hypercall_count + 1;
   account.Xen.Domain.hypercall_time <- account.Xen.Domain.hypercall_time +. time;
@@ -167,7 +260,7 @@ let set_policy t new_spec =
     Ok ()
   end
 
-let page_ops_hypercall t ops =
+let page_ops_replay t ops =
   let costs = t.system.Xen.System.costs in
   let n = Array.length ops in
   t.stats.ops_received <- t.stats.ops_received + n;
@@ -187,6 +280,19 @@ let page_ops_hypercall t ops =
       | `Leave -> t.stats.left_in_place <- t.stats.left_in_place + 1);
   charge_hypercall t Xen.Hypercall.Page_ops !time;
   !time
+
+let page_ops_hypercall t ops =
+  let costs = t.system.Xen.System.costs in
+  if t.system.Xen.System.faults.Xen.System.batch_lost (Array.length ops) then begin
+    (* Batch lost in transit: the guest paid the entry cost but the
+       hypervisor never replays the ops.  Released pages keep their
+       stale P2M entries until the reconciliation sweep heals them. *)
+    t.degrade.lost_batches <- t.degrade.lost_batches + 1;
+    t.degrade.lost_ops <- t.degrade.lost_ops + Array.length ops;
+    charge_hypercall t Xen.Hypercall.Page_ops costs.Xen.Costs.hypercall_entry;
+    costs.Xen.Costs.hypercall_entry
+  end
+  else page_ops_replay t ops
 
 let release_free_pages t pfns =
   let batch = 128 in
@@ -209,14 +315,134 @@ let release_free_pages t pfns =
 
 let carrefour t = t.carrefour
 
+let breaker_open t = t.breaker_open_until >= 0 && t.epoch < t.breaker_open_until
+
+let charge_backoff t attempt =
+  let pause = backoff_base *. float_of_int (1 lsl attempt) in
+  let account = t.domain.Xen.Domain.account in
+  account.Xen.Domain.migrate_time <- account.Xen.Domain.migrate_time +. pause;
+  t.degrade.backoff_time <- t.degrade.backoff_time +. pause
+
+let migrate_resilient t ~pfn ~node =
+  t.breaker_attempts <- t.breaker_attempts + 1;
+  let rec go attempt =
+    match Internal.migrate_page t.system t.domain ~pfn ~node with
+    | Ok _ -> true
+    | Error `Not_mapped -> false (* page gone; not a memory-pressure signal *)
+    | Error `Enomem ->
+        if attempt < max_migrate_retries then begin
+          t.degrade.migrate_retries <- t.degrade.migrate_retries + 1;
+          charge_backoff t attempt;
+          go (attempt + 1)
+        end
+        else begin
+          t.breaker_failures <- t.breaker_failures + 1;
+          push_pending t ~pfn ~node;
+          false
+        end
+  in
+  go 0
+
+let degrade_statically t =
+  t.degrade.breaker_level <- 2;
+  t.carrefour <- None;
+  Queue.clear t.pending;
+  t.domain.Xen.Domain.policy_name <- Spec.name t.spec ^ "+degraded:round-1g"
+
+let evaluate_breaker t =
+  if t.breaker_attempts >= breaker_min_attempts then begin
+    let rate = float_of_int t.breaker_failures /. float_of_int t.breaker_attempts in
+    if rate > breaker_threshold then begin
+      t.degrade.breaker_trips <- t.degrade.breaker_trips + 1;
+      t.breaker_open_until <- t.epoch + breaker_cooldown;
+      (* Escalation ladder: repeated trips mean the fault is not
+         transient — shed the expensive heuristics first, then give up
+         on dynamic placement entirely. *)
+      if t.degrade.breaker_trips >= 4 then degrade_statically t
+      else if t.degrade.breaker_trips >= 2 && t.degrade.breaker_level < 1 then
+        t.degrade.breaker_level <- 1
+    end;
+    t.breaker_attempts <- 0;
+    t.breaker_failures <- 0
+  end
+
+(* Drain attempts feed the breaker window too: once Carrefour has been
+   shed the retry queue is the only remaining migration traffic, and a
+   queue that keeps failing is exactly the signal to stop deferring and
+   fall back to static placement. *)
+let drain_pending t =
+  if not (breaker_open t) then begin
+    let budget = ref drain_budget in
+    let keep_going = ref true in
+    while !keep_going && !budget > 0 && not (Queue.is_empty t.pending) do
+      let pfn, node = Queue.pop t.pending in
+      decr budget;
+      t.breaker_attempts <- t.breaker_attempts + 1;
+      match Internal.migrate_page t.system t.domain ~pfn ~node with
+      | Ok _ -> t.degrade.drained <- t.degrade.drained + 1
+      | Error `Not_mapped -> () (* released while deferred: debt expired *)
+      | Error `Enomem ->
+          (* Node still exhausted: requeue and stop for this epoch. *)
+          t.breaker_failures <- t.breaker_failures + 1;
+          Queue.push (pfn, node) t.pending;
+          keep_going := false
+    done
+  end
+
+let reconcile t ~guest_free =
+  let costs = t.system.Xen.System.costs in
+  let p2m = t.domain.Xen.Domain.p2m in
+  let stale = ref [] in
+  Xen.P2m.iter_mapped p2m (fun pfn _ -> if guest_free pfn then stale := pfn :: !stale);
+  let healed = ref 0 in
+  List.iter
+    (fun pfn ->
+      match Xen.P2m.invalidate p2m pfn with
+      | Some mfn ->
+          Memory.Machine.free t.system.Xen.System.machine ~mfn ~order:0;
+          incr healed
+      | None -> ())
+    !stale;
+  t.degrade.reconcile_sweeps <- t.degrade.reconcile_sweeps + 1;
+  t.degrade.reconciled <- t.degrade.reconciled + !healed;
+  charge_hypercall t Xen.Hypercall.Page_ops
+    (costs.Xen.Costs.hypercall_entry
+    +. (float_of_int !healed *. costs.Xen.Costs.page_invalidate));
+  !healed
+
+let epoch_tick t ~epoch ?guest_free () =
+  t.epoch <- epoch;
+  drain_pending t;
+  evaluate_breaker t;
+  match guest_free with
+  | Some guest_free
+    when t.spec.Spec.placement = Spec.First_touch
+         && epoch > 0
+         && epoch mod reconcile_period = 0 ->
+      ignore (reconcile t ~guest_free)
+  | Some _ | None -> ()
+
 let carrefour_epoch t ~counters ~samples =
   match t.carrefour with
   | None -> None
   | Some sys ->
-      (* The dom0 user component reads metrics through a hypercall. *)
-      charge_hypercall t Xen.Hypercall.Carrefour_read_metrics
-        t.system.Xen.System.costs.Xen.Costs.hypercall_entry;
-      Carrefour.System_component.record_samples sys samples;
-      Some (Carrefour.run_epoch sys ~config:t.carrefour_config ~rng:t.rng ~counters)
+      if breaker_open t then None
+      else begin
+        (* The dom0 user component reads metrics through a hypercall. *)
+        charge_hypercall t Xen.Hypercall.Carrefour_read_metrics
+          t.system.Xen.System.costs.Xen.Costs.hypercall_entry;
+        Carrefour.System_component.record_samples sys samples;
+        let report =
+          Carrefour.run_epoch
+            ~interleave_only:(t.degrade.breaker_level >= 1)
+            ~migrate:(fun ~pfn ~node -> migrate_resilient t ~pfn ~node)
+            sys ~config:t.carrefour_config ~rng:t.rng ~counters
+        in
+        evaluate_breaker t;
+        Some report
+      end
+
+let degrade t = t.degrade
+let pending_migrations t = Queue.length t.pending
 
 let node_of_pfn t pfn = Internal.node_of_pfn t.system t.domain pfn

@@ -21,6 +21,27 @@ type stats = {
   mutable policy_switches : int;
 }
 
+type degrade = {
+  mutable migrate_retries : int;
+      (** Extra migration attempts after a transient ENOMEM. *)
+  mutable backoff_time : float;
+      (** Simulated time spent in exponential backoff pauses. *)
+  mutable deferred : int;  (** Migrations pushed to the retry queue. *)
+  mutable drained : int;  (** Deferred migrations later completed. *)
+  mutable dropped_deferred : int;  (** Retry-queue overflow drops. *)
+  mutable fallback_maps : int;
+      (** [map_page] placements that fell back off the wanted node
+          (misplacement debt, repaid by the drain). *)
+  mutable breaker_trips : int;
+  mutable breaker_level : int;
+      (** 0 = full policy, 1 = interleave-only, 2 = static placement. *)
+  mutable lost_batches : int;  (** Page-ops batches lost in transit. *)
+  mutable lost_ops : int;
+  mutable hypercall_retries : int;  (** Transient hypercall failures retried. *)
+  mutable reconcile_sweeps : int;
+  mutable reconciled : int;  (** Stale P2M entries healed by the sweeps. *)
+}
+
 type t
 
 val attach :
@@ -66,6 +87,30 @@ val carrefour : t -> Carrefour.System_component.t option
 val carrefour_epoch :
   t -> counters:Numa.Counters.t -> samples:Carrefour.sample list -> Carrefour.report option
 (** Feed one epoch of samples and run the user component; [None] when
-    Carrefour is off. *)
+    Carrefour is off or the circuit breaker is open.  Migrations go
+    through the resilient path; the breaker window is evaluated after
+    each period and may trip (suspending the policy for a cooldown) or
+    escalate the degradation level. *)
+
+val migrate_resilient : t -> pfn:Memory.Page.pfn -> node:Numa.Topology.node -> bool
+(** Migration with graceful degradation: on transient ENOMEM, retry up
+    to 3 times with exponential backoff (simulated time charged to the
+    domain); on persistent failure, defer the page to the bounded
+    per-domain retry queue and return [false]. *)
+
+val epoch_tick : t -> epoch:int -> ?guest_free:(Memory.Page.pfn -> bool) -> unit -> unit
+(** Per-epoch housekeeping: advance the manager's epoch clock, drain a
+    budget of deferred migrations (unless the breaker is open), and —
+    under first-touch, every {e reconcile period} epochs when
+    [guest_free] is given — run the {!reconcile} sweep. *)
+
+val reconcile : t -> guest_free:(Memory.Page.pfn -> bool) -> int
+(** P2M / guest-free-list reconciliation: invalidate and free every
+    mapped page the guest reports free, healing entries stranded by
+    lost release batches.  Returns the number of pages healed; charges
+    one hypercall plus the invalidation costs. *)
+
+val degrade : t -> degrade
+val pending_migrations : t -> int
 
 val node_of_pfn : t -> Memory.Page.pfn -> Numa.Topology.node option

@@ -47,3 +47,23 @@ let print ~header ?align rows = print_string (render ~header ?align rows)
 let fmt_pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
 let fmt_ratio x = Printf.sprintf "%.2fx" x
 let fmt_secs x = Printf.sprintf "%.2fs" x
+
+let degradation_header ~first =
+  [ first; "injected"; "retries"; "deferred"; "drained"; "fallback"; "trips"; "level";
+    "lost"; "reconciled"; "completion" ]
+
+let degradation_row ~first ~injected ~retries ~deferred ~drained ~fallback ~trips ~level ~lost
+    ~reconciled ~completion =
+  [
+    first;
+    string_of_int injected;
+    string_of_int retries;
+    string_of_int deferred;
+    string_of_int drained;
+    string_of_int fallback;
+    string_of_int trips;
+    string_of_int level;
+    string_of_int lost;
+    string_of_int reconciled;
+    fmt_secs completion;
+  ]

@@ -17,3 +17,25 @@ val fmt_ratio : float -> string
 (** Format a ratio ("2.31x"). *)
 
 val fmt_secs : float -> string
+
+val degradation_header : first:string -> string list
+(** Header of the chaos-run summary table; [first] labels the leading
+    column (the fault-plan name). *)
+
+val degradation_row :
+  first:string ->
+  injected:int ->
+  retries:int ->
+  deferred:int ->
+  drained:int ->
+  fallback:int ->
+  trips:int ->
+  level:int ->
+  lost:int ->
+  reconciled:int ->
+  completion:float ->
+  string list
+(** One summary row per run: faults injected, migration retries,
+    deferred pages (and how many later drained), fallback placements,
+    circuit-breaker trips and final level, lost batches, reconciled
+    pfns, completion time. *)

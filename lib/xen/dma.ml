@@ -46,7 +46,15 @@ let read system domain ~pci ~path ~buffer ~bytes =
         match bad with
         | Some pfn -> Error (Iommu_fault { pfn })
         | None ->
-            let time = Costs.disk_request costs ~path:`Passthrough ~bytes in
-            charge_io domain time;
-            Ok time
+            (* Injected fault storm: the transfer aborts asynchronously
+               even though every entry is mapped (spurious IOMMU error,
+               one draw per transfer). *)
+            let storm_pfn = match buffer with pfn :: _ -> pfn | [] -> 0 in
+            if system.System.faults.System.iommu_fault storm_pfn then
+              Error (Iommu_fault { pfn = storm_pfn })
+            else begin
+              let time = Costs.disk_request costs ~path:`Passthrough ~bytes in
+              charge_io domain time;
+              Ok time
+            end
       end

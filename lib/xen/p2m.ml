@@ -28,7 +28,10 @@ let get t pfn =
 
 let set t pfn ~mfn ~writable =
   check t pfn;
-  assert (mfn >= 0);
+  (* invalid_arg, not assert: the guard must survive -noassert/release
+     builds — a negative mfn would silently masquerade as Invalid and
+     corrupt the mapped count. *)
+  if mfn < 0 then invalid_arg "P2m.set: negative mfn";
   if t.mfns.(pfn) < 0 then t.mapped <- t.mapped + 1;
   t.mfns.(pfn) <- mfn;
   Bytes.set t.writable pfn (if writable then '\001' else '\000')
@@ -49,6 +52,10 @@ let write_protect t pfn =
   if t.mfns.(pfn) >= 0 then Bytes.set t.writable pfn '\000'
 
 let mapped_count t = t.mapped
+
+let check_consistent t =
+  let scanned = Array.fold_left (fun acc mfn -> if mfn >= 0 then acc + 1 else acc) 0 t.mfns in
+  scanned = t.mapped
 
 let iter_mapped t f =
   Array.iteri (fun pfn mfn -> if mfn >= 0 then f pfn mfn) t.mfns

@@ -31,6 +31,10 @@ val write_protect : t -> Memory.Page.pfn -> unit
 
 val mapped_count : t -> int
 
+val check_consistent : t -> bool
+(** Invariant check for the chaos suite: [true] iff {!mapped_count}
+    matches a full scan of the table.  O(frames). *)
+
 val iter_mapped : t -> (Memory.Page.pfn -> Memory.Page.mfn -> unit) -> unit
 
 val fold_mapped : t -> init:'a -> f:('a -> Memory.Page.pfn -> Memory.Page.mfn -> 'a) -> 'a

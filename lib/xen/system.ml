@@ -1,3 +1,18 @@
+type fault_hooks = {
+  mutable migrate_alloc_fails : unit -> bool;
+  mutable hypercall_transient : unit -> bool;
+  mutable iommu_fault : Memory.Page.pfn -> bool;
+  mutable batch_lost : int -> bool;
+}
+
+let no_faults () =
+  {
+    migrate_alloc_fails = (fun () -> false);
+    hypercall_transient = (fun () -> false);
+    iommu_fault = (fun _ -> false);
+    batch_lost = (fun _ -> false);
+  }
+
 type t = {
   topo : Numa.Topology.t;
   machine : Memory.Machine.t;
@@ -5,6 +20,7 @@ type t = {
   mutable domains : Domain.t list;
   pcpu_load : int array;
   mutable next_id : int;
+  faults : fault_hooks;
 }
 
 let create ?(page_scale = 1) ?(costs = Costs.default) topo =
@@ -15,6 +31,7 @@ let create ?(page_scale = 1) ?(costs = Costs.default) topo =
     domains = [];
     pcpu_load = Array.make (Numa.Topology.cpu_count topo) 0;
     next_id = 0;
+    faults = no_faults ();
   }
 
 let mem_frames_of_bytes t bytes =

@@ -7,6 +7,24 @@
     populated at creation: the boot NUMA policy does that (round-1G or
     round-4K), which lives in the [policies] library. *)
 
+type fault_hooks = {
+  mutable migrate_alloc_fails : unit -> bool;
+      (** Consulted by [Internal.migrate_page] before the target-node
+          allocation; [true] injects an ENOMEM. *)
+  mutable hypercall_transient : unit -> bool;
+      (** [true] makes the hypercall fail transiently: the guest
+          retries immediately and pays the entry cost again. *)
+  mutable iommu_fault : Memory.Page.pfn -> bool;
+      (** [true] aborts a passthrough DMA transfer with an asynchronous
+          IOMMU fault even though the buffer is fully mapped. *)
+  mutable batch_lost : int -> bool;
+      (** Called with the batch size before a page-ops batch is
+          replayed; [true] loses the batch in transit. *)
+}
+
+val no_faults : unit -> fault_hooks
+(** Hooks that never fire (the default for every new system). *)
+
 type t = {
   topo : Numa.Topology.t;
   machine : Memory.Machine.t;
@@ -14,6 +32,9 @@ type t = {
   mutable domains : Domain.t list;
   pcpu_load : int array;  (** Number of vCPUs pinned to each pCPU. *)
   mutable next_id : int;
+  faults : fault_hooks;
+      (** Fault-injection sites; installed by [Faults.Injector.install],
+          inert otherwise. *)
 }
 
 val create : ?page_scale:int -> ?costs:Costs.t -> Numa.Topology.t -> t

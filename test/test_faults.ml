@@ -1,0 +1,487 @@
+(* Tests for the fault-injection subsystem and graceful degradation:
+   plan parsing, injector determinism, queue fault hooks and
+   re-entrancy, breaker escalation, frame-accounting under random fault
+   schedules, and whole-engine behaviour under injection. *)
+
+(* ------------------------------- plans ----------------------------- *)
+
+let test_plan_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      let p = Faults.Plan.of_string_exn s in
+      let s' = Faults.Plan.to_string p in
+      let p' = Faults.Plan.of_string_exn s' in
+      Alcotest.(check string) ("round-trip " ^ s) s' (Faults.Plan.to_string p'))
+    [
+      "migrate=1.0";
+      "alloc=0.3@50-150,stall=0.01";
+      "node-off=2@100-";
+      "batch-loss=0.5,op-drop=0.05,hypercall=0.2,iommu=0.1";
+      "alloc=0.15,migrate=0.5";
+    ]
+
+let test_plan_parse_empty () =
+  Alcotest.(check bool) "none" true (Faults.Plan.is_empty (Faults.Plan.of_string_exn "none"));
+  Alcotest.(check bool) "blank" true (Faults.Plan.is_empty (Faults.Plan.of_string_exn ""))
+
+let test_plan_parse_errors () =
+  List.iter
+    (fun s ->
+      match Faults.Plan.of_string s with
+      | Ok _ -> Alcotest.failf "plan %S should not parse" s
+      | Error _ -> ())
+    [ "alloc=1.5"; "migrate=-0.1"; "bogus=0.1"; "migrate"; "alloc=0.1@9-3"; "alloc=abc" ]
+
+let test_plan_validate_window () =
+  let bad =
+    [ Faults.Plan.spec ~from_epoch:10 ~until_epoch:5 (Faults.Plan.Migrate_enomem 0.5) ]
+  in
+  match Faults.Plan.validate bad with
+  | Ok _ -> Alcotest.fail "inverted window should not validate"
+  | Error _ -> ()
+
+(* ------------------------------ injector --------------------------- *)
+
+let all_sites_plan =
+  Faults.Plan.of_string_exn
+    "alloc=0.5,migrate=0.5,batch-loss=0.5,op-drop=0.5,hypercall=0.5,iommu=0.5,stall=0.5"
+
+(* One fixed interleaved query trace: the injector's guarantee is that
+   the same plan, seed and query sequence give the same answers. *)
+let query_trace inj =
+  let out = ref [] in
+  for epoch = 0 to 20 do
+    Faults.Injector.set_epoch inj epoch;
+    List.iter
+      (fun b -> out := b :: !out)
+      [
+        Faults.Injector.alloc_fails inj ~node:(epoch mod 8);
+        Faults.Injector.migrate_fails inj;
+        Faults.Injector.batch_lost inj ~ops:16;
+        Faults.Injector.op_dropped inj;
+        Faults.Injector.hypercall_fails inj;
+        Faults.Injector.iommu_faults inj;
+        Faults.Injector.vcpu_stalls inj;
+      ]
+  done;
+  List.rev !out
+
+let test_injector_deterministic () =
+  let a = query_trace (Faults.Injector.create ~seed:1234 all_sites_plan) in
+  let b = query_trace (Faults.Injector.create ~seed:1234 all_sites_plan) in
+  Alcotest.(check (list bool)) "same seed, same trace" a b;
+  let c = query_trace (Faults.Injector.create ~seed:1235 all_sites_plan) in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_injector_boot_quiet () =
+  (* Epoch -1 (boot) never fires, even at rate 1.0. *)
+  let plan = Faults.Plan.of_string_exn "alloc=1.0,migrate=1.0,stall=1.0" in
+  let inj = Faults.Injector.create ~seed:7 plan in
+  Alcotest.(check bool) "alloc quiet" false (Faults.Injector.alloc_fails inj ~node:0);
+  Alcotest.(check bool) "migrate quiet" false (Faults.Injector.migrate_fails inj);
+  Alcotest.(check bool) "stall quiet" false (Faults.Injector.vcpu_stalls inj);
+  Alcotest.(check int) "nothing injected" 0 (Faults.Injector.total_injected inj)
+
+let test_injector_window () =
+  let inj = Faults.Injector.create ~seed:7 (Faults.Plan.of_string_exn "alloc=1.0@5-10") in
+  List.iter
+    (fun (epoch, expect) ->
+      Faults.Injector.set_epoch inj epoch;
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d" epoch)
+        expect
+        (Faults.Injector.alloc_fails inj ~node:0))
+    [ (4, false); (5, true); (9, true); (10, false) ]
+
+let test_injector_node_offline () =
+  let inj = Faults.Injector.create ~seed:7 (Faults.Plan.of_string_exn "node-off=2") in
+  Faults.Injector.set_epoch inj 0;
+  Alcotest.(check bool) "node 2 down" true (Faults.Injector.alloc_fails inj ~node:2);
+  Alcotest.(check bool) "node 1 up" false (Faults.Injector.alloc_fails inj ~node:1)
+
+let test_injector_empty_disabled () =
+  let inj = Faults.Injector.create ~seed:7 Faults.Plan.empty in
+  Alcotest.(check bool) "disabled" false (Faults.Injector.enabled inj);
+  Faults.Injector.set_epoch inj 3;
+  Alcotest.(check bool) "never fires" false (Faults.Injector.migrate_fails inj)
+
+(* ---------------------------- p2m hardening ------------------------ *)
+
+let test_p2m_rejects_negative_mfn () =
+  let p2m = Xen.P2m.create ~frames:8 in
+  Alcotest.check_raises "negative mfn" (Invalid_argument "P2m.set: negative mfn") (fun () ->
+      Xen.P2m.set p2m 0 ~mfn:(-2) ~writable:true)
+
+let test_p2m_check_consistent () =
+  let p2m = Xen.P2m.create ~frames:8 in
+  Alcotest.(check bool) "fresh" true (Xen.P2m.check_consistent p2m);
+  Xen.P2m.set p2m 0 ~mfn:11 ~writable:true;
+  Xen.P2m.set p2m 3 ~mfn:12 ~writable:false;
+  ignore (Xen.P2m.invalidate p2m 0);
+  Alcotest.(check bool) "after churn" true (Xen.P2m.check_consistent p2m);
+  Alcotest.(check int) "mapped count" 1 (Xen.P2m.mapped_count p2m)
+
+(* --------------------------- pv queue faults ----------------------- *)
+
+let test_queue_reentrant_flush () =
+  (* Regression: [record] must be callable from inside the flush
+     handler (the partition is snapshotted and emptied first). *)
+  let q = ref None in
+  let flushed = ref 0 in
+  let flush ops =
+    incr flushed;
+    if !flushed = 1 then
+      (* Re-enter with an op landing in the same (only) partition. *)
+      Guest.Pv_queue.record (Option.get !q) (Guest.Pv_queue.Alloc (Array.length ops + 100));
+    0.0
+  in
+  let queue = Guest.Pv_queue.create ~partitions:1 ~capacity:4 ~flush () in
+  q := Some queue;
+  for pfn = 0 to 3 do
+    Guest.Pv_queue.record queue (Guest.Pv_queue.Alloc pfn)
+  done;
+  Alcotest.(check int) "one flush" 1 !flushed;
+  Alcotest.(check int) "re-entered op queued" 1 (Guest.Pv_queue.pending queue);
+  Alcotest.(check int) "four ops sent" 4 (Guest.Pv_queue.stats queue).Guest.Pv_queue.ops_sent
+
+let test_queue_drop_and_loss_hooks () =
+  let sent = ref 0 in
+  let queue =
+    Guest.Pv_queue.create ~partitions:1 ~capacity:4
+      ~flush:(fun ops ->
+        sent := !sent + Array.length ops;
+        0.0)
+      ()
+  in
+  let drops = ref 2 in
+  Guest.Pv_queue.set_fault_hooks queue
+    ~drop_op:(fun _ -> decr drops; !drops >= 0)
+    ~lose_batch:(fun _ -> true)
+    ();
+  for pfn = 0 to 5 do
+    Guest.Pv_queue.record queue (Guest.Pv_queue.Alloc pfn)
+  done;
+  Guest.Pv_queue.flush_all queue;
+  let stats = Guest.Pv_queue.stats queue in
+  Alcotest.(check int) "two dropped" 2 stats.Guest.Pv_queue.dropped;
+  Alcotest.(check int) "batch lost" 1 stats.Guest.Pv_queue.lost_batches;
+  Alcotest.(check int) "lost ops counted" 4 stats.Guest.Pv_queue.lost_ops;
+  Alcotest.(check int) "nothing reached the hypervisor" 0 !sent
+
+(* Most-recent-op-wins, as a property: replay visits every queued page
+   exactly once and applies its latest op. *)
+let prop_replay_most_recent_wins =
+  QCheck.Test.make ~name:"pv_queue replay: most recent op wins" ~count:500
+    QCheck.(list (pair bool (int_range 0 7)))
+    (fun spec ->
+      let ops =
+        Array.of_list
+          (List.map
+             (fun (alloc, pfn) ->
+               if alloc then Guest.Pv_queue.Alloc pfn else Guest.Pv_queue.Release pfn)
+             spec)
+      in
+      let visited = Hashtbl.create 8 in
+      Guest.Pv_queue.replay ops ~f:(fun pfn action ->
+          if Hashtbl.mem visited pfn then
+            QCheck.Test.fail_reportf "pfn %d visited twice" pfn;
+          Hashtbl.replace visited pfn action);
+      Array.iter
+        (fun op ->
+          let pfn = Guest.Pv_queue.op_pfn op in
+          if not (Hashtbl.mem visited pfn) then
+            QCheck.Test.fail_reportf "pfn %d never visited" pfn)
+        ops;
+      Hashtbl.iter
+        (fun pfn action ->
+          let last =
+            List.fold_left
+              (fun acc (alloc, p) -> if p = pfn then Some alloc else acc)
+              None spec
+          in
+          match (last, action) with
+          | Some true, `Leave | Some false, `Invalidate -> ()
+          | Some _, _ -> QCheck.Test.fail_reportf "pfn %d got the wrong action" pfn
+          | None, _ -> QCheck.Test.fail_reportf "pfn %d visited but never queued" pfn)
+        visited;
+      true)
+
+(* ------------------------- breaker escalation ---------------------- *)
+
+let harness_system () = Xen.System.create ~page_scale:16384 (Numa.Amd48.topology ())
+
+let harness_domain ?(gib = 4) s =
+  Xen.System.create_domain s ~name:"chaos" ~kind:Xen.Domain.DomU ~vcpus:6
+    ~mem_bytes:(gib * 1024 * 1024 * 1024) ()
+
+let test_breaker_escalates_to_static () =
+  let s = harness_system () in
+  let d = harness_domain s in
+  let m =
+    Policies.Manager.attach s d ~boot:Policies.Spec.first_touch_carrefour
+      ~rng:(Sim.Rng.create ~seed:3)
+  in
+  let inj = Faults.Injector.create ~seed:3 (Faults.Plan.of_string_exn "migrate=1.0") in
+  Faults.Injector.install inj s;
+  (* Map a few pages so migrations are attempted for real. *)
+  for pfn = 0 to 9 do
+    ignore (Policies.Internal.map_page s d ~pfn ~node:0)
+  done;
+  let epoch = ref 0 in
+  while (Policies.Manager.degrade m).Policies.Manager.breaker_level < 2 && !epoch < 200 do
+    Faults.Injector.set_epoch inj !epoch;
+    for pfn = 0 to 9 do
+      ignore (Policies.Manager.migrate_resilient m ~pfn ~node:(1 + (pfn mod 7)))
+    done;
+    Policies.Manager.epoch_tick m ~epoch:!epoch ();
+    incr epoch
+  done;
+  let dg = Policies.Manager.degrade m in
+  Alcotest.(check int) "statically degraded" 2 dg.Policies.Manager.breaker_level;
+  Alcotest.(check bool) "several trips" true (dg.Policies.Manager.breaker_trips >= 4);
+  Alcotest.(check bool) "retries happened" true (dg.Policies.Manager.migrate_retries > 0);
+  Alcotest.(check (option Alcotest.reject)) "carrefour shed" None (Policies.Manager.carrefour m);
+  Alcotest.(check int) "retry queue cleared" 0 (Policies.Manager.pending_migrations m);
+  Alcotest.(check bool) "policy renamed" true
+    (String.length d.Xen.Domain.policy_name > 0
+    && String.ends_with ~suffix:"+degraded:round-1g" d.Xen.Domain.policy_name)
+
+let test_deferred_drains_when_pressure_lifts () =
+  let s = harness_system () in
+  let d = harness_domain s in
+  let m =
+    Policies.Manager.attach s d ~boot:Policies.Spec.first_touch
+      ~rng:(Sim.Rng.create ~seed:4)
+  in
+  (* Migration failures for epochs [0, 3): pages are deferred, then the
+     pressure lifts and the drain completes them. *)
+  let inj = Faults.Injector.create ~seed:4 (Faults.Plan.of_string_exn "migrate=1.0@0-3") in
+  Faults.Injector.install inj s;
+  for pfn = 0 to 7 do
+    ignore (Policies.Internal.map_page s d ~pfn ~node:0)
+  done;
+  Faults.Injector.set_epoch inj 0;
+  for pfn = 0 to 7 do
+    ignore (Policies.Manager.migrate_resilient m ~pfn ~node:1)
+  done;
+  let dg = Policies.Manager.degrade m in
+  Alcotest.(check int) "all deferred" 8 dg.Policies.Manager.deferred;
+  Alcotest.(check int) "queued" 8 (Policies.Manager.pending_migrations m);
+  for epoch = 3 to 5 do
+    Faults.Injector.set_epoch inj epoch;
+    Policies.Manager.epoch_tick m ~epoch ()
+  done;
+  Alcotest.(check int) "all drained" 8 (Policies.Manager.degrade m).Policies.Manager.drained;
+  Alcotest.(check int) "queue empty" 0 (Policies.Manager.pending_migrations m);
+  List.iter
+    (fun pfn ->
+      Alcotest.(check (option int)) "page reached node 1" (Some 1)
+        (Policies.Manager.node_of_pfn m pfn))
+    [ 0; 3; 7 ]
+
+let test_reconcile_heals_lost_batch () =
+  let s = harness_system () in
+  let d = harness_domain s in
+  let m =
+    Policies.Manager.attach s d ~boot:Policies.Spec.first_touch
+      ~rng:(Sim.Rng.create ~seed:5)
+  in
+  for pfn = 0 to 3 do
+    ignore (Policies.Internal.map_page s d ~pfn ~node:0)
+  done;
+  let free0 = Memory.Machine.free_frames s.Xen.System.machine in
+  (* The guest freed pages 0-3 but the release batch was lost: the P2M
+     still maps them.  The sweep heals exactly those entries. *)
+  let healed = Policies.Manager.reconcile m ~guest_free:(fun pfn -> pfn <= 3) in
+  Alcotest.(check int) "four healed" 4 healed;
+  Alcotest.(check int) "frames returned" (free0 + 4) (Memory.Machine.free_frames s.Xen.System.machine);
+  Alcotest.(check int) "p2m empty" 0 (Xen.P2m.mapped_count d.Xen.Domain.p2m);
+  Alcotest.(check bool) "consistent" true (Xen.P2m.check_consistent d.Xen.Domain.p2m)
+
+(* ---------------------- chaos accounting property ------------------ *)
+
+(* One random fault schedule, driven end to end through the manager,
+   the pv queue and the injector.  The invariant checked after every
+   epoch is the frame-accounting reconciliation from the issue: frames
+   either sit in the allocator's free pool or are reachable from the
+   P2M — under any fault schedule, nothing leaks and nothing is freed
+   twice. *)
+let random_plan rng =
+  let maybe p site = if Sim.Rng.bernoulli rng p then [ Faults.Plan.spec site ] else [] in
+  let windowed p site =
+    if Sim.Rng.bernoulli rng p then
+      let from_epoch = Sim.Rng.int rng 20 in
+      let until_epoch = from_epoch + 1 + Sim.Rng.int rng 30 in
+      [ Faults.Plan.spec ~from_epoch ~until_epoch site ]
+    else []
+  in
+  List.concat
+    [
+      maybe 0.6 (Faults.Plan.Alloc_flaky (Sim.Rng.float rng 0.4));
+      windowed 0.3 (Faults.Plan.Node_offline (Sim.Rng.int rng 8));
+      maybe 0.6 (Faults.Plan.Migrate_enomem (Sim.Rng.float rng 1.0));
+      maybe 0.5 (Faults.Plan.Batch_loss (Sim.Rng.float rng 0.7));
+      maybe 0.4 (Faults.Plan.Op_drop (Sim.Rng.float rng 0.2));
+      maybe 0.4 (Faults.Plan.Hypercall_flaky (Sim.Rng.float rng 0.5));
+      maybe 0.3 (Faults.Plan.Vcpu_stall (Sim.Rng.float rng 0.1));
+    ]
+
+let check_accounting ~msg s d =
+  let machine = s.Xen.System.machine in
+  let total = Memory.Machine.total_frames machine in
+  let free = Memory.Machine.free_frames machine in
+  let mapped = Xen.P2m.mapped_count d.Xen.Domain.p2m in
+  if free + mapped <> total then
+    QCheck.Test.fail_reportf "%s: %d free + %d mapped <> %d total (leak or double free)" msg
+      free mapped total;
+  if not (Xen.P2m.check_consistent d.Xen.Domain.p2m) then
+    QCheck.Test.fail_reportf "%s: P2M mapped-count out of sync" msg
+
+let run_chaos_schedule master_seed =
+  let rng = Sim.Rng.create ~seed:master_seed in
+  let plan = random_plan rng in
+  let s = harness_system () in
+  let d = harness_domain s in
+  let m =
+    Policies.Manager.attach s d ~boot:Policies.Spec.first_touch_carrefour
+      ~rng:(Sim.Rng.split rng)
+  in
+  let inj = Faults.Injector.create ~seed:master_seed plan in
+  Faults.Injector.install inj s;
+  let frames = Xen.P2m.frames d.Xen.Domain.p2m in
+  let pool = Guest.Pfn_pool.create ~frames () in
+  let queue =
+    Guest.Pv_queue.create ~capacity:16
+      ~flush:(fun ops -> Policies.Manager.page_ops_hypercall m ops)
+      ()
+  in
+  Faults.Injector.install_queue inj queue;
+  let live = ref [] in
+  for epoch = 0 to 39 do
+    Faults.Injector.set_epoch inj epoch;
+    for _ = 0 to 15 do
+      match Sim.Rng.int rng 4 with
+      | 0 | 1 -> (
+          (* Guest page churn: allocate, touch (hypervisor fault on an
+             invalid entry), queue the alloc op. *)
+          match Guest.Pfn_pool.alloc pool with
+          | Some pfn ->
+              Guest.Pv_queue.record queue (Guest.Pv_queue.Alloc pfn);
+              (match Xen.P2m.get d.Xen.Domain.p2m pfn with
+              | Xen.P2m.Invalid ->
+                  ignore
+                    (Xen.Domain.handle_fault d ~costs:s.Xen.System.costs ~pfn
+                       ~cpu:(Sim.Rng.int rng 48))
+              | Xen.P2m.Mapped _ -> ());
+              live := pfn :: !live
+          | None -> ())
+      | 2 -> (
+          match !live with
+          | pfn :: rest ->
+              Guest.Pfn_pool.release pool pfn;
+              Guest.Pv_queue.record queue (Guest.Pv_queue.Release pfn);
+              live := rest
+          | [] -> ())
+      | _ -> (
+          match !live with
+          | pfn :: _ ->
+              ignore (Policies.Manager.migrate_resilient m ~pfn ~node:(Sim.Rng.int rng 8))
+          | [] -> ())
+    done;
+    Policies.Manager.epoch_tick m ~epoch
+      ~guest_free:(fun pfn -> Guest.Pfn_pool.is_free pool pfn)
+      ();
+    check_accounting ~msg:(Printf.sprintf "epoch %d" epoch) s d
+  done;
+  Guest.Pv_queue.flush_all queue;
+  ignore (Policies.Manager.reconcile m ~guest_free:(fun pfn -> Guest.Pfn_pool.is_free pool pfn));
+  check_accounting ~msg:"after reconcile" s d;
+  true
+
+let prop_chaos_frame_accounting =
+  QCheck.Test.make ~name:"chaos: no frame leaks or double frees under random faults"
+    ~count:500 QCheck.small_nat (fun n -> run_chaos_schedule (n * 7919))
+
+(* ------------------------------ engine ----------------------------- *)
+
+(* A shrunk wrmem so whole-engine chaos runs stay fast: same churn
+   behaviour (15 us release period), a fraction of the work. *)
+let tiny_app () =
+  match Workloads.Catalogue.find "wrmem" with
+  | Some app ->
+      { app with Workloads.App.name = "wrmem-tiny"; footprint_mb = 128; native_seconds = 3.0 }
+  | None -> Alcotest.fail "wrmem missing from the catalogue"
+
+let eager_carrefour =
+  {
+    Policies.Carrefour.User_component.default_config with
+    Policies.Carrefour.User_component.mc_threshold = 0.30;
+    ic_threshold = 0.05;
+    dominant_fraction = 0.60;
+    min_accesses = 2.0;
+  }
+
+let chaos_run ?(seed = 11) ?(max_epochs = 2_000) plan =
+  let vm =
+    Engine.Config.vm ~threads:8 ~policy:Policies.Spec.first_touch_carrefour (tiny_app ())
+  in
+  Engine.Runner.run
+    (Engine.Config.make ~seed ~max_epochs ~carrefour_config:eager_carrefour
+       ~faults:(Faults.Plan.of_string_exn plan) ~mode:Engine.Config.Xen_plus [ vm ])
+
+let test_engine_completes_under_full_migration_failure () =
+  let r = chaos_run "alloc=0.3,migrate=1.0" in
+  Alcotest.(check bool) "completed before the epoch cap" true (r.Engine.Result.epochs < 2_000);
+  Alcotest.(check bool) "faults were injected" true (r.Engine.Result.faults_injected > 0);
+  let d = (Engine.Result.single r).Engine.Result.degradation in
+  Alcotest.(check bool) "fallback placements happened" true (d.Engine.Result.fallback_maps > 0)
+
+let test_engine_clean_run_reports_no_degradation () =
+  let r = chaos_run "none" in
+  Alcotest.(check int) "no faults" 0 r.Engine.Result.faults_injected;
+  Alcotest.(check bool) "no degradation" true
+    ((Engine.Result.single r).Engine.Result.degradation = Engine.Result.no_degradation)
+
+let test_engine_jobs_bit_identical () =
+  (* The chaos acceptance bar: a fixed-seed fault grid is bit-identical
+     whatever the worker count. *)
+  let plans = [| "none"; "alloc=0.3"; "alloc=0.3,migrate=1.0"; "batch-loss=0.5" |] in
+  let tasks = Array.map (fun plan () -> chaos_run ~max_epochs:400 plan) plans in
+  let seq = Engine.Pool.run_all ~jobs:1 tasks in
+  let par = Engine.Pool.run_all ~jobs:4 tasks in
+  Array.iteri
+    (fun i plan ->
+      Alcotest.(check bool) (plan ^ " identical across job counts") true (seq.(i) = par.(i)))
+    plans
+
+(* ------------------------------- suite ----------------------------- *)
+
+let suite =
+  [
+    ( "faults",
+      [
+        Alcotest.test_case "plan round-trip" `Quick test_plan_parse_roundtrip;
+        Alcotest.test_case "plan empty forms" `Quick test_plan_parse_empty;
+        Alcotest.test_case "plan parse errors" `Quick test_plan_parse_errors;
+        Alcotest.test_case "plan window validation" `Quick test_plan_validate_window;
+        Alcotest.test_case "injector deterministic" `Quick test_injector_deterministic;
+        Alcotest.test_case "injector quiet at boot" `Quick test_injector_boot_quiet;
+        Alcotest.test_case "injector window" `Quick test_injector_window;
+        Alcotest.test_case "injector node offline" `Quick test_injector_node_offline;
+        Alcotest.test_case "injector empty plan" `Quick test_injector_empty_disabled;
+        Alcotest.test_case "p2m rejects negative mfn" `Quick test_p2m_rejects_negative_mfn;
+        Alcotest.test_case "p2m check_consistent" `Quick test_p2m_check_consistent;
+        Alcotest.test_case "queue re-entrant flush" `Quick test_queue_reentrant_flush;
+        Alcotest.test_case "queue fault hooks" `Quick test_queue_drop_and_loss_hooks;
+        QCheck_alcotest.to_alcotest prop_replay_most_recent_wins;
+        Alcotest.test_case "breaker escalates to static" `Quick test_breaker_escalates_to_static;
+        Alcotest.test_case "deferred migrations drain" `Quick
+          test_deferred_drains_when_pressure_lifts;
+        Alcotest.test_case "reconcile heals lost batch" `Quick test_reconcile_heals_lost_batch;
+        QCheck_alcotest.to_alcotest prop_chaos_frame_accounting;
+        Alcotest.test_case "engine survives migrate=1.0" `Quick
+          test_engine_completes_under_full_migration_failure;
+        Alcotest.test_case "engine clean run" `Quick test_engine_clean_run_reports_no_degradation;
+        Alcotest.test_case "engine jobs bit-identical" `Quick test_engine_jobs_bit_identical;
+      ] );
+  ]

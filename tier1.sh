@@ -8,4 +8,17 @@ dune build
 dune runtest
 dune exec bench/main.exe -- tab1 --jobs 2
 
+# Chaos suite, pinned seed: the degradation grid must complete every
+# fault plan (a plan that hits the epoch cap prints a WARNING).
+dune exec bench/main.exe -- chaos --jobs 2
+
+# Short randomised chaos pass: a fresh QCHECK_SEED (overridable for
+# replay) re-runs the fault-injection property suite, whose
+# frame-accounting invariant (no leaks, no double frees) fails the
+# build on violation.
+QCHECK_SEED="${QCHECK_SEED:-$(date +%s)}"
+export QCHECK_SEED
+echo "tier1: randomised chaos pass (QCHECK_SEED=$QCHECK_SEED)"
+dune exec test/test_main.exe -- test faults
+
 echo "tier1: OK"
