@@ -3,12 +3,17 @@
 
    Usage: main.exe [all|tab1|tab2|tab3|tab4|fig1|fig2|fig5|fig6|fig7|
                     fig8|fig9|fig10|dma|batching|ablation|micro]
-                   [--jobs N] [--json FILE]
+                   [--jobs N] [--json FILE] [--trace FILE] [--trace-cap N]
 
-   --jobs N     run the experiment grids on N domains (default:
-                XEN_NUMA_JOBS or the host's recommended domain count)
-   --json FILE  also write per-section wall-clock times and the
-                bechamel per-op medians as machine-readable JSON *)
+   --jobs N       run the experiment grids on N domains (default:
+                  XEN_NUMA_JOBS or the host's recommended domain count)
+   --json FILE    also write per-section wall-clock times, the bechamel
+                  per-op medians and the metrics registry as JSON
+                  (metrics collection is enabled for the run)
+   --trace FILE   capture an event trace of every simulated run and
+                  write the deterministic merge to FILE (JSONL, or
+                  binary when FILE ends in .bin)
+   --trace-cap N  per-stream trace ring capacity (default 4096) *)
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
@@ -231,6 +236,55 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Revision of the working tree, for provenance in the JSON report.
+   Reads .git directly (no subprocess): HEAD, the ref file it points
+   to, or packed-refs.  XEN_NUMA_GIT_REV overrides (CI checkouts). *)
+let git_rev () =
+  match Sys.getenv_opt "XEN_NUMA_GIT_REV" with
+  | Some rev when rev <> "" -> rev
+  | Some _ | None -> (
+      let first_line path =
+        try
+          let ic = open_in path in
+          let line = try String.trim (input_line ic) with End_of_file -> "" in
+          close_in ic;
+          if line = "" then None else Some line
+        with Sys_error _ -> None
+      in
+      let packed_ref git_dir refname =
+        try
+          let ic = open_in (Filename.concat git_dir "packed-refs") in
+          let found = ref None in
+          (try
+             while !found = None do
+               let line = input_line ic in
+               match String.index_opt line ' ' with
+               | Some i when String.sub line (i + 1) (String.length line - i - 1) = refname ->
+                   found := Some (String.sub line 0 i)
+               | _ -> ()
+             done
+           with End_of_file -> ());
+          close_in ic;
+          !found
+        with Sys_error _ -> None
+      in
+      let rec from_dir dir =
+        let git_dir = Filename.concat dir ".git" in
+        match first_line (Filename.concat git_dir "HEAD") with
+        | Some line ->
+            if String.length line > 5 && String.sub line 0 5 = "ref: " then begin
+              let refname = String.trim (String.sub line 5 (String.length line - 5)) in
+              match first_line (Filename.concat git_dir refname) with
+              | Some rev -> Some rev
+              | None -> packed_ref git_dir refname
+            end
+            else Some line
+        | None ->
+            let parent = Filename.dirname dir in
+            if parent = dir then None else from_dir parent
+      in
+      match from_dir (Sys.getcwd ()) with Some rev -> rev | None -> "unknown")
+
 let write_json file ~jobs ~timings ~total =
   let oc =
     try open_out file
@@ -240,48 +294,96 @@ let write_json file ~jobs ~timings ~total =
   in
   let entry (name, seconds) = Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %.3f}" (json_escape name) seconds in
   let micro (name, ns) = Printf.sprintf "    {\"name\": \"%s\", \"ns_per_op\": %.1f}" (json_escape name) ns in
+  let metrics = List.map (fun line -> "    " ^ line) (Obs.Metrics.to_json_entries ()) in
   Printf.fprintf oc
     "{\n\
+    \  \"git_rev\": \"%s\",\n\
     \  \"jobs\": %d,\n\
     \  \"host_cores\": %d,\n\
     \  \"total_wall_s\": %.3f,\n\
     \  \"sections\": [\n%s\n  ],\n\
-    \  \"micro\": [\n%s\n  ]\n\
+    \  \"micro\": [\n%s\n  ],\n\
+    \  \"metrics\": [\n%s\n  ]\n\
      }\n"
+    (json_escape (git_rev ()))
     jobs
     (Domain.recommended_domain_count ())
     total
     (String.concat ",\n" (List.map entry timings))
-    (String.concat ",\n" (List.map micro !micro_estimates));
+    (String.concat ",\n" (List.map micro !micro_estimates))
+    (String.concat ",\n" metrics);
   close_out oc;
   Printf.printf "\nwrote %s\n" file
 
 let usage () =
-  Printf.eprintf "usage: main.exe [sections...] [--jobs N] [--json FILE]\navailable sections: all %s\n"
+  Printf.eprintf
+    "usage: main.exe [sections...] [--jobs N] [--json FILE] [--trace FILE] [--trace-cap N]\n\
+     available sections: all %s\n"
     (String.concat " " (List.map fst sections));
   exit 1
 
+type opts = {
+  mutable names : string list;
+  mutable jobs : int option;
+  mutable json : string option;
+  mutable trace : string option;
+  mutable trace_cap : int;
+}
+
 let () =
-  let rec parse (names, jobs, json) = function
-    | [] -> (List.rev names, jobs, json)
+  let o = { names = []; jobs = None; json = None; trace = None; trace_cap = 4096 } in
+  let rec parse = function
+    | [] -> ()
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j when j >= 1 -> parse (names, Some j, json) rest
+        | Some j when j >= 1 ->
+            o.jobs <- Some j;
+            parse rest
         | Some _ | None ->
             Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
-            exit 1)
-    | "--json" :: file :: rest -> parse (names, jobs, Some file) rest
-    | ("--jobs" | "--json" | "--help" | "-h") :: _ -> usage ()
-    | name :: rest -> parse (name :: names, jobs, json) rest
+            usage ())
+    | "--json" :: file :: rest ->
+        o.json <- Some file;
+        parse rest
+    | "--trace" :: file :: rest ->
+        o.trace <- Some file;
+        parse rest
+    | "--trace-cap" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some c when c >= 1 ->
+            o.trace_cap <- c;
+            parse rest
+        | Some _ | None ->
+            Printf.eprintf "--trace-cap expects a positive integer, got %S\n" n;
+            usage ())
+    | ("--jobs" | "--json" | "--trace" | "--trace-cap" | "--help" | "-h") :: _ -> usage ()
+    | name :: rest ->
+        o.names <- name :: o.names;
+        parse rest
   in
-  let requested, jobs, json = parse ([], None, None) (List.tl (Array.to_list Sys.argv)) in
-  (match jobs with Some n -> Engine.Pool.set_default_jobs n | None -> ());
+  parse (List.tl (Array.to_list Sys.argv));
+  (match o.jobs with Some n -> Engine.Pool.set_default_jobs n | None -> ());
   let requested =
-    if requested = [] || requested = [ "all" ] then List.map fst sections else requested
+    match List.rev o.names with [] | [ "all" ] -> List.map fst sections | names -> names
   in
   List.iter
-    (fun name -> if not (List.mem_assoc name sections) then usage ())
+    (fun name ->
+      if not (List.mem_assoc name sections) then begin
+        Printf.eprintf "unknown section %S\n" name;
+        usage ()
+      end)
     requested;
+  (* --json reports the metrics registry, so collection goes on for the
+     whole run; --trace installs the capture session. *)
+  if o.json <> None then Obs.Metrics.set_enabled true;
+  let session =
+    match o.trace with
+    | None -> None
+    | Some _ ->
+        let s = Obs.Trace.create ~capacity:o.trace_cap () in
+        Obs.Trace.install s;
+        Some s
+  in
   let t_start = Unix.gettimeofday () in
   let timings =
     List.map
@@ -296,6 +398,13 @@ let () =
   Printf.printf "\n%-12s %10s\n" "section" "wall (s)";
   List.iter (fun (name, dt) -> Printf.printf "%-12s %10.2f\n" name dt) timings;
   Printf.printf "%-12s %10.2f  (%d jobs)\n" "total" total (Engine.Pool.default_jobs ());
-  match json with
+  (match (session, o.trace) with
+  | Some s, Some file ->
+      Obs.Trace.commit_metrics s;
+      Obs.Trace.write_file s file;
+      Obs.Trace.uninstall ();
+      Printf.printf "wrote %s (%d streams)\n" file (Obs.Trace.stream_count s)
+  | _ -> ());
+  match o.json with
   | Some file -> write_json file ~jobs:(Engine.Pool.default_jobs ()) ~timings ~total
   | None -> ()

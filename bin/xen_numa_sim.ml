@@ -89,19 +89,64 @@ let faults_arg =
                  injection stream is derived from the run seed, so fault runs are \
                  reproducible.")
 
-let run_app app mode policy threads seed mcs huge_pages unpinned machine faults =
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Capture an event trace of the run and write it to $(docv) \
+                 (JSONL, or the compact binary format when $(docv) ends in \
+                 $(b,.bin)).  Summarise it with $(b,xen-numa-trace).")
+
+let trace_cap_arg =
+  Arg.(value & opt int 4096
+       & info [ "trace-cap" ] ~docv:"N"
+           ~doc:"Per-stream trace ring capacity; the ring keeps the $(docv) most \
+                 recent events and counts the rest as dropped.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Collect the metrics registry (counters, gauges, latency \
+                 histograms) during the run and print it afterwards.")
+
+let run_app app mode policy threads seed mcs huge_pages unpinned machine faults trace trace_cap
+    metrics =
+  if trace_cap <= 0 then begin
+    prerr_endline "xen-numa-sim: --trace-cap must be positive";
+    exit 1
+  end;
+  let session =
+    match trace with
+    | None -> None
+    | Some _ ->
+        let s = Obs.Trace.create ~capacity:trace_cap () in
+        Obs.Trace.install s;
+        Some s
+  in
+  if metrics then Obs.Metrics.set_enabled true;
   let vm =
     Engine.Config.vm ~threads ~use_mcs:mcs ~huge_pages ~pinned:(not unpinned) ~policy app
   in
   let cfg = Engine.Config.make ~seed ~machine ~faults ~mode [ vm ] in
   let result = Engine.Runner.run cfg in
-  Format.printf "%a@." Engine.Result.pp result
+  Format.printf "%a@." Engine.Result.pp result;
+  (match (session, trace) with
+  | Some s, Some file ->
+      (* Mirror per-class emission totals into the registry before the
+         snapshot is printed, so the file's summary and the registry
+         agree. *)
+      Obs.Trace.commit_metrics s;
+      Obs.Trace.write_file s file;
+      Obs.Trace.uninstall ();
+      Format.printf "trace written to %s@." file
+  | _ -> ());
+  if metrics then Format.printf "@.%s" (Obs.Metrics.render ())
 
 let run_cmd =
   let doc = "Run one application under a NUMA policy" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_app $ app_arg $ mode_arg $ policy_arg $ threads_arg $ seed_arg $ mcs_arg
-          $ huge_arg $ unpinned_arg $ machine_arg $ faults_arg)
+          $ huge_arg $ unpinned_arg $ machine_arg $ faults_arg $ trace_arg $ trace_cap_arg
+          $ metrics_arg)
 
 let list_apps () =
   Report.Table.print

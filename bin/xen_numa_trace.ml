@@ -1,0 +1,93 @@
+(* xen-numa-trace: xenalyze-style summariser and checker for trace
+   files produced by xen-numa-sim --trace (JSONL or binary). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | data -> (
+      match Obs.Codec.read data with
+      | export -> Ok export
+      | exception Obs.Codec.Corrupt msg ->
+          Error (Printf.sprintf "%s: corrupt trace: %s" path msg)
+      | exception Obs.Json.Parse_error msg ->
+          Error (Printf.sprintf "%s: bad JSON: %s" path msg))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Trace file to read.")
+
+let timeline_arg =
+  Arg.(value & opt int 24
+       & info [ "timeline" ] ~docv:"ROWS" ~doc:"Epoch-timeline rows to print (default 24).")
+
+let summary rows path =
+  match load path with
+  | Error msg ->
+      prerr_endline ("xen-numa-trace: " ^ msg);
+      exit 1
+  | Ok export -> print_string (Obs.Summary.render ~timeline_rows:rows (Obs.Summary.of_export export))
+
+let summary_cmd =
+  let doc = "Summarise a trace: per-class counts, inter-arrival stats, epoch timeline" in
+  Cmd.v (Cmd.info "summary" ~doc) Term.(const summary $ timeline_arg $ file_arg)
+
+(* Structural validation beyond what the codec already rejects: the
+   ring accounting invariant per stream and the merge-order contract. *)
+let check path =
+  match load path with
+  | Error msg ->
+      prerr_endline ("xen-numa-trace: " ^ msg);
+      exit 1
+  | Ok export ->
+      let streams = export.Obs.Codec.streams in
+      let kept = Array.make (Array.length streams) 0 in
+      let failures = ref [] in
+      let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+      List.iter
+        (fun (m : Obs.Event.merged) ->
+          if m.Obs.Event.stream < 0 || m.Obs.Event.stream >= Array.length streams then
+            fail "event references unknown stream %d" m.Obs.Event.stream
+          else kept.(m.Obs.Event.stream) <- kept.(m.Obs.Event.stream) + 1)
+        export.Obs.Codec.events;
+      Array.iteri
+        (fun i (s : Obs.Codec.stream_info) ->
+          if kept.(i) + s.Obs.Codec.dropped <> s.Obs.Codec.emitted then
+            fail "stream %d (%s): kept %d + dropped %d <> emitted %d" i s.Obs.Codec.label kept.(i)
+              s.Obs.Codec.dropped s.Obs.Codec.emitted;
+          let by_class_total = Array.fold_left ( + ) 0 s.Obs.Codec.by_class in
+          if by_class_total <> s.Obs.Codec.emitted then
+            fail "stream %d (%s): by-class totals %d <> emitted %d" i s.Obs.Codec.label
+              by_class_total s.Obs.Codec.emitted)
+        streams;
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+            if Obs.Event.compare_merged a b > 0 then fail "events out of merge order";
+            sorted rest
+        | _ -> ()
+      in
+      sorted export.Obs.Codec.events;
+      (match !failures with
+      | [] ->
+          Printf.printf "ok: %d streams, %d events kept, invariants hold\n"
+            (Array.length streams)
+            (List.length export.Obs.Codec.events)
+      | msgs ->
+          List.iter (fun m -> prerr_endline ("xen-numa-trace: " ^ m)) (List.rev msgs);
+          exit 1)
+
+let check_cmd =
+  let doc = "Validate a trace file's accounting and ordering invariants" in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const check $ file_arg)
+
+let main =
+  let doc = "Summarise xen-numa-sim event traces" in
+  Cmd.group (Cmd.info "xen-numa-trace" ~doc) [ summary_cmd; check_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -65,8 +65,31 @@ let default_jobs () =
 let run_all ?jobs tasks =
   let n = Array.length tasks in
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  (* Wall-clock instrumentation only runs while metrics collection is
+     on (the flag is captured once per call); the values are real-time
+     measurements and never feed back into the simulation. *)
+  let metrics_on = Obs.Metrics.enabled () in
+  let t0 = if metrics_on then Unix.gettimeofday () else 0.0 in
+  let run_task i =
+    if not metrics_on then tasks.(i) ()
+    else begin
+      let start = Unix.gettimeofday () in
+      Obs.Metrics.observe "pool.task_queue_wait_s" (start -. t0);
+      let v = tasks.(i) () in
+      Obs.Metrics.incr "pool.tasks";
+      Obs.Metrics.observe "pool.task_wall_s" (Unix.gettimeofday () -. start);
+      v
+    end
+  in
   if n = 0 then [||]
-  else if jobs = 1 || n = 1 then Array.map (fun task -> task ()) tasks
+  else if jobs = 1 || n = 1 then begin
+    let results = Array.init n run_task in
+    if metrics_on then begin
+      Obs.Metrics.gauge "pool.jobs" 1.0;
+      Obs.Metrics.observe "pool.worker_utilisation" 1.0
+    end;
+    results
+  end
   else begin
     let results = Array.make n None in
     let failures = Array.make n None in
@@ -75,18 +98,29 @@ let run_all ?jobs tasks =
       deque_push dq i
     done;
     deque_close dq;
-    let rec worker () =
-      match deque_pop dq with
-      | None -> ()
-      | Some i ->
-          (* Disjoint indices: no two workers ever touch the same slot. *)
-          (try results.(i) <- Some (tasks.(i) ())
-           with exn -> failures.(i) <- Some (exn, Printexc.get_raw_backtrace ()));
-          worker ()
+    let observe_utilisation busy =
+      if metrics_on then begin
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if elapsed > 0.0 then
+          Obs.Metrics.observe "pool.worker_utilisation"
+            (Float.min 1.0 (busy /. elapsed))
+      end
     in
-    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let rec worker busy =
+      match deque_pop dq with
+      | None -> observe_utilisation busy
+      | Some i ->
+          let start = if metrics_on then Unix.gettimeofday () else 0.0 in
+          (* Disjoint indices: no two workers ever touch the same slot. *)
+          (try results.(i) <- Some (run_task i)
+           with exn -> failures.(i) <- Some (exn, Printexc.get_raw_backtrace ()));
+          let busy = if metrics_on then busy +. (Unix.gettimeofday () -. start) else busy in
+          worker busy
+    in
+    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn (fun () -> worker 0.0)) in
+    worker 0.0;
     Array.iter Domain.join spawned;
+    if metrics_on then Obs.Metrics.gauge "pool.jobs" (float_of_int (min jobs n));
     Array.iter
       (function
         | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt

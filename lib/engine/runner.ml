@@ -665,6 +665,26 @@ let run (cfg : Config.t) =
   let topo = machine_desc.Numa.Machine_desc.topology () in
   let costs = costs_of_mode cfg.Config.mode in
   let system = Xen.System.create ~page_scale:scale ~costs topo in
+  (* One trace stream per simulated run, labelled by a pure function of
+     the run configuration: labels (not OS worker identities) are the
+     merge keys, so the merged trace is byte-identical at any --jobs. *)
+  let obs_stream =
+    match Obs.Trace.current () with
+    | None -> None
+    | Some session ->
+        let vm_desc (vm : Config.vm_spec) =
+          Printf.sprintf "%s/%s%s" vm.Config.app.Workloads.App.name
+            (Policies.Spec.name vm.Config.policy)
+            (if vm.Config.use_mcs then "/mcs" else "")
+        in
+        let label =
+          Printf.sprintf "%s|%s|seed=%d" (Config.mode_name cfg.Config.mode)
+            (String.concat "," (List.map vm_desc cfg.Config.vms))
+            cfg.Config.seed
+        in
+        Some (Obs.Trace.stream session ~label)
+  in
+  Xen.System.set_obs system obs_stream;
   let counters = Numa.Counters.create topo in
   let root_rng = Sim.Rng.create ~seed:cfg.Config.seed in
   (* dom0 handles the pv I/O path; the paper pins it to node 0's
@@ -687,6 +707,15 @@ let run (cfg : Config.t) =
   Faults.Injector.install injector system;
   let faults_on = Faults.Injector.enabled injector in
   let states = List.map (setup_vm cfg system injector root_rng) cfg.Config.vms in
+  (match obs_stream with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun st ->
+          match st.queue with
+          | Some q -> Guest.Pv_queue.set_obs q ~domain:st.domain.Xen.Domain.id obs_stream
+          | None -> ())
+        states);
   let latency = machine_desc.Numa.Machine_desc.latency in
   let freq = machine_desc.Numa.Machine_desc.freq_hz in
   let nodes = Numa.Topology.node_count topo in
@@ -720,6 +749,12 @@ let run (cfg : Config.t) =
   in
   let running () = List.exists vm_running states in
   while running () && !epochs < cfg.Config.max_epochs do
+    (match obs_stream with
+    | None -> ()
+    | Some stream ->
+        (* Stamp subsequent events with this epoch's virtual time. *)
+        Obs.Stream.set_time stream !now;
+        Obs.Stream.emit ~arg:!epochs stream Obs.Event.Epoch_boundary);
     Faults.Injector.set_epoch injector !epochs;
     Array.fill node_demand 0 nodes 0.0;
     (* Credit-scheduler accounting period: rebalance unpinned vCPUs
@@ -1000,10 +1035,25 @@ let run (cfg : Config.t) =
     incr epochs;
     now := !now +. epoch_len
   done;
-  {
-    Result.vms = List.map (vm_result cfg system) states;
-    imbalance = Numa.Counters.imbalance counters;
-    interconnect_load = Numa.Counters.interconnect_load counters;
-    epochs = !epochs;
-    faults_injected = Faults.Injector.total_injected injector;
-  }
+  let result =
+    {
+      Result.vms = List.map (vm_result cfg system) states;
+      imbalance = Numa.Counters.imbalance counters;
+      interconnect_load = Numa.Counters.interconnect_load counters;
+      epochs = !epochs;
+      faults_injected = Faults.Injector.total_injected injector;
+    }
+  in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr "engine.runs";
+    Obs.Metrics.incr ~by:result.Result.epochs "engine.epochs";
+    Obs.Metrics.incr ~by:result.Result.faults_injected "engine.faults_injected";
+    List.iter
+      (fun (vm : Result.vm_result) ->
+        Obs.Metrics.observe "engine.vm.completion_s" vm.Result.completion;
+        Obs.Metrics.observe "engine.vm.virt_overhead_s" vm.Result.virt_overhead;
+        Obs.Metrics.incr ~by:vm.Result.migrations "engine.migrations";
+        Obs.Metrics.incr ~by:vm.Result.faults "engine.faults")
+      result.Result.vms
+  end;
+  result

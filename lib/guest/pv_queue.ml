@@ -27,6 +27,8 @@ type t = {
   stats : stats;
   mutable drop_op : op -> bool;
   mutable lose_batch : op array -> bool;
+  mutable obs : Obs.Stream.t option;
+  mutable obs_domain : int;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -52,7 +54,13 @@ let create ?(partitions = 4) ?(capacity = 128) ~flush () =
       };
     drop_op = (fun _ -> false);
     lose_batch = (fun _ -> false);
+    obs = None;
+    obs_domain = -1;
   }
+
+let set_obs t ?(domain = -1) stream =
+  t.obs <- stream;
+  t.obs_domain <- domain
 
 let set_fault_hooks t ?drop_op ?lose_batch () =
   (match drop_op with Some f -> t.drop_op <- f | None -> ());
@@ -76,7 +84,14 @@ let flush_partition t part =
          The guest's view and the P2M now disagree until the periodic
          reconciliation sweep heals them. *)
       t.stats.lost_batches <- t.stats.lost_batches + 1;
-      t.stats.lost_ops <- t.stats.lost_ops + n
+      t.stats.lost_ops <- t.stats.lost_ops + n;
+      (match t.obs with
+      | None -> ()
+      | Some stream -> Obs.Stream.emit ~domain:t.obs_domain ~arg:n stream Obs.Event.Pv_lost);
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr "guest.pv.lost_batches";
+        Obs.Metrics.incr ~by:n "guest.pv.lost_ops"
+      end
     end
     else begin
       (* The partition lock is held across the hypercall: no other core
@@ -84,7 +99,15 @@ let flush_partition t part =
       let time = t.flush ops in
       t.stats.flushes <- t.stats.flushes + 1;
       t.stats.ops_sent <- t.stats.ops_sent + n;
-      t.stats.guest_time <- t.stats.guest_time +. time
+      t.stats.guest_time <- t.stats.guest_time +. time;
+      (match t.obs with
+      | None -> ()
+      | Some stream -> Obs.Stream.emit ~domain:t.obs_domain ~arg:n stream Obs.Event.Pv_flush);
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr "guest.pv.flushes";
+        Obs.Metrics.incr ~by:n "guest.pv.ops_sent";
+        Obs.Metrics.observe "guest.pv.flush_time_s" time
+      end
     end
   end
 
@@ -95,6 +118,11 @@ let record t op =
     part.entries.(part.len) <- op;
     part.len <- part.len + 1;
     t.stats.enqueued <- t.stats.enqueued + 1;
+    (match t.obs with
+    | None -> ()
+    | Some stream ->
+        let arg = match op with Alloc _ -> 0 | Release _ -> 1 in
+        Obs.Stream.emit ~domain:t.obs_domain ~pfn:(op_pfn op) ~arg stream Obs.Event.Pv_record);
     if part.len = t.capacity then flush_partition t part
   end
 

@@ -75,6 +75,12 @@ val set_fault_hooks :
     in transit (the hypervisor never replays it).  Both default to
     never firing. *)
 
+val set_obs : t -> ?domain:int -> Obs.Stream.t option -> unit
+(** Attach a trace stream: [record] then emits [Pv_record] (pfn; arg 0
+    = alloc, 1 = release), successful flushes emit [Pv_flush] (arg =
+    batch size) and in-transit losses [Pv_lost].  [domain] labels the
+    events (default -1). *)
+
 val flush_all : t -> unit
 (** Force-flush every non-empty partition (used at policy switch). *)
 

@@ -1,0 +1,251 @@
+(* Wire formats of a merged trace: self-describing JSONL (one object
+   per line, greppable, diff-friendly) and a compact fixed-record
+   binary format.  Both carry the same data and both round-trip; the
+   readers auto-detect by magic.  Output is a pure function of the
+   export value, so byte-identical exports mean identical traces. *)
+
+type stream_info = {
+  label : string;
+  emitted : int;
+  dropped : int;
+  by_class : int array;  (* per Event.class_index *)
+}
+
+type export = {
+  streams : stream_info array;  (* index = stream id, sorted by label *)
+  events : Event.merged list;  (* sorted by Event.compare_merged *)
+}
+
+let jsonl_magic = "{\"trace\":\"xen-numa\""
+let binary_magic = "XNUMATR1"
+
+(* ---------------------------- writing ---------------------------- *)
+
+let add_jsonl buf e =
+  List.iteri
+    (fun i (s : stream_info) ->
+      let classes =
+        List.filter_map
+          (fun cls ->
+            let n = s.by_class.(Event.class_index cls) in
+            if n = 0 then None
+            else Some (Printf.sprintf "\"%s\":%d" (Event.class_name cls) n))
+          Event.classes
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"stream\":%d,\"label\":\"%s\",\"emitted\":%d,\"dropped\":%d,\"by_class\":{%s}}\n"
+           i (Json.escape s.label) s.emitted s.dropped (String.concat "," classes)))
+    (Array.to_list e.streams);
+  List.iter
+    (fun (m : Event.merged) ->
+      let ev = m.Event.event in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"t\":%.6f,\"w\":%d,\"seq\":%d,\"class\":\"%s\",\"dom\":%d,\"vcpu\":%d,\"pfn\":%d,\"node\":%d,\"arg\":%d}\n"
+           ev.Event.time m.Event.stream m.Event.seq (Event.class_name ev.Event.cls) ev.Event.domain
+           ev.Event.vcpu ev.Event.pfn ev.Event.node ev.Event.arg))
+    e.events
+
+let write_jsonl buf e =
+  Buffer.add_string buf
+    (Printf.sprintf "%s,\"version\":1,\"streams\":%d,\"events\":%d}\n" jsonl_magic
+       (Array.length e.streams) (List.length e.events));
+  add_jsonl buf e
+
+let write_binary buf e =
+  Buffer.add_string buf binary_magic;
+  Buffer.add_int32_be buf (Int32.of_int (Array.length e.streams));
+  Array.iter
+    (fun (s : stream_info) ->
+      Buffer.add_int32_be buf (Int32.of_int (String.length s.label));
+      Buffer.add_string buf s.label;
+      Buffer.add_int64_be buf (Int64.of_int s.emitted);
+      Buffer.add_int64_be buf (Int64.of_int s.dropped);
+      Buffer.add_int32_be buf (Int32.of_int (Array.length s.by_class));
+      Array.iter (fun n -> Buffer.add_int64_be buf (Int64.of_int n)) s.by_class)
+    e.streams;
+  Buffer.add_int64_be buf (Int64.of_int (List.length e.events));
+  List.iter
+    (fun (m : Event.merged) ->
+      let ev = m.Event.event in
+      Buffer.add_int32_be buf (Int32.of_int m.Event.stream);
+      Buffer.add_int64_be buf (Int64.of_int m.Event.seq);
+      Buffer.add_int64_be buf (Int64.bits_of_float ev.Event.time);
+      Buffer.add_uint8 buf (Event.class_index ev.Event.cls);
+      Buffer.add_int32_be buf (Int32.of_int ev.Event.domain);
+      Buffer.add_int32_be buf (Int32.of_int ev.Event.vcpu);
+      Buffer.add_int64_be buf (Int64.of_int ev.Event.pfn);
+      Buffer.add_int32_be buf (Int32.of_int ev.Event.node);
+      Buffer.add_int64_be buf (Int64.of_int ev.Event.arg))
+    e.events
+
+(* ---------------------------- reading ---------------------------- *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+
+let get field obj ~line =
+  match Json.member field obj with
+  | Some v -> v
+  | None -> corrupt "line %d: missing field %S" line field
+
+let int_field field obj ~line =
+  match Json.to_int (get field obj ~line) with
+  | Some n -> n
+  | None -> corrupt "line %d: field %S is not a number" line field
+
+let string_field field obj ~line =
+  match Json.to_string (get field obj ~line) with
+  | Some s -> s
+  | None -> corrupt "line %d: field %S is not a string" line field
+
+let read_jsonl text =
+  let lines =
+    List.filteri
+      (fun _ l -> String.trim l <> "")
+      (String.split_on_char '\n' text)
+  in
+  let parsed =
+    List.mapi
+      (fun i l ->
+        match Json.of_string_opt l with
+        | Some v -> (i + 1, v)
+        | None -> corrupt "line %d: not valid JSON" (i + 1))
+      lines
+  in
+  let streams = Hashtbl.create 16 in
+  let events = ref [] in
+  List.iter
+    (fun (line, obj) ->
+      match Json.member "stream" obj with
+      | Some _ ->
+          let id = int_field "stream" obj ~line in
+          let by_class = Array.make Event.class_count 0 in
+          (match Json.member "by_class" obj with
+          | Some (Json.Obj fields) ->
+              List.iter
+                (fun (name, v) ->
+                  match (Event.class_of_name name, Json.to_int v) with
+                  | Some cls, Some n -> by_class.(Event.class_index cls) <- n
+                  | _ -> corrupt "line %d: bad by_class entry %S" line name)
+                fields
+          | _ -> corrupt "line %d: stream record without by_class" line);
+          Hashtbl.replace streams id
+            {
+              label = string_field "label" obj ~line;
+              emitted = int_field "emitted" obj ~line;
+              dropped = int_field "dropped" obj ~line;
+              by_class;
+            }
+      | None -> (
+          match Json.member "class" obj with
+          | Some _ ->
+              let cls_name = string_field "class" obj ~line in
+              let cls =
+                match Event.class_of_name cls_name with
+                | Some c -> c
+                | None -> corrupt "line %d: unknown event class %S" line cls_name
+              in
+              let time =
+                match Json.to_float (get "t" obj ~line) with
+                | Some f -> f
+                | None -> corrupt "line %d: field \"t\" is not a number" line
+              in
+              events :=
+                {
+                  Event.stream = int_field "w" obj ~line;
+                  seq = int_field "seq" obj ~line;
+                  event =
+                    Event.make ~time cls
+                      ~domain:(int_field "dom" obj ~line)
+                      ~vcpu:(int_field "vcpu" obj ~line)
+                      ~pfn:(int_field "pfn" obj ~line)
+                      ~node:(int_field "node" obj ~line)
+                      ~arg:(int_field "arg" obj ~line);
+                }
+                :: !events
+          | None ->
+              (* The header line; anything else without stream/class
+                 markers is unknown. *)
+              if Json.member "trace" obj = None then
+                corrupt "line %d: neither header, stream nor event" line))
+    parsed;
+  let n = 1 + Hashtbl.fold (fun id _ acc -> max id acc) streams (-1) in
+  let stream_array =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt streams i with
+        | Some s -> s
+        | None -> corrupt "stream %d has no metadata record" i)
+  in
+  { streams = stream_array; events = List.rev !events }
+
+type cursor = { data : string; mutable pos : int }
+
+let take_i32 c =
+  if c.pos + 4 > String.length c.data then corrupt "binary trace truncated at offset %d" c.pos;
+  let v = Int32.to_int (String.get_int32_be c.data c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let take_i64 c =
+  if c.pos + 8 > String.length c.data then corrupt "binary trace truncated at offset %d" c.pos;
+  let v = String.get_int64_be c.data c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let take_u8 c =
+  if c.pos + 1 > String.length c.data then corrupt "binary trace truncated at offset %d" c.pos;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let take_string c n =
+  if c.pos + n > String.length c.data then corrupt "binary trace truncated at offset %d" c.pos;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let read_binary text =
+  let c = { data = text; pos = 0 } in
+  if take_string c (String.length binary_magic) <> binary_magic then
+    corrupt "bad binary trace magic";
+  let nstreams = take_i32 c in
+  let streams =
+    Array.init nstreams (fun _ ->
+        let label = take_string c (take_i32 c) in
+        let emitted = Int64.to_int (take_i64 c) in
+        let dropped = Int64.to_int (take_i64 c) in
+        let nclasses = take_i32 c in
+        let counts = Array.init nclasses (fun _ -> Int64.to_int (take_i64 c)) in
+        let by_class = Array.make Event.class_count 0 in
+        Array.iteri (fun i n -> if i < Event.class_count then by_class.(i) <- n) counts;
+        { label; emitted; dropped; by_class })
+  in
+  let nevents = Int64.to_int (take_i64 c) in
+  let events =
+    List.init nevents (fun _ ->
+        let stream = take_i32 c in
+        let seq = Int64.to_int (take_i64 c) in
+        let time = Int64.float_of_bits (take_i64 c) in
+        let cls =
+          let idx = take_u8 c in
+          match Event.class_of_index idx with
+          | Some cls -> cls
+          | None -> corrupt "unknown event class index %d" idx
+        in
+        let domain = take_i32 c in
+        let vcpu = take_i32 c in
+        let pfn = Int64.to_int (take_i64 c) in
+        let node = take_i32 c in
+        let arg = Int64.to_int (take_i64 c) in
+        { Event.stream; seq; event = Event.make ~time cls ~domain ~vcpu ~pfn ~node ~arg })
+  in
+  if c.pos <> String.length text then corrupt "trailing bytes after binary trace";
+  { streams; events }
+
+let is_binary text =
+  String.length text >= String.length binary_magic
+  && String.sub text 0 (String.length binary_magic) = binary_magic
+
+let read text = if is_binary text then read_binary text else read_jsonl text

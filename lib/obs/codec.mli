@@ -1,0 +1,34 @@
+(** Trace wire formats: JSONL (one JSON object per line) and a compact
+    fixed-record binary encoding.  Both are pure functions of the
+    export value — two identical merged traces serialise to identical
+    bytes, the property the cross-jobs determinism check relies on. *)
+
+type stream_info = {
+  label : string;
+  emitted : int;
+  dropped : int;
+  by_class : int array;  (** per {!Event.class_index}, drop-proof totals *)
+}
+
+type export = {
+  streams : stream_info array;  (** index = stream id, sorted by label *)
+  events : Event.merged list;  (** sorted by {!Event.compare_merged} *)
+}
+
+exception Corrupt of string
+
+val write_jsonl : Buffer.t -> export -> unit
+(** Header line, one metadata line per stream, one line per event. *)
+
+val write_binary : Buffer.t -> export -> unit
+
+val read_jsonl : string -> export
+(** @raise Corrupt on any unparseable or structurally wrong line. *)
+
+val read_binary : string -> export
+
+val is_binary : string -> bool
+
+val read : string -> export
+(** Auto-detect by magic: binary if it starts with ["XNUMATR1"],
+    JSONL otherwise. *)

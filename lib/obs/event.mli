@@ -1,0 +1,63 @@
+(** Typed trace events, in the style of xentrace records.
+
+    Every event carries the simulated virtual time it was emitted at
+    and a (domain, vcpu, pfn, node) context; fields that do not apply
+    to a class are [-1].  [arg] is a small class-specific payload:
+    hypercall number (entry), duration in nanoseconds (exit), batch
+    size (pv flush/loss), breaker trip count/level, healed pages
+    (reconcile sweep), epoch index (boundary). *)
+
+type class_ =
+  | Hypercall_entry
+  | Hypercall_exit
+  | Page_fault
+  | First_touch
+  | Migrate_start
+  | Migrate_retry
+  | Migrate_defer
+  | Migrate_drain
+  | Pv_record
+  | Pv_flush
+  | Pv_lost
+  | Breaker_trip
+  | Breaker_escalate
+  | Breaker_cooldown
+  | Reconcile_sweep
+  | Epoch_boundary
+
+val classes : class_ list
+val class_count : int
+
+val class_index : class_ -> int
+(** Stable dense index in [0, class_count); the binary codec and the
+    per-stream per-class counters key on it. *)
+
+val class_of_index : int -> class_ option
+val class_name : class_ -> string
+val class_of_name : string -> class_ option
+
+type t = {
+  time : float;
+  cls : class_;
+  domain : int;
+  vcpu : int;
+  pfn : int;
+  node : int;
+  arg : int;
+}
+
+val make :
+  ?domain:int -> ?vcpu:int -> ?pfn:int -> ?node:int -> ?arg:int -> time:float -> class_ -> t
+
+(** An event tagged with its logical stream id and in-stream sequence
+    number, as produced by the deterministic merge. *)
+type merged = {
+  stream : int;
+  seq : int;
+  event : t;
+}
+
+val compare_merged : merged -> merged -> int
+(** Total order by (time, stream, seq) — the merge key. *)
+
+val pp : Format.formatter -> t -> unit

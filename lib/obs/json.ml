@@ -1,0 +1,212 @@
+(* Minimal JSON: just enough to read trace JSONL back and to validate
+   that every exported line parses.  No dependency on an external JSON
+   package (the toolchain ships none); the grammar is full RFC 8259
+   minus \u surrogate-pair decoding (escapes are kept verbatim). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type state = { s : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> error st (Printf.sprintf "expected %C" c)
+
+let parse_literal st lit value =
+  let n = String.length lit in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = lit then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" lit)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> error st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if st.pos + 4 > String.length st.s then error st "truncated \\u escape";
+                let hex = String.sub st.s st.pos 4 in
+                String.iter
+                  (fun h ->
+                    match h with
+                    | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                    | _ -> error st "bad \\u escape")
+                  hex;
+                st.pos <- st.pos + 4;
+                Buffer.add_string buf ("\\u" ^ hex)
+            | _ -> error st "bad escape");
+            go ())
+    | Some c when Char.code c < 0x20 -> error st "control character in string"
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let consume_while pred =
+    let rec go () =
+      match peek st with
+      | Some c when pred c ->
+          advance st;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  consume_while (fun c -> c >= '0' && c <= '9');
+  (match peek st with
+  | Some '.' ->
+      advance st;
+      consume_while (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      consume_while (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  if st.pos = start then error st "expected number";
+  match float_of_string_opt (String.sub st.s start (st.pos - start)) with
+  | Some f -> f
+  | None -> error st "malformed number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some ('-' | '0' .. '9') -> Number (parse_number st)
+  | Some c -> error st (Printf.sprintf "unexpected %C" c)
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let rec members acc =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let value = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          members ((key, value) :: acc)
+      | Some '}' ->
+          advance st;
+          Obj (List.rev ((key, value) :: acc))
+      | _ -> error st "expected ',' or '}'"
+    in
+    members []
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else begin
+    let rec items acc =
+      let value = parse_value st in
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          items (value :: acc)
+      | Some ']' ->
+          advance st;
+          List (List.rev (value :: acc))
+      | _ -> error st "expected ',' or ']'"
+    in
+    items []
+  end
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function Number f -> Some f | _ -> None
+
+let to_int = function Number f -> Some (int_of_float f) | _ -> None
+
+let to_string = function String s -> Some s | _ -> None
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

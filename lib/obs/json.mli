@@ -1,0 +1,31 @@
+(** Minimal self-contained JSON reader/escaper for the trace tooling.
+
+    Covers the full value grammar; [\u] escapes are validated but kept
+    verbatim rather than decoded.  Exists because the toolchain ships
+    no JSON package and the exported JSONL must be checkable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val of_string_opt : string -> t option
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_string : t -> string option
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in JSON
+    output. *)

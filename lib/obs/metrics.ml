@@ -1,0 +1,136 @@
+(* Process-wide registry of named counters, gauges and log-bucketed
+   latency histograms.  One mutex guards the table and every update:
+   instrumentation sites are cheap and only taken when metrics are
+   enabled, so contention is irrelevant next to the simulation work.
+
+   Counter totals and histogram bucket counts are additive, so a
+   parallel sweep accumulates the same registry contents whatever the
+   worker count; only wall-clock-valued series (pool timings) vary. *)
+
+type value =
+  | Counter of { mutable count : int }
+  | Gauge of { mutable value : float }
+  | Histogram of Sim.Stats.Histogram.t
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, value) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 64 }
+
+let default = create ()
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled on = Atomic.set enabled_flag on
+
+let wrong_kind name = invalid_arg (Printf.sprintf "Metrics: %S already has another kind" name)
+
+let incr_in t ?(by = 1) name =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (Counter c) -> c.count <- c.count + by
+      | Some _ -> wrong_kind name
+      | None -> Hashtbl.replace t.table name (Counter { count = by }))
+
+let gauge_in t name value =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (Gauge g) -> g.value <- value
+      | Some _ -> wrong_kind name
+      | None -> Hashtbl.replace t.table name (Gauge { value }))
+
+let observe_in t name sample =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (Histogram h) -> Sim.Stats.Histogram.add h sample
+      | Some _ -> wrong_kind name
+      | None ->
+          let h = Sim.Stats.Histogram.create () in
+          Sim.Stats.Histogram.add h sample;
+          Hashtbl.replace t.table name (Histogram h))
+
+(* Guarded front doors on the default registry: no-ops (one atomic
+   read) unless metrics collection is on. *)
+let incr ?by name = if enabled () then incr_in default ?by name
+let gauge name value = if enabled () then gauge_in default name value
+let observe name sample = if enabled () then observe_in default name sample
+
+type histogram_summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+type entry =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_summary
+
+let snapshot_of t =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.fold
+        (fun name value acc ->
+          let entry =
+            match value with
+            | Counter c -> Counter_value c.count
+            | Gauge g -> Gauge_value g.value
+            | Histogram h ->
+                Histogram_value
+                  {
+                    count = Sim.Stats.Histogram.count h;
+                    mean = Sim.Stats.Histogram.mean h;
+                    p50 = Sim.Stats.Histogram.percentile h 50.0;
+                    p95 = Sim.Stats.Histogram.percentile h 95.0;
+                    p99 = Sim.Stats.Histogram.percentile h 99.0;
+                    max = Sim.Stats.Histogram.max h;
+                  }
+          in
+          (name, entry) :: acc)
+        t.table [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () = snapshot_of default
+
+let counter_value ?(registry = default) name =
+  Mutex.protect registry.mutex (fun () ->
+      match Hashtbl.find_opt registry.table name with
+      | Some (Counter c) -> Some c.count
+      | Some _ | None -> None)
+
+let reset_in t = Mutex.protect t.mutex (fun () -> Hashtbl.reset t.table)
+let reset () = reset_in default
+
+let pp fmt () =
+  let rows = snapshot () in
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Counter_value n -> Format.fprintf fmt "%-44s %12d@," name n
+      | Gauge_value v -> Format.fprintf fmt "%-44s %12.4f@," name v
+      | Histogram_value h ->
+          Format.fprintf fmt "%-44s %12d  mean %.3g  p50 %.3g  p95 %.3g  p99 %.3g  max %.3g@,"
+            name h.count h.mean h.p50 h.p95 h.p99 h.max)
+    rows;
+  Format.fprintf fmt "@]"
+
+let render () = Format.asprintf "%a" pp ()
+
+let to_json_entries () =
+  List.map
+    (fun (name, entry) ->
+      match entry with
+      | Counter_value n -> Printf.sprintf "{\"name\": \"%s\", \"count\": %d}" (Json.escape name) n
+      | Gauge_value v -> Printf.sprintf "{\"name\": \"%s\", \"value\": %.6f}" (Json.escape name) v
+      | Histogram_value h ->
+          Printf.sprintf
+            "{\"name\": \"%s\", \"count\": %d, \"mean\": %.6g, \"p50\": %.6g, \"p95\": %.6g, \
+             \"p99\": %.6g, \"max\": %.6g}"
+            (Json.escape name) h.count h.mean h.p50 h.p95 h.p99 h.max)
+    (snapshot ())

@@ -1,0 +1,16 @@
+(* Observability façade: trace rings + metrics registry.  Everything
+   the instrumented layers need funnels through here; with no trace
+   session installed and metrics collection off, [enabled] is false
+   and every hook in the hot paths is a branch-and-return no-op, so
+   clean runs stay bit-identical and fast. *)
+
+module Event = Event
+module Ring = Ring
+module Stream = Stream
+module Trace = Trace
+module Metrics = Metrics
+module Summary = Summary
+module Codec = Codec
+module Json = Json
+
+let enabled () = Trace.installed () || Metrics.enabled ()

@@ -1,0 +1,166 @@
+(* xenalyze-style digest of a merged trace: per-class counts (true
+   emission totals next to what survived the rings), inter-arrival
+   statistics per class over the merged order, and a per-epoch
+   timeline of event activity. *)
+
+type class_row = {
+  cls : Event.class_;
+  emitted : int;  (* drop-proof total over all streams *)
+  kept : int;  (* events present in the export *)
+  inter_arrival : Sim.Stats.Histogram.t;  (* seconds between consecutive kept events *)
+}
+
+type epoch_row = {
+  epoch : int;  (* -1 = before the first boundary (boot) *)
+  events : int;
+  faults : int;  (* page_fault + first_touch *)
+  migrations : int;  (* start + retry + drain *)
+  pv_ops : int;  (* record + flush + lost *)
+  breaker : int;  (* trip + escalate + cooldown *)
+  hypercalls : int;  (* entries *)
+}
+
+type t = {
+  streams : Codec.stream_info array;
+  total_emitted : int;
+  total_kept : int;
+  total_dropped : int;
+  classes : class_row list;  (* only classes that occurred, by index *)
+  timeline : epoch_row list;  (* ascending epoch *)
+}
+
+let of_export (e : Codec.export) =
+  let nclasses = Event.class_count in
+  let emitted = Array.make nclasses 0 in
+  Array.iter
+    (fun (s : Codec.stream_info) ->
+      Array.iteri (fun i n -> emitted.(i) <- emitted.(i) + n) s.Codec.by_class)
+    e.Codec.streams;
+  let kept = Array.make nclasses 0 in
+  let inter = Array.init nclasses (fun _ -> Sim.Stats.Histogram.create ()) in
+  let last_time = Array.make nclasses Float.nan in
+  List.iter
+    (fun (m : Event.merged) ->
+      let i = Event.class_index m.Event.event.Event.cls in
+      kept.(i) <- kept.(i) + 1;
+      if not (Float.is_nan last_time.(i)) then
+        Sim.Stats.Histogram.add inter.(i) (m.Event.event.Event.time -. last_time.(i));
+      last_time.(i) <- m.Event.event.Event.time)
+    e.Codec.events;
+  (* Epoch attribution is per stream: an event belongs to the epoch of
+     the last boundary its own stream emitted before it (by sequence
+     number), so interleaving across streams cannot reassign events. *)
+  let epoch_table : (int, epoch_row) Hashtbl.t = Hashtbl.create 64 in
+  let stream_epoch = Hashtbl.create 16 in
+  let by_stream = Hashtbl.create 16 in
+  List.iter
+    (fun (m : Event.merged) ->
+      let l = try Hashtbl.find by_stream m.Event.stream with Not_found -> [] in
+      Hashtbl.replace by_stream m.Event.stream (m :: l))
+    e.Codec.events;
+  Hashtbl.iter
+    (fun stream events ->
+      let in_seq =
+        List.sort (fun (a : Event.merged) b -> compare a.Event.seq b.Event.seq) events
+      in
+      List.iter
+        (fun (m : Event.merged) ->
+          let ev = m.Event.event in
+          if ev.Event.cls = Event.Epoch_boundary then
+            Hashtbl.replace stream_epoch stream ev.Event.arg;
+          let epoch = try Hashtbl.find stream_epoch stream with Not_found -> -1 in
+          let row =
+            match Hashtbl.find_opt epoch_table epoch with
+            | Some row -> row
+            | None ->
+                { epoch; events = 0; faults = 0; migrations = 0; pv_ops = 0; breaker = 0;
+                  hypercalls = 0 }
+          in
+          let row = { row with events = row.events + 1 } in
+          let row =
+            match ev.Event.cls with
+            | Event.Page_fault | Event.First_touch -> { row with faults = row.faults + 1 }
+            | Event.Migrate_start | Event.Migrate_retry | Event.Migrate_drain ->
+                { row with migrations = row.migrations + 1 }
+            | Event.Pv_record | Event.Pv_flush | Event.Pv_lost ->
+                { row with pv_ops = row.pv_ops + 1 }
+            | Event.Breaker_trip | Event.Breaker_escalate | Event.Breaker_cooldown ->
+                { row with breaker = row.breaker + 1 }
+            | Event.Hypercall_entry -> { row with hypercalls = row.hypercalls + 1 }
+            | _ -> row
+          in
+          Hashtbl.replace epoch_table epoch row)
+        in_seq)
+    by_stream;
+  let timeline =
+    Hashtbl.fold (fun _ row acc -> row :: acc) epoch_table []
+    |> List.sort (fun a b -> compare a.epoch b.epoch)
+  in
+  let classes =
+    List.filter_map
+      (fun cls ->
+        let i = Event.class_index cls in
+        if emitted.(i) = 0 && kept.(i) = 0 then None
+        else Some { cls; emitted = emitted.(i); kept = kept.(i); inter_arrival = inter.(i) })
+      Event.classes
+  in
+  {
+    streams = e.Codec.streams;
+    total_emitted =
+      Array.fold_left (fun acc (s : Codec.stream_info) -> acc + s.Codec.emitted) 0 e.Codec.streams;
+    total_kept = List.length e.Codec.events;
+    total_dropped =
+      Array.fold_left (fun acc (s : Codec.stream_info) -> acc + s.Codec.dropped) 0 e.Codec.streams;
+    classes;
+    timeline;
+  }
+
+let class_counts t = List.map (fun r -> (r.cls, r.emitted)) t.classes
+
+let render ?(timeline_rows = 24) t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "trace: %d streams, %d events emitted, %d kept, %d dropped\n"
+       (Array.length t.streams) t.total_emitted t.total_kept t.total_dropped);
+  Buffer.add_string buf "\nper-event-class counts and inter-arrival times (kept events)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-20s %10s %10s %12s %12s %12s\n" "class" "emitted" "kept" "dt p50 (s)"
+       "dt p95 (s)" "dt max (s)");
+  List.iter
+    (fun r ->
+      let h = r.inter_arrival in
+      if Sim.Stats.Histogram.count h > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%-20s %10d %10d %12.6f %12.6f %12.6f\n" (Event.class_name r.cls)
+             r.emitted r.kept
+             (Sim.Stats.Histogram.percentile h 50.0)
+             (Sim.Stats.Histogram.percentile h 95.0)
+             (Sim.Stats.Histogram.max h))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "%-20s %10d %10d %12s %12s %12s\n" (Event.class_name r.cls) r.emitted
+             r.kept "-" "-" "-"))
+    t.classes;
+  Buffer.add_string buf "\nper-epoch timeline (kept events; epoch -1 = boot)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%8s %8s %8s %10s %8s %8s %10s\n" "epoch" "events" "faults" "migrations"
+       "pv-ops" "breaker" "hypercalls");
+  let rows = t.timeline in
+  let n = List.length rows in
+  let shown = if n <= timeline_rows then rows else List.filteri (fun i _ -> i < timeline_rows) rows in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%8d %8d %8d %10d %8d %8d %10d\n" r.epoch r.events r.faults r.migrations
+           r.pv_ops r.breaker r.hypercalls))
+    shown;
+  if n > timeline_rows then
+    Buffer.add_string buf (Printf.sprintf "... (%d more epochs)\n" (n - timeline_rows));
+  Buffer.add_string buf "\nstreams\n";
+  Array.iteri
+    (fun i (s : Codec.stream_info) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%4d %-60s %8d emitted %8d dropped\n" i s.Codec.label s.Codec.emitted
+           s.Codec.dropped))
+    t.streams;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** xenalyze-style digest of a merged trace: per-class counts,
+    inter-arrival statistics, and a per-epoch activity timeline. *)
+
+type class_row = {
+  cls : Event.class_;
+  emitted : int;  (** drop-proof emission total over all streams *)
+  kept : int;  (** events present in the export *)
+  inter_arrival : Sim.Stats.Histogram.t;
+}
+
+type epoch_row = {
+  epoch : int;  (** -1 = before the first boundary (boot) *)
+  events : int;
+  faults : int;
+  migrations : int;
+  pv_ops : int;
+  breaker : int;
+  hypercalls : int;
+}
+
+type t = {
+  streams : Codec.stream_info array;
+  total_emitted : int;
+  total_kept : int;
+  total_dropped : int;
+  classes : class_row list;
+  timeline : epoch_row list;
+}
+
+val of_export : Codec.export -> t
+
+val class_counts : t -> (Event.class_ * int) list
+(** Per-class emission totals — matches the registry counters
+    {!Trace.commit_metrics} writes. *)
+
+val render : ?timeline_rows:int -> t -> string
+(** Human-readable report; the timeline is truncated to
+    [timeline_rows] (default 24) epochs. *)

@@ -299,6 +299,15 @@ let run_epoch ?(interleave_only = false) ?migrate sys ~config ~rng ~counters =
       | User_component.Locality ->
           if do_migrate ~pfn:a.pfn ~node:a.dest then incr locality else incr failed)
     actions;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr ~by:(List.length actions) "policies.carrefour.actions";
+    Obs.Metrics.incr ~by:!interleave "policies.carrefour.interleave_migrations";
+    Obs.Metrics.incr ~by:!locality "policies.carrefour.locality_migrations";
+    Obs.Metrics.incr ~by:!replications "policies.carrefour.replications";
+    Obs.Metrics.incr ~by:!failed "policies.carrefour.failed";
+    Obs.Metrics.gauge "policies.carrefour.tracked_pages"
+      (float_of_int (System_component.tracked_pages sys))
+  end;
   {
     interleave_migrations = !interleave;
     locality_migrations = !locality;

@@ -71,7 +71,16 @@ type t = {
   mutable breaker_attempts : int;  (* migration window since last evaluation *)
   mutable breaker_failures : int;
   mutable breaker_open_until : int;  (* epoch; -1 = closed *)
+  mutable breaker_was_open : bool;  (* for the cooldown-close trace event *)
 }
+
+(* Trace emission for this domain's stream; a branch-and-return no-op
+   while no session is installed on the system. *)
+let emit ?pfn ?node ?arg t cls =
+  match t.system.Xen.System.obs with
+  | None -> ()
+  | Some stream ->
+      Obs.Stream.emit ~domain:t.domain.Xen.Domain.id ?pfn ?node ?arg stream cls
 
 let fresh_stats () =
   {
@@ -167,7 +176,9 @@ let push_pending t ~pfn ~node =
       t.degrade.dropped_deferred <- t.degrade.dropped_deferred + 1
     end;
     Queue.push (pfn, node) t.pending;
-    t.degrade.deferred <- t.degrade.deferred + 1
+    t.degrade.deferred <- t.degrade.deferred + 1;
+    emit ~pfn ~node t Obs.Event.Migrate_defer;
+    if Obs.Metrics.enabled () then Obs.Metrics.incr "policies.migrate.deferred"
   end
 
 let install_fault_handler t =
@@ -181,10 +192,13 @@ let install_fault_handler t =
             | Spec.First_touch -> Numa.Topology.node_of_cpu t.system.Xen.System.topo cpu
             | Spec.Round_4k | Spec.Round_1g -> next_home_node t
         in
+        emit ~pfn ~node ~arg:cpu t Obs.Event.Page_fault;
         match Internal.map_page t.system t.domain ~pfn ~node with
         | Ok mfn ->
             t.stats.first_touch_maps <- t.stats.first_touch_maps + 1;
             let actual = Memory.Machine.node_of_mfn t.system.Xen.System.machine mfn in
+            emit ~pfn ~node:actual ~arg:cpu t Obs.Event.First_touch;
+            if Obs.Metrics.enabled () then Obs.Metrics.incr "policies.fault.first_touch_maps";
             if actual <> node then begin
               (* The wanted node was exhausted and the allocator fell
                  back elsewhere.  Record the misplacement debt: a later
@@ -213,6 +227,7 @@ let attach ?(carrefour_config = Carrefour.User_component.default_config) system 
       breaker_attempts = 0;
       breaker_failures = 0;
       breaker_open_until = -1;
+      breaker_was_open = false;
     }
   in
   (match boot.Spec.placement with
@@ -242,7 +257,8 @@ let charge_hypercall t id time =
   let account = t.domain.Xen.Domain.account in
   account.Xen.Domain.hypercall_count <- account.Xen.Domain.hypercall_count + 1;
   account.Xen.Domain.hypercall_time <- account.Xen.Domain.hypercall_time +. time;
-  Xen.Hypercall.record t.domain.Xen.Domain.hypercalls id ~time
+  Xen.Hypercall.record ?obs:t.system.Xen.System.obs ~domain:t.domain.Xen.Domain.id
+    t.domain.Xen.Domain.hypercalls id ~time
 
 let set_policy t new_spec =
   if not (Spec.runtime_selectable new_spec) then
@@ -325,6 +341,7 @@ let charge_backoff t attempt =
 
 let migrate_resilient t ~pfn ~node =
   t.breaker_attempts <- t.breaker_attempts + 1;
+  emit ~pfn ~node t Obs.Event.Migrate_start;
   let rec go attempt =
     match Internal.migrate_page t.system t.domain ~pfn ~node with
     | Ok _ -> true
@@ -332,6 +349,8 @@ let migrate_resilient t ~pfn ~node =
     | Error `Enomem ->
         if attempt < max_migrate_retries then begin
           t.degrade.migrate_retries <- t.degrade.migrate_retries + 1;
+          emit ~pfn ~node ~arg:(attempt + 1) t Obs.Event.Migrate_retry;
+          if Obs.Metrics.enabled () then Obs.Metrics.incr "policies.migrate.retries";
           charge_backoff t attempt;
           go (attempt + 1)
         end
@@ -355,12 +374,21 @@ let evaluate_breaker t =
     if rate > breaker_threshold then begin
       t.degrade.breaker_trips <- t.degrade.breaker_trips + 1;
       t.breaker_open_until <- t.epoch + breaker_cooldown;
+      t.breaker_was_open <- true;
+      emit ~arg:t.degrade.breaker_trips t Obs.Event.Breaker_trip;
+      if Obs.Metrics.enabled () then Obs.Metrics.incr "policies.breaker.trips";
       (* Escalation ladder: repeated trips mean the fault is not
          transient — shed the expensive heuristics first, then give up
          on dynamic placement entirely. *)
-      if t.degrade.breaker_trips >= 4 then degrade_statically t
-      else if t.degrade.breaker_trips >= 2 && t.degrade.breaker_level < 1 then
-        t.degrade.breaker_level <- 1
+      if t.degrade.breaker_trips >= 4 then begin
+        let was = t.degrade.breaker_level in
+        degrade_statically t;
+        if was < 2 then emit ~arg:2 t Obs.Event.Breaker_escalate
+      end
+      else if t.degrade.breaker_trips >= 2 && t.degrade.breaker_level < 1 then begin
+        t.degrade.breaker_level <- 1;
+        emit ~arg:1 t Obs.Event.Breaker_escalate
+      end
     end;
     t.breaker_attempts <- 0;
     t.breaker_failures <- 0
@@ -379,7 +407,10 @@ let drain_pending t =
       decr budget;
       t.breaker_attempts <- t.breaker_attempts + 1;
       match Internal.migrate_page t.system t.domain ~pfn ~node with
-      | Ok _ -> t.degrade.drained <- t.degrade.drained + 1
+      | Ok _ ->
+          t.degrade.drained <- t.degrade.drained + 1;
+          emit ~pfn ~node t Obs.Event.Migrate_drain;
+          if Obs.Metrics.enabled () then Obs.Metrics.incr "policies.migrate.drained"
       | Error `Not_mapped -> () (* released while deferred: debt expired *)
       | Error `Enomem ->
           (* Node still exhausted: requeue and stop for this epoch. *)
@@ -405,6 +436,11 @@ let reconcile t ~guest_free =
     !stale;
   t.degrade.reconcile_sweeps <- t.degrade.reconcile_sweeps + 1;
   t.degrade.reconciled <- t.degrade.reconciled + !healed;
+  emit ~arg:!healed t Obs.Event.Reconcile_sweep;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr "policies.reconcile.sweeps";
+    Obs.Metrics.incr ~by:!healed "policies.reconcile.healed"
+  end;
   charge_hypercall t Xen.Hypercall.Page_ops
     (costs.Xen.Costs.hypercall_entry
     +. (float_of_int !healed *. costs.Xen.Costs.page_invalidate));
@@ -412,6 +448,12 @@ let reconcile t ~guest_free =
 
 let epoch_tick t ~epoch ?guest_free () =
   t.epoch <- epoch;
+  (* The breaker closes by cooldown expiry, not by an explicit call:
+     detect the open->closed transition here so the trace records it. *)
+  if t.breaker_was_open && not (breaker_open t) then begin
+    t.breaker_was_open <- false;
+    emit ~arg:t.degrade.breaker_trips t Obs.Event.Breaker_cooldown
+  end;
   drain_pending t;
   evaluate_breaker t;
   match guest_free with

@@ -52,6 +52,114 @@ let geometric_mean a =
     exp (acc /. float_of_int n)
   end
 
+module Histogram = struct
+  (* Log-bucketed histogram: values land in geometric buckets of ratio
+     [base] (default 2^(1/8), ~9% wide), so percentiles cost O(buckets)
+     with bounded relative error whatever the value range.  Zero and
+     negative values share a dedicated bucket reported as 0. *)
+
+  type t = {
+    base : float;
+    log_base : float;
+    buckets : (int, int ref) Hashtbl.t;
+    mutable zeros : int;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create ?(base = Float.pow 2.0 0.125) () =
+    if base <= 1.0 then invalid_arg "Histogram.create: base must be > 1";
+    {
+      base;
+      log_base = log base;
+      buckets = Hashtbl.create 64;
+      zeros = 0;
+      count = 0;
+      sum = 0.0;
+      min = Float.infinity;
+      max = Float.neg_infinity;
+    }
+
+  let bucket_of t v = int_of_float (Float.round (log v /. t.log_base))
+
+  (* Geometric centre of a bucket: the canonical value reported for
+     every sample that landed in it. *)
+  let value_of t idx = Float.pow t.base (float_of_int idx)
+
+  let add t v =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v;
+    if v <= 0.0 then t.zeros <- t.zeros + 1
+    else begin
+      let idx = bucket_of t v in
+      match Hashtbl.find_opt t.buckets idx with
+      | Some r -> incr r
+      | None -> Hashtbl.replace t.buckets idx (ref 1)
+    end
+
+  let count t = t.count
+  let total t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let min t = if t.count = 0 then 0.0 else t.min
+  let max t = if t.count = 0 then 0.0 else t.max
+
+  let sorted_buckets t =
+    let all = Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) t.buckets [] in
+    List.sort (fun (a, _) (b, _) -> compare a b) all
+
+  let percentile t p =
+    assert (p >= 0.0 && p <= 100.0);
+    if t.count = 0 then 0.0
+    else begin
+      let rank = p /. 100.0 *. float_of_int t.count in
+      let seen = ref (float_of_int t.zeros) in
+      if !seen >= rank && t.zeros > 0 then 0.0
+      else begin
+        let result = ref t.max in
+        (try
+           List.iter
+             (fun (idx, n) ->
+               seen := !seen +. float_of_int n;
+               if !seen >= rank then begin
+                 result := value_of t idx;
+                 raise Exit
+               end)
+             (sorted_buckets t)
+         with Exit -> ());
+        (* Clamp to the observed range: the bucket centre can exceed
+           the true extremes by half a bucket. *)
+        Float.min t.max (Float.max t.min !result)
+      end
+    end
+
+  let merge t other =
+    if Float.abs (t.base -. other.base) > 1e-12 then
+      invalid_arg "Histogram.merge: mismatched bucket bases";
+    Hashtbl.iter
+      (fun idx r ->
+        match Hashtbl.find_opt t.buckets idx with
+        | Some mine -> mine := !mine + !r
+        | None -> Hashtbl.replace t.buckets idx (ref !r))
+      other.buckets;
+    t.zeros <- t.zeros + other.zeros;
+    t.count <- t.count + other.count;
+    t.sum <- t.sum +. other.sum;
+    if other.min < t.min then t.min <- other.min;
+    if other.max > t.max then t.max <- other.max
+
+  let clear t =
+    Hashtbl.reset t.buckets;
+    t.zeros <- 0;
+    t.count <- 0;
+    t.sum <- 0.0;
+    t.min <- Float.infinity;
+    t.max <- Float.neg_infinity
+end
+
 module Online = struct
   type t = {
     mutable count : int;

@@ -29,6 +29,39 @@ val percentile : float array -> float -> float
 val geometric_mean : float array -> float
 (** Geometric mean of positive values. *)
 
+(** Log-bucketed histogram for latency-style distributions: fixed
+    relative bucket width (default ~9%, base [2^(1/8)]), O(buckets)
+    percentiles, exact count/sum/min/max.  Zero and negative samples
+    share one bucket reported as 0. *)
+module Histogram : sig
+  type t
+
+  val create : ?base:float -> unit -> t
+  (** [base] is the bucket ratio, must be [> 1]. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+
+  val min : t -> float
+  (** 0 when empty. *)
+
+  val max : t -> float
+  (** 0 when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [\[0,100\]]: the geometric centre of
+      the bucket holding the rank, clamped to the observed
+      [\[min,max\]] range (0 for an empty histogram). *)
+
+  val merge : t -> t -> unit
+  (** Fold [other]'s samples into [t].
+      @raise Invalid_argument when bases differ. *)
+
+  val clear : t -> unit
+end
+
 (** Online accumulator (Welford) for mean/variance without storing
     samples. *)
 module Online : sig

@@ -25,7 +25,9 @@ let pv_resolve system domain pfn =
       in
       system.System.costs.Costs.hypervisor_fault
 
-let read system domain ~pci ~path ~buffer ~bytes =
+let path_name = function Native -> "native" | Pv -> "pv" | Passthrough -> "passthrough"
+
+let read_impl system domain ~pci ~path ~buffer ~bytes =
   let costs = system.System.costs in
   match path with
   | Native ->
@@ -58,3 +60,14 @@ let read system domain ~pci ~path ~buffer ~bytes =
               Ok time
             end
       end
+
+let read system domain ~pci ~path ~buffer ~bytes =
+  let result = read_impl system domain ~pci ~path ~buffer ~bytes in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr (Printf.sprintf "xen.dma.%s.requests" (path_name path));
+    (match result with
+    | Ok time -> Obs.Metrics.observe (Printf.sprintf "xen.dma.%s.time_s" (path_name path)) time
+    | Error (Iommu_fault _) -> Obs.Metrics.incr "xen.dma.iommu_faults"
+    | Error No_passthrough_bus -> Obs.Metrics.incr "xen.dma.no_passthrough_bus")
+  end;
+  result

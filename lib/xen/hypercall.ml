@@ -26,10 +26,23 @@ type table = stats array
 
 let create_table () = Array.init (List.length all) (fun _ -> { calls = 0; time = 0.0 })
 
-let record t id ~time =
+let record ?obs ?(domain = -1) t id ~time =
   let s = t.(index id) in
   s.calls <- s.calls + 1;
-  s.time <- s.time +. time
+  s.time <- s.time +. time;
+  (match obs with
+  | None -> ()
+  | Some stream ->
+      Obs.Stream.emit ~domain ~arg:(nr id) stream Obs.Event.Hypercall_entry;
+      (* Exit carries the in-hypervisor time in nanoseconds so the
+         summariser can histogram it without parsing floats. *)
+      Obs.Stream.emit ~domain
+        ~arg:(int_of_float (time *. 1e9))
+        stream Obs.Event.Hypercall_exit);
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr (Printf.sprintf "xen.hypercall.%s.calls" (name id));
+    Obs.Metrics.observe (Printf.sprintf "xen.hypercall.%s.time_s" (name id)) time
+  end
 
 let stats t id = t.(index id)
 

@@ -37,7 +37,12 @@ type table
 
 val create_table : unit -> table
 
-val record : table -> id -> time:float -> unit
+val record : ?obs:Obs.Stream.t -> ?domain:int -> table -> id -> time:float -> unit
+(** Account one invocation.  With [obs] set, also emits a
+    [Hypercall_entry] event (arg = hypercall number) and a matching
+    [Hypercall_exit] (arg = in-hypervisor time in nanoseconds); with
+    metrics collection on, bumps per-hypercall call counters and a
+    latency histogram. *)
 
 val stats : table -> id -> stats
 (** Live view; mutating it is visible in the table. *)

@@ -21,6 +21,7 @@ type t = {
   pcpu_load : int array;
   mutable next_id : int;
   faults : fault_hooks;
+  mutable obs : Obs.Stream.t option;
 }
 
 let create ?(page_scale = 1) ?(costs = Costs.default) topo =
@@ -32,7 +33,10 @@ let create ?(page_scale = 1) ?(costs = Costs.default) topo =
     pcpu_load = Array.make (Numa.Topology.cpu_count topo) 0;
     next_id = 0;
     faults = no_faults ();
+    obs = None;
   }
+
+let set_obs t stream = t.obs <- stream
 
 let mem_frames_of_bytes t bytes =
   let fb = Memory.Machine.frame_bytes t.machine in

@@ -35,9 +35,16 @@ type t = {
   faults : fault_hooks;
       (** Fault-injection sites; installed by [Faults.Injector.install],
           inert otherwise. *)
+  mutable obs : Obs.Stream.t option;
+      (** Trace stream for this system's run; [None] (the default)
+          keeps every instrumentation site a no-op. *)
 }
 
 val create : ?page_scale:int -> ?costs:Costs.t -> Numa.Topology.t -> t
+
+val set_obs : t -> Obs.Stream.t option -> unit
+(** Attach (or detach) the trace stream the instrumented layers emit
+    to.  The engine installs one stream per simulated run. *)
 
 val create_domain :
   t ->

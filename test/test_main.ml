@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "xen-numa"
-    (Test_sim.suite @ Test_numa.suite @ Test_memory.suite @ Test_guest.suite @ Test_xen.suite @ Test_policies.suite @ Test_workloads.suite @ Test_engine.suite @ Test_pool.suite @ Test_report.suite @ Test_microsim.suite @ Test_extensions.suite @ Test_more.suite @ Test_faults.suite)
+    (Test_sim.suite @ Test_numa.suite @ Test_memory.suite @ Test_guest.suite @ Test_xen.suite @ Test_policies.suite @ Test_workloads.suite @ Test_engine.suite @ Test_pool.suite @ Test_report.suite @ Test_microsim.suite @ Test_extensions.suite @ Test_more.suite @ Test_faults.suite @ Test_obs.suite)

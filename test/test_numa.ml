@@ -173,6 +173,19 @@ let test_counters_imbalance () =
   Numa.Counters.record_accesses c ~src:1 ~dst:0 ~count:800.0 ~bytes_per_access:64.0;
   Alcotest.(check bool) "imbalanced now" true (Numa.Counters.imbalance c > 1.0)
 
+let test_counters_zero_access_epoch () =
+  (* Regression: an epoch with no recorded accesses must not divide by
+     zero — imbalance reads 0 and closing the epoch is harmless. *)
+  let t = Numa.Amd48.topology () in
+  let c = Numa.Counters.create t in
+  check_float "imbalance with no accesses" 0.0 (Numa.Counters.imbalance c);
+  Numa.Counters.end_epoch c ~duration:1.0;
+  check_float "imbalance after empty epoch" 0.0 (Numa.Counters.imbalance c);
+  check_float "interconnect load after empty epoch" 0.0 (Numa.Counters.interconnect_load c);
+  let finite x = match Float.classify_float x with FP_nan | FP_infinite -> false | _ -> true in
+  Alcotest.(check bool) "values finite" true
+    (finite (Numa.Counters.imbalance c) && finite (Numa.Counters.interconnect_load c))
+
 let test_counters_epoch_utilisation () =
   let t = Numa.Amd48.topology () in
   let c = Numa.Counters.create t in
@@ -289,6 +302,7 @@ let suite =
         Alcotest.test_case "local/remote" `Quick test_counters_local_remote;
         Alcotest.test_case "route links charged" `Quick test_counters_remote_charges_route_links;
         Alcotest.test_case "imbalance" `Quick test_counters_imbalance;
+        Alcotest.test_case "zero-access epoch" `Quick test_counters_zero_access_epoch;
         Alcotest.test_case "epoch utilisation" `Quick test_counters_epoch_utilisation;
         Alcotest.test_case "epoch resets bytes" `Quick test_counters_epoch_resets_bytes;
         Alcotest.test_case "raw 50-80% amplitude" `Quick test_counters_raw_amplitude;

@@ -1,0 +1,409 @@
+(* Tests for the obs library: trace rings, streams, the deterministic
+   merge and codecs, the metrics registry, the Stats.Histogram, and
+   the summary-equals-registry contract. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Global-state hygiene: every test that installs a session or enables
+   metrics runs inside this bracket so failures cannot leak state into
+   later suites. *)
+let with_clean_obs f =
+  let finish () =
+    Obs.Trace.uninstall ();
+    Obs.Metrics.set_enabled false;
+    Obs.Metrics.reset ()
+  in
+  Fun.protect ~finally:finish f
+
+(* ------------------------------- ring ------------------------------ *)
+
+let test_ring_basic () =
+  let r = Obs.Ring.create ~capacity:4 ~dummy:0 in
+  List.iter (Obs.Ring.push r) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "under capacity" [ 1; 2; 3 ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "no drops" 0 (Obs.Ring.dropped r);
+  List.iter (Obs.Ring.push r) [ 4; 5; 6 ];
+  Alcotest.(check (list int)) "keeps most recent" [ 3; 4; 5; 6 ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "emitted" 6 (Obs.Ring.emitted r);
+  Alcotest.(check int) "dropped" 2 (Obs.Ring.dropped r);
+  Alcotest.(check int) "length" 4 (Obs.Ring.length r);
+  Obs.Ring.clear r;
+  Alcotest.(check (list int)) "clear empties" [] (Obs.Ring.to_list r);
+  Alcotest.(check int) "clear resets emitted" 0 (Obs.Ring.emitted r)
+
+let test_ring_rejects_bad_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Obs.Ring.create ~capacity:0 ~dummy:0))
+
+(* The tentpole invariant, property-checked: for any push sequence and
+   capacity, kept + dropped = emitted and the kept values are exactly
+   the most recent pushes in push order. *)
+let prop_ring_accounting =
+  QCheck.Test.make ~name:"ring: kept+dropped=emitted, keeps newest in order" ~count:500
+    QCheck.(pair (int_range 1 20) (list small_int))
+    (fun (capacity, xs) ->
+      let r = Obs.Ring.create ~capacity ~dummy:(-1) in
+      List.iter (Obs.Ring.push r) xs;
+      let kept = Obs.Ring.to_list r in
+      let n = List.length xs in
+      let expect =
+        (* the last [min capacity n] elements of xs, in order *)
+        List.filteri (fun i _ -> i >= n - capacity) xs
+      in
+      List.length kept + Obs.Ring.dropped r = Obs.Ring.emitted r
+      && Obs.Ring.emitted r = n && kept = expect)
+
+(* ------------------------------ stream ----------------------------- *)
+
+let test_stream_emit () =
+  let s = Obs.Stream.create ~capacity:8 ~label:"t" () in
+  Obs.Stream.set_time s 1.5;
+  Obs.Stream.emit ~domain:3 ~pfn:42 ~node:1 s Obs.Event.Page_fault;
+  Obs.Stream.emit ~arg:7 s Obs.Event.Epoch_boundary;
+  match Obs.Stream.events s with
+  | [ (0, e0); (1, e1) ] ->
+      Alcotest.(check (float 0.0)) "time stamped" 1.5 e0.Obs.Event.time;
+      Alcotest.(check int) "domain" 3 e0.Obs.Event.domain;
+      Alcotest.(check int) "pfn" 42 e0.Obs.Event.pfn;
+      Alcotest.(check int) "vcpu defaulted" (-1) e0.Obs.Event.vcpu;
+      Alcotest.(check int) "arg" 7 e1.Obs.Event.arg;
+      Alcotest.(check bool) "classes" true
+        (e0.Obs.Event.cls = Obs.Event.Page_fault && e1.Obs.Event.cls = Obs.Event.Epoch_boundary)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_stream_seq_survives_drops () =
+  let s = Obs.Stream.create ~capacity:2 ~label:"t" () in
+  for i = 0 to 9 do
+    Obs.Stream.emit ~arg:i s Obs.Event.Pv_record
+  done;
+  (match Obs.Stream.events s with
+  | [ (8, a); (9, b) ] ->
+      Alcotest.(check int) "payload follows seq" 8 a.Obs.Event.arg;
+      Alcotest.(check int) "payload follows seq" 9 b.Obs.Event.arg
+  | evs -> Alcotest.failf "expected seqs 8,9, got %d events" (List.length evs));
+  Alcotest.(check int) "emitted" 10 (Obs.Stream.emitted s);
+  Alcotest.(check int) "dropped" 8 (Obs.Stream.dropped s);
+  let by_class = Obs.Stream.emitted_by_class s in
+  Alcotest.(check int) "by-class is drop-proof" 10
+    by_class.(Obs.Event.class_index Obs.Event.Pv_record)
+
+(* ------------------------------ event ------------------------------ *)
+
+let test_event_class_roundtrip () =
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) "index roundtrip" true
+        (Obs.Event.class_of_index (Obs.Event.class_index cls) = Some cls);
+      Alcotest.(check bool) "name roundtrip" true
+        (Obs.Event.class_of_name (Obs.Event.class_name cls) = Some cls))
+    Obs.Event.classes;
+  Alcotest.(check int) "class_count" (List.length Obs.Event.classes) Obs.Event.class_count;
+  Alcotest.(check bool) "bad index" true (Obs.Event.class_of_index 999 = None);
+  Alcotest.(check bool) "bad name" true (Obs.Event.class_of_name "nope" = None)
+
+let test_merge_order () =
+  let m ~time ~stream ~seq =
+    { Obs.Event.stream; seq; event = Obs.Event.make ~time Obs.Event.Page_fault }
+  in
+  Alcotest.(check bool) "time first" true
+    (Obs.Event.compare_merged (m ~time:1.0 ~stream:9 ~seq:9) (m ~time:2.0 ~stream:0 ~seq:0) < 0);
+  Alcotest.(check bool) "stream breaks time ties" true
+    (Obs.Event.compare_merged (m ~time:1.0 ~stream:0 ~seq:9) (m ~time:1.0 ~stream:1 ~seq:0) < 0);
+  Alcotest.(check bool) "seq breaks stream ties" true
+    (Obs.Event.compare_merged (m ~time:1.0 ~stream:0 ~seq:0) (m ~time:1.0 ~stream:0 ~seq:1) < 0)
+
+(* ---------------------------- histogram ---------------------------- *)
+
+let test_histogram_percentiles () =
+  let h = Sim.Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Sim.Stats.Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Sim.Stats.Histogram.count h);
+  let p50 = Sim.Stats.Histogram.percentile h 50.0 in
+  let p99 = Sim.Stats.Histogram.percentile h 99.0 in
+  (* Log buckets at base 2^(1/8): ~9% relative resolution. *)
+  Alcotest.(check bool) "p50 near 500" true (p50 > 400.0 && p50 < 600.0);
+  Alcotest.(check bool) "p99 near 990" true (p99 > 900.0 && p99 <= 1000.0);
+  Alcotest.(check (float 0.0)) "max exact" 1000.0 (Sim.Stats.Histogram.max h);
+  Alcotest.(check (float 0.0)) "min exact" 1.0 (Sim.Stats.Histogram.min h);
+  Alcotest.(check bool) "percentiles clamped to observed range" true
+    (Sim.Stats.Histogram.percentile h 0.0 >= 1.0
+    && Sim.Stats.Histogram.percentile h 100.0 <= 1000.0)
+
+let test_histogram_empty_and_zeros () =
+  let h = Sim.Stats.Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 (Sim.Stats.Histogram.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Sim.Stats.Histogram.mean h);
+  Sim.Stats.Histogram.add h 0.0;
+  Sim.Stats.Histogram.add h 0.0;
+  Alcotest.(check int) "zeros counted" 2 (Sim.Stats.Histogram.count h);
+  Alcotest.(check (float 0.0)) "all-zero p99 is 0" 0.0 (Sim.Stats.Histogram.percentile h 99.0)
+
+let test_histogram_merge () =
+  let a = Sim.Stats.Histogram.create () and b = Sim.Stats.Histogram.create () in
+  Sim.Stats.Histogram.add a 1.0;
+  Sim.Stats.Histogram.add b 100.0;
+  Sim.Stats.Histogram.merge a b;
+  Alcotest.(check int) "merged count" 2 (Sim.Stats.Histogram.count a);
+  Alcotest.(check (float 0.0)) "merged max" 100.0 (Sim.Stats.Histogram.max a)
+
+(* ----------------------------- metrics ----------------------------- *)
+
+let test_metrics_registry () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.incr_in r "b.counter";
+  Obs.Metrics.incr_in r ~by:4 "b.counter";
+  Obs.Metrics.gauge_in r "a.gauge" 2.5;
+  Obs.Metrics.observe_in r "c.lat" 0.5;
+  Obs.Metrics.observe_in r "c.lat" 1.5;
+  (match Obs.Metrics.snapshot_of r with
+  | [ (na, Obs.Metrics.Gauge_value g); (nb, Obs.Metrics.Counter_value c);
+      (nc, Obs.Metrics.Histogram_value h) ] ->
+      Alcotest.(check string) "sorted 1" "a.gauge" na;
+      Alcotest.(check string) "sorted 2" "b.counter" nb;
+      Alcotest.(check string) "sorted 3" "c.lat" nc;
+      Alcotest.(check (float 0.0)) "gauge" 2.5 g;
+      Alcotest.(check int) "counter" 5 c;
+      Alcotest.(check int) "histogram count" 2 h.Obs.Metrics.count;
+      Alcotest.(check (float 1e-9)) "histogram mean" 1.0 h.Obs.Metrics.mean
+  | s -> Alcotest.failf "unexpected snapshot shape (%d entries)" (List.length s));
+  Alcotest.(check (option int)) "counter_value" (Some 5)
+    (Obs.Metrics.counter_value ~registry:r "b.counter");
+  Alcotest.(check (option int)) "absent counter" None
+    (Obs.Metrics.counter_value ~registry:r "missing")
+
+let test_metrics_disabled_noop () =
+  with_clean_obs (fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.incr "nope";
+      Obs.Metrics.gauge "nope.g" 1.0;
+      Obs.Metrics.observe "nope.h" 1.0;
+      Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Metrics.snapshot ()));
+      Obs.Metrics.set_enabled true;
+      Obs.Metrics.incr "yes";
+      Alcotest.(check (option int)) "recorded once enabled" (Some 1)
+        (Obs.Metrics.counter_value "yes"))
+
+(* ------------------------------- json ------------------------------ *)
+
+let test_json_parse () =
+  let j = Obs.Json.of_string {|{"a": 1, "b": [true, null, "x\n"], "c": -2.5e1}|} in
+  Alcotest.(check (option int)) "int member" (Some 1)
+    (Option.bind (Obs.Json.member "a" j) Obs.Json.to_int);
+  Alcotest.(check (option (float 0.0))) "float member" (Some (-25.0))
+    (Option.bind (Obs.Json.member "c" j) Obs.Json.to_float);
+  (match Obs.Json.member "b" j with
+  | Some (Obs.Json.List [ Obs.Json.Bool true; Obs.Json.Null; Obs.Json.String s ]) ->
+      Alcotest.(check string) "escape decoded" "x\n" s
+  | _ -> Alcotest.fail "list member shape");
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (Obs.Json.of_string_opt "{} junk" = None);
+  Alcotest.(check bool) "bare word rejected" true (Obs.Json.of_string_opt "nope" = None);
+  Alcotest.(check string) "escape" "a\\\"b\\\\c\\n" (Obs.Json.escape "a\"b\\c\n")
+
+(* ------------------------- trace and codecs ------------------------ *)
+
+let mk_session () =
+  let session = Obs.Trace.create ~capacity:8 () in
+  let a = Obs.Trace.stream session ~label:"b-second" in
+  let b = Obs.Trace.stream session ~label:"a-first" in
+  Obs.Stream.set_time a 0.0;
+  Obs.Stream.set_time b 0.0;
+  Obs.Stream.emit ~domain:0 ~pfn:1 ~node:2 a Obs.Event.Page_fault;
+  Obs.Stream.emit ~domain:1 ~arg:48 b Obs.Event.Hypercall_entry;
+  Obs.Stream.set_time a 1.0;
+  Obs.Stream.set_time b 1.0;
+  Obs.Stream.emit ~arg:1 a Obs.Event.Epoch_boundary;
+  Obs.Stream.emit ~domain:1 ~arg:900 b Obs.Event.Hypercall_exit;
+  session
+
+let check_export_equal msg (a : Obs.Codec.export) (b : Obs.Codec.export) =
+  Alcotest.(check int) (msg ^ ": stream count") (Array.length a.Obs.Codec.streams)
+    (Array.length b.Obs.Codec.streams);
+  Array.iteri
+    (fun i (sa : Obs.Codec.stream_info) ->
+      let sb = b.Obs.Codec.streams.(i) in
+      Alcotest.(check string) (msg ^ ": label") sa.Obs.Codec.label sb.Obs.Codec.label;
+      Alcotest.(check int) (msg ^ ": emitted") sa.Obs.Codec.emitted sb.Obs.Codec.emitted;
+      Alcotest.(check int) (msg ^ ": dropped") sa.Obs.Codec.dropped sb.Obs.Codec.dropped;
+      Alcotest.(check (array int)) (msg ^ ": by_class") sa.Obs.Codec.by_class sb.Obs.Codec.by_class)
+    a.Obs.Codec.streams;
+  Alcotest.(check bool) (msg ^ ": events equal") true (a.Obs.Codec.events = b.Obs.Codec.events)
+
+let test_trace_merge () =
+  let session = mk_session () in
+  let e = Obs.Trace.export session in
+  (* Streams sorted by label, not registration order. *)
+  Alcotest.(check string) "stream 0" "a-first" e.Obs.Codec.streams.(0).Obs.Codec.label;
+  Alcotest.(check string) "stream 1" "b-second" e.Obs.Codec.streams.(1).Obs.Codec.label;
+  let order =
+    List.map
+      (fun (m : Obs.Event.merged) -> (m.Obs.Event.event.Obs.Event.time, m.Obs.Event.stream))
+      e.Obs.Codec.events
+  in
+  Alcotest.(check bool) "merged by (time, stream, seq)" true
+    (order = [ (0.0, 0); (0.0, 1); (1.0, 0); (1.0, 1) ])
+
+let test_trace_duplicate_label_detached () =
+  let session = Obs.Trace.create () in
+  let s1 = Obs.Trace.stream session ~label:"same" in
+  let s2 = Obs.Trace.stream session ~label:"same" in
+  Obs.Stream.emit s1 Obs.Event.Page_fault;
+  Obs.Stream.emit s2 Obs.Event.Page_fault;
+  Alcotest.(check int) "one registered stream" 1 (Obs.Trace.stream_count session);
+  let e = Obs.Trace.export session in
+  Alcotest.(check int) "only the first is exported" 1 (List.length e.Obs.Codec.events)
+
+let test_codec_roundtrips () =
+  let session = mk_session () in
+  let e = Obs.Trace.export session in
+  let jsonl = Obs.Trace.render_jsonl session in
+  check_export_equal "jsonl" e (Obs.Codec.read_jsonl jsonl);
+  let binary = Obs.Trace.render_binary session in
+  Alcotest.(check bool) "binary magic detected" true (Obs.Codec.is_binary binary);
+  check_export_equal "binary" e (Obs.Codec.read_binary binary);
+  (* Auto-detection picks the right reader for both. *)
+  check_export_equal "auto jsonl" e (Obs.Codec.read jsonl);
+  check_export_equal "auto binary" e (Obs.Codec.read binary)
+
+let test_codec_rejects_corrupt () =
+  Alcotest.(check bool) "truncated binary raises" true
+    (match Obs.Codec.read_binary "XNUMATR1\000\000" with
+    | exception Obs.Codec.Corrupt _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad jsonl raises" true
+    (match Obs.Codec.read_jsonl "{\"bogus\": 1}\n" with
+    | exception Obs.Codec.Corrupt _ -> true
+    | _ -> false)
+
+(* ---------------------- engine-level determinism ------------------- *)
+
+let small_cfg ~seed =
+  let app =
+    match Workloads.Catalogue.find "swaptions" with Some a -> a | None -> assert false
+  in
+  let vm = Engine.Config.vm ~threads:4 ~policy:Policies.Spec.first_touch app in
+  Engine.Config.make ~seed ~max_epochs:40 ~mode:Engine.Config.Xen_plus [ vm ]
+
+(* The acceptance criterion, in-process: the same fixed-seed mini-grid
+   traced at --jobs 1 and --jobs 4 renders byte-identical JSONL. *)
+let test_trace_jobs_byte_identical () =
+  with_clean_obs (fun () ->
+      let grid jobs =
+        let session = Obs.Trace.create ~capacity:512 () in
+        Obs.Trace.install session;
+        let tasks =
+          Array.init 4 (fun i () -> ignore (Engine.Runner.run (small_cfg ~seed:(100 + i))))
+        in
+        ignore (Engine.Pool.run_all ~jobs tasks);
+        Obs.Trace.uninstall ();
+        Obs.Trace.render_jsonl session
+      in
+      let t1 = grid 1 in
+      let t4 = grid 4 in
+      Alcotest.(check bool) "traces non-trivial" true (String.length t1 > 1000);
+      Alcotest.(check string) "jobs 1 = jobs 4, byte for byte" t1 t4)
+
+let test_runner_untraced_emits_nothing () =
+  with_clean_obs (fun () ->
+      let session = Obs.Trace.create () in
+      (* NOT installed: the runner must not register streams. *)
+      ignore (Engine.Runner.run (small_cfg ~seed:7));
+      Alcotest.(check int) "no streams" 0 (Obs.Trace.stream_count session);
+      Alcotest.(check bool) "no session installed" false (Obs.Trace.installed ());
+      Alcotest.(check bool) "obs disabled" false (Obs.enabled ()))
+
+(* The summariser over the exported file reports exactly the per-class
+   counts commit_metrics mirrors into the registry. *)
+let test_summary_matches_registry () =
+  with_clean_obs (fun () ->
+      let session = Obs.Trace.create ~capacity:256 () in
+      Obs.Trace.install session;
+      Obs.Metrics.set_enabled true;
+      ignore (Engine.Runner.run (small_cfg ~seed:3));
+      Obs.Trace.uninstall ();
+      Obs.Trace.commit_metrics session;
+      let jsonl = Obs.Trace.render_jsonl session in
+      let summary = Obs.Summary.of_export (Obs.Codec.read jsonl) in
+      let counts = Obs.Summary.class_counts summary in
+      Alcotest.(check bool) "run produced events" true (counts <> []);
+      List.iter
+        (fun (cls, emitted) ->
+          let name = "obs.trace.events." ^ Obs.Event.class_name cls in
+          Alcotest.(check (option int)) name (Some emitted) (Obs.Metrics.counter_value name))
+        counts;
+      Alcotest.(check (option int)) "total emitted mirrored"
+        (Some summary.Obs.Summary.total_emitted)
+        (Obs.Metrics.counter_value "obs.trace.emitted");
+      Alcotest.(check (option int)) "drops mirrored"
+        (Some summary.Obs.Summary.total_dropped)
+        (Obs.Metrics.counter_value "obs.trace.dropped"))
+
+let test_summary_timeline () =
+  with_clean_obs (fun () ->
+      let session = Obs.Trace.create ~capacity:4096 () in
+      Obs.Trace.install session;
+      ignore (Engine.Runner.run (small_cfg ~seed:11));
+      Obs.Trace.uninstall ();
+      let summary = Obs.Summary.of_export (Obs.Trace.export session) in
+      let epochs = List.map (fun r -> r.Obs.Summary.epoch) summary.Obs.Summary.timeline in
+      Alcotest.(check bool) "timeline non-empty" true (epochs <> []);
+      Alcotest.(check bool) "epochs ascending" true
+        (List.sort compare epochs = epochs);
+      let rendered = Obs.Summary.render ~timeline_rows:4 summary in
+      Alcotest.(check bool) "render mentions classes" true
+        (String.length rendered > 0
+        && (let contains s sub =
+              let n = String.length sub in
+              let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+              go 0
+            in
+            contains rendered "epoch_boundary")))
+
+let suite =
+  [
+    ( "obs.ring",
+      [
+        Alcotest.test_case "push/overwrite/clear" `Quick test_ring_basic;
+        Alcotest.test_case "rejects bad capacity" `Quick test_ring_rejects_bad_capacity;
+        qcheck prop_ring_accounting;
+      ] );
+    ( "obs.stream",
+      [
+        Alcotest.test_case "emit stamps context" `Quick test_stream_emit;
+        Alcotest.test_case "seq survives drops" `Quick test_stream_seq_survives_drops;
+      ] );
+    ( "obs.event",
+      [
+        Alcotest.test_case "class roundtrips" `Quick test_event_class_roundtrip;
+        Alcotest.test_case "merge order" `Quick test_merge_order;
+      ] );
+    ( "obs.histogram",
+      [
+        Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+        Alcotest.test_case "empty and zeros" `Quick test_histogram_empty_and_zeros;
+        Alcotest.test_case "merge" `Quick test_histogram_merge;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "registry" `Quick test_metrics_registry;
+        Alcotest.test_case "disabled is a no-op" `Quick test_metrics_disabled_noop;
+      ] );
+    ("obs.json", [ Alcotest.test_case "parse" `Quick test_json_parse ]);
+    ( "obs.trace",
+      [
+        Alcotest.test_case "deterministic merge" `Quick test_trace_merge;
+        Alcotest.test_case "duplicate label detached" `Quick test_trace_duplicate_label_detached;
+        Alcotest.test_case "codec roundtrips" `Quick test_codec_roundtrips;
+        Alcotest.test_case "rejects corrupt input" `Quick test_codec_rejects_corrupt;
+      ] );
+    ( "obs.engine",
+      [
+        Alcotest.test_case "jobs 1 = jobs 4 trace bytes" `Slow test_trace_jobs_byte_identical;
+        Alcotest.test_case "untraced run emits nothing" `Quick test_runner_untraced_emits_nothing;
+        Alcotest.test_case "summary matches registry" `Slow test_summary_matches_registry;
+        Alcotest.test_case "summary timeline" `Slow test_summary_timeline;
+      ] );
+  ]

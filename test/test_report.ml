@@ -50,6 +50,27 @@ let test_chart_groups () =
     (Invalid_argument "Chart.render_groups: series/values length mismatch") (fun () ->
       ignore (Report.Chart.render_groups ~title:"g" ~series:[ "s1" ] [ ("app", [ 1.0; 2.0 ]) ]))
 
+let test_chart_groups_negative () =
+  (* A slowdown below baseline (negative delta) must render a leftwards
+     marker without scaling the positive bars off the canvas. *)
+  let s =
+    Report.Chart.render_groups ~title:"g" ~series:[ "s1"; "s2" ]
+      [ ("app", [ -0.5; 2.0 ]); ("other", [ 1.0; -2.0 ]) ]
+  in
+  Alcotest.(check bool) "renders" true (String.length s > 0);
+  Alcotest.(check bool) "negative marker" true (String.contains s '-');
+  Alcotest.(check bool) "positive bars kept" true (String.contains s '#')
+
+let test_chart_groups_all_zero () =
+  (* max_value <= 0: every bar collapses to the empty string rather
+     than dividing by zero. *)
+  let s =
+    Report.Chart.render_groups ~title:"g" ~series:[ "s1"; "s2" ]
+      [ ("app", [ 0.0; 0.0 ]); ("other", [ 0.0; 0.0 ]) ]
+  in
+  Alcotest.(check bool) "renders" true (String.length s > 0);
+  Alcotest.(check bool) "no bars drawn" false (String.contains s '#')
+
 (* --------------------------- experiments ---------------------------- *)
 
 let test_micro_dma_sweep () =
@@ -112,6 +133,8 @@ let suite =
         Alcotest.test_case "render" `Quick test_chart_render;
         Alcotest.test_case "negative values" `Quick test_chart_negative;
         Alcotest.test_case "groups" `Quick test_chart_groups;
+        Alcotest.test_case "groups with negative values" `Quick test_chart_groups_negative;
+        Alcotest.test_case "groups all zero" `Quick test_chart_groups_all_zero;
       ] );
     ( "experiments.micro",
       [

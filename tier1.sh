@@ -12,6 +12,37 @@ dune exec bench/main.exe -- tab1 --jobs 2
 # fault plan (a plan that hits the epoch cap prints a WARNING).
 dune exec bench/main.exe -- chaos --jobs 2
 
+# Usage errors must be reported as such: unknown sections and a
+# malformed --jobs both exit non-zero.
+if dune exec bench/main.exe -- no-such-section >/dev/null 2>&1; then
+  echo "tier1: FAIL - unknown bench section did not exit non-zero" >&2
+  exit 1
+fi
+if dune exec bench/main.exe -- tab1 --jobs banana >/dev/null 2>&1; then
+  echo "tier1: FAIL - bad --jobs did not exit non-zero" >&2
+  exit 1
+fi
+
+# Trace determinism smoke: the same grid traced at --jobs 1 and
+# --jobs 4 must export byte-identical JSONL (streams are merged by
+# config-derived label, never by worker schedule), every line must be
+# one JSON object, and the summariser must accept the file.
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+dune exec bench/main.exe -- tab1 --jobs 1 --trace "$TRACE_DIR/j1.jsonl" --trace-cap 512 >/dev/null
+dune exec bench/main.exe -- tab1 --jobs 4 --trace "$TRACE_DIR/j4.jsonl" --trace-cap 512 >/dev/null
+cmp "$TRACE_DIR/j1.jsonl" "$TRACE_DIR/j4.jsonl" || {
+  echo "tier1: FAIL - traces differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+grep -cv '^{.*}$' "$TRACE_DIR/j1.jsonl" >/dev/null 2>&1 && {
+  echo "tier1: FAIL - trace contains non-JSON-object lines" >&2
+  exit 1
+}
+dune exec bin/xen_numa_trace.exe -- check "$TRACE_DIR/j1.jsonl"
+dune exec bin/xen_numa_trace.exe -- summary --timeline 4 "$TRACE_DIR/j1.jsonl" >/dev/null
+echo "tier1: trace determinism OK ($(wc -l < "$TRACE_DIR/j1.jsonl") JSONL lines)"
+
 # Short randomised chaos pass: a fresh QCHECK_SEED (overridable for
 # replay) re-runs the fault-injection property suite, whose
 # frame-accounting invariant (no leaks, no double frees) fails the
