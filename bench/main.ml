@@ -23,7 +23,7 @@ let section title =
 (* ------------------------------------------------------------------ *)
 
 let bench_p2m () =
-  let p2m = Xen.P2m.create ~frames:4096 in
+  let p2m = Xen.P2m.create ~frames:4096 () in
   let i = ref 0 in
   Bechamel.Staged.stage (fun () ->
       let pfn = !i land 4095 in
@@ -216,6 +216,10 @@ let sections : (string * (unit -> unit)) list =
       fun () ->
         section "Chaos (fault injection and graceful degradation)";
         Experiments.Chaos.print () );
+    ( "hugepage",
+      fun () ->
+        section "Hugepage (2 MiB P2M superpages on/off)";
+        Experiments.Hugepage.print () );
     ("micro", run_micro);
   ]
 

@@ -7,13 +7,14 @@ type vm_spec = {
   home_nodes : Numa.Topology.node array option;
   use_mcs : bool;
   huge_pages : bool;
+  superpages : bool;
   pinned : bool;
 }
 
-let vm ?home_nodes ?(use_mcs = false) ?(huge_pages = false) ?(pinned = true) ?(threads = 48)
-    ~policy app =
+let vm ?home_nodes ?(use_mcs = false) ?(huge_pages = false) ?(superpages = false)
+    ?(pinned = true) ?(threads = 48) ~policy app =
   if threads <= 0 then invalid_arg "Config.vm: threads must be positive";
-  { app; threads; policy; home_nodes; use_mcs; huge_pages; pinned }
+  { app; threads; policy; home_nodes; use_mcs; huge_pages; superpages; pinned }
 
 type t = {
   mode : mode;

@@ -28,7 +28,16 @@ type vm_spec = {
   huge_pages : bool;
       (** Back the application with 2 MiB pages (the paper's first
           future-work item): TLB reach grows 512-fold, which matters
-          most under nested paging. *)
+          most under nested paging.  This is the {e guest}-side flag —
+          the whole footprint is assumed huge-mapped, independent of
+          the hypervisor P2M. *)
+  superpages : bool;
+      (** Enable 2 MiB {e hypervisor} P2M superpage entries
+          ({!Xen.P2m}): round-1G boot placement installs them, per-page
+          operations splinter them, and the manager's promotion scan
+          re-coalesces extents.  The TLB benefit then tracks the live
+          superpage fraction of guest memory instead of being a static
+          assumption.  Ignored in [Linux] mode (no P2M). *)
   pinned : bool;
       (** [true] (the paper's evaluation setting): vCPUs stay on their
           boot pCPUs.  [false]: the credit scheduler may migrate them
@@ -37,7 +46,8 @@ type vm_spec = {
 }
 
 val vm : ?home_nodes:Numa.Topology.node array -> ?use_mcs:bool -> ?huge_pages:bool ->
-  ?pinned:bool -> ?threads:int -> policy:Policies.Spec.t -> Workloads.App.t -> vm_spec
+  ?superpages:bool -> ?pinned:bool -> ?threads:int -> policy:Policies.Spec.t ->
+  Workloads.App.t -> vm_spec
 (** [threads] defaults to 48 (the full machine). *)
 
 type t = {

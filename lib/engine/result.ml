@@ -36,6 +36,11 @@ type vm_result = {
   migrations : int;
   avg_latency_cycles : float;
   local_fraction : float;
+  superpages : int;  (* live 2 MiB P2M entries at the end of the run *)
+  superpage_fraction : float;  (* share of mapped guest memory under them *)
+  splinters : int;  (* cumulative demotions (P2M counter) *)
+  promotes : int;  (* cumulative coalesces, in place and by copy *)
+  superpage_migrates : int;  (* the copying promotes among them *)
   degradation : degradation;
 }
 
@@ -67,6 +72,16 @@ let pp fmt t =
         vm.app_name vm.policy vm.completion vm.compute_time vm.io_overhead vm.sync_overhead
         vm.virt_overhead vm.release_overhead vm.avg_latency_cycles
         (100.0 *. vm.local_fraction) vm.migrations)
+    t.vms;
+  List.iter
+    (fun vm ->
+      if vm.superpages > 0 || vm.splinters > 0 || vm.promotes > 0 then
+        Format.fprintf fmt
+          "%-14s superpages: %d live (%4.1f%% of mapped), %d splintered, %d promoted (%d by \
+           copy)@,"
+          vm.app_name vm.superpages
+          (100.0 *. vm.superpage_fraction)
+          vm.splinters vm.promotes vm.superpage_migrates)
     t.vms;
   List.iter
     (fun vm ->

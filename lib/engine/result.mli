@@ -28,6 +28,15 @@ type vm_result = {
   migrations : int;        (** Pages migrated by Carrefour. *)
   avg_latency_cycles : float;  (** Work-weighted mean memory latency. *)
   local_fraction : float;  (** Fraction of accesses served on the local node. *)
+  superpages : int;  (** Live 2 MiB P2M superpage entries at the end. *)
+  superpage_fraction : float;
+      (** Share of mapped guest memory covered by superpage entries
+          (drives the TLB reach of the run's tail). *)
+  splinters : int;  (** Superpage demotions over the whole run. *)
+  promotes : int;  (** Extents re-coalesced by the promotion scan. *)
+  superpage_migrates : int;
+      (** Promotions that had to copy the extent onto a fresh
+          contiguous block first. *)
   degradation : degradation;
       (** Graceful-degradation counters ({!no_degradation} on a clean
           run). *)

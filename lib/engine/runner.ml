@@ -63,7 +63,9 @@ type vm_state = {
   mutable total_accesses : float;
   mutable local_accesses : float;
   mutable private_sample_cursor : int;
-  tlb_cycles_per_instr : float;
+  mutable tlb_cycles_per_instr : float;
+      (* static, except under P2M superpages where it tracks the live
+         superpage fraction epoch by epoch *)
   work_per_thread : float;
   mutable phase : int;
   rng : Sim.Rng.t;
@@ -153,15 +155,40 @@ let build_region system st_pool process domain ~vfn0 ~pages ~weights ~cpu ~nodes
 (* TLB walk cycles per instruction: ~0.3 memory accesses per
    instruction, each missing the TLB per the coverage model; nested
    paging makes every walk ~3x dearer, huge pages make walks rare. *)
+let tlb_hot_access_share (app : Workloads.App.t) =
+  Float.min 0.95 (0.45 +. (0.4 *. app.Workloads.App.zipf_s))
+
 let tlb_cycles_per_instr (cfg : Config.t) (spec : Config.vm_spec) =
   let app = spec.Config.app in
   let page_size = if spec.Config.huge_pages then Guest.Tlb.Huge_2m else Guest.Tlb.Small_4k in
   let virtualized = cfg.Config.mode <> Config.Linux in
-  let hot_access_share = Float.min 0.95 (0.45 +. (0.4 *. app.Workloads.App.zipf_s)) in
   0.3
   *. Guest.Tlb.cycles_per_access Guest.Tlb.opteron page_size ~virtualized
        ~footprint_bytes:(app.Workloads.App.footprint_mb * 1024 * 1024)
-       ~hot_access_share
+       ~hot_access_share:(tlb_hot_access_share app)
+
+(* Under P2M superpages the walk cost is not a boot-time constant: the
+   fraction of guest memory behind 2 MiB entries moves as first-touch
+   invalidations splinter extents and the promotion scan re-coalesces
+   them, and the TLB reach follows it.  Guest-level huge pages
+   ([huge_pages]) still assume the whole footprint is huge-mapped. *)
+let tlb_cycles_per_instr_dynamic (cfg : Config.t) (spec : Config.vm_spec)
+    (domain : Xen.Domain.t) =
+  if spec.Config.huge_pages then tlb_cycles_per_instr cfg spec
+  else begin
+    let app = spec.Config.app in
+    let p2m = domain.Xen.Domain.p2m in
+    let mapped = Xen.P2m.mapped_count p2m in
+    let huge_fraction =
+      if mapped = 0 then 0.0
+      else float_of_int (Xen.P2m.superpage_frames p2m) /. float_of_int mapped
+    in
+    0.3
+    *. Guest.Tlb.cycles_per_access_mixed Guest.Tlb.opteron ~huge_fraction
+         ~virtualized:(cfg.Config.mode <> Config.Linux)
+         ~footprint_bytes:(app.Workloads.App.footprint_mb * 1024 * 1024)
+         ~hot_access_share:(tlb_hot_access_share app)
+  end
 
 (* Popularity of page [i] under the region's current rotation. *)
 let eff_weight region i =
@@ -219,15 +246,24 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
   in
   let rng = Sim.Rng.split root_rng in
   let policy = spec.Config.policy in
+  (* P2M superpages only exist under a hypervisor. *)
+  let superpages = spec.Config.superpages && cfg.Config.mode <> Config.Linux in
   let boot =
     match cfg.Config.mode with
     | Config.Linux -> policy  (* Linux applies its policy directly. *)
     | Config.Xen | Config.Xen_plus ->
         if policy.Policies.Spec.placement = Policies.Spec.Round_1g then Policies.Spec.round_1g
+        else if superpages && policy.Policies.Spec.placement = Policies.Spec.First_touch then
+          (* With superpages the contiguous boot placement is worth
+             modelling for first-touch too: the switch's free-list
+             release then splinters every 2 MiB entry — the paper's
+             granularity tension at its sharpest. *)
+          Policies.Spec.round_1g
         else Policies.Spec.round_4k
   in
   let manager =
-    Policies.Manager.attach ~carrefour_config:(carrefour_config cfg machine) system domain ~boot ~rng
+    Policies.Manager.attach ~carrefour_config:(carrefour_config cfg machine) ~superpages system
+      domain ~boot ~rng
   in
   (match cfg.Config.mode with
   | Config.Linux -> ()
@@ -637,6 +673,8 @@ let vm_result cfg system st =
     else 0.0
   in
   let release_overhead = release_churn_overhead cfg st ~active_seconds:compute_time in
+  let p2m = st.domain.Xen.Domain.p2m in
+  let mapped = Xen.P2m.mapped_count p2m in
   {
     Result.app_name = app.Workloads.App.name;
     policy = Policies.Spec.name st.spec.Config.policy;
@@ -652,6 +690,13 @@ let vm_result cfg system st =
       (if st.total_accesses > 0.0 then st.weighted_lat /. st.total_accesses else 0.0);
     local_fraction =
       (if st.total_accesses > 0.0 then st.local_accesses /. st.total_accesses else 0.0);
+    superpages = Xen.P2m.superpage_count p2m;
+    superpage_fraction =
+      (if mapped > 0 then float_of_int (Xen.P2m.superpage_frames p2m) /. float_of_int mapped
+       else 0.0);
+    splinters = Xen.P2m.splinter_count p2m;
+    promotes = Xen.P2m.promote_count p2m;
+    superpage_migrates = (Policies.Manager.stats st.manager).Policies.Manager.superpage_migrates;
     degradation = vm_degradation st;
   }
 
@@ -673,9 +718,10 @@ let run (cfg : Config.t) =
     | None -> None
     | Some session ->
         let vm_desc (vm : Config.vm_spec) =
-          Printf.sprintf "%s/%s%s" vm.Config.app.Workloads.App.name
+          Printf.sprintf "%s/%s%s%s" vm.Config.app.Workloads.App.name
             (Policies.Spec.name vm.Config.policy)
             (if vm.Config.use_mcs then "/mcs" else "")
+            (if vm.Config.superpages then "/sp" else "")
         in
         let label =
           Printf.sprintf "%s|%s|seed=%d" (Config.mode_name cfg.Config.mode)
@@ -835,6 +881,11 @@ let run (cfg : Config.t) =
             st.burst_victim <- -1;
             st.burst_source <- -1
           end;
+          (* Track the live superpage fraction (splinters and promotes
+             move it); non-superpage runs keep the boot-time constant
+             bit for bit. *)
+          if Policies.Manager.superpages_enabled st.manager then
+            st.tlb_cycles_per_instr <- tlb_cycles_per_instr_dynamic cfg st.spec st.domain;
           let oh = epoch_sync_overhead cfg st in
           (* Carrefour's continuous hardware-counter sampling is not
              free: the paper observes it slightly degrades applications
@@ -986,7 +1037,12 @@ let run (cfg : Config.t) =
           if faults_on then
             Policies.Manager.epoch_tick st.manager ~epoch:!epochs
               ~guest_free:(fun pfn -> Guest.Pfn_pool.is_free st.pool pfn)
-              ();
+              ()
+          else if Policies.Manager.superpages_enabled st.manager then
+            (* Clean runs historically skip the tick; superpage runs
+               need it for the promotion scan (drain/breaker parts are
+               no-ops without faults). *)
+            Policies.Manager.epoch_tick st.manager ~epoch:!epochs ();
           (* Carrefour runs its user component once per second (every
              tenth epoch), like the real system. *)
           match Policies.Manager.carrefour st.manager with

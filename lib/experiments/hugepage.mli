@@ -1,0 +1,21 @@
+(** The hugepage grid: 2 MiB P2M superpages on/off across the three
+    boot placements (round-1G / round-4K / first-touch) for two
+    TLB-sensitive applications.  Round-1G keeps its boot superpages and
+    wins the nested-paging TLB gap; round-4K never forms any; the
+    first-touch policy switch splinters every extent and closes the
+    gap, leaving the splinter/promote counters as the explanation. *)
+
+val apps : string list
+val policies : Policies.Spec.t list
+
+val cells : (string * Policies.Spec.t) list
+(** [apps] x [policies], apps-major. *)
+
+val run : ?seed:int -> unit -> (Engine.Result.t * Engine.Result.t) list
+(** (superpages-off, superpages-on) result pairs in [cells] order.
+    Both halves of a pair share one derived seed, so their workload
+    streams are identical and the delta is the superpage effect;
+    parallelised over the engine pool (bit-identical whatever the job
+    count). *)
+
+val print : ?seed:int -> unit -> unit

@@ -46,3 +46,9 @@ let walk_cycles t ~virtualized =
 
 let cycles_per_access t page_size ~virtualized ~footprint_bytes ~hot_access_share =
   miss_ratio t page_size ~footprint_bytes ~hot_access_share *. walk_cycles t ~virtualized
+
+let cycles_per_access_mixed t ~huge_fraction ~virtualized ~footprint_bytes ~hot_access_share =
+  let f = Float.min 1.0 (Float.max 0.0 huge_fraction) in
+  let huge = cycles_per_access t Huge_2m ~virtualized ~footprint_bytes ~hot_access_share in
+  let small = cycles_per_access t Small_4k ~virtualized ~footprint_bytes ~hot_access_share in
+  (f *. huge) +. ((1.0 -. f) *. small)

@@ -46,3 +46,15 @@ val walk_cycles : t -> virtualized:bool -> float
 val cycles_per_access :
   t -> page_size -> virtualized:bool -> footprint_bytes:int -> hot_access_share:float -> float
 (** Expected TLB-walk cycles added to each memory access. *)
+
+val cycles_per_access_mixed :
+  t ->
+  huge_fraction:float ->
+  virtualized:bool ->
+  footprint_bytes:int ->
+  hot_access_share:float ->
+  float
+(** {!cycles_per_access} for an address space that is only partially
+    backed by 2 MiB mappings: the P2M superpage fraction of guest
+    memory enjoys {!Huge_2m} reach, the splintered remainder pays
+    {!Small_4k} walks.  [huge_fraction] is clamped to [\[0, 1\]]. *)

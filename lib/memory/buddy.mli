@@ -1,9 +1,11 @@
 (** Binary buddy allocator over a contiguous range of frame numbers.
 
     Xen's heap allocator hands out power-of-two blocks of machine
-    frames; the round-1G policy asks for order-18 (1 GiB) blocks and
-    falls back to order-9 (2 MiB) then order-0 (4 KiB) under
-    fragmentation.  This is a faithful buddy system: blocks split on
+    frames; the round-1G policy asks for order-18 ({!Page.order_1g},
+    1 GiB) blocks and falls back to order-9 ({!Page.order_2m}, 2 MiB)
+    then order-0 (4 KiB) under fragmentation.  The order constants are
+    derived once in {!Page} from the {!Sim.Units} sizes — they are not
+    hard-coded here a second time.  This is a faithful buddy system: blocks split on
     allocation and coalesce with their buddy on free. *)
 
 type t

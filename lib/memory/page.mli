@@ -26,6 +26,14 @@ val frames_per_2m : int
 val frames_per_1g : int
 (** 4 KiB frames per 1 GiB region (262144). *)
 
+val order_of_size : int -> int
+(** Buddy order of a power-of-two block of [bytes]: the exact log2 of
+    [bytes / size_4k].  All order constants below are derived through
+    this from the {!Sim.Units} sizes, so they cannot drift from the
+    byte math.
+    @raise Invalid_argument if [bytes] is not a power-of-two multiple
+    of {!size_4k}. *)
+
 val order_4k : int
 val order_2m : int
 (** Buddy order of a 2 MiB block of 4 KiB frames (9). *)

@@ -15,6 +15,9 @@ type class_ =
   | Breaker_cooldown
   | Reconcile_sweep
   | Epoch_boundary
+  | Splinter
+  | Promote
+  | Superpage_migrate
 
 let classes =
   [
@@ -34,6 +37,9 @@ let classes =
     Breaker_cooldown;
     Reconcile_sweep;
     Epoch_boundary;
+    Splinter;
+    Promote;
+    Superpage_migrate;
   ]
 
 let class_count = List.length classes
@@ -55,6 +61,9 @@ let class_index = function
   | Breaker_cooldown -> 13
   | Reconcile_sweep -> 14
   | Epoch_boundary -> 15
+  | Splinter -> 16
+  | Promote -> 17
+  | Superpage_migrate -> 18
 
 let class_of_index = function
   | 0 -> Some Hypercall_entry
@@ -73,6 +82,9 @@ let class_of_index = function
   | 13 -> Some Breaker_cooldown
   | 14 -> Some Reconcile_sweep
   | 15 -> Some Epoch_boundary
+  | 16 -> Some Splinter
+  | 17 -> Some Promote
+  | 18 -> Some Superpage_migrate
   | _ -> None
 
 let class_name = function
@@ -92,6 +104,9 @@ let class_name = function
   | Breaker_cooldown -> "breaker_cooldown"
   | Reconcile_sweep -> "reconcile_sweep"
   | Epoch_boundary -> "epoch_boundary"
+  | Splinter -> "splinter"
+  | Promote -> "promote"
+  | Superpage_migrate -> "superpage_migrate"
 
 let class_of_name name = List.find_opt (fun c -> class_name c = name) classes
 

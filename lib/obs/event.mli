@@ -5,7 +5,8 @@
     to a class are [-1].  [arg] is a small class-specific payload:
     hypercall number (entry), duration in nanoseconds (exit), batch
     size (pv flush/loss), breaker trip count/level, healed pages
-    (reconcile sweep), epoch index (boundary). *)
+    (reconcile sweep), epoch index (boundary), frames demoted or
+    coalesced (splinter / promote / superpage migrate). *)
 
 type class_ =
   | Hypercall_entry
@@ -24,6 +25,9 @@ type class_ =
   | Breaker_cooldown
   | Reconcile_sweep
   | Epoch_boundary
+  | Splinter
+  | Promote
+  | Superpage_migrate
 
 val classes : class_ list
 val class_count : int

@@ -27,16 +27,29 @@ let migrate_page system (domain : Xen.Domain.t) ~pfn ~node =
         match Memory.Machine.alloc_frame (machine system) ~node with
         | None -> Error `Enomem
         | Some new_mfn ->
+            (* Migrating a single page that lives inside a 2 MiB
+               superpage first splinters the extent: every one of its
+               4 KiB entries pays the write-protect→remap cost before
+               the one page can move on its own. *)
+            let p2m = domain.Xen.Domain.p2m in
+            let costs = system.Xen.System.costs in
+            let scale_i = Memory.Machine.page_scale (machine system) in
+            let splinter_time =
+              if Xen.P2m.is_superpage p2m pfn then
+                Xen.Costs.splinter_time costs
+                  ~frames_4k:(Xen.P2m.sp_frames p2m * scale_i)
+              else 0.0
+            in
             (* Write-protect the entry so concurrent guest writes fault
                and stall until the copy completes, then remap. *)
-            Xen.P2m.write_protect domain.Xen.Domain.p2m pfn;
-            let costs = system.Xen.System.costs in
+            Xen.P2m.write_protect p2m pfn;
             let bytes = Memory.Machine.frame_bytes (machine system) in
             (* One scaled frame stands for [page_scale] real 4 KiB pages,
                each paying the fixed write-protect/remap cost. *)
-            let scale = float_of_int (Memory.Machine.page_scale (machine system)) in
+            let scale = float_of_int scale_i in
             let copy_time =
-              (scale *. costs.Xen.Costs.page_migrate_fixed)
+              splinter_time
+              +. (scale *. costs.Xen.Costs.page_migrate_fixed)
               +. (float_of_int bytes *. costs.Xen.Costs.copy_byte)
             in
             Xen.P2m.set domain.Xen.Domain.p2m pfn ~mfn:new_mfn ~writable;

@@ -33,7 +33,9 @@ val migrate_page :
     of the new node, update the entry and free the old frame.  No-op
     success if the page already lives on [node].  Charges the fixed
     migration cost plus the per-byte copy cost to the domain's
-    account. *)
+    account; if the page lay inside a 2 MiB superpage the extent is
+    splintered first and the per-frame demotion cost
+    ({!Xen.Costs.splinter_time}) is charged on top. *)
 
 val node_of_pfn : Xen.System.t -> Xen.Domain.t -> Memory.Page.pfn -> Numa.Topology.node option
 (** Node currently backing the page, [None] for an invalid entry. *)

@@ -7,6 +7,9 @@ type stats = {
   mutable left_in_place : int;
   mutable first_touch_maps : int;
   mutable policy_switches : int;
+  mutable splinters : int;
+  mutable promotes : int;
+  mutable superpage_migrates : int;
 }
 
 (* Graceful-degradation machinery.  Migration failures back off and
@@ -22,6 +25,9 @@ let breaker_min_attempts = 8
 let breaker_threshold = 0.5
 let breaker_cooldown = 30 (* epochs the breaker stays open per trip *)
 let reconcile_period = 50 (* epochs between P2M<->free-list sweeps *)
+let promote_period = 10 (* epochs between promotion scans *)
+let promote_budget = 2 (* extents coalesced per scan *)
+let promote_scan_extents = 512 (* extents examined per scan *)
 
 type degrade = {
   mutable migrate_retries : int;
@@ -67,6 +73,8 @@ type t = {
   carrefour_config : Carrefour.User_component.config;
   degrade : degrade;
   pending : (Memory.Page.pfn * Numa.Topology.node) Queue.t;
+  superpages : bool;
+  mutable promote_cursor : int;  (* rotating extent cursor of the scan *)
   mutable epoch : int;
   mutable breaker_attempts : int;  (* migration window since last evaluation *)
   mutable breaker_failures : int;
@@ -92,6 +100,9 @@ let fresh_stats () =
     left_in_place = 0;
     first_touch_maps = 0;
     policy_switches = 0;
+    splinters = 0;
+    promotes = 0;
+    superpage_migrates = 0;
   }
 
 let next_home_node t =
@@ -104,6 +115,22 @@ let map_or_fail t pfn node =
   match Internal.map_page t.system t.domain ~pfn ~node with
   | Ok _ -> ()
   | Error `Enomem -> invalid_arg "Manager: machine out of memory while populating domain"
+
+(* Real 4 KiB frames in one superpage extent: sp_frames simulated
+   frames, each standing for page_scale real frames. *)
+let sp_frames_4k t =
+  Xen.P2m.sp_frames t.domain.Xen.Domain.p2m
+  * Memory.Machine.page_scale t.system.Xen.System.machine
+
+(* Record one demotion done on this policy's behalf (the P2M keeps its
+   own cumulative counter; this is the policy-visible accounting plus
+   trace/metrics).  The time is charged by the caller: the fault path,
+   the page-ops replay and the migration path each fold it into their
+   own cost totals. *)
+let note_splinter t ~pfn =
+  t.stats.splinters <- t.stats.splinters + 1;
+  emit ~pfn ~arg:(Xen.P2m.sp_frames t.domain.Xen.Domain.p2m) t Obs.Event.Splinter;
+  if Obs.Metrics.enabled () then Obs.Metrics.incr "policies.superpage.splinters"
 
 (* Eager 4 KiB round-robin over the home nodes (Linux interleave). *)
 let populate_round_4k t =
@@ -125,10 +152,28 @@ let populate_round_1g t =
   let order_1g = Memory.Machine.order_1g machine in
   let order_2m = Memory.Machine.order_2m machine in
   let spans = (frames + per_1g - 1) / per_1g in
+  (* Under superpages, an aligned contiguous block is installed as
+     2 MiB P2M entries rather than per-frame ones — this is where
+     round-1G earns its TLB reach.  Both the 1 GiB and the 2 MiB
+     population paths hand us blocks aligned to the extent size (buddy
+     blocks are naturally aligned), so the per-frame tail only appears
+     on fragmented remainders. *)
+  let p2m = t.domain.Xen.Domain.p2m in
+  let sp = Xen.P2m.sp_frames p2m in
   let map_block pfn0 mfn0 count =
-    for i = 0 to count - 1 do
-      Xen.P2m.set t.domain.Xen.Domain.p2m (pfn0 + i) ~mfn:(mfn0 + i) ~writable:true
-    done
+    if t.superpages && sp > 1 && pfn0 mod sp = 0 && mfn0 mod sp = 0 then begin
+      let chunks = count / sp in
+      for c = 0 to chunks - 1 do
+        Xen.P2m.map_superpage p2m ~pfn:(pfn0 + (c * sp)) ~mfn:(mfn0 + (c * sp)) ~writable:true
+      done;
+      for i = chunks * sp to count - 1 do
+        Xen.P2m.set p2m (pfn0 + i) ~mfn:(mfn0 + i) ~writable:true
+      done
+    end
+    else
+      for i = 0 to count - 1 do
+        Xen.P2m.set p2m (pfn0 + i) ~mfn:(mfn0 + i) ~writable:true
+      done
   in
   let populate_4k pfn0 count =
     for i = 0 to count - 1 do
@@ -210,7 +255,8 @@ let install_fault_handler t =
 
 let make_carrefour t = Carrefour.System_component.create t.system t.domain
 
-let attach ?(carrefour_config = Carrefour.User_component.default_config) system domain ~boot ~rng =
+let attach ?(carrefour_config = Carrefour.User_component.default_config) ?(superpages = false)
+    system domain ~boot ~rng =
   let t =
     {
       system;
@@ -223,6 +269,8 @@ let attach ?(carrefour_config = Carrefour.User_component.default_config) system 
       carrefour_config;
       degrade = fresh_degrade ();
       pending = Queue.create ();
+      superpages;
+      promote_cursor = 0;
       epoch = 0;
       breaker_attempts = 0;
       breaker_failures = 0;
@@ -286,6 +334,15 @@ let page_ops_replay t ops =
       match action with
       | `Invalidate ->
           if first_touch then begin
+            (* A first-touch invalidation landing inside a 2 MiB
+               superpage demotes the whole extent: every 4 KiB entry
+               pays the write-protect→remap cost before the one entry
+               can be cleared (the paper's granularity tension made
+               concrete). *)
+            if Xen.P2m.is_superpage t.domain.Xen.Domain.p2m pfn then begin
+              note_splinter t ~pfn;
+              time := !time +. Xen.Costs.splinter_time costs ~frames_4k:(sp_frames_4k t)
+            end;
             match Xen.P2m.invalidate t.domain.Xen.Domain.p2m pfn with
             | Some mfn ->
                 Memory.Machine.free t.system.Xen.System.machine ~mfn ~order:0;
@@ -339,11 +396,23 @@ let charge_backoff t attempt =
   account.Xen.Domain.migrate_time <- account.Xen.Domain.migrate_time +. pause;
   t.degrade.backoff_time <- t.degrade.backoff_time +. pause
 
+(* [Internal.migrate_page] splinters (and charges for) a surrounding
+   superpage when it actually moves the page; observe the transition
+   here so the policy stats and the trace record it. *)
+let migrate_tracked t ~pfn ~node =
+  let was_sp = Xen.P2m.is_superpage t.domain.Xen.Domain.p2m pfn in
+  let r = Internal.migrate_page t.system t.domain ~pfn ~node in
+  (match r with
+  | Ok _ when was_sp && not (Xen.P2m.is_superpage t.domain.Xen.Domain.p2m pfn) ->
+      note_splinter t ~pfn
+  | Ok _ | Error _ -> ());
+  r
+
 let migrate_resilient t ~pfn ~node =
   t.breaker_attempts <- t.breaker_attempts + 1;
   emit ~pfn ~node t Obs.Event.Migrate_start;
   let rec go attempt =
-    match Internal.migrate_page t.system t.domain ~pfn ~node with
+    match migrate_tracked t ~pfn ~node with
     | Ok _ -> true
     | Error `Not_mapped -> false (* page gone; not a memory-pressure signal *)
     | Error `Enomem ->
@@ -406,7 +475,7 @@ let drain_pending t =
       let pfn, node = Queue.pop t.pending in
       decr budget;
       t.breaker_attempts <- t.breaker_attempts + 1;
-      match Internal.migrate_page t.system t.domain ~pfn ~node with
+      match migrate_tracked t ~pfn ~node with
       | Ok _ ->
           t.degrade.drained <- t.degrade.drained + 1;
           emit ~pfn ~node t Obs.Event.Migrate_drain;
@@ -420,14 +489,112 @@ let drain_pending t =
     done
   end
 
+(* The promotion scan: walk a window of superpage-sized extents behind
+   a rotating cursor and re-coalesce the ones whose frames all live on
+   one node.  Contiguous aligned extents promote in place (the entries
+   are just rebuilt); same-node but scattered extents are migrated onto
+   a freshly allocated contiguous buddy block first — a
+   superpage-migrate, the expensive variant.  Budgeted per scan so the
+   background work cannot dominate an epoch, and entirely
+   deterministic: no randomness, cursor order only. *)
+let promote_scan t =
+  let p2m = t.domain.Xen.Domain.p2m in
+  let sp = Xen.P2m.sp_frames p2m in
+  if (not t.superpages) || sp <= 1 then 0
+  else begin
+    let machine = t.system.Xen.System.machine in
+    let costs = t.system.Xen.System.costs in
+    let account = t.domain.Xen.Domain.account in
+    let extents = Xen.P2m.frames p2m / sp in
+    if extents = 0 then 0
+    else begin
+      let frames_4k = sp_frames_4k t in
+      let examined = ref 0 in
+      let promoted = ref 0 in
+      let to_scan = min extents promote_scan_extents in
+      while !examined < to_scan && !promoted < promote_budget do
+        let base = (t.promote_cursor + !examined) mod extents * sp in
+        incr examined;
+        if not (Xen.P2m.is_superpage p2m base) then begin
+          (* Classify the extent: fully mapped on one node with uniform
+             writability is promotable; contiguity decides the cheap
+             vs the copying path. *)
+          let all_mapped = ref true in
+          let node = ref (-1) in
+          let same_node = ref true in
+          let uniform_w = ref true in
+          let w0 = ref false in
+          for i = 0 to sp - 1 do
+            match Xen.P2m.get p2m (base + i) with
+            | Xen.P2m.Invalid -> all_mapped := false
+            | Xen.P2m.Mapped { mfn; writable } ->
+                let n = Memory.Machine.node_of_mfn machine mfn in
+                if i = 0 then begin
+                  node := n;
+                  w0 := writable
+                end
+                else begin
+                  if n <> !node then same_node := false;
+                  if writable <> !w0 then uniform_w := false
+                end
+          done;
+          if !all_mapped && !same_node && !uniform_w then begin
+            if Xen.P2m.promote p2m ~pfn:base then begin
+              account.Xen.Domain.migrate_time <-
+                account.Xen.Domain.migrate_time
+                +. Xen.Costs.promote_time costs ~frames_4k ~copy_bytes:0;
+              t.stats.promotes <- t.stats.promotes + 1;
+              emit ~pfn:base ~node:!node ~arg:sp t Obs.Event.Promote;
+              if Obs.Metrics.enabled () then Obs.Metrics.incr "policies.superpage.promotes";
+              incr promoted
+            end
+            else begin
+              match Memory.Machine.alloc_on machine ~node:!node ~order:(Memory.Machine.order_2m machine) with
+              | None -> () (* no contiguous block free on that node *)
+              | Some new_base ->
+                  Memory.Machine.split_block machine ~mfn:new_base
+                    ~order:(Memory.Machine.order_2m machine);
+                  for i = 0 to sp - 1 do
+                    match Xen.P2m.get p2m (base + i) with
+                    | Xen.P2m.Mapped { mfn = old_mfn; writable } ->
+                        Xen.P2m.set p2m (base + i) ~mfn:(new_base + i) ~writable;
+                        Memory.Machine.free machine ~mfn:old_mfn ~order:0
+                    | Xen.P2m.Invalid -> assert false
+                  done;
+                  let ok = Xen.P2m.promote p2m ~pfn:base in
+                  assert ok;
+                  account.Xen.Domain.migrate_time <-
+                    account.Xen.Domain.migrate_time
+                    +. Xen.Costs.promote_time costs ~frames_4k
+                         ~copy_bytes:(sp * Memory.Machine.frame_bytes machine);
+                  t.stats.superpage_migrates <- t.stats.superpage_migrates + 1;
+                  emit ~pfn:base ~node:!node ~arg:sp t Obs.Event.Superpage_migrate;
+                  if Obs.Metrics.enabled () then
+                    Obs.Metrics.incr "policies.superpage.migrates";
+                  incr promoted
+            end
+          end
+        end
+      done;
+      t.promote_cursor <- (t.promote_cursor + !examined) mod extents;
+      !promoted
+    end
+  end
+
 let reconcile t ~guest_free =
   let costs = t.system.Xen.System.costs in
   let p2m = t.domain.Xen.Domain.p2m in
   let stale = ref [] in
   Xen.P2m.iter_mapped p2m (fun pfn _ -> if guest_free pfn then stale := pfn :: !stale);
   let healed = ref 0 in
+  let splinter_time = ref 0.0 in
   List.iter
     (fun pfn ->
+      if Xen.P2m.is_superpage p2m pfn then begin
+        note_splinter t ~pfn;
+        splinter_time :=
+          !splinter_time +. Xen.Costs.splinter_time costs ~frames_4k:(sp_frames_4k t)
+      end;
       match Xen.P2m.invalidate p2m pfn with
       | Some mfn ->
           Memory.Machine.free t.system.Xen.System.machine ~mfn ~order:0;
@@ -443,7 +610,8 @@ let reconcile t ~guest_free =
   end;
   charge_hypercall t Xen.Hypercall.Page_ops
     (costs.Xen.Costs.hypercall_entry
-    +. (float_of_int !healed *. costs.Xen.Costs.page_invalidate));
+    +. (float_of_int !healed *. costs.Xen.Costs.page_invalidate)
+    +. !splinter_time);
   !healed
 
 let epoch_tick t ~epoch ?guest_free () =
@@ -456,6 +624,8 @@ let epoch_tick t ~epoch ?guest_free () =
   end;
   drain_pending t;
   evaluate_breaker t;
+  if t.superpages && (not (statically_degraded t)) && epoch > 0 && epoch mod promote_period = 0
+  then ignore (promote_scan t);
   match guest_free with
   | Some guest_free
     when t.spec.Spec.placement = Spec.First_touch
@@ -486,5 +656,6 @@ let carrefour_epoch t ~counters ~samples =
 
 let degrade t = t.degrade
 let pending_migrations t = Queue.length t.pending
+let superpages_enabled t = t.superpages
 
 let node_of_pfn t pfn = Internal.node_of_pfn t.system t.domain pfn

@@ -19,6 +19,13 @@ type stats = {
   mutable left_in_place : int;  (** Reallocated-while-queued pages kept. *)
   mutable first_touch_maps : int;  (** Pages placed by the fault path. *)
   mutable policy_switches : int;
+  mutable splinters : int;
+      (** Superpage extents demoted on this policy's behalf (first-touch
+          invalidations, single-page migrations, reconcile sweeps). *)
+  mutable promotes : int;  (** Extents re-coalesced in place by the scan. *)
+  mutable superpage_migrates : int;
+      (** Extents the scan migrated onto a fresh contiguous block to
+          make them promotable (the expensive path). *)
 }
 
 type degrade = {
@@ -46,6 +53,7 @@ type t
 
 val attach :
   ?carrefour_config:Carrefour.User_component.config ->
+  ?superpages:bool ->
   Xen.System.t ->
   Xen.Domain.t ->
   boot:Spec.t ->
@@ -53,7 +61,11 @@ val attach :
   t
 (** Populate the domain's memory per the boot placement (nothing for a
     first-touch boot: every entry starts invalid) and install the
-    hypervisor fault handler.
+    hypervisor fault handler.  With [superpages] (default [false]),
+    aligned contiguous blocks placed by the round-1G boot path are
+    installed as 2 MiB P2M superpage entries, per-frame operations
+    splinter them (charging {!Xen.Costs.splinter_time}), and
+    {!epoch_tick} periodically runs the {!promote_scan}.
     @raise Invalid_argument when machine memory cannot back the
     domain. *)
 
@@ -100,9 +112,24 @@ val migrate_resilient : t -> pfn:Memory.Page.pfn -> node:Numa.Topology.node -> b
 
 val epoch_tick : t -> epoch:int -> ?guest_free:(Memory.Page.pfn -> bool) -> unit -> unit
 (** Per-epoch housekeeping: advance the manager's epoch clock, drain a
-    budget of deferred migrations (unless the breaker is open), and —
+    budget of deferred migrations (unless the breaker is open), run the
+    {!promote_scan} every {e promote period} epochs (when superpages
+    are enabled and the domain is not statically degraded), and —
     under first-touch, every {e reconcile period} epochs when
     [guest_free] is given — run the {!reconcile} sweep. *)
+
+val promote_scan : t -> int
+(** One budgeted pass of the superpage promotion scan: examine a
+    window of extents behind a rotating cursor and re-coalesce the
+    fully mapped single-node ones — in place when the machine frames
+    are already contiguous and aligned, otherwise by migrating the
+    extent onto a freshly allocated contiguous block
+    (superpage-migrate).  Charges {!Xen.Costs.promote_time} to the
+    domain's migration account.  Returns the number of extents
+    promoted; 0 when superpages are disabled.  Deterministic: cursor
+    order only, no randomness. *)
+
+val superpages_enabled : t -> bool
 
 val reconcile : t -> guest_free:(Memory.Page.pfn -> bool) -> int
 (** P2M / guest-free-list reconciliation: invalidate and free every

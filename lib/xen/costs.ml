@@ -45,6 +45,23 @@ let default =
     disk_bandwidth = 120.0 *. 1024.0 *. 1024.0;
   }
 
+(* Superpage lifecycle costs, derived from the per-frame primitives so
+   no new constant needs calibrating: splintering a 2 MiB entry is the
+   paper's write-protect→remap sequence applied to each of its 4 KiB
+   frames, and promotion is either a remap (in place, contiguous
+   frames) or a full per-frame migration including the copy
+   (superpage-migrate onto a fresh contiguous block). *)
+let splinter_time t ~frames_4k =
+  assert (frames_4k > 0);
+  float_of_int frames_4k *. t.page_migrate_fixed
+
+let promote_time t ~frames_4k ~copy_bytes =
+  assert (frames_4k > 0 && copy_bytes >= 0);
+  if copy_bytes = 0 then float_of_int frames_4k *. t.page_map
+  else
+    float_of_int frames_4k *. t.page_migrate_fixed
+    +. float_of_int copy_bytes *. t.copy_byte
+
 let disk_request t ~path ~bytes =
   assert (bytes > 0);
   let transfer = float_of_int bytes /. t.disk_bandwidth in

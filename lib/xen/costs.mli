@@ -52,5 +52,18 @@ type t = {
 
 val default : t
 
+val splinter_time : t -> frames_4k:int -> float
+(** Time to demote one superpage entry spanning [frames_4k] real 4 KiB
+    frames: the write-protect→remap cost ({!field-page_migrate_fixed})
+    per frame, as charged for a first-touch invalidation or
+    single-page migration landing inside a superpage. *)
+
+val promote_time : t -> frames_4k:int -> copy_bytes:int -> float
+(** Time to coalesce [frames_4k] real 4 KiB frames into one superpage
+    entry.  With [copy_bytes = 0] the frames are already contiguous and
+    only the entries are rebuilt ({!field-page_map} each); otherwise the
+    extent is migrated onto a fresh contiguous block, paying the
+    per-frame migration fixed cost plus the copy. *)
+
 val disk_request : t -> path:[ `Native | `Pv | `Passthrough ] -> bytes:int -> float
 (** End-to-end time of one disk read of [bytes] over the given path. *)

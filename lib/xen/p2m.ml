@@ -4,21 +4,55 @@ type entry =
 
 (* Packed representation: mfns.(pfn) = -1 for Invalid; the writable bits
    live in a separate byte table.  A full-machine P2M at page_scale 1
-   has tens of millions of entries, so compactness matters. *)
+   has tens of millions of entries, so compactness matters.
+
+   Superpages: the guest-physical space is tiled into aligned extents of
+   [sp_frames] frames each.  A set bit in [sp] marks an extent mapped by
+   a single superpage entry; its per-frame mfns stay filled in (lookup
+   is unchanged and O(1)) but the invariant is that they are contiguous
+   from an [sp_frames]-aligned machine base with a uniform writable bit.
+   Any per-frame mutation inside a superpage extent splinters it first,
+   so the invariant can never be observed broken. *)
 type t = {
   mfns : int array;
   writable : Bytes.t;
   mutable mapped : int;
+  sp_frames : int;
+  sp : Bytes.t;  (* one byte per extent; '\001' = superpage *)
+  mutable superpages : int;
+  mutable splinters : int;  (* cumulative demotions *)
+  mutable promotes : int;  (* cumulative coalesces *)
 }
 
-let create ~frames =
+let create ?(sp_frames = Memory.Page.frames_per_2m) ~frames () =
   if frames <= 0 then invalid_arg "P2m.create: frames must be positive";
-  { mfns = Array.make frames (-1); writable = Bytes.make frames '\000'; mapped = 0 }
+  if sp_frames <= 0 then invalid_arg "P2m.create: sp_frames must be positive";
+  if sp_frames land (sp_frames - 1) <> 0 then
+    invalid_arg "P2m.create: sp_frames must be a power of two";
+  let extents = (frames + sp_frames - 1) / sp_frames in
+  {
+    mfns = Array.make frames (-1);
+    writable = Bytes.make frames '\000';
+    mapped = 0;
+    sp_frames;
+    sp = Bytes.make extents '\000';
+    superpages = 0;
+    splinters = 0;
+    promotes = 0;
+  }
 
 let frames t = Array.length t.mfns
+let sp_frames t = t.sp_frames
 
 let check t pfn =
   if pfn < 0 || pfn >= Array.length t.mfns then invalid_arg "P2m: pfn out of range"
+
+let extent_of t pfn = pfn / t.sp_frames
+let superpage_base t pfn = pfn - (pfn mod t.sp_frames)
+
+let is_superpage t pfn =
+  check t pfn;
+  t.sp_frames > 1 && Bytes.get t.sp (extent_of t pfn) <> '\000'
 
 let get t pfn =
   check t pfn;
@@ -26,12 +60,34 @@ let get t pfn =
   if mfn < 0 then Invalid
   else Mapped { mfn; writable = Bytes.get t.writable pfn <> '\000' }
 
+(* Demote the extent holding [pfn] to per-frame entries.  Pure
+   bookkeeping — the per-frame mfns are already filled in — so lookups
+   of every frame in the extent are unchanged.  Cost accounting (the
+   write-protect, copy and remap of each 4 KiB entry) is the caller's
+   job: the hypervisor knows why it is splintering, the table does not.
+   Returns the number of frames demoted (0 if not a superpage). *)
+let splinter t pfn =
+  check t pfn;
+  let ext = extent_of t pfn in
+  if t.sp_frames > 1 && Bytes.get t.sp ext <> '\000' then begin
+    Bytes.set t.sp ext '\000';
+    t.superpages <- t.superpages - 1;
+    t.splinters <- t.splinters + 1;
+    t.sp_frames
+  end
+  else 0
+
+let splinter_if_superpage t pfn =
+  if t.sp_frames > 1 && Bytes.get t.sp (extent_of t pfn) <> '\000' then
+    ignore (splinter t pfn)
+
 let set t pfn ~mfn ~writable =
   check t pfn;
   (* invalid_arg, not assert: the guard must survive -noassert/release
      builds — a negative mfn would silently masquerade as Invalid and
      corrupt the mapped count. *)
   if mfn < 0 then invalid_arg "P2m.set: negative mfn";
+  splinter_if_superpage t pfn;
   if t.mfns.(pfn) < 0 then t.mapped <- t.mapped + 1;
   t.mfns.(pfn) <- mfn;
   Bytes.set t.writable pfn (if writable then '\001' else '\000')
@@ -41,6 +97,7 @@ let invalidate t pfn =
   let mfn = t.mfns.(pfn) in
   if mfn < 0 then None
   else begin
+    splinter_if_superpage t pfn;
     t.mfns.(pfn) <- -1;
     Bytes.set t.writable pfn '\000';
     t.mapped <- t.mapped - 1;
@@ -49,13 +106,88 @@ let invalidate t pfn =
 
 let write_protect t pfn =
   check t pfn;
-  if t.mfns.(pfn) >= 0 then Bytes.set t.writable pfn '\000'
+  if t.mfns.(pfn) >= 0 then begin
+    splinter_if_superpage t pfn;
+    Bytes.set t.writable pfn '\000'
+  end
+
+let map_superpage t ~pfn ~mfn ~writable =
+  check t pfn;
+  if t.sp_frames <= 1 then invalid_arg "P2m.map_superpage: sp_frames is 1";
+  if pfn mod t.sp_frames <> 0 then invalid_arg "P2m.map_superpage: pfn not aligned";
+  if pfn + t.sp_frames > Array.length t.mfns then
+    invalid_arg "P2m.map_superpage: extent out of range";
+  if mfn < 0 || mfn mod t.sp_frames <> 0 then
+    invalid_arg "P2m.map_superpage: mfn not aligned";
+  for i = pfn to pfn + t.sp_frames - 1 do
+    if t.mfns.(i) >= 0 then invalid_arg "P2m.map_superpage: extent not empty"
+  done;
+  let w = if writable then '\001' else '\000' in
+  for i = 0 to t.sp_frames - 1 do
+    t.mfns.(pfn + i) <- mfn + i;
+    Bytes.set t.writable (pfn + i) w
+  done;
+  t.mapped <- t.mapped + t.sp_frames;
+  Bytes.set t.sp (extent_of t pfn) '\001';
+  t.superpages <- t.superpages + 1
+
+(* Coalesce the extent at [pfn] back into one superpage entry, if every
+   frame is mapped, the machine frames are contiguous from an aligned
+   base and the writable bits are uniform (a superpage entry has one
+   permission bit).  Returns [false] (leaving the table untouched) when
+   the extent does not qualify. *)
+let promote t ~pfn =
+  check t pfn;
+  if t.sp_frames <= 1 then false
+  else if pfn mod t.sp_frames <> 0 then invalid_arg "P2m.promote: pfn not aligned"
+  else if pfn + t.sp_frames > Array.length t.mfns then false
+  else if Bytes.get t.sp (extent_of t pfn) <> '\000' then false
+  else begin
+    let base = t.mfns.(pfn) in
+    let ok = ref (base >= 0 && base mod t.sp_frames = 0) in
+    let w = Bytes.get t.writable pfn in
+    let i = ref 1 in
+    while !ok && !i < t.sp_frames do
+      if t.mfns.(pfn + !i) <> base + !i || Bytes.get t.writable (pfn + !i) <> w then
+        ok := false;
+      incr i
+    done;
+    if !ok then begin
+      Bytes.set t.sp (extent_of t pfn) '\001';
+      t.superpages <- t.superpages + 1;
+      t.promotes <- t.promotes + 1
+    end;
+    !ok
+  end
 
 let mapped_count t = t.mapped
+let superpage_count t = t.superpages
+let superpage_frames t = t.superpages * t.sp_frames
+let splinter_count t = t.splinters
+let promote_count t = t.promotes
 
 let check_consistent t =
   let scanned = Array.fold_left (fun acc mfn -> if mfn >= 0 then acc + 1 else acc) 0 t.mfns in
-  scanned = t.mapped
+  let sp_ok = ref (t.superpages >= 0) in
+  let sp_seen = ref 0 in
+  for ext = 0 to Bytes.length t.sp - 1 do
+    if Bytes.get t.sp ext <> '\000' then begin
+      incr sp_seen;
+      let pfn = ext * t.sp_frames in
+      if t.sp_frames <= 1 || pfn + t.sp_frames > Array.length t.mfns then sp_ok := false
+      else begin
+        let base = t.mfns.(pfn) in
+        if base < 0 || base mod t.sp_frames <> 0 then sp_ok := false
+        else
+          let w = Bytes.get t.writable pfn in
+          for i = 1 to t.sp_frames - 1 do
+            if t.mfns.(pfn + i) <> base + i || Bytes.get t.writable (pfn + i) <> w then
+              sp_ok := false
+          done
+      end
+    end
+  done;
+  scanned = t.mapped && !sp_ok && !sp_seen = t.superpages
 
 let iter_mapped t f =
   Array.iteri (fun pfn mfn -> if mfn >= 0 then f pfn mfn) t.mfns

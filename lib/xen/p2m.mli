@@ -5,7 +5,23 @@
     the internal interface — mapping a guest-physical page onto a
     machine page of the chosen node, invalidating entries of released
     pages so the next touch faults into the hypervisor, and
-    write-protecting entries during migration. *)
+    write-protecting entries during migration.
+
+    {2 Superpages}
+
+    The guest-physical space is tiled into aligned extents of
+    [sp_frames] frames (by default {!Memory.Page.frames_per_2m}, i.e. a
+    2 MiB superpage of 4 KiB frames; machines with a page_scale pass
+    the scaled equivalent).  An extent can be mapped by one superpage
+    entry ({!map_superpage}): its machine frames are contiguous from an
+    aligned base and share one writable bit, which is what lets the
+    guest TLB cover it with a single 2 MiB entry.  Any per-frame
+    mutation inside a superpage — {!set}, {!invalidate},
+    {!write_protect} — first {e splinters} the extent back to 512
+    per-frame entries (bookkeeping only; the cost of the
+    write-protect→copy→remap per frame is charged by the policy layer,
+    which knows why it is splintering).  {!promote} re-coalesces a
+    qualifying extent. *)
 
 type entry =
   | Invalid  (** Access faults into the hypervisor. *)
@@ -13,27 +29,83 @@ type entry =
 
 type t
 
-val create : frames:int -> t
-(** P2M covering guest-physical frames [\[0, frames)], all [Invalid]. *)
+val create : ?sp_frames:int -> frames:int -> unit -> t
+(** P2M covering guest-physical frames [\[0, frames)], all [Invalid].
+    [sp_frames] (default {!Memory.Page.frames_per_2m}) is the superpage
+    extent size in frames; pass [1] to disable superpages entirely.
+    @raise Invalid_argument if [frames <= 0] or [sp_frames] is not a
+    positive power of two. *)
 
 val frames : t -> int
+
+val sp_frames : t -> int
+(** Frames per superpage extent (1 when superpages are disabled). *)
 
 val get : t -> Memory.Page.pfn -> entry
 (** @raise Invalid_argument on an out-of-range pfn. *)
 
 val set : t -> Memory.Page.pfn -> mfn:Memory.Page.mfn -> writable:bool -> unit
+(** Install a per-frame entry; splinters the surrounding superpage
+    first if there is one. *)
 
 val invalidate : t -> Memory.Page.pfn -> Memory.Page.mfn option
-(** Clear the entry, returning the machine frame it held (if any). *)
+(** Clear the entry, returning the machine frame it held (if any).
+    Splinters the surrounding superpage first if there is one. *)
 
 val write_protect : t -> Memory.Page.pfn -> unit
-(** Clear the writable bit of a mapped entry; no-op on [Invalid]. *)
+(** Clear the writable bit of a mapped entry; no-op on [Invalid].
+    Splinters the surrounding superpage first if there is one (a
+    single-frame permission change cannot be expressed on a 2 MiB
+    entry). *)
+
+val map_superpage : t -> pfn:Memory.Page.pfn -> mfn:Memory.Page.mfn -> writable:bool -> unit
+(** Map the aligned extent starting at [pfn] as one superpage entry
+    backed by contiguous machine frames [\[mfn, mfn + sp_frames)].
+    @raise Invalid_argument if either base is unaligned, the extent
+    runs past the table, any frame in it is already mapped, or
+    superpages are disabled. *)
+
+val is_superpage : t -> Memory.Page.pfn -> bool
+(** [true] iff [pfn] lies inside an extent mapped by a superpage
+    entry. *)
+
+val superpage_base : t -> Memory.Page.pfn -> Memory.Page.pfn
+(** First pfn of the extent containing [pfn]. *)
+
+val splinter : t -> Memory.Page.pfn -> int
+(** Demote the extent containing [pfn] to per-frame entries; returns
+    the number of frames demoted (0 if it was not a superpage).
+    Lookups of every frame in the extent are unchanged — splintering
+    is pure bookkeeping at the table level. *)
+
+val promote : t -> pfn:Memory.Page.pfn -> bool
+(** Re-coalesce the extent starting at the aligned [pfn] into one
+    superpage entry.  Succeeds iff every frame is mapped, the machine
+    frames are contiguous from an [sp_frames]-aligned base, and the
+    writable bits are uniform; returns [false] (table untouched)
+    otherwise.
+    @raise Invalid_argument if [pfn] is not extent-aligned. *)
 
 val mapped_count : t -> int
 
+val superpage_count : t -> int
+(** Live superpage entries. *)
+
+val superpage_frames : t -> int
+(** Frames covered by live superpage entries. *)
+
+val splinter_count : t -> int
+(** Cumulative demotions since [create]. *)
+
+val promote_count : t -> int
+(** Cumulative coalesces since [create]. *)
+
 val check_consistent : t -> bool
 (** Invariant check for the chaos suite: [true] iff {!mapped_count}
-    matches a full scan of the table.  O(frames). *)
+    matches a full scan of the table, every superpage extent is fully
+    mapped by contiguous aligned machine frames with uniform
+    writability, and {!superpage_count} matches the extent bitmap.
+    O(frames). *)
 
 val iter_mapped : t -> (Memory.Page.pfn -> Memory.Page.mfn -> unit) -> unit
 

@@ -107,7 +107,14 @@ let create_domain t ~name ~kind ~vcpus ~mem_bytes ?home_nodes () =
       kind;
       vcpus;
       mem_frames;
-      p2m = P2m.create ~frames:mem_frames;
+      (* One simulated frame stands for page_scale real 4 KiB frames, so
+         a 2 MiB superpage extent shrinks accordingly (and degenerates
+         to 1 — superpages off — once the scale reaches 512). *)
+      p2m =
+        P2m.create
+          ~sp_frames:
+            (max 1 (Memory.Page.frames_per_2m / Memory.Machine.page_scale t.machine))
+          ~frames:mem_frames ();
       home_nodes;
       vcpu_pin;
       account = Domain.fresh_account ();

@@ -184,6 +184,45 @@ let test_split_halves_are_disjoint () =
     (fun vm -> Alcotest.(check bool) "both finish" true (vm.Engine.Result.completion > 0.0))
     r.Engine.Result.vms
 
+(* ----------------------------- superpages --------------------------- *)
+
+let run_sp ?(superpages = true) ?(mode = Engine.Config.Xen_plus) policy =
+  let vm = Engine.Config.vm ~superpages ~policy (app "cg.C") in
+  Engine.Runner.run (Engine.Config.make ~seed:42 ~mode [ vm ])
+
+let test_superpages_round1g_keeps_and_wins () =
+  let off = Engine.Result.single (run_sp ~superpages:false Policies.Spec.round_1g) in
+  let on = Engine.Result.single (run_sp Policies.Spec.round_1g) in
+  (* The boot placement is 1 GiB blocks, so every extent is contiguous
+     and single-node: full superpage backing, never splintered, and the
+     extra TLB reach can only help. *)
+  Alcotest.(check bool) "full coverage" true (on.Engine.Result.superpage_fraction > 0.99);
+  Alcotest.(check int) "never splintered" 0 on.Engine.Result.splinters;
+  Alcotest.(check bool) "on is no slower than off" true
+    (on.Engine.Result.completion <= off.Engine.Result.completion);
+  Alcotest.(check int) "off has no superpages" 0 off.Engine.Result.superpages
+
+let test_superpages_round4k_never_forms_any () =
+  let on = Engine.Result.single (run_sp Policies.Spec.round_4k) in
+  (* Per-page interleave: extents are multi-node, so neither the boot
+     path nor the promotion scan can ever coalesce one. *)
+  Alcotest.(check int) "no superpages" 0 on.Engine.Result.superpages;
+  Alcotest.(check int) "no promotes" 0 on.Engine.Result.promotes
+
+let test_superpages_first_touch_splinters () =
+  let on = Engine.Result.single (run_sp Policies.Spec.first_touch) in
+  (* The policy switch releases the guest free list; every invalidation
+     inside a boot-time superpage demotes it, so the TLB benefit is
+     mostly gone by the time the workload runs. *)
+  Alcotest.(check bool) "splinter storm" true (on.Engine.Result.splinters > 100);
+  Alcotest.(check bool) "coverage collapsed" true
+    (on.Engine.Result.superpage_fraction < 0.5)
+
+let test_superpages_ignored_under_linux () =
+  let on = Engine.Result.single (run_sp ~mode:Engine.Config.Linux Policies.Spec.first_touch) in
+  Alcotest.(check int) "no p2m, no superpages" 0 on.Engine.Result.superpages;
+  Alcotest.(check int) "no splinters" 0 on.Engine.Result.splinters
+
 (* ------------------------------ threads ----------------------------- *)
 
 let test_fewer_threads_slower () =
@@ -224,6 +263,15 @@ let suite =
         Alcotest.test_case "release churn first-touch only" `Quick
           test_release_churn_charged_only_under_first_touch;
         Alcotest.test_case "virt overhead xen only" `Quick test_virt_overhead_only_under_xen;
+      ] );
+    ( "engine.superpages",
+      [
+        Alcotest.test_case "round-1g keeps them and wins" `Quick
+          test_superpages_round1g_keeps_and_wins;
+        Alcotest.test_case "round-4k never forms any" `Quick
+          test_superpages_round4k_never_forms_any;
+        Alcotest.test_case "first-touch splinters" `Quick test_superpages_first_touch_splinters;
+        Alcotest.test_case "ignored under linux" `Quick test_superpages_ignored_under_linux;
       ] );
     ( "engine.consolidation",
       [

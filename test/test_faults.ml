@@ -108,12 +108,12 @@ let test_injector_empty_disabled () =
 (* ---------------------------- p2m hardening ------------------------ *)
 
 let test_p2m_rejects_negative_mfn () =
-  let p2m = Xen.P2m.create ~frames:8 in
+  let p2m = Xen.P2m.create ~frames:8 () in
   Alcotest.check_raises "negative mfn" (Invalid_argument "P2m.set: negative mfn") (fun () ->
       Xen.P2m.set p2m 0 ~mfn:(-2) ~writable:true)
 
 let test_p2m_check_consistent () =
-  let p2m = Xen.P2m.create ~frames:8 in
+  let p2m = Xen.P2m.create ~frames:8 () in
   Alcotest.(check bool) "fresh" true (Xen.P2m.check_consistent p2m);
   Xen.P2m.set p2m 0 ~mfn:11 ~writable:true;
   Xen.P2m.set p2m 3 ~mfn:12 ~writable:false;

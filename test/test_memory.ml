@@ -13,6 +13,32 @@ let test_page_constants () =
   Alcotest.(check int) "frames of 4096" 1 (Memory.Page.frames_of_bytes ~bytes:4096);
   Alcotest.(check int) "frames of 4097" 2 (Memory.Page.frames_of_bytes ~bytes:4097)
 
+(* Satellite of the buddy.mli doc fix: the order constants are derived
+   from the Units sizes in one place, so the byte math can never drift
+   from the frame math. *)
+let test_page_orders_from_units () =
+  Alcotest.(check int) "order_4k" 0 Memory.Page.order_4k;
+  Alcotest.(check int) "order_2m from 2 MiB"
+    (Memory.Page.order_of_size (Sim.Units.mib 2))
+    Memory.Page.order_2m;
+  Alcotest.(check int) "order_1g from 1 GiB"
+    (Memory.Page.order_of_size (Sim.Units.gib 1))
+    Memory.Page.order_1g;
+  Alcotest.(check int) "2m bytes round-trip" (Sim.Units.mib 2)
+    ((1 lsl Memory.Page.order_2m) * Memory.Page.size_4k);
+  Alcotest.(check int) "1g bytes round-trip" (Sim.Units.gib 1)
+    ((1 lsl Memory.Page.order_1g) * Memory.Page.size_4k);
+  Alcotest.(check int) "frames_per_2m" (1 lsl Memory.Page.order_2m) Memory.Page.frames_per_2m;
+  Alcotest.(check int) "frames_per_1g" (1 lsl Memory.Page.order_1g) Memory.Page.frames_per_1g;
+  Alcotest.(check bool) "buddy can serve order_1g" true
+    (Memory.Buddy.max_order >= Memory.Page.order_1g);
+  Alcotest.check_raises "sub-frame size"
+    (Invalid_argument "Page.order_of_size: not a whole number of 4 KiB frames") (fun () ->
+      ignore (Memory.Page.order_of_size 4095));
+  Alcotest.check_raises "non-power-of-two frames"
+    (Invalid_argument "Page.order_of_size: not a power-of-two frame count") (fun () ->
+      ignore (Memory.Page.order_of_size (3 * 4096)))
+
 (* ------------------------------- buddy ---------------------------- *)
 
 let test_buddy_exhausts_exactly () =
@@ -137,6 +163,88 @@ let prop_buddy_trace =
       let held_frames = List.fold_left (fun acc (_, o) -> acc + (1 lsl o)) 0 !held in
       Memory.Buddy.free_frames b + held_frames = 1024)
 
+(* Satellite property: under random split/alloc/free sequences the
+   allocator's view of the arena stays a partition — held blocks never
+   overlap, free + held frame counts conserve the arena, and the free
+   side really is the complement (draining it as order-0 allocations
+   covers exactly the frames no held block owns). *)
+let prop_buddy_partition =
+  let arena = 1024 in
+  QCheck.Test.make ~name:"buddy free+allocated partitions the arena" ~count:100
+    QCheck.(pair int (list_of_size (Gen.int_range 1 300) (int_range 0 5)))
+    (fun (seed, orders) ->
+      let b = Memory.Buddy.create ~base:0 ~frames:arena in
+      let rng = Sim.Rng.create ~seed in
+      let held = ref [] in
+      List.iter
+        (fun order ->
+          match Sim.Rng.int rng 4 with
+          | 0 | 1 -> (
+              (* alloc *)
+              match Memory.Buddy.alloc b ~order with
+              | Some f -> held := (f, order) :: !held
+              | None -> ())
+          | 2 -> (
+              (* free a random held block *)
+              match !held with
+              | [] -> ()
+              | l ->
+                  let i = Sim.Rng.int rng (List.length l) in
+                  let f, o = List.nth l i in
+                  Memory.Buddy.free b ~base:f ~order:o;
+                  held := List.filteri (fun j _ -> j <> i) l)
+          | _ -> (
+              (* split a random held block into order-0 allocations *)
+              match List.filter (fun (_, o) -> o > 0) !held with
+              | [] -> ()
+              | splittable ->
+                  let i = Sim.Rng.int rng (List.length splittable) in
+                  let f, o = List.nth splittable i in
+                  Memory.Buddy.split_allocation b ~base:f ~order:o;
+                  held :=
+                    List.init (1 lsl o) (fun k -> (f + k, 0))
+                    @ List.filter (fun blk -> blk <> (f, o)) !held))
+        orders;
+      (* No two held blocks overlap. *)
+      let sorted =
+        List.sort compare (List.map (fun (f, o) -> (f, f + (1 lsl o))) !held)
+      in
+      let rec disjoint = function
+        | (_, hi) :: ((lo, _) :: _ as rest) ->
+            if hi > lo then QCheck.Test.fail_reportf "held blocks overlap at frame %d" lo;
+            disjoint rest
+        | _ -> ()
+      in
+      disjoint sorted;
+      (* Conservation. *)
+      let held_frames = List.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 sorted in
+      if Memory.Buddy.free_frames b + held_frames <> arena then
+        QCheck.Test.fail_reportf "%d free + %d held <> %d"
+          (Memory.Buddy.free_frames b) held_frames arena;
+      (* The free side is exactly the complement: drain it as order-0
+         allocations and check every arena frame is owned once. *)
+      let owned = Array.make arena false in
+      List.iter
+        (fun (lo, hi) ->
+          for f = lo to hi - 1 do
+            if owned.(f) then QCheck.Test.fail_reportf "frame %d held twice" f;
+            owned.(f) <- true
+          done)
+        sorted;
+      let rec drain () =
+        match Memory.Buddy.alloc b ~order:0 with
+        | Some f ->
+            if owned.(f) then QCheck.Test.fail_reportf "free frame %d already held" f;
+            owned.(f) <- true;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Array.iteri
+        (fun f o -> if not o then QCheck.Test.fail_reportf "frame %d leaked" f)
+        owned;
+      true)
+
 let prop_buddy_full_free_coalesces =
   QCheck.Test.make ~name:"freeing everything restores one max block" ~count:50
     QCheck.(list_of_size (Gen.int_range 1 50) (int_range 0 3))
@@ -221,7 +329,11 @@ let test_machine_rejects_bad_scale () =
 
 let suite =
   [
-    ("memory.page", [ Alcotest.test_case "constants" `Quick test_page_constants ]);
+    ( "memory.page",
+      [
+        Alcotest.test_case "constants" `Quick test_page_constants;
+        Alcotest.test_case "orders derived from units" `Quick test_page_orders_from_units;
+      ] );
     ( "memory.buddy",
       [
         Alcotest.test_case "exhausts exactly" `Quick test_buddy_exhausts_exactly;
@@ -234,6 +346,7 @@ let suite =
         Alcotest.test_case "reserve hole" `Quick test_buddy_reserve;
         Alcotest.test_case "fragmentation fallback" `Quick test_buddy_fragmentation_fallback;
         QCheck_alcotest.to_alcotest prop_buddy_trace;
+        QCheck_alcotest.to_alcotest prop_buddy_partition;
         QCheck_alcotest.to_alcotest prop_buddy_full_free_coalesces;
       ] );
     ( "memory.machine",

@@ -28,7 +28,7 @@ let test_costs_ipi () =
 (* -------------------------------- p2m ------------------------------ *)
 
 let test_p2m_basic () =
-  let p = Xen.P2m.create ~frames:8 in
+  let p = Xen.P2m.create ~frames:8 () in
   Alcotest.(check int) "empty" 0 (Xen.P2m.mapped_count p);
   Alcotest.(check bool) "invalid" true (Xen.P2m.get p 0 = Xen.P2m.Invalid);
   Xen.P2m.set p 0 ~mfn:42 ~writable:true;
@@ -40,14 +40,14 @@ let test_p2m_basic () =
   Alcotest.(check int) "one mapped" 1 (Xen.P2m.mapped_count p)
 
 let test_p2m_invalidate () =
-  let p = Xen.P2m.create ~frames:4 in
+  let p = Xen.P2m.create ~frames:4 () in
   Xen.P2m.set p 2 ~mfn:7 ~writable:false;
   Alcotest.(check (option int)) "returns old mfn" (Some 7) (Xen.P2m.invalidate p 2);
   Alcotest.(check (option int)) "already invalid" None (Xen.P2m.invalidate p 2);
   Alcotest.(check int) "none mapped" 0 (Xen.P2m.mapped_count p)
 
 let test_p2m_write_protect () =
-  let p = Xen.P2m.create ~frames:4 in
+  let p = Xen.P2m.create ~frames:4 () in
   Xen.P2m.set p 1 ~mfn:9 ~writable:true;
   Xen.P2m.write_protect p 1;
   (match Xen.P2m.get p 1 with
@@ -58,20 +58,20 @@ let test_p2m_write_protect () =
   Alcotest.(check bool) "entry 0 untouched" true (Xen.P2m.get p 0 = Xen.P2m.Invalid)
 
 let test_p2m_remap_keeps_count () =
-  let p = Xen.P2m.create ~frames:4 in
+  let p = Xen.P2m.create ~frames:4 () in
   Xen.P2m.set p 0 ~mfn:1 ~writable:true;
   Xen.P2m.set p 0 ~mfn:2 ~writable:true;
   Alcotest.(check int) "still one" 1 (Xen.P2m.mapped_count p)
 
 let test_p2m_iteration () =
-  let p = Xen.P2m.create ~frames:8 in
+  let p = Xen.P2m.create ~frames:8 () in
   Xen.P2m.set p 1 ~mfn:10 ~writable:true;
   Xen.P2m.set p 5 ~mfn:50 ~writable:true;
   let pairs = Xen.P2m.fold_mapped p ~init:[] ~f:(fun acc pfn mfn -> (pfn, mfn) :: acc) in
   Alcotest.(check (list (pair int int))) "fold" [ (5, 50); (1, 10) ] pairs
 
 let test_p2m_bounds () =
-  let p = Xen.P2m.create ~frames:4 in
+  let p = Xen.P2m.create ~frames:4 () in
   Alcotest.check_raises "out of range" (Invalid_argument "P2m: pfn out of range") (fun () ->
       ignore (Xen.P2m.get p 4))
 
@@ -79,9 +79,160 @@ let prop_p2m_set_get_roundtrip =
   QCheck.Test.make ~name:"p2m set/get roundtrip" ~count:300
     QCheck.(triple (int_range 0 63) (int_range 0 10000) bool)
     (fun (pfn, mfn, writable) ->
-      let p = Xen.P2m.create ~frames:64 in
+      let p = Xen.P2m.create ~frames:64 () in
       Xen.P2m.set p pfn ~mfn ~writable;
       Xen.P2m.get p pfn = Xen.P2m.Mapped { mfn; writable })
+
+(* --------------------------- p2m superpages ------------------------ *)
+
+let test_p2m_superpage_map_lookup () =
+  let p = Xen.P2m.create ~sp_frames:8 ~frames:32 () in
+  Xen.P2m.map_superpage p ~pfn:8 ~mfn:64 ~writable:true;
+  Alcotest.(check int) "one superpage" 1 (Xen.P2m.superpage_count p);
+  Alcotest.(check int) "8 frames covered" 8 (Xen.P2m.superpage_frames p);
+  Alcotest.(check int) "8 mapped" 8 (Xen.P2m.mapped_count p);
+  for i = 0 to 7 do
+    Alcotest.(check bool) "inside" true (Xen.P2m.is_superpage p (8 + i));
+    Alcotest.(check bool) "contiguous mfn" true
+      (Xen.P2m.get p (8 + i) = Xen.P2m.Mapped { mfn = 64 + i; writable = true })
+  done;
+  Alcotest.(check bool) "outside" false (Xen.P2m.is_superpage p 0);
+  Alcotest.(check int) "base" 8 (Xen.P2m.superpage_base p 13);
+  Alcotest.(check bool) "consistent" true (Xen.P2m.check_consistent p)
+
+let test_p2m_superpage_splinter_preserves_lookups () =
+  let p = Xen.P2m.create ~sp_frames:8 ~frames:16 () in
+  Xen.P2m.map_superpage p ~pfn:0 ~mfn:32 ~writable:true;
+  Alcotest.(check int) "8 demoted" 8 (Xen.P2m.splinter p 3);
+  Alcotest.(check int) "no superpages" 0 (Xen.P2m.superpage_count p);
+  Alcotest.(check int) "counter" 1 (Xen.P2m.splinter_count p);
+  for i = 0 to 7 do
+    Alcotest.(check bool) (Printf.sprintf "frame %d unchanged" i) true
+      (Xen.P2m.get p i = Xen.P2m.Mapped { mfn = 32 + i; writable = true })
+  done;
+  Alcotest.(check int) "second splinter is a no-op" 0 (Xen.P2m.splinter p 3);
+  Alcotest.(check bool) "consistent" true (Xen.P2m.check_consistent p)
+
+let test_p2m_superpage_mutation_splinters () =
+  let p = Xen.P2m.create ~sp_frames:4 ~frames:8 () in
+  Xen.P2m.map_superpage p ~pfn:4 ~mfn:16 ~writable:true;
+  (* A single-frame invalidate inside the extent demotes it first; the
+     untouched neighbours keep their exact translations. *)
+  Alcotest.(check (option int)) "old mfn back" (Some 18) (Xen.P2m.invalidate p 6);
+  Alcotest.(check int) "demoted" 1 (Xen.P2m.splinter_count p);
+  Alcotest.(check bool) "not a superpage now" false (Xen.P2m.is_superpage p 4);
+  Alcotest.(check bool) "neighbour stable" true
+    (Xen.P2m.get p 5 = Xen.P2m.Mapped { mfn = 17; writable = true });
+  (* write_protect on a fresh superpage also splinters. *)
+  let q = Xen.P2m.create ~sp_frames:4 ~frames:4 () in
+  Xen.P2m.map_superpage q ~pfn:0 ~mfn:0 ~writable:true;
+  Xen.P2m.write_protect q 2;
+  Alcotest.(check int) "wp splinters" 1 (Xen.P2m.splinter_count q);
+  Alcotest.(check bool) "only the target is read-only" true
+    (Xen.P2m.get q 1 = Xen.P2m.Mapped { mfn = 1; writable = true }
+    && Xen.P2m.get q 2 = Xen.P2m.Mapped { mfn = 2; writable = false });
+  Alcotest.(check bool) "consistent" true (Xen.P2m.check_consistent q)
+
+let test_p2m_superpage_promote () =
+  let p = Xen.P2m.create ~sp_frames:4 ~frames:8 () in
+  (* Contiguous, aligned, uniform: promotable. *)
+  for i = 0 to 3 do
+    Xen.P2m.set p i ~mfn:(8 + i) ~writable:true
+  done;
+  Alcotest.(check bool) "promotes" true (Xen.P2m.promote p ~pfn:0);
+  Alcotest.(check bool) "is superpage" true (Xen.P2m.is_superpage p 0);
+  Alcotest.(check int) "counter" 1 (Xen.P2m.promote_count p);
+  Alcotest.(check bool) "idempotence guard" false (Xen.P2m.promote p ~pfn:0);
+  (* Non-contiguous mfns: not promotable. *)
+  Xen.P2m.set p 4 ~mfn:20 ~writable:true;
+  Xen.P2m.set p 5 ~mfn:22 ~writable:true;
+  Xen.P2m.set p 6 ~mfn:23 ~writable:true;
+  Xen.P2m.set p 7 ~mfn:24 ~writable:true;
+  Alcotest.(check bool) "rejects gaps" false (Xen.P2m.promote p ~pfn:4);
+  Alcotest.check_raises "unaligned base" (Invalid_argument "P2m.promote: pfn not aligned")
+    (fun () -> ignore (Xen.P2m.promote p ~pfn:2));
+  Alcotest.(check bool) "consistent" true (Xen.P2m.check_consistent p)
+
+let test_p2m_superpage_map_errors () =
+  let p = Xen.P2m.create ~sp_frames:4 ~frames:8 () in
+  Alcotest.check_raises "unaligned pfn"
+    (Invalid_argument "P2m.map_superpage: pfn not aligned") (fun () ->
+      Xen.P2m.map_superpage p ~pfn:2 ~mfn:0 ~writable:true);
+  Alcotest.check_raises "unaligned mfn"
+    (Invalid_argument "P2m.map_superpage: mfn not aligned") (fun () ->
+      Xen.P2m.map_superpage p ~pfn:0 ~mfn:3 ~writable:true);
+  Xen.P2m.set p 5 ~mfn:9 ~writable:true;
+  Alcotest.check_raises "occupied extent"
+    (Invalid_argument "P2m.map_superpage: extent not empty") (fun () ->
+      Xen.P2m.map_superpage p ~pfn:4 ~mfn:8 ~writable:true);
+  let q = Xen.P2m.create ~sp_frames:1 ~frames:4 () in
+  Alcotest.check_raises "superpages disabled"
+    (Invalid_argument "P2m.map_superpage: sp_frames is 1") (fun () ->
+      Xen.P2m.map_superpage q ~pfn:0 ~mfn:0 ~writable:true)
+
+(* Satellite property: any interleaving of map / map_superpage /
+   splinter / promote / invalidate / write_protect keeps the table
+   consistent, and splintering an extent never changes the translation
+   of frames that were not themselves mutated. *)
+let prop_p2m_superpage_interleavings =
+  let frames = 64 and sp = 8 in
+  QCheck.Test.make ~name:"p2m superpage ops keep the table consistent" ~count:200
+    QCheck.(pair int (int_range 20 120))
+    (fun (seed, steps) ->
+      let p = Xen.P2m.create ~sp_frames:sp ~frames () in
+      let rng = Sim.Rng.create ~seed in
+      for _ = 1 to steps do
+        let pfn = Sim.Rng.int rng frames in
+        let base = Xen.P2m.superpage_base p pfn in
+        (* Snapshot the extent: frames other than [pfn] must translate
+           identically after any single-frame mutation, superpage or
+           not. *)
+        let before = Array.init sp (fun i -> Xen.P2m.get p (base + i)) in
+        let exempt =
+          match Sim.Rng.int rng 6 with
+          | 0 ->
+              Xen.P2m.set p pfn ~mfn:(Sim.Rng.int rng 4096) ~writable:(Sim.Rng.bool rng);
+              `Frame pfn
+          | 1 ->
+              ignore (Xen.P2m.invalidate p pfn);
+              `Frame pfn
+          | 2 ->
+              Xen.P2m.write_protect p pfn;
+              `Frame pfn
+          | 3 ->
+              ignore (Xen.P2m.splinter p pfn);
+              `Nothing (* splinter alone must not change any translation *)
+          | 4 ->
+              ignore (Xen.P2m.promote p ~pfn:base);
+              `Nothing
+          | _ ->
+              let empty = ref true in
+              for i = 0 to sp - 1 do
+                if Xen.P2m.get p (base + i) <> Xen.P2m.Invalid then empty := false
+              done;
+              if !empty then begin
+                Xen.P2m.map_superpage p ~pfn:base
+                  ~mfn:(sp * Sim.Rng.int rng 512)
+                  ~writable:(Sim.Rng.bool rng);
+                `Extent (* the whole extent legitimately changed *)
+              end
+              else `Nothing
+        in
+        if not (Xen.P2m.check_consistent p) then
+          QCheck.Test.fail_reportf "inconsistent table after op on pfn %d" pfn;
+        (match exempt with
+        | `Extent -> ()
+        | (`Frame _ | `Nothing) as e ->
+            Array.iteri
+              (fun i old ->
+                let f = base + i in
+                if e <> `Frame f && Xen.P2m.get p f <> old then
+                  QCheck.Test.fail_reportf
+                    "untouched frame %d changed translation (op on %d)" f pfn)
+              before)
+      done;
+      (* Cumulative counters never go backwards and frames conserve. *)
+      Xen.P2m.superpage_frames p <= Xen.P2m.mapped_count p)
 
 (* ------------------------------- system ---------------------------- *)
 
@@ -367,7 +518,14 @@ let suite =
         Alcotest.test_case "remap keeps count" `Quick test_p2m_remap_keeps_count;
         Alcotest.test_case "iteration" `Quick test_p2m_iteration;
         Alcotest.test_case "bounds" `Quick test_p2m_bounds;
+        Alcotest.test_case "superpage map/lookup" `Quick test_p2m_superpage_map_lookup;
+        Alcotest.test_case "splinter preserves lookups" `Quick
+          test_p2m_superpage_splinter_preserves_lookups;
+        Alcotest.test_case "mutation splinters" `Quick test_p2m_superpage_mutation_splinters;
+        Alcotest.test_case "promote" `Quick test_p2m_superpage_promote;
+        Alcotest.test_case "map_superpage errors" `Quick test_p2m_superpage_map_errors;
         QCheck_alcotest.to_alcotest prop_p2m_set_get_roundtrip;
+        QCheck_alcotest.to_alcotest prop_p2m_superpage_interleavings;
       ] );
     ( "xen.system",
       [

@@ -12,6 +12,11 @@ dune exec bench/main.exe -- tab1 --jobs 2
 # fault plan (a plan that hits the epoch cap prints a WARNING).
 dune exec bench/main.exe -- chaos --jobs 2
 
+# Hugepage grid: superpages on/off across the three boot placements
+# (EXPERIMENTS.md documents the expected shape; test/test_engine.ml
+# pins it).
+dune exec bench/main.exe -- hugepage --jobs 2
+
 # Usage errors must be reported as such: unknown sections and a
 # malformed --jobs both exit non-zero.
 if dune exec bench/main.exe -- no-such-section >/dev/null 2>&1; then
@@ -43,6 +48,18 @@ dune exec bin/xen_numa_trace.exe -- check "$TRACE_DIR/j1.jsonl"
 dune exec bin/xen_numa_trace.exe -- summary --timeline 4 "$TRACE_DIR/j1.jsonl" >/dev/null
 echo "tier1: trace determinism OK ($(wc -l < "$TRACE_DIR/j1.jsonl") JSONL lines)"
 
+# Same determinism bar for the hugepage grid: the promotion scan is
+# cursor-driven and the TLB blend derives from P2M state, so the
+# worker schedule must not leak into the trace.
+dune exec bench/main.exe -- hugepage --jobs 1 --trace "$TRACE_DIR/hp1.jsonl" --trace-cap 512 >/dev/null
+dune exec bench/main.exe -- hugepage --jobs 4 --trace "$TRACE_DIR/hp4.jsonl" --trace-cap 512 >/dev/null
+cmp "$TRACE_DIR/hp1.jsonl" "$TRACE_DIR/hp4.jsonl" || {
+  echo "tier1: FAIL - hugepage traces differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+dune exec bin/xen_numa_trace.exe -- check "$TRACE_DIR/hp1.jsonl"
+echo "tier1: hugepage trace determinism OK ($(wc -l < "$TRACE_DIR/hp1.jsonl") JSONL lines)"
+
 # Short randomised chaos pass: a fresh QCHECK_SEED (overridable for
 # replay) re-runs the fault-injection property suite, whose
 # frame-accounting invariant (no leaks, no double frees) fails the
@@ -51,5 +68,11 @@ QCHECK_SEED="${QCHECK_SEED:-$(date +%s)}"
 export QCHECK_SEED
 echo "tier1: randomised chaos pass (QCHECK_SEED=$QCHECK_SEED)"
 dune exec test/test_main.exe -- test faults
+
+# Same randomised seed over the two new property suites: the buddy
+# partition invariant and the P2M superpage consistency invariant.
+echo "tier1: randomised property pass (QCHECK_SEED=$QCHECK_SEED)"
+dune exec test/test_main.exe -- test memory.buddy
+dune exec test/test_main.exe -- test xen.p2m
 
 echo "tier1: OK"
