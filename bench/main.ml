@@ -4,6 +4,7 @@
    Usage: main.exe [all|tab1|tab2|tab3|tab4|fig1|fig2|fig5|fig6|fig7|
                     fig8|fig9|fig10|dma|batching|ablation|micro]
                    [--jobs N] [--json FILE] [--trace FILE] [--trace-cap N]
+                   [--compare FILE]
 
    --jobs N       run the experiment grids on N domains (default:
                   XEN_NUMA_JOBS or the host's recommended domain count)
@@ -13,7 +14,10 @@
    --trace FILE   capture an event trace of every simulated run and
                   write the deterministic merge to FILE (JSONL, or
                   binary when FILE ends in .bin)
-   --trace-cap N  per-stream trace ring capacity (default 4096) *)
+   --trace-cap N  per-stream trace ring capacity (default 4096)
+   --compare FILE regression gate: read a previous --json report and
+                  fail (exit 1) if any section shared with it runs
+                  more than 25% slower now *)
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
@@ -319,9 +323,90 @@ let write_json file ~jobs ~timings ~total =
   close_out oc;
   Printf.printf "\nwrote %s\n" file
 
+(* --compare: regression gate against a previously committed --json
+   report.  Every section of this run that the reference also timed
+   gets a delta line; a section more than [threshold] slower than the
+   reference fails the whole run (exit 1).  Sections absent from the
+   reference (new experiments) pass trivially.  When the reference was
+   recorded at a different --jobs setting the table is printed for
+   information only: domain-count overhead dominates wall-clock on
+   small hosts, so cross-jobs deltas say nothing about the code. *)
+let compare_threshold = 0.25
+
+let compare_report file ~jobs ~timings =
+  let text =
+    try
+      let ic = open_in file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "cannot read --compare reference: %s\n" msg;
+      exit 1
+  in
+  let old =
+    match Obs.Json.of_string_opt text with
+    | Some j -> j
+    | None ->
+        Printf.eprintf "--compare: %s is not valid JSON\n" file;
+        exit 1
+  in
+  let old_sections =
+    match Obs.Json.member "sections" old with
+    | Some (Obs.Json.List entries) ->
+        List.filter_map
+          (fun e ->
+            match (Obs.Json.member "name" e, Obs.Json.member "wall_s" e) with
+            | Some name, Some wall -> (
+                match (Obs.Json.to_string name, Obs.Json.to_float wall) with
+                | Some n, Some w -> Some (n, w)
+                | _ -> None)
+            | _ -> None)
+          entries
+    | Some _ | None ->
+        Printf.eprintf "--compare: %s has no sections array\n" file;
+        exit 1
+  in
+  let old_rev =
+    match Option.bind (Obs.Json.member "git_rev" old) Obs.Json.to_string with
+    | Some rev -> rev
+    | None -> "unknown"
+  in
+  let old_jobs = Option.bind (Obs.Json.member "jobs" old) Obs.Json.to_int in
+  let gating = match old_jobs with Some j -> j = jobs | None -> true in
+  Printf.printf "\nComparison vs %s (rev %s)\n" file old_rev;
+  Printf.printf "%-12s %10s %10s %9s\n" "section" "ref (s)" "now (s)" "delta";
+  let regressed = ref [] in
+  List.iter
+    (fun (name, now) ->
+      match List.assoc_opt name old_sections with
+      | None -> Printf.printf "%-12s %10s %10.2f %9s\n" name "-" now "new"
+      | Some before when before <= 0.0 ->
+          Printf.printf "%-12s %10.2f %10.2f %9s\n" name before now "-"
+      | Some before ->
+          let delta = (now -. before) /. before in
+          Printf.printf "%-12s %10.2f %10.2f %+8.1f%%\n" name before now (100.0 *. delta);
+          if delta > compare_threshold then regressed := (name, delta) :: !regressed)
+    timings;
+  if not gating then
+    Printf.printf "reference used --jobs %d, this run --jobs %d: informational only, not gated\n"
+      (Option.value old_jobs ~default:0) jobs
+  else
+  match List.rev !regressed with
+  | [] -> Printf.printf "no section regressed more than %.0f%%\n" (100.0 *. compare_threshold)
+  | bad ->
+      List.iter
+        (fun (name, delta) ->
+          Printf.eprintf "REGRESSION: %s is %.1f%% slower than %s (limit %.0f%%)\n" name
+            (100.0 *. delta) old_rev
+            (100.0 *. compare_threshold))
+        bad;
+      exit 1
+
 let usage () =
   Printf.eprintf
     "usage: main.exe [sections...] [--jobs N] [--json FILE] [--trace FILE] [--trace-cap N]\n\
+    \       [--compare FILE]\n\
      available sections: all %s\n"
     (String.concat " " (List.map fst sections));
   exit 1
@@ -332,10 +417,13 @@ type opts = {
   mutable json : string option;
   mutable trace : string option;
   mutable trace_cap : int;
+  mutable compare_to : string option;
 }
 
 let () =
-  let o = { names = []; jobs = None; json = None; trace = None; trace_cap = 4096 } in
+  let o =
+    { names = []; jobs = None; json = None; trace = None; trace_cap = 4096; compare_to = None }
+  in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest -> (
@@ -349,6 +437,9 @@ let () =
     | "--json" :: file :: rest ->
         o.json <- Some file;
         parse rest
+    | "--compare" :: file :: rest ->
+        o.compare_to <- Some file;
+        parse rest
     | "--trace" :: file :: rest ->
         o.trace <- Some file;
         parse rest
@@ -360,7 +451,8 @@ let () =
         | Some _ | None ->
             Printf.eprintf "--trace-cap expects a positive integer, got %S\n" n;
             usage ())
-    | ("--jobs" | "--json" | "--trace" | "--trace-cap" | "--help" | "-h") :: _ -> usage ()
+    | ("--jobs" | "--json" | "--trace" | "--trace-cap" | "--compare" | "--help" | "-h") :: _ ->
+        usage ()
     | name :: rest ->
         o.names <- name :: o.names;
         parse rest
@@ -409,6 +501,9 @@ let () =
       Obs.Trace.uninstall ();
       Printf.printf "wrote %s (%d streams)\n" file (Obs.Trace.stream_count s)
   | _ -> ());
-  match o.json with
+  (match o.json with
   | Some file -> write_json file ~jobs:(Engine.Pool.default_jobs ()) ~timings ~total
+  | None -> ());
+  match o.compare_to with
+  | Some file -> compare_report file ~jobs:(Engine.Pool.default_jobs ()) ~timings
   | None -> ()

@@ -43,6 +43,12 @@ type vm_state = {
      cleared afterwards. *)
   sample_seen : Bytes.t;
   sample_touched : int array;
+  (* Pages fed to Carrefour this period, for refresh_placement: the
+     heat table copies sample arrays on insert, so one scratch float
+     array serves every sample and only the pfns need remembering. *)
+  sample_pfns : int array;
+  mutable sample_count : int;
+  sample_scratch : float array;
   remaining : float array;
   avg_lat : float array;
   finish : float array;  (* -1 while running *)
@@ -276,8 +282,8 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
                of each page faults into the hypervisor. *)
             if policy.Policies.Spec.placement = Policies.Spec.First_touch then
               ignore
-                (Policies.Manager.release_free_pages manager
-                   (List.init domain.Xen.Domain.mem_frames (fun pfn -> pfn)))
+                (Policies.Manager.release_free_range manager ~first:0
+                   ~count:domain.Xen.Domain.mem_frames)
         | Error msg -> invalid_arg ("Runner: " ^ msg)
       end);
   let queue =
@@ -290,7 +296,7 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
           && app.Workloads.App.page_release_period <> None
         then begin
           let q =
-            Guest.Pv_queue.create
+            Guest.Pv_queue.create ~frames:domain.Xen.Domain.mem_frames
               ~flush:(fun ops -> Policies.Manager.page_ops_hypercall manager ops)
               ()
           in
@@ -358,6 +364,9 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
     pfn_slot;
     sample_seen = Bytes.make shared_pages '\000';
     sample_touched = Array.make 128 0;
+    sample_pfns = Array.make (128 + (8 * threads)) 0;
+    sample_count = 0;
+    sample_scratch = Array.make nodes 0.0;
     remaining = Array.make threads work;
     avg_lat = Array.make threads 190.0;
     finish = Array.make threads (-1.0);
@@ -495,14 +504,25 @@ let disk_traffic cfg st counters ~bus_node ~node_demand =
 
 (* Hot-page samples for Carrefour: the top of the shared region's
    popularity distribution, a rotating window of each thread's private
-   pages, and — during a burst — the victim's hammered pages. *)
-let build_samples st =
+   pages, and — during a burst — the victim's hammered pages.
+   Samples are pushed straight into the system component's heat table
+   (which copies on first sight, accumulates in place after) from one
+   reusable scratch array; the fed pfns are remembered in
+   [st.sample_pfns] for the placement refresh. *)
+let feed_samples st sys =
   let nodes = Array.length st.src_shared in
-  let samples = ref [] in
+  let scratch = st.sample_scratch in
+  let read_fraction = st.spec.Config.app.Workloads.App.read_fraction in
+  st.sample_count <- 0;
+  let push pfn =
+    Policies.Carrefour.System_component.record_sample sys ~pfn ~node_accesses:scratch
+      ~read_fraction;
+    st.sample_pfns.(st.sample_count) <- pfn;
+    st.sample_count <- st.sample_count + 1
+  in
   let shared_total = st.shared_accesses_epoch in
   if shared_total > 0.0 then begin
     let pages = Array.length st.shared.pfns in
-    let src_norm = Array.map (fun s -> s /. shared_total) st.src_shared in
     (* IBS-style sampling: pages are drawn with probability proportional
        to their access frequency, so hot pages dominate the table but
        every accessed page is eventually observed. *)
@@ -515,11 +535,10 @@ let build_samples st =
         st.sample_touched.(!touched) <- i;
         incr touched;
         let w = st.shared.weights.(rank) in
-        let node_accesses = Array.map (fun s -> s *. shared_total *. w) src_norm in
-        let read_fraction = st.spec.Config.app.Workloads.App.read_fraction in
-        samples :=
-          { Policies.Carrefour.pfn = st.shared.pfns.(i); node_accesses; read_fraction }
-          :: !samples
+        for n = 0 to nodes - 1 do
+          scratch.(n) <- st.src_shared.(n) *. w
+        done;
+        push st.shared.pfns.(i)
       end
     in
     for rank = 0 to min 32 pages - 1 do
@@ -547,36 +566,28 @@ let build_samples st =
       let k = min 8 pages in
       for j = 0 to k - 1 do
         let i = (st.private_sample_cursor + j) mod pages in
-        let node_accesses = Array.make nodes 0.0 in
-        node_accesses.(st.thread_node.(t)) <- per_page;
+        Array.fill scratch 0 nodes 0.0;
+        scratch.(st.thread_node.(t)) <- per_page;
         (* During a burst the source thread hammers the victim's pages:
            a single dominant remote node, Carrefour's migration bait. *)
         if t = st.burst_victim && st.burst_source >= 0 then
-          node_accesses.(st.thread_node.(st.burst_source)) <-
-            node_accesses.(st.thread_node.(st.burst_source))
+          scratch.(st.thread_node.(st.burst_source)) <-
+            scratch.(st.thread_node.(st.burst_source))
             +. (st.burst_accesses_epoch /. float_of_int pages *. 8.0);
-        samples :=
-          {
-            Policies.Carrefour.pfn = region.pfns.(i);
-            node_accesses;
-            read_fraction = st.spec.Config.app.Workloads.App.read_fraction;
-          }
-          :: !samples
+        push region.pfns.(i)
       done
     end
   done;
-  st.private_sample_cursor <- st.private_sample_cursor + 8;
-  !samples
+  st.private_sample_cursor <- st.private_sample_cursor + 8
 
 (* Refresh cached placement after Carrefour migrations and
-   replications. *)
-let refresh_placement st samples =
+   replications, over the pages fed this period. *)
+let refresh_placement st =
   let read_fraction = st.spec.Config.app.Workloads.App.read_fraction in
   let carrefour = Policies.Manager.carrefour st.manager in
-  List.iter
-    (fun (s : Policies.Carrefour.sample) ->
-      let pfn = s.Policies.Carrefour.pfn in
-      let owner = if pfn < Array.length st.pfn_owner then st.pfn_owner.(pfn) else -1 in
+  for s = 0 to st.sample_count - 1 do
+    let pfn = st.sample_pfns.(s) in
+    (let owner = if pfn < Array.length st.pfn_owner then st.pfn_owner.(pfn) else -1 in
       if owner >= 0 then
         match Policies.Manager.node_of_pfn st.manager pfn with
         | None -> ()
@@ -615,7 +626,7 @@ let refresh_placement st samples =
               region.page_node.(i) <- node;
               st.migrations <- st.migrations + 1
             end)
-    samples
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Completion accounting                                               *)
@@ -784,6 +795,11 @@ let run (cfg : Config.t) =
   in
   let node_demand = Array.make nodes 0.0 in
   let node_scale = Array.make nodes 1.0 in
+  (* Per-epoch memo of the (src, dst) memory latency: topology distance
+     is static and route saturation is a last-epoch snapshot, so within
+     one epoch every thread pair sharing (src, dst) sees the same
+     cycles.  -1 marks an unfilled cell. *)
+  let lat_memo = Array.make (nodes * nodes) (-1.0) in
   let occupancy = Array.make (Array.length system.Xen.System.pcpu_load) 0 in
   let dom0_active = ref 0 in
   (* One dom0 vCPU shuttles roughly 150 MB/s of pv I/O. *)
@@ -981,6 +997,7 @@ let run (cfg : Config.t) =
       states;
     Numa.Counters.end_epoch counters ~duration:epoch_len;
     (* latency feedback and per-thread stats *)
+    Array.fill lat_memo 0 (nodes * nodes) (-1.0);
     List.iter
       (fun st ->
         if vm_running st then begin
@@ -992,9 +1009,19 @@ let run (cfg : Config.t) =
               let lat = ref 0.0 in
               for n = 0 to nodes - 1 do
                 if dst.(n) > 0.0 then begin
-                  let hops = Numa.Topology.distance topo src n in
-                  let sat = Numa.Counters.max_route_saturation counters ~src ~dst:n in
-                  lat := !lat +. (dst.(n) /. total *. Numa.Latency.mem_cycles latency ~hops ~saturation:sat)
+                  let cell = (src * nodes) + n in
+                  let cycles =
+                    let memo = lat_memo.(cell) in
+                    if memo >= 0.0 then memo
+                    else begin
+                      let hops = Numa.Topology.distance topo src n in
+                      let sat = Numa.Counters.max_route_saturation counters ~src ~dst:n in
+                      let c = Numa.Latency.mem_cycles latency ~hops ~saturation:sat in
+                      lat_memo.(cell) <- c;
+                      c
+                    end
+                  in
+                  lat := !lat +. (dst.(n) /. total *. cycles)
                 end
               done;
               st.avg_lat.(t) <- !lat;
@@ -1049,9 +1076,11 @@ let run (cfg : Config.t) =
           | None -> ()
           | Some _ ->
               if !epochs mod 10 = 0 then begin
-                let samples = build_samples st in
-                match Policies.Manager.carrefour_epoch st.manager ~counters ~samples with
-                | Some _ -> refresh_placement st samples
+                match
+                  Policies.Manager.carrefour_epoch_feed st.manager ~counters
+                    ~feed:(feed_samples st)
+                with
+                | Some _ -> refresh_placement st
                 | None -> ()
               end
         end)

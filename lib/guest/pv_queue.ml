@@ -12,7 +12,22 @@ type stats = {
   mutable dropped : int;
   mutable lost_batches : int;
   mutable lost_ops : int;
+  mutable dedup_hits : int;
 }
+
+(* Most-recent-op-wins dedup state: a flat generation-stamp array keyed
+   by pfn.  Each batch bumps [gen]; the first (newest) op seen for a
+   pfn stamps it, later (older) ops find the stamp current and are
+   superseded.  O(1) per entry, no clearing between batches, no
+   allocation. *)
+type dedup = {
+  stamp : int array;
+  mutable gen : int;
+}
+
+let dedup ~frames =
+  if frames <= 0 then invalid_arg "Pv_queue.dedup: frames must be positive";
+  { stamp = Array.make frames 0; gen = 0 }
 
 type partition = {
   mutable entries : op array;
@@ -25,6 +40,8 @@ type t = {
   capacity : int;
   flush : op array -> float;
   stats : stats;
+  dedup : dedup option;
+  scratch : op array;  (* survivor collection, reused across flushes *)
   mutable drop_op : op -> bool;
   mutable lose_batch : op array -> bool;
   mutable obs : Obs.Stream.t option;
@@ -33,7 +50,7 @@ type t = {
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
-let create ?(partitions = 4) ?(capacity = 128) ~flush () =
+let create ?(partitions = 4) ?(capacity = 128) ?frames ~flush () =
   if not (is_power_of_two partitions) then
     invalid_arg "Pv_queue.create: partitions must be a power of two";
   if capacity <= 0 then invalid_arg "Pv_queue.create: capacity must be positive";
@@ -51,7 +68,10 @@ let create ?(partitions = 4) ?(capacity = 128) ~flush () =
         dropped = 0;
         lost_batches = 0;
         lost_ops = 0;
+        dedup_hits = 0;
       };
+    dedup = (match frames with Some frames -> Some (dedup ~frames) | None -> None);
+    scratch = Array.make capacity (Alloc 0);
     drop_op = (fun _ -> false);
     lose_batch = (fun _ -> false);
     obs = None;
@@ -73,58 +93,115 @@ let partition_of t pfn = pfn land t.mask
 let flush_partition t part =
   if part.len > 0 then begin
     let n = part.len in
-    let ops = Array.sub part.entries 0 n in
+    (* Shard dedup, newest-first: survivors are packed into the tail of
+       the reusable scratch array, so they come out oldest-first (the
+       arrival order the hypervisor would have seen).  The stamp array
+       is shared by all partitions — their pfn sets are disjoint (the
+       partition index IS the low pfn bits), so a stamp written by one
+       partition is never consulted by another. *)
+    let survivors, hits =
+      match t.dedup with
+      | None -> (Array.sub part.entries 0 n, 0)
+      | Some d ->
+          let frames = Array.length d.stamp in
+          d.gen <- d.gen + 1;
+          let g = d.gen in
+          let m = ref 0 in
+          for i = n - 1 downto 0 do
+            let op = part.entries.(i) in
+            let pfn = op_pfn op in
+            if pfn >= 0 && pfn < frames then begin
+              if d.stamp.(pfn) <> g then begin
+                d.stamp.(pfn) <- g;
+                incr m;
+                t.scratch.(t.capacity - !m) <- op
+              end
+            end
+            else begin
+              (* Out-of-range pfn: cannot be stamped, passes through. *)
+              incr m;
+              t.scratch.(t.capacity - !m) <- op
+            end
+          done;
+          (Array.sub t.scratch (t.capacity - !m) !m, n - !m)
+    in
     (* Snapshot and reset BEFORE invoking the handler: a flush callback
        that re-enters [record] (e.g. a reconciliation sweep releasing
        pages from inside the hypercall) must find room in the partition
        instead of writing past capacity. *)
     part.len <- 0;
-    if t.lose_batch ops then begin
-      (* Injected transit loss: the hypervisor never sees the batch.
-         The guest's view and the P2M now disagree until the periodic
-         reconciliation sweep heals them. *)
-      t.stats.lost_batches <- t.stats.lost_batches + 1;
-      t.stats.lost_ops <- t.stats.lost_ops + n;
+    if hits > 0 then begin
+      t.stats.dedup_hits <- t.stats.dedup_hits + hits;
       (match t.obs with
       | None -> ()
-      | Some stream -> Obs.Stream.emit ~domain:t.obs_domain ~arg:n stream Obs.Event.Pv_lost);
-      if Obs.Metrics.enabled () then begin
-        Obs.Metrics.incr "guest.pv.lost_batches";
-        Obs.Metrics.incr ~by:n "guest.pv.lost_ops"
+      | Some stream -> Obs.Stream.emit ~domain:t.obs_domain ~arg:hits stream Obs.Event.Pv_dedup);
+      if Obs.Metrics.enabled () then Obs.Metrics.incr ~by:hits "guest.pv.dedup_hits"
+    end;
+    (* Injected guest-side drops are drawn ONCE per surviving op, after
+       dedup: the fault schedule must not depend on how many superseded
+       duplicates each op shadowed.  Survivors are compacted in place in
+       arrival order, so the draw sequence is the op sequence. *)
+    let ops =
+      let kept = ref 0 in
+      for i = 0 to Array.length survivors - 1 do
+        let op = survivors.(i) in
+        if t.drop_op op then t.stats.dropped <- t.stats.dropped + 1
+        else begin
+          survivors.(!kept) <- op;
+          incr kept
+        end
+      done;
+      if !kept = Array.length survivors then survivors else Array.sub survivors 0 !kept
+    in
+    let sent = Array.length ops in
+    if sent > 0 then begin
+      if t.lose_batch ops then begin
+        (* Injected transit loss: the hypervisor never sees the batch.
+           The guest's view and the P2M now disagree until the periodic
+           reconciliation sweep heals them. *)
+        t.stats.lost_batches <- t.stats.lost_batches + 1;
+        t.stats.lost_ops <- t.stats.lost_ops + sent;
+        (match t.obs with
+        | None -> ()
+        | Some stream ->
+            Obs.Stream.emit ~domain:t.obs_domain ~arg:sent stream Obs.Event.Pv_lost);
+        if Obs.Metrics.enabled () then begin
+          Obs.Metrics.incr "guest.pv.lost_batches";
+          Obs.Metrics.incr ~by:sent "guest.pv.lost_ops"
+        end
       end
-    end
-    else begin
-      (* The partition lock is held across the hypercall: no other core
-         can reallocate a queued page while the hypervisor processes it. *)
-      let time = t.flush ops in
-      t.stats.flushes <- t.stats.flushes + 1;
-      t.stats.ops_sent <- t.stats.ops_sent + n;
-      t.stats.guest_time <- t.stats.guest_time +. time;
-      (match t.obs with
-      | None -> ()
-      | Some stream -> Obs.Stream.emit ~domain:t.obs_domain ~arg:n stream Obs.Event.Pv_flush);
-      if Obs.Metrics.enabled () then begin
-        Obs.Metrics.incr "guest.pv.flushes";
-        Obs.Metrics.incr ~by:n "guest.pv.ops_sent";
-        Obs.Metrics.observe "guest.pv.flush_time_s" time
+      else begin
+        (* The partition lock is held across the hypercall: no other core
+           can reallocate a queued page while the hypervisor processes it. *)
+        let time = t.flush ops in
+        t.stats.flushes <- t.stats.flushes + 1;
+        t.stats.ops_sent <- t.stats.ops_sent + sent;
+        t.stats.guest_time <- t.stats.guest_time +. time;
+        (match t.obs with
+        | None -> ()
+        | Some stream ->
+            Obs.Stream.emit ~domain:t.obs_domain ~arg:sent stream Obs.Event.Pv_flush);
+        if Obs.Metrics.enabled () then begin
+          Obs.Metrics.incr "guest.pv.flushes";
+          Obs.Metrics.incr ~by:sent "guest.pv.ops_sent";
+          Obs.Metrics.observe "guest.pv.batch_size" (float_of_int sent);
+          Obs.Metrics.observe "guest.pv.flush_time_s" time
+        end
       end
     end
   end
 
 let record t op =
-  if t.drop_op op then t.stats.dropped <- t.stats.dropped + 1
-  else begin
-    let part = t.parts.(partition_of t (op_pfn op)) in
-    part.entries.(part.len) <- op;
-    part.len <- part.len + 1;
-    t.stats.enqueued <- t.stats.enqueued + 1;
-    (match t.obs with
-    | None -> ()
-    | Some stream ->
-        let arg = match op with Alloc _ -> 0 | Release _ -> 1 in
-        Obs.Stream.emit ~domain:t.obs_domain ~pfn:(op_pfn op) ~arg stream Obs.Event.Pv_record);
-    if part.len = t.capacity then flush_partition t part
-  end
+  let part = t.parts.(partition_of t (op_pfn op)) in
+  part.entries.(part.len) <- op;
+  part.len <- part.len + 1;
+  t.stats.enqueued <- t.stats.enqueued + 1;
+  (match t.obs with
+  | None -> ()
+  | Some stream ->
+      let arg = match op with Alloc _ -> 0 | Release _ -> 1 in
+      Obs.Stream.emit ~domain:t.obs_domain ~pfn:(op_pfn op) ~arg stream Obs.Event.Pv_record);
+  if part.len = t.capacity then flush_partition t part
 
 let flush_all t = Array.iter (flush_partition t) t.parts
 
@@ -132,15 +209,39 @@ let pending t = Array.fold_left (fun acc p -> acc + p.len) 0 t.parts
 
 let stats t = t.stats
 
-let replay ops ~f =
-  let seen = Hashtbl.create (Array.length ops) in
-  for i = Array.length ops - 1 downto 0 do
-    let op = ops.(i) in
-    let pfn = op_pfn op in
-    if not (Hashtbl.mem seen pfn) then begin
-      Hashtbl.replace seen pfn ();
-      match op with
-      | Release _ -> f pfn `Invalidate
-      | Alloc _ -> f pfn `Leave
-    end
-  done
+let replay ?dedup ops ~f =
+  let n = Array.length ops in
+  match dedup with
+  | Some d ->
+      let frames = Array.length d.stamp in
+      d.gen <- d.gen + 1;
+      let g = d.gen in
+      for i = n - 1 downto 0 do
+        let op = ops.(i) in
+        let pfn = op_pfn op in
+        if pfn >= 0 && pfn < frames then begin
+          if d.stamp.(pfn) <> g then begin
+            d.stamp.(pfn) <- g;
+            match op with
+            | Release _ -> f pfn `Invalidate
+            | Alloc _ -> f pfn `Leave
+          end
+        end
+        else begin
+          match op with
+          | Release _ -> f pfn `Invalidate
+          | Alloc _ -> f pfn `Leave
+        end
+      done
+  | None ->
+      let seen = Hashtbl.create n in
+      for i = n - 1 downto 0 do
+        let op = ops.(i) in
+        let pfn = op_pfn op in
+        if not (Hashtbl.mem seen pfn) then begin
+          Hashtbl.replace seen pfn ();
+          match op with
+          | Release _ -> f pfn `Invalidate
+          | Alloc _ -> f pfn `Leave
+        end
+      done

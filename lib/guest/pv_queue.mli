@@ -20,7 +20,12 @@
     queue is partitioned by the two least significant bits of the page
     frame number, each partition with its own lock; the guest holds the
     partition lock across the flush hypercall so no other core can
-    reallocate a page that is in flight. *)
+    reallocate a page that is in flight.
+
+    When created with [~frames], the most-recent-op-wins dedup runs
+    guest-side at flush time over a flat generation-stamp array — O(1)
+    per entry, no hashing, no per-batch clearing — so the hypervisor
+    receives batches that already carry at most one op per page. *)
 
 type op =
   | Alloc of Memory.Page.pfn
@@ -37,21 +42,38 @@ type stats = {
   mutable dropped : int;  (** Ops swallowed by an injected drop fault. *)
   mutable lost_batches : int;  (** Flushed batches lost in transit. *)
   mutable lost_ops : int;  (** Ops inside those lost batches. *)
+  mutable dedup_hits : int;
+      (** Superseded ops removed by the flush-time shard dedup. *)
 }
+
+(** Reusable most-recent-op-wins dedup state: one generation stamp per
+    pfn in a flat int array.  Each batch bumps the generation; an op
+    whose pfn already carries the current stamp is superseded by a
+    newer op in the same batch. *)
+type dedup
+
+val dedup : frames:int -> dedup
+(** Stamp array sized for pfns in [\[0, frames)].
+    @raise Invalid_argument when [frames <= 0]. *)
 
 type t
 
 val create :
   ?partitions:int ->
   ?capacity:int ->
+  ?frames:int ->
   flush:(op array -> float) ->
   unit ->
   t
-(** [create ~partitions ~capacity ~flush ()] — [partitions] defaults to
-    4 (two PFN bits) and must be a power of two; [capacity] (default
-    128) is the per-partition entry count that triggers a flush.
-    [flush ops] is the hypervisor's handler; it returns the time the
-    hypercall took, which is charged to [stats.guest_time]. *)
+(** [create ~partitions ~capacity ~frames ~flush ()] — [partitions]
+    defaults to 4 (two PFN bits) and must be a power of two;
+    [capacity] (default 128) is the per-partition entry count that
+    triggers a flush.  When [frames] is given, each flush dedups the
+    partition through a shared generation-stamp array before invoking
+    the handler (most recent op per page wins; partitions hold disjoint
+    pfn sets so one stamp array serves all of them).  [flush ops] is
+    the hypervisor's handler; it returns the time the hypercall took,
+    which is charged to [stats.guest_time]. *)
 
 val partitions : t -> int
 
@@ -70,16 +92,19 @@ val set_fault_hooks :
   unit ->
   unit
 (** Install fault-injection hooks ([Faults.Injector.install_queue]).
-    [drop_op op] returning [true] silently discards the op at [record]
-    time; [lose_batch ops] returning [true] loses a full flushed batch
-    in transit (the hypervisor never replays it).  Both default to
-    never firing. *)
+    [drop_op op] returning [true] silently discards the op; the draw
+    happens at flush time, once per op surviving dedup, so the fault
+    schedule is independent of how many superseded duplicates each op
+    shadowed.  [lose_batch ops] returning [true] loses a full flushed
+    batch in transit (the hypervisor never replays it).  Both default
+    to never firing. *)
 
 val set_obs : t -> ?domain:int -> Obs.Stream.t option -> unit
 (** Attach a trace stream: [record] then emits [Pv_record] (pfn; arg 0
     = alloc, 1 = release), successful flushes emit [Pv_flush] (arg =
-    batch size) and in-transit losses [Pv_lost].  [domain] labels the
-    events (default -1). *)
+    batch size), in-transit losses [Pv_lost], and flushes that
+    superseded queued ops [Pv_dedup] (arg = ops removed).  [domain]
+    labels the events (default -1). *)
 
 val flush_all : t -> unit
 (** Force-flush every non-empty partition (used at policy switch). *)
@@ -89,8 +114,11 @@ val pending : t -> int
 
 val stats : t -> stats
 
-val replay : op array -> f:(Memory.Page.pfn -> [ `Invalidate | `Leave ] -> unit) -> unit
+val replay :
+  ?dedup:dedup -> op array -> f:(Memory.Page.pfn -> [ `Invalidate | `Leave ] -> unit) -> unit
 (** Hypervisor-side replay semantics, reusable by policies: walk the
     queue from the most recent entry, visit each page once, and apply
     [`Invalidate] if its most recent op is a Release, [`Leave] if it is
-    an Alloc. *)
+    an Alloc.  With [dedup] the page-visited check is one stamp-array
+    read (zero allocation); without it a scratch hashtable is used.
+    Pfns outside the dedup's range are passed through undeduped. *)

@@ -31,8 +31,12 @@ let mem_cycles t ~hops ~saturation =
   let hops = min hops (max_hops t) in
   assert (hops >= 0);
   let s = Float.max 0.0 (Float.min 1.0 saturation) in
-  t.mem_base_cycles.(hops)
-  +. (t.mem_contended_delta.(hops) *. (s ** t.contention_exponent))
+  (* [( ** )] goes through pow(); the default quadratic exponent is a
+     single multiply.  (s ** 2.0 = s *. s exactly for finite s.) *)
+  let contended =
+    if t.contention_exponent = 2.0 then s *. s else s ** t.contention_exponent
+  in
+  t.mem_base_cycles.(hops) +. (t.mem_contended_delta.(hops) *. contended)
 
 let seconds t ~cycles = cycles /. t.freq_hz
 

@@ -18,6 +18,8 @@ type class_ =
   | Splinter
   | Promote
   | Superpage_migrate
+  | Pv_dedup
+  | P2m_batch
 
 let classes =
   [
@@ -40,6 +42,8 @@ let classes =
     Splinter;
     Promote;
     Superpage_migrate;
+    Pv_dedup;
+    P2m_batch;
   ]
 
 let class_count = List.length classes
@@ -64,6 +68,8 @@ let class_index = function
   | Splinter -> 16
   | Promote -> 17
   | Superpage_migrate -> 18
+  | Pv_dedup -> 19
+  | P2m_batch -> 20
 
 let class_of_index = function
   | 0 -> Some Hypercall_entry
@@ -85,6 +91,8 @@ let class_of_index = function
   | 16 -> Some Splinter
   | 17 -> Some Promote
   | 18 -> Some Superpage_migrate
+  | 19 -> Some Pv_dedup
+  | 20 -> Some P2m_batch
   | _ -> None
 
 let class_name = function
@@ -107,6 +115,8 @@ let class_name = function
   | Splinter -> "splinter"
   | Promote -> "promote"
   | Superpage_migrate -> "superpage_migrate"
+  | Pv_dedup -> "pv_dedup"
+  | P2m_batch -> "p2m_batch"
 
 let class_of_name name = List.find_opt (fun c -> class_name c = name) classes
 

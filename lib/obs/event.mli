@@ -6,7 +6,9 @@
     hypercall number (entry), duration in nanoseconds (exit), batch
     size (pv flush/loss), breaker trip count/level, healed pages
     (reconcile sweep), epoch index (boundary), frames demoted or
-    coalesced (splinter / promote / superpage migrate). *)
+    coalesced (splinter / promote / superpage migrate), superseded ops
+    removed by the shard dedup (pv dedup), frames in one batched P2M
+    operation (p2m batch). *)
 
 type class_ =
   | Hypercall_entry
@@ -28,6 +30,8 @@ type class_ =
   | Splinter
   | Promote
   | Superpage_migrate
+  | Pv_dedup
+  | P2m_batch
 
 val classes : class_ list
 val class_count : int

@@ -45,30 +45,33 @@ module System_component = struct
         List.iter (fun mfn -> Memory.Machine.free t.system.Xen.System.machine ~mfn ~order:0) mfns;
         Hashtbl.remove t.replicas pfn
 
-  let record_samples t samples =
+  let begin_epoch t =
     decay t;
-    t.epoch <- t.epoch + 1;
+    t.epoch <- t.epoch + 1
+
+  let record_sample t ~pfn ~node_accesses ~read_fraction =
+    (* Any write to a replicated page invalidates its replicas:
+       the copies would otherwise go stale.  This write-collapse
+       thrashing is what makes replication marginal on read-mostly
+       (but not read-only) workloads — the paper's reason for
+       discarding the heuristic. *)
+    if read_fraction < 0.999 && Hashtbl.mem t.replicas pfn then collapse t ~pfn;
+    let added = Array.fold_left ( +. ) 0.0 node_accesses in
+    match Hashtbl.find_opt t.table pfn with
+    | Some heat ->
+        Array.iteri (fun i c -> heat.counts.(i) <- heat.counts.(i) +. c) node_accesses;
+        heat.reads <- heat.reads +. (read_fraction *. added);
+        heat.total <- heat.total +. added
+    | None ->
+        Hashtbl.replace t.table pfn
+          { counts = Array.copy node_accesses; reads = read_fraction *. added; total = added }
+
+  let record_samples t samples =
+    begin_epoch t;
     List.iter
       (fun s ->
-        (* Any write to a replicated page invalidates its replicas:
-           the copies would otherwise go stale.  This write-collapse
-           thrashing is what makes replication marginal on read-mostly
-           (but not read-only) workloads — the paper's reason for
-           discarding the heuristic. *)
-        if s.read_fraction < 0.999 && Hashtbl.mem t.replicas s.pfn then collapse t ~pfn:s.pfn;
-        let added = Array.fold_left ( +. ) 0.0 s.node_accesses in
-        match Hashtbl.find_opt t.table s.pfn with
-        | Some heat ->
-            Array.iteri (fun i c -> heat.counts.(i) <- heat.counts.(i) +. c) s.node_accesses;
-            heat.reads <- heat.reads +. (s.read_fraction *. added);
-            heat.total <- heat.total +. added
-        | None ->
-            Hashtbl.replace t.table s.pfn
-              {
-                counts = Array.copy s.node_accesses;
-                reads = s.read_fraction *. added;
-                total = added;
-              })
+        record_sample t ~pfn:s.pfn ~node_accesses:s.node_accesses
+          ~read_fraction:s.read_fraction)
       samples
 
   type metrics = {
@@ -80,16 +83,30 @@ module System_component = struct
 
   let heat_total counts = Array.fold_left ( +. ) 0.0 counts
 
-  let read_metrics t ~counters =
+  let sample_of_heat pfn heat =
+    let read_fraction = if heat.total > 0.0 then heat.reads /. heat.total else 1.0 in
+    { pfn; node_accesses = Array.copy heat.counts; read_fraction }
+
+  let read_metrics ?top t ~counters =
     let hot =
-      Hashtbl.fold
-        (fun pfn heat acc ->
-          let read_fraction = if heat.total > 0.0 then heat.reads /. heat.total else 1.0 in
-          { pfn; node_accesses = Array.copy heat.counts; read_fraction } :: acc)
-        t.table []
-    in
-    let hot =
-      List.sort (fun a b -> compare (heat_total b.node_accesses) (heat_total a.node_accesses)) hot
+      match top with
+      | Some k when k > 0 ->
+          (* Bounded selection: a k-sized min-heap over the live heat
+             totals instead of materialising and sorting the whole
+             table.  Counts are copied only for the k survivors. *)
+          let heap = Sim.Stats.Topk.create (max 1 (min k (Hashtbl.length t.table))) in
+          Hashtbl.iter (fun pfn heat -> Sim.Stats.Topk.add heap ~key:heat.total pfn) t.table;
+          Sim.Stats.Topk.sorted_desc heap
+          |> Array.to_list
+          |> List.map (fun (_, pfn) -> sample_of_heat pfn (Hashtbl.find t.table pfn))
+      | Some _ | None ->
+          Hashtbl.fold (fun pfn heat acc -> sample_of_heat pfn heat :: acc) t.table []
+          |> List.sort (fun a b ->
+                 (* Same total order as the top-k heap — hotter first,
+                    ties toward the smaller pfn — so the two readout
+                    paths agree exactly on the hot prefix. *)
+                 let c = compare (heat_total b.node_accesses) (heat_total a.node_accesses) in
+                 if c <> 0 then c else compare a.pfn b.pfn)
     in
     let link_util = Numa.Counters.last_link_utilisation counters in
     {
@@ -270,7 +287,9 @@ type report = {
 }
 
 let run_epoch ?(interleave_only = false) ?migrate sys ~config ~rng ~counters =
-  let metrics = System_component.read_metrics sys ~counters in
+  let metrics =
+    System_component.read_metrics ~top:config.User_component.max_hot_pages sys ~counters
+  in
   let actions =
     User_component.decide config ~rng ~metrics ~current_node:(System_component.current_node sys)
   in

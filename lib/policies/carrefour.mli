@@ -39,9 +39,20 @@ module System_component : sig
 
   val create : Xen.System.t -> Xen.Domain.t -> t
 
+  val begin_epoch : t -> unit
+  (** Open a sampling epoch: page heat decays by half so stale hotness
+      fades.  Call once per epoch, before the epoch's
+      {!record_sample}s. *)
+
+  val record_sample :
+    t -> pfn:Memory.Page.pfn -> node_accesses:float array -> read_fraction:float -> unit
+  (** Feed one hardware sample into the heat table.  [node_accesses]
+      is copied on first sight of the page and accumulated in place
+      afterwards, so callers may reuse one scratch array across
+      samples. *)
+
   val record_samples : t -> sample list -> unit
-  (** Feed one epoch of hardware samples; page heat decays by half
-      each epoch so stale hotness fades. *)
+  (** [begin_epoch] followed by {!record_sample} for each element. *)
 
   type metrics = {
     controller_util : float array;
@@ -50,9 +61,14 @@ module System_component : sig
     hot_pages : sample list;  (** Hottest first, capped. *)
   }
 
-  val read_metrics : t -> counters:Numa.Counters.t -> metrics
+  val read_metrics : ?top:int -> t -> counters:Numa.Counters.t -> metrics
   (** What the user component's hypercall returns: utilisations from
-      the hardware monitors plus the accumulated hot-page table. *)
+      the hardware monitors plus the accumulated hot-page table.
+      [top] bounds the readout to the [top] hottest pages, selected
+      with a min-heap ({!Sim.Stats.Topk}) instead of a full sort;
+      omitted (or [<= 0]) returns the whole table sorted.  Both paths
+      order by (heat descending, pfn ascending), so [~top:k] returns
+      exactly the first [k] elements of the unbounded readout. *)
 
   val current_node : t -> Memory.Page.pfn -> Numa.Topology.node option
 

@@ -60,6 +60,73 @@ let migrate_page system (domain : Xen.Domain.t) ~pfn ~node =
             Ok new_mfn
       end
 
+(* Grouped migration: move pfns.(0..n-1) — all mapped, all off-node —
+   to [node] as one batched remap.  Target frames are allocated (and
+   the injected transient-ENOMEM fault drawn) page by page in array
+   order, so the fault schedule is identical whatever the grouping;
+   the remap itself then goes through [P2m.migrate_batch], which sorts
+   once, splinters each extent at most once and lets us charge the
+   amortised (src,dst)-pair cost instead of n standalone migrations. *)
+let migrate_group system (domain : Xen.Domain.t) ?on_splinter ~pfns ~scratch_mfns ~n ~node ()
+    =
+  assert (n >= 0 && n <= Array.length pfns && n <= Array.length scratch_mfns);
+  let m = machine system in
+  let faults = system.Xen.System.faults in
+  let ready = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !ready < n do
+    if faults.Xen.System.migrate_alloc_fails () then stopped := true
+    else begin
+      match Memory.Machine.alloc_frame m ~node with
+      | None -> stopped := true
+      | Some mfn ->
+          scratch_mfns.(!ready) <- mfn;
+          incr ready
+    end
+  done;
+  let moved = !ready in
+  if moved > 0 then begin
+    let p2m = domain.Xen.Domain.p2m in
+    let costs = system.Xen.System.costs in
+    let scale = Memory.Machine.page_scale m in
+    let splinter_time = ref 0.0 in
+    let stats =
+      Xen.P2m.migrate_batch p2m
+        ?on_splinter:
+          (match on_splinter with
+          | None -> None
+          | Some f ->
+              Some
+                (fun pfn ->
+                  splinter_time :=
+                    !splinter_time
+                    +. Xen.Costs.splinter_time costs
+                         ~frames_4k:(Xen.P2m.sp_frames p2m * scale);
+                  f pfn))
+        pfns scratch_mfns ~n:moved
+        ~f:(fun _pfn ~old_mfn -> Memory.Machine.free m ~mfn:old_mfn ~order:0)
+    in
+    (* Every page in the group was mapped when it was grouped and
+       nothing invalidates between grouping and remap. *)
+    assert (stats.Xen.P2m.applied = moved);
+    (match on_splinter with
+    | None ->
+        (* No observer: still charge the demotions the remap caused. *)
+        splinter_time :=
+          float_of_int stats.Xen.P2m.splintered
+          *. Xen.Costs.splinter_time costs ~frames_4k:(Xen.P2m.sp_frames p2m * scale)
+    | Some _ -> ());
+    let time =
+      !splinter_time
+      +. Xen.Costs.migrate_batch_time costs ~pages:moved
+           ~page_bytes:(Memory.Machine.frame_bytes m) ~scale
+    in
+    let account = domain.Xen.Domain.account in
+    account.Xen.Domain.migrate_time <- account.Xen.Domain.migrate_time +. time;
+    account.Xen.Domain.migrated_pages <- account.Xen.Domain.migrated_pages + moved
+  end;
+  if !stopped then `Enomem moved else `Done moved
+
 let node_of_pfn system (domain : Xen.Domain.t) pfn =
   match Xen.P2m.get domain.Xen.Domain.p2m pfn with
   | Xen.P2m.Invalid -> None

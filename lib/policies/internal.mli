@@ -37,5 +37,28 @@ val migrate_page :
     splintered first and the per-frame demotion cost
     ({!Xen.Costs.splinter_time}) is charged on top. *)
 
+val migrate_group :
+  Xen.System.t ->
+  Xen.Domain.t ->
+  ?on_splinter:(Memory.Page.pfn -> unit) ->
+  pfns:int array ->
+  scratch_mfns:int array ->
+  n:int ->
+  node:Numa.Topology.node ->
+  unit ->
+  [ `Done of int | `Enomem of int ]
+(** Migrate [pfns.(0..n-1)] — which must all be mapped off-node — onto
+    [node] as one grouped operation: target frames are allocated (and
+    the transient-ENOMEM fault drawn) page by page in array order, the
+    remap then goes through {!Xen.P2m.migrate_batch} (one sort, each
+    superpage extent splintered at most once) and the domain is charged
+    the amortised {!Xen.Costs.migrate_batch_time} for the group plus
+    any splinters.  [on_splinter] fires once per demoted extent.
+    Returns [`Done moved] ([moved = n]) on success, or [`Enomem moved]
+    when an allocation failed: the first [moved] entries of [pfns]
+    (reordered by the sort) were migrated, the tail
+    [pfns.(moved..n-1)] was left untouched for the caller to requeue.
+    [scratch_mfns] is caller-provided scratch of at least [n]. *)
+
 val node_of_pfn : Xen.System.t -> Xen.Domain.t -> Memory.Page.pfn -> Numa.Topology.node option
 (** Node currently backing the page, [None] for an invalid entry. *)

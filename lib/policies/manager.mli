@@ -92,6 +92,13 @@ val release_free_pages : t -> Memory.Page.pfn list -> float
     its whole free list; equivalent to one big [page_ops_hypercall]
     with Release entries (split into capacity-sized batches). *)
 
+val release_free_range : t -> first:Memory.Page.pfn -> count:int -> float
+(** [release_free_pages] over the consecutive range
+    [\[first, first + count)], without materialising the list: each
+    capacity-sized chunk is one Page_ops hypercall whose Release
+    entries go straight into the batched P2M invalidate.  Chunk-level
+    semantics (loss faults, costs, stats) match the list path. *)
+
 val carrefour : t -> Carrefour.System_component.t option
 (** The Carrefour system component, present while the spec has
     Carrefour enabled. *)
@@ -103,6 +110,19 @@ val carrefour_epoch :
     through the resilient path; the breaker window is evaluated after
     each period and may trip (suspending the policy for a cooldown) or
     escalate the degradation level. *)
+
+val carrefour_epoch_feed :
+  t ->
+  counters:Numa.Counters.t ->
+  feed:(Carrefour.System_component.t -> unit) ->
+  Carrefour.report option
+(** Allocation-light variant of {!carrefour_epoch}: instead of a
+    materialised sample list, [feed] is called once (after
+    {!Carrefour.System_component.begin_epoch}, before the user
+    component runs) to push samples straight into the heat table with
+    {!Carrefour.System_component.record_sample} — typically from
+    reusable scratch arrays.  [feed] is not called when Carrefour is
+    off or the breaker is open. *)
 
 val migrate_resilient : t -> pfn:Memory.Page.pfn -> node:Numa.Topology.node -> bool
 (** Migration with graceful degradation: on transient ENOMEM, retry up

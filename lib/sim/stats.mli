@@ -62,6 +62,45 @@ module Histogram : sig
   val clear : t -> unit
 end
 
+(** Bounded top-k selection over (key, id) pairs: a flat-array binary
+    min-heap of the k best candidates, whose root is the worst kept
+    element.  Ranking is the total order "bigger key first, ties toward
+    the smaller id", so the selected set and its order never depend on
+    insertion order.  Zero allocation after [create] except in
+    [sorted_desc]. *)
+module Topk : sig
+  type t
+
+  val create : int -> t
+  (** [create k] keeps the best [k] candidates.
+      @raise Invalid_argument when [k <= 0]. *)
+
+  val capacity : t -> int
+  val size : t -> int
+
+  val clear : t -> unit
+  (** Forget every candidate (arrays are reused). *)
+
+  val add : t -> key:float -> int -> unit
+  (** Offer a candidate.  O(1) when it ranks below the current root,
+      O(log k) otherwise. *)
+
+  val decay : t -> float -> unit
+  (** Multiply every kept key by a positive factor (ranking, and hence
+      the heap shape, is preserved).
+      @raise Invalid_argument when the factor is not positive. *)
+
+  val min_key : t -> float
+  (** Key of the worst kept element; [neg_infinity] when empty. *)
+
+  val sorted_desc : t -> (float * int) array
+  (** Kept candidates, best first (key descending, id ascending on
+      ties).  Allocates the result array. *)
+
+  val heap_invariant : t -> bool
+  (** Whether the internal heap shape is valid (property tests). *)
+end
+
 (** Online accumulator (Welford) for mean/variance without storing
     samples. *)
 module Online : sig

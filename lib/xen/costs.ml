@@ -62,6 +62,38 @@ let promote_time t ~frames_4k ~copy_bytes =
     float_of_int frames_4k *. t.page_migrate_fixed
     +. float_of_int copy_bytes *. t.copy_byte
 
+(* Amortised batch costs: one fixed term per batch plus a marginal term
+   per element, each marginal strictly no larger than the standalone
+   per-element cost, so a batch of n never charges more than n unbatched
+   operations (the property test pins this). *)
+let page_ops_batch_time t ~ops =
+  assert (ops >= 0);
+  t.hypercall_entry +. (float_of_int ops *. t.page_op_send)
+
+let invalidate_batch_time t ~frames =
+  assert (frames >= 0);
+  float_of_int frames *. t.page_invalidate
+
+let map_batch_time t ~frames =
+  assert (frames >= 0);
+  float_of_int frames *. t.page_map
+
+(* Migrating [pages] scaled pages between one (src, dst) node pair in a
+   single grouped operation: the write-protect/remap machinery is set up
+   once per batch (the fixed share of [page_migrate_fixed], i.e. all of
+   it except the per-frame remap [page_map]), then each page pays the
+   remap plus its copy.  At [pages = 1] this telescopes to exactly the
+   unbatched [migrate_page] cost; for [pages >= 2] it is strictly
+   cheaper than the per-page sum. *)
+let migrate_batch_time t ~pages ~page_bytes ~scale =
+  assert (pages > 0 && page_bytes >= 0 && scale > 0);
+  let scale_f = float_of_int scale in
+  let fixed = scale_f *. (t.page_migrate_fixed -. t.page_map) in
+  let marginal =
+    (scale_f *. t.page_map) +. (float_of_int page_bytes *. t.copy_byte)
+  in
+  fixed +. (float_of_int pages *. marginal)
+
 let disk_request t ~path ~bytes =
   assert (bytes > 0);
   let transfer = float_of_int bytes /. t.disk_bandwidth in

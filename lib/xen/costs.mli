@@ -65,5 +65,26 @@ val promote_time : t -> frames_4k:int -> copy_bytes:int -> float
     extent is migrated onto a fresh contiguous block, paying the
     per-frame migration fixed cost plus the copy. *)
 
+val page_ops_batch_time : t -> ops:int -> float
+(** Cost of delivering one batched page-ops hypercall of [ops] queue
+    entries: one world switch plus {!field-page_op_send} per entry. *)
+
+val invalidate_batch_time : t -> frames:int -> float
+(** Marginal cost of invalidating [frames] P2M entries inside an
+    already-entered batched hypercall. *)
+
+val map_batch_time : t -> frames:int -> float
+(** Marginal cost of installing [frames] P2M entries inside an
+    already-entered batched hypercall. *)
+
+val migrate_batch_time : t -> pages:int -> page_bytes:int -> scale:int -> float
+(** Time to migrate [pages] scaled pages (of [page_bytes] each, every
+    scaled page standing for [scale] real 4 KiB frames) between one
+    (src, dst) node pair as a single grouped operation: the
+    write-protect machinery is charged once per batch, each page then
+    pays the per-frame remap plus its copy.  Equals the unbatched
+    per-page cost at [pages = 1] and is strictly below the per-page sum
+    for larger batches. *)
+
 val disk_request : t -> path:[ `Native | `Pv | `Passthrough ] -> bytes:int -> float
 (** End-to-end time of one disk read of [bytes] over the given path. *)

@@ -160,6 +160,143 @@ let promote t ~pfn =
     !ok
   end
 
+(* Batched mutation API: one sort per batch groups the ops by extent,
+   so a 2 MiB entry is splintered at most once per batch (the sp bit is
+   cleared by the first frame that lands in it) and the mfns/writable
+   tables are walked with locality.  The sort is in place over the
+   caller's scratch arrays — the batch paths allocate nothing. *)
+
+type batch_stats = { applied : int; splintered : int }
+
+(* In-place ascending quicksort of a.(lo..hi), optionally swapping a
+   tandem array in step (map/migrate batches carry pfn->mfn pairs).
+   Median-of-three pivoting; insertion sort below 16 elements.  The
+   sort is deterministic, so batch processing order is too. *)
+let sort_prefix ?tandem a n =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t;
+    match tandem with
+    | None -> ()
+    | Some b ->
+        let t = b.(i) in
+        b.(i) <- b.(j);
+        b.(j) <- t
+  in
+  let insertion lo hi =
+    for i = lo + 1 to hi do
+      let j = ref i in
+      while !j > lo && a.(!j - 1) > a.(!j) do
+        swap (!j - 1) !j;
+        decr j
+      done
+    done
+  in
+  let rec qsort lo hi =
+    if hi - lo < 16 then insertion lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      (* Median-of-three into a.(mid). *)
+      if a.(mid) < a.(lo) then swap mid lo;
+      if a.(hi) < a.(lo) then swap hi lo;
+      if a.(hi) < a.(mid) then swap hi mid;
+      let pivot = a.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while a.(!i) < pivot do
+          incr i
+        done;
+        while a.(!j) > pivot do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      qsort lo !j;
+      qsort !i hi
+    end
+  in
+  if n > 1 then qsort 0 (n - 1)
+
+let check_batch t name n len =
+  if n < 0 || n > len then invalid_arg (name ^ ": n out of range");
+  ignore t
+
+let invalidate_batch t ?on_splinter ?on_free pfns ~n =
+  check_batch t "P2m.invalidate_batch" n (Array.length pfns);
+  sort_prefix pfns n;
+  let applied = ref 0 in
+  let splintered = ref 0 in
+  for i = 0 to n - 1 do
+    let pfn = pfns.(i) in
+    check t pfn;
+    let mfn = t.mfns.(pfn) in
+    if mfn >= 0 then begin
+      if t.sp_frames > 1 && Bytes.get t.sp (extent_of t pfn) <> '\000' then begin
+        (match on_splinter with Some f -> f pfn | None -> ());
+        ignore (splinter t pfn);
+        incr splintered
+      end;
+      t.mfns.(pfn) <- -1;
+      Bytes.set t.writable pfn '\000';
+      t.mapped <- t.mapped - 1;
+      incr applied;
+      match on_free with Some f -> f pfn mfn | None -> ()
+    end
+  done;
+  { applied = !applied; splintered = !splintered }
+
+let map_batch t ?on_splinter pfns mfns ~n ~writable =
+  check_batch t "P2m.map_batch" n (min (Array.length pfns) (Array.length mfns));
+  sort_prefix ~tandem:mfns pfns n;
+  let splintered = ref 0 in
+  let w = if writable then '\001' else '\000' in
+  for i = 0 to n - 1 do
+    let pfn = pfns.(i) in
+    check t pfn;
+    let mfn = mfns.(i) in
+    if mfn < 0 then invalid_arg "P2m.map_batch: negative mfn";
+    if t.sp_frames > 1 && Bytes.get t.sp (extent_of t pfn) <> '\000' then begin
+      (match on_splinter with Some f -> f pfn | None -> ());
+      ignore (splinter t pfn);
+      incr splintered
+    end;
+    if t.mfns.(pfn) < 0 then t.mapped <- t.mapped + 1;
+    t.mfns.(pfn) <- mfn;
+    Bytes.set t.writable pfn w
+  done;
+  { applied = n; splintered = !splintered }
+
+let migrate_batch t ?on_splinter pfns mfns ~n ~f =
+  check_batch t "P2m.migrate_batch" n (min (Array.length pfns) (Array.length mfns));
+  sort_prefix ~tandem:mfns pfns n;
+  let applied = ref 0 in
+  let splintered = ref 0 in
+  for i = 0 to n - 1 do
+    let pfn = pfns.(i) in
+    check t pfn;
+    let old_mfn = t.mfns.(pfn) in
+    if old_mfn >= 0 then begin
+      let new_mfn = mfns.(i) in
+      if new_mfn < 0 then invalid_arg "P2m.migrate_batch: negative mfn";
+      if t.sp_frames > 1 && Bytes.get t.sp (extent_of t pfn) <> '\000' then begin
+        (match on_splinter with Some f -> f pfn | None -> ());
+        ignore (splinter t pfn);
+        incr splintered
+      end;
+      (* Remap in place: the write-protect window and per-frame costs
+         are the caller's accounting, exactly as for [set]. *)
+      t.mfns.(pfn) <- new_mfn;
+      incr applied;
+      f pfn ~old_mfn
+    end
+  done;
+  { applied = !applied; splintered = !splintered }
+
 let mapped_count t = t.mapped
 let superpage_count t = t.superpages
 let superpage_frames t = t.superpages * t.sp_frames

@@ -86,6 +86,65 @@ val promote : t -> pfn:Memory.Page.pfn -> bool
     otherwise.
     @raise Invalid_argument if [pfn] is not extent-aligned. *)
 
+(** {2 Batched mutation}
+
+    The batch entry points sort the op arrays in place (ascending pfn,
+    tandem mfn), which groups ops by superpage extent: an extent is
+    splintered at most once per batch however many of its frames the
+    batch touches, and the tables are walked with locality.  They
+    allocate nothing — the caller's arrays double as scratch.
+    Amortised costs are charged by the policy layer using
+    {!Costs.page_ops_batch_time} and friends. *)
+
+type batch_stats = {
+  applied : int;  (** Entries actually mutated (mapped pfns). *)
+  splintered : int;  (** Superpage extents demoted by this batch. *)
+}
+
+val invalidate_batch :
+  t ->
+  ?on_splinter:(Memory.Page.pfn -> unit) ->
+  ?on_free:(Memory.Page.pfn -> Memory.Page.mfn -> unit) ->
+  int array ->
+  n:int ->
+  batch_stats
+(** Invalidate the first [n] pfns of the (reordered) array.  Already
+    invalid pfns are skipped.  [on_splinter pfn] fires before each
+    extent demotion (once per extent); [on_free pfn mfn] fires for each
+    entry cleared, with the machine frame it held.  State is exactly
+    that of per-page {!invalidate} over the same pfn set.
+    @raise Invalid_argument on an out-of-range pfn or [n]. *)
+
+val map_batch :
+  t ->
+  ?on_splinter:(Memory.Page.pfn -> unit) ->
+  int array ->
+  int array ->
+  n:int ->
+  writable:bool ->
+  batch_stats
+(** [map_batch t pfns mfns ~n ~writable] installs [pfns.(i) ->
+    mfns.(i)] for the first [n] pairs (arrays are co-sorted by pfn).
+    State is exactly that of per-page {!set} over the same pairs.
+    @raise Invalid_argument on an out-of-range pfn, a negative mfn, or
+    a bad [n]. *)
+
+val migrate_batch :
+  t ->
+  ?on_splinter:(Memory.Page.pfn -> unit) ->
+  int array ->
+  int array ->
+  n:int ->
+  f:(Memory.Page.pfn -> old_mfn:Memory.Page.mfn -> unit) ->
+  batch_stats
+(** Remap the first [n] pfns onto their tandem mfns, preserving each
+    entry's writable bit; unmapped pfns are skipped (their tandem mfn
+    is left for the caller to release).  [f pfn ~old_mfn] fires per
+    applied remap so the caller can free the displaced frame and charge
+    the copy.
+    @raise Invalid_argument on an out-of-range pfn, a negative mfn, or
+    a bad [n]. *)
+
 val mapped_count : t -> int
 
 val superpage_count : t -> int

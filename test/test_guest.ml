@@ -133,6 +133,31 @@ let test_queue_flush_all () =
   Alcotest.(check int) "all delivered" 10 !total;
   Alcotest.(check int) "empty" 0 (Guest.Pv_queue.pending q)
 
+let test_queue_flush_time_dedup () =
+  (* With ~frames the queue dedups at flush time: the hypervisor sees
+     at most one op per page, survivors in arrival order, and the
+     superseded count lands in dedup_hits. *)
+  let flushed = ref [] in
+  let q =
+    Guest.Pv_queue.create ~partitions:1 ~capacity:4 ~frames:16
+      ~flush:(fun ops -> flushed := Array.to_list ops :: !flushed; 0.0)
+      ()
+  in
+  Guest.Pv_queue.record q (Guest.Pv_queue.Alloc 0);
+  Guest.Pv_queue.record q (Guest.Pv_queue.Alloc 4);
+  Guest.Pv_queue.record q (Guest.Pv_queue.Release 0);
+  Guest.Pv_queue.record q (Guest.Pv_queue.Release 8);
+  (match !flushed with
+  | [ batch ] ->
+      Alcotest.(check bool) "winners only, oldest first" true
+        (batch
+        = [ Guest.Pv_queue.Alloc 4; Guest.Pv_queue.Release 0; Guest.Pv_queue.Release 8 ])
+  | batches -> Alcotest.failf "expected one flush, got %d" (List.length batches));
+  let stats = Guest.Pv_queue.stats q in
+  Alcotest.(check int) "one superseded op" 1 stats.Guest.Pv_queue.dedup_hits;
+  Alcotest.(check int) "all four recorded" 4 stats.Guest.Pv_queue.enqueued;
+  Alcotest.(check int) "three sent" 3 stats.Guest.Pv_queue.ops_sent
+
 let test_queue_replay_most_recent_wins () =
   (* Release 7 then Alloc 7: the page was reallocated while queued,
      so it must be left in place (Section 4.2.4). *)
@@ -304,6 +329,7 @@ let suite =
         Alcotest.test_case "flush on capacity" `Quick test_queue_flush_on_capacity;
         Alcotest.test_case "partition isolation" `Quick test_queue_partition_isolation;
         Alcotest.test_case "flush_all" `Quick test_queue_flush_all;
+        Alcotest.test_case "flush-time dedup" `Quick test_queue_flush_time_dedup;
         Alcotest.test_case "most recent op wins" `Quick test_queue_replay_most_recent_wins;
         qcheck prop_queue_replay_visits_each_page_once;
         qcheck prop_queue_replay_matches_final_state;

@@ -318,6 +318,52 @@ let test_carrefour_system_decay () =
   done;
   Alcotest.(check int) "forgotten" 0 (Policies.Carrefour.System_component.tracked_pages sys)
 
+(* Satellite differential: the bounded top-k readout is exactly the
+   prefix of the full-sort readout — ties included — so switching the
+   hot-page selection to the heap changes no migration decision. *)
+let test_carrefour_topk_matches_sort () =
+  let s = small_system () in
+  let d, _m = attach s in
+  let sys_a = Policies.Carrefour.System_component.create s d in
+  let sys_b = Policies.Carrefour.System_component.create s d in
+  (* 40 pages over 5 distinct heat levels: plenty of ties for the
+     pfn-ascending tie-break to matter. *)
+  let samples =
+    List.init 40 (fun i -> hot_page i ~node:(i mod 8) ~count:(float_of_int (30 + (10 * (i mod 5)))))
+  in
+  Policies.Carrefour.System_component.record_samples sys_a samples;
+  Policies.Carrefour.System_component.record_samples sys_b samples;
+  let counters = Numa.Counters.create s.Xen.System.topo in
+  Numa.Counters.end_epoch counters ~duration:1.0;
+  let full = Policies.Carrefour.System_component.read_metrics sys_a ~counters in
+  let k = 12 in
+  let top = Policies.Carrefour.System_component.read_metrics ~top:k sys_b ~counters in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let pfns l = List.map (fun (x : Policies.Carrefour.sample) -> x.Policies.Carrefour.pfn) l in
+  let full_hot = full.Policies.Carrefour.System_component.hot_pages in
+  let top_hot = top.Policies.Carrefour.System_component.hot_pages in
+  Alcotest.(check (list int)) "top-k = prefix of the full sort"
+    (pfns (take k full_hot)) (pfns top_hot);
+  (* And the user component decides identically on both readouts. *)
+  let controller_util = [| 0.9; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05; 0.05 |] in
+  let m_full = metrics ~controller_util ~max_link_util:0.9 ~hot:full_hot in
+  let m_top = metrics ~controller_util ~max_link_util:0.9 ~hot:top_hot in
+  let tight = { config with Policies.Carrefour.User_component.max_hot_pages = k } in
+  let a_full =
+    Policies.Carrefour.User_component.decide tight ~rng:(Sim.Rng.create ~seed:42)
+      ~metrics:m_full ~current_node:(fun _ -> Some 0)
+  in
+  let a_top =
+    Policies.Carrefour.User_component.decide tight ~rng:(Sim.Rng.create ~seed:42)
+      ~metrics:m_top ~current_node:(fun _ -> Some 0)
+  in
+  Alcotest.(check bool) "same migration set" true (a_full = a_top);
+  Alcotest.(check bool) "decisions non-trivial" true (a_full <> [])
+
 let test_carrefour_end_to_end_migration () =
   let s = small_system () in
   let d, m = attach s in
@@ -582,6 +628,7 @@ let suite =
         Alcotest.test_case "budget" `Quick test_carrefour_respects_budget;
         Alcotest.test_case "min accesses" `Quick test_carrefour_min_accesses_filter;
         Alcotest.test_case "heat decay" `Quick test_carrefour_system_decay;
+        Alcotest.test_case "top-k readout = full sort" `Quick test_carrefour_topk_matches_sort;
         Alcotest.test_case "end-to-end migration" `Quick test_carrefour_end_to_end_migration;
         Alcotest.test_case "replication mechanics" `Quick test_carrefour_replication_mechanics;
         Alcotest.test_case "write collapses replicas" `Quick test_carrefour_write_collapses_replica;

@@ -262,6 +262,103 @@ let test_units_pp () =
   Alcotest.(check string) "bytes" "16.0 GiB" (Format.asprintf "%a" Sim.Units.pp_bytes (Sim.Units.gib 16));
   Alcotest.(check string) "us" "307.0 us" (Format.asprintf "%a" Sim.Units.pp_seconds 307e-6)
 
+(* ------------------------------ topk ------------------------------- *)
+
+let test_topk_selects_best () =
+  let h = Sim.Stats.Topk.create 3 in
+  List.iter (fun (k, id) -> Sim.Stats.Topk.add h ~key:k id)
+    [ (5.0, 10); (1.0, 11); (9.0, 12); (3.0, 13); (7.0, 14) ];
+  Alcotest.(check int) "size capped" 3 (Sim.Stats.Topk.size h);
+  Alcotest.(check bool) "heap shape" true (Sim.Stats.Topk.heap_invariant h);
+  Alcotest.(check (array (pair (float 0.0) int))) "best three, descending"
+    [| (9.0, 12); (7.0, 14); (5.0, 10) |]
+    (Sim.Stats.Topk.sorted_desc h);
+  Alcotest.(check (float 0.0)) "root is the worst kept" 5.0 (Sim.Stats.Topk.min_key h)
+
+let test_topk_ties_toward_smaller_id () =
+  let h = Sim.Stats.Topk.create 2 in
+  List.iter (fun id -> Sim.Stats.Topk.add h ~key:4.0 id) [ 30; 10; 20 ];
+  Alcotest.(check (array (pair (float 0.0) int))) "smaller ids win equal keys"
+    [| (4.0, 10); (4.0, 20) |]
+    (Sim.Stats.Topk.sorted_desc h)
+
+let test_topk_empty_and_clear () =
+  let h = Sim.Stats.Topk.create 4 in
+  Alcotest.(check int) "empty" 0 (Sim.Stats.Topk.size h);
+  Alcotest.(check bool) "empty min_key" true (Sim.Stats.Topk.min_key h = neg_infinity);
+  Alcotest.(check int) "no results" 0 (Array.length (Sim.Stats.Topk.sorted_desc h));
+  Sim.Stats.Topk.add h ~key:1.0 0;
+  Sim.Stats.Topk.clear h;
+  Alcotest.(check int) "cleared" 0 (Sim.Stats.Topk.size h);
+  Alcotest.check_raises "k = 0 rejected" (Invalid_argument "Topk.create: k must be positive")
+    (fun () -> ignore (Sim.Stats.Topk.create 0))
+
+let test_topk_decay () =
+  let h = Sim.Stats.Topk.create 2 in
+  Sim.Stats.Topk.add h ~key:8.0 1;
+  Sim.Stats.Topk.add h ~key:2.0 2;
+  Sim.Stats.Topk.decay h 0.5;
+  Alcotest.(check (array (pair (float 0.0) int))) "keys halved, order kept"
+    [| (4.0, 1); (1.0, 2) |]
+    (Sim.Stats.Topk.sorted_desc h);
+  Alcotest.check_raises "non-positive factor rejected"
+    (Invalid_argument "Topk.decay: factor must be positive") (fun () ->
+      Sim.Stats.Topk.decay h 0.0)
+
+(* Reference model for the differential property: the same "bigger
+   key first, ties toward smaller id" order over a plain list. *)
+let topk_model_ranks_below (ka, ia) (kb, ib) = ka < kb || (ka = kb && ia > ib)
+
+let topk_model_add k model x =
+  if List.length model < k then x :: model
+  else begin
+    let worst =
+      List.fold_left
+        (fun acc y -> if topk_model_ranks_below y acc then y else acc)
+        (List.hd model) (List.tl model)
+    in
+    if topk_model_ranks_below worst x then
+      x :: (let dropped = ref false in
+            List.filter
+              (fun y -> if (not !dropped) && y = worst then (dropped := true; false) else true)
+              model)
+    else model
+  end
+
+let prop_topk_matches_model =
+  QCheck.Test.make ~name:"topk: differential vs list model under insert/decay" ~count:300
+    QCheck.(
+      pair (int_range 1 8)
+        (small_list (pair bool (pair (int_range 0 40) (int_range 0 15)))))
+    (fun (k, trace) ->
+      let h = Sim.Stats.Topk.create k in
+      let model = ref [] in
+      List.iter
+        (fun (is_add, (key_i, id)) ->
+          if is_add then begin
+            let key = float_of_int key_i /. 4.0 in
+            Sim.Stats.Topk.add h ~key id;
+            model := topk_model_add k !model (key, id)
+          end
+          else begin
+            (* Deterministic factor derived from the trace element. *)
+            let factor = 0.25 +. (float_of_int id /. 16.0) in
+            Sim.Stats.Topk.decay h factor;
+            model := List.map (fun (ky, i) -> (ky *. factor, i)) !model
+          end;
+          if not (Sim.Stats.Topk.heap_invariant h) then
+            QCheck.Test.fail_report "heap invariant broken mid-trace")
+        trace;
+      let expected =
+        List.sort
+          (fun (ka, ia) (kb, ib) ->
+            let c = compare kb ka in
+            if c <> 0 then c else compare ia ib)
+          !model
+        |> Array.of_list
+      in
+      Sim.Stats.Topk.sorted_desc h = expected)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -293,6 +390,14 @@ let suite =
         Alcotest.test_case "online matches batch" `Quick test_stats_online_matches_batch;
         qcheck prop_stats_relative_stddev_scale_invariant;
         qcheck prop_stats_percentile_monotone;
+      ] );
+    ( "stats.topk",
+      [
+        Alcotest.test_case "selects the best k" `Quick test_topk_selects_best;
+        Alcotest.test_case "ties toward smaller id" `Quick test_topk_ties_toward_smaller_id;
+        Alcotest.test_case "empty and clear" `Quick test_topk_empty_and_clear;
+        Alcotest.test_case "decay preserves order" `Quick test_topk_decay;
+        qcheck prop_topk_matches_model;
       ] );
     ( "sim.eventq",
       [

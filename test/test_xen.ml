@@ -234,6 +234,164 @@ let prop_p2m_superpage_interleavings =
       (* Cumulative counters never go backwards and frames conserve. *)
       Xen.P2m.superpage_frames p <= Xen.P2m.mapped_count p)
 
+(* ----------------------------- p2m batches ------------------------- *)
+
+(* Twin tables grown through identical random superpage / per-frame
+   maps, so a batched mutation on one can be checked against the
+   per-page loop on the other. *)
+let build_twin_p2m ~frames ~sp ~seed =
+  let a = Xen.P2m.create ~sp_frames:sp ~frames () in
+  let b = Xen.P2m.create ~sp_frames:sp ~frames () in
+  let rng = Sim.Rng.create ~seed in
+  for e = 0 to (frames / sp) - 1 do
+    let base = e * sp in
+    match Sim.Rng.int rng 3 with
+    | 0 ->
+        let mfn = sp * Sim.Rng.int rng 512 in
+        let w = Sim.Rng.bool rng in
+        Xen.P2m.map_superpage a ~pfn:base ~mfn ~writable:w;
+        Xen.P2m.map_superpage b ~pfn:base ~mfn ~writable:w
+    | 1 ->
+        for i = 0 to sp - 1 do
+          if Sim.Rng.bool rng then begin
+            let mfn = Sim.Rng.int rng 4096 and w = Sim.Rng.bool rng in
+            Xen.P2m.set a (base + i) ~mfn ~writable:w;
+            Xen.P2m.set b (base + i) ~mfn ~writable:w
+          end
+        done
+    | _ -> ()
+  done;
+  (a, b)
+
+let p2m_dump p =
+  Array.init (Xen.P2m.frames p) (fun pfn ->
+      (Xen.P2m.get p pfn, Xen.P2m.is_superpage p pfn))
+
+(* Satellite property: a batched mutation leaves the table in exactly
+   the state of the per-page loop over the same ops, whatever the op
+   order, duplicates included. *)
+let prop_p2m_invalidate_batch_equals_per_page =
+  let frames = 64 and sp = 8 in
+  QCheck.Test.make ~name:"p2m invalidate_batch = per-page invalidate" ~count:300
+    QCheck.(pair int (small_list (int_range 0 63)))
+    (fun (seed, pfns_l) ->
+      let a, b = build_twin_p2m ~frames ~sp ~seed in
+      let pfns = Array.of_list pfns_l in
+      let freed_a = ref [] in
+      let stats =
+        Xen.P2m.invalidate_batch a
+          ~on_free:(fun pfn mfn -> freed_a := (pfn, mfn) :: !freed_a)
+          pfns ~n:(Array.length pfns)
+      in
+      let freed_b = ref [] in
+      List.iter
+        (fun pfn ->
+          match Xen.P2m.invalidate b pfn with
+          | Some mfn -> freed_b := (pfn, mfn) :: !freed_b
+          | None -> ())
+        pfns_l;
+      if p2m_dump a <> p2m_dump b then QCheck.Test.fail_report "tables diverged";
+      if not (Xen.P2m.check_consistent a) then QCheck.Test.fail_report "inconsistent";
+      stats.Xen.P2m.applied = List.length !freed_b
+      && List.sort compare !freed_a = List.sort compare !freed_b)
+
+let prop_p2m_migrate_batch_equals_per_page =
+  let frames = 64 and sp = 8 in
+  QCheck.Test.make ~name:"p2m migrate_batch = per-page remap" ~count:300
+    QCheck.(pair int (small_list (pair (int_range 0 63) (int_range 0 4095))))
+    (fun (seed, moves) ->
+      (* Per-page reference for a remap: read the writable bit, set the
+         new mfn.  Duplicated pfns legitimately remap twice; the batch
+         (sorted) and the loop (list order) end on the same final mfn
+         only when each pfn appears once, so dedup the spec. *)
+      let seen = Hashtbl.create 16 in
+      let moves =
+        List.filter
+          (fun (pfn, _) ->
+            if Hashtbl.mem seen pfn then false else (Hashtbl.add seen pfn (); true))
+          moves
+      in
+      let a, b = build_twin_p2m ~frames ~sp ~seed in
+      let pfns = Array.of_list (List.map fst moves) in
+      let mfns = Array.of_list (List.map snd moves) in
+      let displaced_a = ref [] in
+      let stats =
+        Xen.P2m.migrate_batch a pfns mfns ~n:(Array.length pfns)
+          ~f:(fun pfn ~old_mfn -> displaced_a := (pfn, old_mfn) :: !displaced_a)
+      in
+      let displaced_b = ref [] in
+      List.iter
+        (fun (pfn, mfn) ->
+          match Xen.P2m.get b pfn with
+          | Xen.P2m.Invalid -> ()
+          | Xen.P2m.Mapped { mfn = old_mfn; writable } ->
+              Xen.P2m.set b pfn ~mfn ~writable;
+              displaced_b := (pfn, old_mfn) :: !displaced_b)
+        moves;
+      if p2m_dump a <> p2m_dump b then QCheck.Test.fail_report "tables diverged";
+      stats.Xen.P2m.applied = List.length !displaced_b
+      && List.sort compare !displaced_a = List.sort compare !displaced_b
+      && Xen.P2m.check_consistent a)
+
+(* Batched replay: the stamp-array dedup visits the same pages with
+   the same verdicts as the hashtable fallback, and feeding the
+   Invalidate winners through invalidate_batch leaves the P2M exactly
+   as per-page invalidation of the same winners. *)
+let prop_p2m_batched_replay_equals_per_page =
+  let frames = 64 and sp = 8 in
+  QCheck.Test.make ~name:"batched pv replay = per-page replay on the p2m" ~count:300
+    QCheck.(pair int (small_list (pair bool (int_range 0 63))))
+    (fun (seed, spec) ->
+      let ops =
+        Array.of_list
+          (List.map
+             (fun (alloc, pfn) ->
+               if alloc then Guest.Pv_queue.Alloc pfn else Guest.Pv_queue.Release pfn)
+             spec)
+      in
+      let a, b = build_twin_p2m ~frames ~sp ~seed in
+      let dedup = Guest.Pv_queue.dedup ~frames in
+      let winners = ref [] and fallback = ref [] in
+      Guest.Pv_queue.replay ~dedup ops ~f:(fun pfn verdict ->
+          winners := (pfn, verdict = `Invalidate) :: !winners);
+      Guest.Pv_queue.replay ops ~f:(fun pfn verdict ->
+          fallback := (pfn, verdict = `Invalidate) :: !fallback);
+      if List.sort compare !winners <> List.sort compare !fallback then
+        QCheck.Test.fail_report "dedup and hashtable replays disagree";
+      let inv = List.filter_map (fun (pfn, i) -> if i then Some pfn else None) !winners in
+      let batch = Array.of_list inv in
+      ignore (Xen.P2m.invalidate_batch a batch ~n:(Array.length batch));
+      List.iter (fun pfn -> ignore (Xen.P2m.invalidate b pfn)) inv;
+      p2m_dump a = p2m_dump b && Xen.P2m.check_consistent a)
+
+(* The amortisation guarantee: a batch of n never charges more than n
+   unbatched operations, and a 1-element migrate batch charges exactly
+   the unbatched cost. *)
+let prop_batch_costs_bounded =
+  QCheck.Test.make ~name:"batch costs never exceed per-page sums" ~count:300
+    QCheck.(pair (int_range 1 4096) (int_range 1 64))
+    (fun (n, scale) ->
+      let c = Xen.Costs.default in
+      let nf = float_of_int n in
+      let ops_batch = Xen.Costs.page_ops_batch_time c ~ops:n in
+      let ops_sum = nf *. (c.Xen.Costs.hypercall_entry +. c.Xen.Costs.page_op_send) in
+      let inv_batch = Xen.Costs.invalidate_batch_time c ~frames:n in
+      let inv_sum = nf *. c.Xen.Costs.page_invalidate in
+      let map_batch = Xen.Costs.map_batch_time c ~frames:n in
+      let map_sum = nf *. c.Xen.Costs.page_map in
+      let page_bytes = 4096 * scale in
+      let mig_single =
+        (float_of_int scale *. c.Xen.Costs.page_migrate_fixed)
+        +. (float_of_int page_bytes *. c.Xen.Costs.copy_byte)
+      in
+      let mig_batch = Xen.Costs.migrate_batch_time c ~pages:n ~page_bytes ~scale in
+      let mig_sum = nf *. mig_single in
+      ops_batch <= ops_sum
+      && inv_batch <= inv_sum
+      && map_batch <= map_sum
+      && mig_batch <= mig_sum +. (1e-9 *. mig_sum)
+      && (n > 1 || abs_float (mig_batch -. mig_single) <= 1e-9 *. mig_single))
+
 (* ------------------------------- system ---------------------------- *)
 
 let make_system ?(page_scale = 262144) () =
@@ -526,6 +684,13 @@ let suite =
         Alcotest.test_case "map_superpage errors" `Quick test_p2m_superpage_map_errors;
         QCheck_alcotest.to_alcotest prop_p2m_set_get_roundtrip;
         QCheck_alcotest.to_alcotest prop_p2m_superpage_interleavings;
+      ] );
+    ( "xen.p2m.batch",
+      [
+        QCheck_alcotest.to_alcotest prop_p2m_invalidate_batch_equals_per_page;
+        QCheck_alcotest.to_alcotest prop_p2m_migrate_batch_equals_per_page;
+        QCheck_alcotest.to_alcotest prop_p2m_batched_replay_equals_per_page;
+        QCheck_alcotest.to_alcotest prop_batch_costs_bounded;
       ] );
     ( "xen.system",
       [

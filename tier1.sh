@@ -17,6 +17,30 @@ dune exec bench/main.exe -- chaos --jobs 2
 # pins it).
 dune exec bench/main.exe -- hugepage --jobs 2
 
+# Perf gate: re-run the tab1 grid and compare wall-clock against the
+# most recently committed BENCH_*.json (at its recorded --jobs
+# setting, so deltas measure the code and not domain-count overhead).
+# Any section more than 25% slower than the reference fails the build.
+PERF_REF=""
+PERF_REF_TIME=0
+for f in BENCH_*.json; do
+  [ -f "$f" ] || continue
+  t=$(git log -1 --format=%ct -- "$f" 2>/dev/null)
+  [ -n "$t" ] || continue
+  if [ "$t" -gt "$PERF_REF_TIME" ]; then
+    PERF_REF_TIME=$t
+    PERF_REF=$f
+  fi
+done
+if [ -n "$PERF_REF" ]; then
+  PERF_JOBS=$(sed -n 's/^ *"jobs": \([0-9][0-9]*\),$/\1/p' "$PERF_REF")
+  PERF_JOBS="${PERF_JOBS:-1}"
+  echo "tier1: perf gate vs $PERF_REF (--jobs $PERF_JOBS)"
+  dune exec bench/main.exe -- tab1 --jobs "$PERF_JOBS" --compare "$PERF_REF"
+else
+  echo "tier1: perf gate skipped (no committed BENCH_*.json)"
+fi
+
 # Usage errors must be reported as such: unknown sections and a
 # malformed --jobs both exit non-zero.
 if dune exec bench/main.exe -- no-such-section >/dev/null 2>&1; then
@@ -69,10 +93,13 @@ export QCHECK_SEED
 echo "tier1: randomised chaos pass (QCHECK_SEED=$QCHECK_SEED)"
 dune exec test/test_main.exe -- test faults
 
-# Same randomised seed over the two new property suites: the buddy
-# partition invariant and the P2M superpage consistency invariant.
+# Same randomised seed over the property suites: the buddy partition
+# invariant, the P2M superpage consistency invariant, the top-k heap
+# invariant, and the batched-vs-per-page P2M equivalence.
 echo "tier1: randomised property pass (QCHECK_SEED=$QCHECK_SEED)"
 dune exec test/test_main.exe -- test memory.buddy
 dune exec test/test_main.exe -- test xen.p2m
+dune exec test/test_main.exe -- test stats.topk
+dune exec test/test_main.exe -- test xen.p2m.batch
 
 echo "tier1: OK"
