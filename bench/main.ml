@@ -3,11 +3,14 @@
 
    Usage: main.exe [all|tab1|tab2|tab3|tab4|fig1|fig2|fig5|fig6|fig7|
                     fig8|fig9|fig10|dma|batching|ablation|micro]
-                   [--jobs N] [--json FILE] [--trace FILE] [--trace-cap N]
-                   [--compare FILE]
+                   [--jobs N] [--inner-jobs N] [--json FILE] [--trace FILE]
+                   [--trace-cap N] [--compare FILE]
 
    --jobs N       run the experiment grids on N domains (default:
                   XEN_NUMA_JOBS or the host's recommended domain count)
+   --inner-jobs N shard each run's per-epoch vCPU kernel over N worker
+                  domains (default: XEN_NUMA_INNER_JOBS or 1); output
+                  is bit-identical at any value
    --json FILE    also write per-section wall-clock times, the bechamel
                   per-op medians and the metrics registry as JSON
                   (metrics collection is enabled for the run)
@@ -85,6 +88,18 @@ let bench_pool_fanout () =
   let tasks = Array.init 32 (fun i () -> i * i) in
   Bechamel.Staged.stage (fun () -> ignore (Engine.Pool.run_all ~jobs:2 tasks))
 
+let bench_pool_dispatch () =
+  (* 256 trivial tasks on one worker: the pure per-task dispatch cost
+     of the atomic-cursor claim path, no spawn or join in the loop. *)
+  let tasks = Array.init 256 (fun i () -> i) in
+  Bechamel.Staged.stage (fun () -> ignore (Engine.Pool.run_all ~jobs:1 tasks))
+
+let bench_team_section () =
+  (* One empty Team barrier: the broadcast + wait cost every sharded
+     epoch section pays (members parked on a condvar between calls). *)
+  let team = Engine.Pool.Team.create ~workers:2 in
+  Bechamel.Staged.stage (fun () -> Engine.Pool.Team.run team (fun _ -> ()))
+
 let bench_counters () =
   let counters = Numa.Counters.create (Numa.Amd48.topology ()) in
   let i = ref 0 in
@@ -109,7 +124,7 @@ let bench_carrefour_decide () =
         [| 0.9; 0.1; 0.1; 0.1; 0.1; 0.1; 0.1; 0.1 |];
       max_link_util = 0.5;
       imbalance = 2.0;
-      hot_pages = hot;
+      hot_pages = Policies.Carrefour.hot_of_samples hot;
     }
   in
   let config = Policies.Carrefour.User_component.default_config in
@@ -148,6 +163,8 @@ let micro_tests =
     Test.make ~name:"cpus_of_node (list)" (bench_cpus_of_node_list ());
     Test.make ~name:"cpus_of_node (array)" (bench_cpus_of_node_array ());
     Test.make ~name:"pool fanout 32x2" (bench_pool_fanout ());
+    Test.make ~name:"pool dispatch 256x1" (bench_pool_dispatch ());
+    Test.make ~name:"team barrier (2 members)" (bench_team_section ());
     Test.make ~name:"counters record" (bench_counters ());
     Test.make ~name:"carrefour decide (128 hot)" (bench_carrefour_decide ());
     Test.make ~name:"rng zipf 32k" (bench_zipf ());
@@ -307,6 +324,7 @@ let write_json file ~jobs ~timings ~total =
     "{\n\
     \  \"git_rev\": \"%s\",\n\
     \  \"jobs\": %d,\n\
+    \  \"inner_jobs\": %d,\n\
     \  \"host_cores\": %d,\n\
     \  \"total_wall_s\": %.3f,\n\
     \  \"sections\": [\n%s\n  ],\n\
@@ -315,6 +333,7 @@ let write_json file ~jobs ~timings ~total =
      }\n"
     (json_escape (git_rev ()))
     jobs
+    (Engine.Pool.default_inner_jobs ())
     (Domain.recommended_domain_count ())
     total
     (String.concat ",\n" (List.map entry timings))
@@ -375,19 +394,28 @@ let compare_report file ~jobs ~timings =
   let old_jobs = Option.bind (Obs.Json.member "jobs" old) Obs.Json.to_int in
   let gating = match old_jobs with Some j -> j = jobs | None -> true in
   Printf.printf "\nComparison vs %s (rev %s)\n" file old_rev;
-  Printf.printf "%-12s %10s %10s %9s\n" "section" "ref (s)" "now (s)" "delta";
+  Printf.printf "%-12s %10s %10s %9s %9s\n" "section" "ref (s)" "now (s)" "delta" "speedup";
   let regressed = ref [] in
+  let ref_sum = ref 0.0 and now_sum = ref 0.0 in
   List.iter
     (fun (name, now) ->
       match List.assoc_opt name old_sections with
-      | None -> Printf.printf "%-12s %10s %10.2f %9s\n" name "-" now "new"
+      | None -> Printf.printf "%-12s %10s %10.2f %9s %9s\n" name "-" now "new" "-"
       | Some before when before <= 0.0 ->
-          Printf.printf "%-12s %10.2f %10.2f %9s\n" name before now "-"
+          Printf.printf "%-12s %10.2f %10.2f %9s %9s\n" name before now "-" "-"
       | Some before ->
           let delta = (now -. before) /. before in
-          Printf.printf "%-12s %10.2f %10.2f %+8.1f%%\n" name before now (100.0 *. delta);
+          (* speedup = ref/now: >1.00x is faster than the reference. *)
+          let speedup = if now > 0.0 then before /. now else Float.infinity in
+          ref_sum := !ref_sum +. before;
+          now_sum := !now_sum +. now;
+          Printf.printf "%-12s %10.2f %10.2f %+8.1f%% %8.2fx\n" name before now
+            (100.0 *. delta) speedup;
           if delta > compare_threshold then regressed := (name, delta) :: !regressed)
     timings;
+  if !now_sum > 0.0 && !ref_sum > 0.0 then
+    Printf.printf "%-12s %10.2f %10.2f %9s %8.2fx\n" "(shared)" !ref_sum !now_sum "-"
+      (!ref_sum /. !now_sum);
   if not gating then
     Printf.printf "reference used --jobs %d, this run --jobs %d: informational only, not gated\n"
       (Option.value old_jobs ~default:0) jobs
@@ -405,8 +433,8 @@ let compare_report file ~jobs ~timings =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [sections...] [--jobs N] [--json FILE] [--trace FILE] [--trace-cap N]\n\
-    \       [--compare FILE]\n\
+    "usage: main.exe [sections...] [--jobs N] [--inner-jobs N] [--json FILE] [--trace FILE]\n\
+    \       [--trace-cap N] [--compare FILE]\n\
      available sections: all %s\n"
     (String.concat " " (List.map fst sections));
   exit 1
@@ -414,6 +442,7 @@ let usage () =
 type opts = {
   mutable names : string list;
   mutable jobs : int option;
+  mutable inner_jobs : int option;
   mutable json : string option;
   mutable trace : string option;
   mutable trace_cap : int;
@@ -422,7 +451,8 @@ type opts = {
 
 let () =
   let o =
-    { names = []; jobs = None; json = None; trace = None; trace_cap = 4096; compare_to = None }
+    { names = []; jobs = None; inner_jobs = None; json = None; trace = None; trace_cap = 4096;
+      compare_to = None }
   in
   let rec parse = function
     | [] -> ()
@@ -433,6 +463,14 @@ let () =
             parse rest
         | Some _ | None ->
             Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            usage ())
+    | "--inner-jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            o.inner_jobs <- Some j;
+            parse rest
+        | Some _ | None ->
+            Printf.eprintf "--inner-jobs expects a positive integer, got %S\n" n;
             usage ())
     | "--json" :: file :: rest ->
         o.json <- Some file;
@@ -451,7 +489,8 @@ let () =
         | Some _ | None ->
             Printf.eprintf "--trace-cap expects a positive integer, got %S\n" n;
             usage ())
-    | ("--jobs" | "--json" | "--trace" | "--trace-cap" | "--compare" | "--help" | "-h") :: _ ->
+    | ("--jobs" | "--inner-jobs" | "--json" | "--trace" | "--trace-cap" | "--compare"
+      | "--help" | "-h") :: _ ->
         usage ()
     | name :: rest ->
         o.names <- name :: o.names;
@@ -459,6 +498,7 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   (match o.jobs with Some n -> Engine.Pool.set_default_jobs n | None -> ());
+  (match o.inner_jobs with Some n -> Engine.Pool.set_default_inner_jobs n | None -> ());
   let requested =
     match List.rev o.names with [] | [ "all" ] -> List.map fst sections | names -> names
   in

@@ -108,10 +108,23 @@ let metrics_arg =
            ~doc:"Collect the metrics registry (counters, gauges, latency \
                  histograms) during the run and print it afterwards.")
 
+let inner_jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "inner-jobs" ] ~docv:"N"
+           ~doc:"Shard the per-epoch vCPU kernel over $(docv) worker domains \
+                 within this single run.  Results and traces are bit-identical \
+                 for every value: cross-vCPU accumulation always happens in a \
+                 sequential fixed-order reduction.  Fault-injection runs \
+                 ignore this and run unsharded.")
+
 let run_app app mode policy threads seed mcs huge_pages unpinned machine faults trace trace_cap
-    metrics =
+    metrics inner_jobs =
   if trace_cap <= 0 then begin
     prerr_endline "xen-numa-sim: --trace-cap must be positive";
+    exit 1
+  end;
+  if inner_jobs < 1 then begin
+    prerr_endline "xen-numa-sim: --inner-jobs must be >= 1";
     exit 1
   end;
   let session =
@@ -126,7 +139,7 @@ let run_app app mode policy threads seed mcs huge_pages unpinned machine faults 
   let vm =
     Engine.Config.vm ~threads ~use_mcs:mcs ~huge_pages ~pinned:(not unpinned) ~policy app
   in
-  let cfg = Engine.Config.make ~seed ~machine ~faults ~mode [ vm ] in
+  let cfg = Engine.Config.make ~seed ~machine ~faults ~inner_jobs ~mode [ vm ] in
   let result = Engine.Runner.run cfg in
   Format.printf "%a@." Engine.Result.pp result;
   (match (session, trace) with
@@ -146,7 +159,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_app $ app_arg $ mode_arg $ policy_arg $ threads_arg $ seed_arg $ mcs_arg
           $ huge_arg $ unpinned_arg $ machine_arg $ faults_arg $ trace_arg $ trace_cap_arg
-          $ metrics_arg)
+          $ metrics_arg $ inner_jobs_arg)
 
 let list_apps () =
   Report.Table.print

@@ -27,6 +27,7 @@ type t = {
   machine : Numa.Machine_desc.t;
   faults : Faults.Plan.t;
   observer : observer option;
+  inner_jobs : int;
 }
 
 and observer = epoch_snapshot -> unit
@@ -42,13 +43,19 @@ and epoch_snapshot = {
 }
 
 let make ?(epoch = 0.1) ?(seed = 42) ?(max_epochs = 40_000) ?page_kib ?carrefour_config
-    ?(machine = Numa.Machine_desc.amd48) ?(faults = Faults.Plan.empty) ?observer ~mode vms =
+    ?(machine = Numa.Machine_desc.amd48) ?(faults = Faults.Plan.empty) ?observer
+    ?inner_jobs ~mode vms =
+  let inner_jobs =
+    match inner_jobs with Some n -> n | None -> Pool.default_inner_jobs ()
+  in
   if vms = [] then invalid_arg "Config.make: no VMs";
   if epoch <= 0.0 then invalid_arg "Config.make: epoch must be positive";
+  if inner_jobs < 1 then invalid_arg "Config.make: inner_jobs must be >= 1";
   (match Faults.Plan.validate faults with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Config.make: bad fault plan: " ^ msg));
-  { mode; vms; epoch; seed; max_epochs; page_kib; carrefour_config; machine; faults; observer }
+  { mode; vms; epoch; seed; max_epochs; page_kib; carrefour_config; machine; faults; observer;
+    inner_jobs }
 
 let mode_name = function Linux -> "linux" | Xen -> "xen" | Xen_plus -> "xen+"
 

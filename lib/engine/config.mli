@@ -72,6 +72,18 @@ type t = {
   observer : observer option;
       (** Called at the end of every epoch with live telemetry
           (progress tracking, CSV traces, convergence plots). *)
+  inner_jobs : int;
+      (** Worker shards for the {e intra-run} epoch kernel (the
+          [--inner-jobs] knob): each VM's vCPUs are partitioned into
+          this many contiguous ranges computed on a persistent
+          {!Pool.Team}, with all cross-vCPU accumulation done in a
+          sequential fixed-order reduction — so any value produces
+          bit-identical results, 1 (the default) meaning no extra
+          domains at all.  Fault-injection runs always run the kernel
+          unsharded: the injector draws per-vCPU stall events from one
+          shared stream in vCPU order.  [make] defaults the field to
+          {!Pool.default_inner_jobs} (the bench driver's
+          [--inner-jobs], or [XEN_NUMA_INNER_JOBS], or 1). *)
 }
 
 and observer = epoch_snapshot -> unit
@@ -93,8 +105,10 @@ val make : ?epoch:float -> ?seed:int -> ?max_epochs:int -> ?page_kib:int ->
   ?machine:Numa.Machine_desc.t ->
   ?faults:Faults.Plan.t ->
   ?observer:observer ->
+  ?inner_jobs:int ->
   mode:mode -> vm_spec list -> t
-(** @raise Invalid_argument on an ill-formed fault plan. *)
+(** @raise Invalid_argument on an ill-formed fault plan or
+    [inner_jobs < 1]. *)
 
 val mode_name : mode -> string
 

@@ -1,47 +1,15 @@
-(* A work deque protected by a mutex/condvar pair.  Tasks are pushed
-   up front and workers pop until the deque is closed and empty; the
-   condvar only matters for workers that outrun the producer, which
-   keeps the pool usable for staged task production later. *)
-
-type deque = {
-  mutex : Mutex.t;
-  nonempty : Condition.t;
-  tasks : int Queue.t;
-  mutable closed : bool;
-}
-
-let deque_create () =
-  { mutex = Mutex.create (); nonempty = Condition.create (); tasks = Queue.create (); closed = false }
-
-let deque_push dq i =
-  Mutex.lock dq.mutex;
-  Queue.push i dq.tasks;
-  Condition.signal dq.nonempty;
-  Mutex.unlock dq.mutex
-
-let deque_close dq =
-  Mutex.lock dq.mutex;
-  dq.closed <- true;
-  Condition.broadcast dq.nonempty;
-  Mutex.unlock dq.mutex
-
-let deque_pop dq =
-  Mutex.lock dq.mutex;
-  let rec take () =
-    if not (Queue.is_empty dq.tasks) then Some (Queue.pop dq.tasks)
-    else if dq.closed then None
-    else begin
-      Condition.wait dq.nonempty dq.mutex;
-      take ()
-    end
-  in
-  let item = take () in
-  Mutex.unlock dq.mutex;
-  item
+(* Task dispatch is a single atomic cursor over the task array: a
+   worker claims the next index with [Atomic.fetch_and_add] until the
+   cursor passes the end.  Compared to the earlier mutex/condvar deque
+   this allocates nothing per task and costs one uncontended RMW per
+   claim, which keeps the pool viable for sub-millisecond tasks (see
+   the [pool dispatch] micro benchmark). *)
 
 (* ------------------------------------------------------------------ *)
 (* Worker count resolution                                             *)
 (* ------------------------------------------------------------------ *)
+
+let hardware_parallelism = Domain.recommended_domain_count
 
 let available_jobs () =
   match Sys.getenv_opt "XEN_NUMA_JOBS" with
@@ -57,6 +25,33 @@ let set_default_jobs n = Atomic.set default_override (Some (max 1 n))
 
 let default_jobs () =
   match Atomic.get default_override with Some n -> n | None -> available_jobs ()
+
+(* Default shard count for the intra-run epoch kernel (Runner's
+   [inner_jobs]); bit-identical at any value, so purely a performance
+   knob.  Settable by the bench/CLI drivers or XEN_NUMA_INNER_JOBS. *)
+let inner_override = Atomic.make None
+
+let set_default_inner_jobs n = Atomic.set inner_override (Some (max 1 n))
+
+let default_inner_jobs () =
+  match Atomic.get inner_override with
+  | Some n -> n
+  | None -> (
+      match Sys.getenv_opt "XEN_NUMA_INNER_JOBS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> n
+          | Some _ | None -> 1)
+      | None -> 1)
+
+(* Domains above the hardware parallelism cannot run concurrently —
+   they time-slice the same cores while still paying the stop-the-world
+   minor-GC synchronisation of every live domain, which on a saturated
+   host makes the grid several times *slower* than sequential.  Spawn
+   counts are therefore capped at [recommended_domain_count]; [~jobs]
+   beyond that only expresses intent. *)
+let effective_workers ~jobs ~tasks =
+  max 1 (min jobs (min tasks (hardware_parallelism ())))
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -81,8 +76,9 @@ let run_all ?jobs tasks =
       v
     end
   in
+  let workers = effective_workers ~jobs ~tasks:n in
   if n = 0 then [||]
-  else if jobs = 1 || n = 1 then begin
+  else if workers = 1 || n = 1 then begin
     let results = Array.init n run_task in
     if metrics_on then begin
       Obs.Metrics.gauge "pool.jobs" 1.0;
@@ -93,11 +89,7 @@ let run_all ?jobs tasks =
   else begin
     let results = Array.make n None in
     let failures = Array.make n None in
-    let dq = deque_create () in
-    for i = 0 to n - 1 do
-      deque_push dq i
-    done;
-    deque_close dq;
+    let cursor = Atomic.make 0 in
     let observe_utilisation busy =
       if metrics_on then begin
         let elapsed = Unix.gettimeofday () -. t0 in
@@ -107,20 +99,21 @@ let run_all ?jobs tasks =
       end
     in
     let rec worker busy =
-      match deque_pop dq with
-      | None -> observe_utilisation busy
-      | Some i ->
-          let start = if metrics_on then Unix.gettimeofday () else 0.0 in
-          (* Disjoint indices: no two workers ever touch the same slot. *)
-          (try results.(i) <- Some (run_task i)
-           with exn -> failures.(i) <- Some (exn, Printexc.get_raw_backtrace ()));
-          let busy = if metrics_on then busy +. (Unix.gettimeofday () -. start) else busy in
-          worker busy
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i >= n then observe_utilisation busy
+      else begin
+        let start = if metrics_on then Unix.gettimeofday () else 0.0 in
+        (* Disjoint indices: no two workers ever touch the same slot. *)
+        (try results.(i) <- Some (run_task i)
+         with exn -> failures.(i) <- Some (exn, Printexc.get_raw_backtrace ()));
+        let busy = if metrics_on then busy +. (Unix.gettimeofday () -. start) else busy in
+        worker busy
+      end
     in
-    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn (fun () -> worker 0.0)) in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn (fun () -> worker 0.0)) in
     worker 0.0;
     Array.iter Domain.join spawned;
-    if metrics_on then Obs.Metrics.gauge "pool.jobs" (float_of_int (min jobs n));
+    if metrics_on then Obs.Metrics.gauge "pool.jobs" (float_of_int workers);
     Array.iter
       (function
         | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
@@ -132,3 +125,123 @@ let run_all ?jobs tasks =
 let map_array ?jobs f a = run_all ?jobs (Array.map (fun x () -> f x) a)
 
 let map_list ?jobs f l = Array.to_list (map_array ?jobs f (Array.of_list l))
+
+(* ------------------------------------------------------------------ *)
+(* Persistent teams (intra-run sharding)                               *)
+(* ------------------------------------------------------------------ *)
+
+module Team = struct
+  type t = {
+    size : int;
+    mutex : Mutex.t;
+    start : Condition.t;
+    finished : Condition.t;
+    mutable generation : int;
+    mutable job : (int -> unit) option;
+    mutable completed : int;
+    mutable stop : bool;
+    mutable failure : (exn * Printexc.raw_backtrace) option;
+    mutable members : unit Domain.t array;
+  }
+
+  let worker t rank =
+    let my_gen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.mutex;
+      while t.generation = !my_gen && not t.stop do
+        Condition.wait t.start t.mutex
+      done;
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        running := false
+      end
+      else begin
+        my_gen := t.generation;
+        let job = t.job in
+        Mutex.unlock t.mutex;
+        let failure =
+          match job with
+          | None -> None
+          | Some f -> (
+              try
+                f rank;
+                None
+              with exn -> Some (exn, Printexc.get_raw_backtrace ()))
+        in
+        Mutex.lock t.mutex;
+        (match failure with
+        | Some _ when t.failure = None -> t.failure <- failure
+        | _ -> ());
+        t.completed <- t.completed + 1;
+        if t.completed = t.size - 1 then Condition.signal t.finished;
+        Mutex.unlock t.mutex
+      end
+    done
+
+  let create ~workers =
+    let size = max 1 workers in
+    let t =
+      {
+        size;
+        mutex = Mutex.create ();
+        start = Condition.create ();
+        finished = Condition.create ();
+        generation = 0;
+        job = None;
+        completed = 0;
+        stop = false;
+        failure = None;
+        members = [||];
+      }
+    in
+    if size > 1 then
+      t.members <- Array.init (size - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+    t
+
+  let size t = t.size
+
+  let run t f =
+    if t.size = 1 then f 0
+    else begin
+      Mutex.lock t.mutex;
+      t.job <- Some f;
+      t.completed <- 0;
+      t.failure <- None;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mutex;
+      (* The caller is member 0; its exception is held until the other
+         members drain — they may still be writing their shards. *)
+      let caller_failure =
+        try
+          f 0;
+          None
+        with exn -> Some (exn, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      while t.completed < t.size - 1 do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- None;
+      let worker_failure = t.failure in
+      Mutex.unlock t.mutex;
+      match (caller_failure, worker_failure) with
+      | Some (exn, bt), _ | None, Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+      | None, None -> ()
+    end
+
+  let shutdown t =
+    if t.size > 1 then begin
+      Mutex.lock t.mutex;
+      t.stop <- true;
+      Condition.broadcast t.start;
+      Mutex.unlock t.mutex;
+      Array.iter Domain.join t.members;
+      t.members <- [||]
+    end
+
+  let with_team ~workers f =
+    let t = create ~workers in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end

@@ -18,6 +18,19 @@ type region = {
          rank [rank]; algorithmic phases move the hot front *)
 }
 
+(* The per-vCPU epoch state lives in flat structure-of-arrays form,
+   indexed by vCPU (row [t * nodes .. t * nodes + nodes - 1] of
+   [thread_dst] is vCPU [t]'s destination spread): the epoch kernel
+   walks contiguous memory, and a [Shard.range] of vCPUs owns a
+   contiguous slice that another shard never writes.
+
+   Sharding discipline: the kernel writes {e only} vCPU-indexed slots
+   of its own range; every accumulation that crosses vCPUs
+   ([src_shared], [shared_accesses_epoch], the counters, [weighted_lat]
+   ...) reads those slots afterwards in one sequential vCPU-order
+   reduction.  Float addition is not associative, so the reduction
+   order — vCPU 0, 1, 2, ... — is the contract that makes every
+   [inner_jobs] value produce the same bits as the unsharded loop. *)
 type vm_state = {
   spec : Config.vm_spec;
   domain : Xen.Domain.t;
@@ -53,10 +66,23 @@ type vm_state = {
   avg_lat : float array;
   finish : float array;  (* -1 while running *)
   thread_node : int array;
-  thread_dst : float array array;
+  thread_dst : float array;  (* threads * nodes, row-major by vCPU *)
   thread_accesses : float array;  (* this epoch, per thread *)
   thread_doit : float array;  (* tentative instructions this epoch *)
   thread_cap : float array;   (* instruction capacity this epoch *)
+  thread_shared : float array;  (* accesses into the shared region *)
+  thread_burst : float array;   (* burst accesses, > 0 only for the source *)
+  thread_sync : float array;    (* blocked time contribution this epoch *)
+  thread_total : float array;   (* realized accesses, for the latency pass *)
+  vcpu_rng : Sim.Rng.t array;
+      (* Independent per-vCPU streams, derived (not split) from the
+         VM's stream right after its creation: a pure function of the
+         cell seed and the vCPU id, identical under any shard count.
+         The epoch kernel draws nothing from them today — the one
+         per-vCPU draw (injected stalls) stays on the injector's
+         shared stream for trace compatibility, which is why fault
+         runs bypass sharding — but any future per-vCPU randomness
+         must come from here, never from a shared stream. *)
   src_shared : float array;  (* accesses into the shared region per source node *)
   mutable shared_accesses_epoch : float;
   mutable burst_victim : int;
@@ -251,6 +277,10 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
       ~vcpus:spec.Config.threads ~mem_bytes ?home_nodes:spec.Config.home_nodes ()
   in
   let rng = Sim.Rng.split root_rng in
+  (* Derived before anything draws from [rng], so each stream is a
+     pure function of (cell seed, vCPU id) — and [derive] does not
+     advance [rng], so inserting this changed no existing draw. *)
+  let vcpu_rng = Shard.streams rng ~count:spec.Config.threads in
   let policy = spec.Config.policy in
   (* P2M superpages only exist under a hypervisor. *)
   let superpages = spec.Config.superpages && cfg.Config.mode <> Config.Linux in
@@ -372,10 +402,15 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
     finish = Array.make threads (-1.0);
     thread_node =
       Array.init threads (fun t -> Numa.Topology.node_of_cpu topo domain.Xen.Domain.vcpu_pin.(t));
-    thread_dst = Array.init threads (fun _ -> Array.make nodes 0.0);
+    thread_dst = Array.make (threads * nodes) 0.0;
     thread_accesses = Array.make threads 0.0;
     thread_doit = Array.make threads 0.0;
     thread_cap = Array.make threads 0.0;
+    thread_shared = Array.make threads 0.0;
+    thread_burst = Array.make threads 0.0;
+    thread_sync = Array.make threads 0.0;
+    thread_total = Array.make threads 0.0;
+    vcpu_rng;
     src_shared = Array.make nodes 0.0;
     shared_accesses_epoch = 0.0;
     burst_victim = -1;
@@ -445,11 +480,15 @@ let epoch_sync_overhead cfg st =
   let threads = float_of_int st.spec.Config.threads in
   Float.min (0.85 *. cfg.Config.epoch) (total /. threads)
 
-(* Distribute one thread's epoch accesses over destination nodes. *)
+(* Distribute one thread's epoch accesses over destination nodes.
+   Shard-safe: writes only vCPU [t]'s row and [t]-indexed slots; the
+   shared-region and burst totals are folded in later by
+   [reduce_epoch_traffic]. *)
 let distribute_thread st t ~accesses =
   let app = st.spec.Config.app in
   let nodes = Array.length st.src_shared in
-  let dst = st.thread_dst.(t) in
+  let dst = st.thread_dst in
+  let base = t * nodes in
   let m = app.Workloads.App.master_bias in
   let burst_share = if st.burst_source = t then 0.5 else 0.0 in
   let acc_burst = burst_share *. accesses in
@@ -458,23 +497,71 @@ let distribute_thread st t ~accesses =
   let acc_own = rest -. acc_shared in
   let own_node = st.thread_node.(t) in
   (* Replicated read-only pages are served from the local copy. *)
-  dst.(own_node) <-
-    dst.(own_node)
+  dst.(base + own_node) <-
+    dst.(base + own_node)
     +. (acc_shared *. st.shared.replicated_local)
     +. (acc_own *. st.privates.(t).replicated_local);
   for n = 0 to nodes - 1 do
-    dst.(n) <- dst.(n) +. (acc_shared *. st.shared.node_weight.(n));
-    dst.(n) <- dst.(n) +. (acc_own *. st.privates.(t).node_weight.(n))
+    dst.(base + n) <- dst.(base + n) +. (acc_shared *. st.shared.node_weight.(n));
+    dst.(base + n) <- dst.(base + n) +. (acc_own *. st.privates.(t).node_weight.(n))
   done;
   if acc_burst > 0.0 && st.burst_victim >= 0 then begin
     let victim = st.privates.(st.burst_victim) in
     for n = 0 to nodes - 1 do
-      dst.(n) <- dst.(n) +. (acc_burst *. victim.node_weight.(n))
+      dst.(base + n) <- dst.(base + n) +. (acc_burst *. victim.node_weight.(n))
     done;
-    st.burst_accesses_epoch <- st.burst_accesses_epoch +. acc_burst
+    st.thread_burst.(t) <- acc_burst
   end;
-  st.src_shared.(st.thread_node.(t)) <- st.src_shared.(st.thread_node.(t)) +. acc_shared;
-  st.shared_accesses_epoch <- st.shared_accesses_epoch +. acc_shared
+  st.thread_shared.(t) <- acc_shared
+
+(* The compute half of the epoch: capacity, instructions and the
+   destination spread of vCPUs [lo .. hi-1].  Everything written is
+   indexed by the vCPU, so disjoint ranges commute; everything read
+   ([occupancy], the region weights, the epoch parameters) is fixed
+   for the epoch.  The injected-stall draw is the one exception —
+   it consumes the injector's shared stream in vCPU order — so fault
+   runs always call this with the full range on one shard. *)
+let epoch_compute_kernel st ~injector ~faults_on ~occupancy ~oh ~carrefour_tax ~mr ~freq
+    ~epoch_len ~lo ~hi =
+  for t = lo to hi - 1 do
+    if st.finish.(t) < 0.0 then begin
+      if faults_on && Faults.Injector.vcpu_stalls injector then
+        (* Injected stall: the vCPU makes no progress this epoch; the
+           lost time shows up as blocked time. *)
+        st.thread_sync.(t) <- epoch_len
+      else begin
+        let pcpu = st.domain.Xen.Domain.vcpu_pin.(t) in
+        let share = 1.0 /. float_of_int (max 1 occupancy.(pcpu)) in
+        let avail = (epoch_len -. oh) *. share *. carrefour_tax in
+        st.thread_sync.(t) <- oh;
+        let cpi = 1.0 +. (mr *. st.avg_lat.(t)) +. st.tlb_cycles_per_instr in
+        let cap = avail *. freq /. cpi in
+        if cap > 0.0 then begin
+          let doit = Float.min st.remaining.(t) cap in
+          st.thread_doit.(t) <- doit;
+          st.thread_cap.(t) <- cap;
+          let accesses = doit *. mr in
+          st.thread_accesses.(t) <- accesses;
+          distribute_thread st t ~accesses
+        end
+      end
+    end
+  done
+
+(* Fixed-order reduction over the kernel's per-vCPU slots: vCPU 0
+   first, always — the summation tree of the unsharded loop. *)
+let reduce_epoch_traffic st ~threads ~accesses_acc =
+  for t = 0 to threads - 1 do
+    if st.finish.(t) < 0.0 then st.sync_overhead <- st.sync_overhead +. st.thread_sync.(t);
+    if st.thread_cap.(t) > 0.0 then begin
+      let acc_shared = st.thread_shared.(t) in
+      st.src_shared.(st.thread_node.(t)) <- st.src_shared.(st.thread_node.(t)) +. acc_shared;
+      st.shared_accesses_epoch <- st.shared_accesses_epoch +. acc_shared;
+      if st.thread_burst.(t) > 0.0 then
+        st.burst_accesses_epoch <- st.burst_accesses_epoch +. st.thread_burst.(t);
+      accesses_acc := !accesses_acc +. st.thread_accesses.(t)
+    end
+  done
 
 (* Charge the epoch's disk DMA traffic.  Native Linux allocates the DMA
    buffer contiguously, hence on a single node; under Xen the hypervisor
@@ -715,6 +802,21 @@ let vm_result cfg system st =
 (* Main loop                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Run a vCPU-indexed kernel over a shard plan: ranges beyond the
+   first go to the team members, range 0 (or everything, without a
+   team) runs on the calling domain.  [Pool.Team.run] is a full
+   barrier, so the sequential reduction that follows a dispatch reads
+   fully published shard slices. *)
+let shard_dispatch team (ranges : Shard.range array) ~threads f =
+  match team with
+  | Some tm when Array.length ranges > 1 ->
+      Pool.Team.run tm (fun rank ->
+          if rank < Array.length ranges then begin
+            let r = ranges.(rank) in
+            f r.Shard.lo r.Shard.hi
+          end)
+  | _ -> f 0 threads
+
 let run (cfg : Config.t) =
   let scale = Config.page_scale cfg in
   let machine_desc = cfg.Config.machine in
@@ -782,6 +884,22 @@ let run (cfg : Config.t) =
     | [ n ] -> n
     | [] -> 0
   in
+  (* Intra-run sharding: one persistent team for the whole run (a
+     Domain.spawn per epoch would dwarf the kernel).  Fault runs force
+     inner_jobs down to 1 — the stall draw consumes the injector's
+     shared stream in vCPU order, which sharding cannot reproduce. *)
+  let inner_jobs = if faults_on then 1 else max 1 cfg.Config.inner_jobs in
+  let max_threads = List.fold_left (fun a st -> max a st.spec.Config.threads) 1 states in
+  let team =
+    if inner_jobs > 1 && max_threads > 1 then
+      Some (Pool.Team.create ~workers:(min inner_jobs max_threads))
+    else None
+  in
+  let shards = match team with Some tm -> Pool.Team.size tm | None -> 1 in
+  let plans =
+    Array.of_list
+      (List.map (fun st -> Shard.partition ~count:st.spec.Config.threads ~shards) states)
+  in
   let epoch_len = cfg.Config.epoch in
   let now = ref 0.0 in
   let epochs = ref 0 in
@@ -798,8 +916,11 @@ let run (cfg : Config.t) =
   (* Per-epoch memo of the (src, dst) memory latency: topology distance
      is static and route saturation is a last-epoch snapshot, so within
      one epoch every thread pair sharing (src, dst) sees the same
-     cycles.  -1 marks an unfilled cell. *)
-  let lat_memo = Array.make (nodes * nodes) (-1.0) in
+     cycles.  Filled eagerly each epoch — the values are a pure
+     function of the topology and the counter snapshot, so eager and
+     lazy fills agree bit for bit, and an eager table lets the sharded
+     latency kernel read it without write races. *)
+  let lat_memo = Array.make (nodes * nodes) 0.0 in
   let occupancy = Array.make (Array.length system.Xen.System.pcpu_load) 0 in
   let dom0_active = ref 0 in
   (* One dom0 vCPU shuttles roughly 150 MB/s of pv I/O. *)
@@ -810,6 +931,7 @@ let run (cfg : Config.t) =
     List.find (fun st -> st.domain.Xen.Domain.id = id) states
   in
   let running () = List.exists vm_running states in
+  let main_loop () =
   while running () && !epochs < cfg.Config.max_epochs do
     (match obs_stream with
     | None -> ()
@@ -856,9 +978,13 @@ let run (cfg : Config.t) =
     List.iteri
       (fun vi st ->
         if vm_running st then begin
+          let threads = st.spec.Config.threads in
           (* reset per-epoch traffic *)
-          Array.iter (fun dst -> Array.fill dst 0 nodes 0.0) st.thread_dst;
-          Array.fill st.thread_accesses 0 (Array.length st.thread_accesses) 0.0;
+          Array.fill st.thread_dst 0 (Array.length st.thread_dst) 0.0;
+          Array.fill st.thread_accesses 0 threads 0.0;
+          Array.fill st.thread_shared 0 threads 0.0;
+          Array.fill st.thread_burst 0 threads 0.0;
+          Array.fill st.thread_sync 0 threads 0.0;
           Array.fill st.src_shared 0 nodes 0.0;
           st.shared_accesses_epoch <- 0.0;
           st.burst_accesses_epoch <- 0.0;
@@ -910,33 +1036,14 @@ let run (cfg : Config.t) =
             match Policies.Manager.carrefour st.manager with Some _ -> 0.98 | None -> 1.0
           in
           let mr = app.Workloads.App.miss_rate in
-          Array.fill st.thread_doit 0 (Array.length st.thread_doit) 0.0;
-          Array.fill st.thread_cap 0 (Array.length st.thread_cap) 0.0;
-          for t = 0 to st.spec.Config.threads - 1 do
-            if st.finish.(t) < 0.0 then begin
-              if faults_on && Faults.Injector.vcpu_stalls injector then
-                (* Injected stall: the vCPU makes no progress this
-                   epoch; the lost time shows up as blocked time. *)
-                st.sync_overhead <- st.sync_overhead +. epoch_len
-              else begin
-                let pcpu = st.domain.Xen.Domain.vcpu_pin.(t) in
-                let share = 1.0 /. float_of_int (max 1 occupancy.(pcpu)) in
-                let avail = (epoch_len -. oh) *. share *. carrefour_tax in
-                st.sync_overhead <- st.sync_overhead +. oh;
-                let cpi = 1.0 +. (mr *. st.avg_lat.(t)) +. st.tlb_cycles_per_instr in
-                let cap = avail *. freq /. cpi in
-                if cap > 0.0 then begin
-                  let doit = Float.min st.remaining.(t) cap in
-                  st.thread_doit.(t) <- doit;
-                  st.thread_cap.(t) <- cap;
-                  let accesses = doit *. mr in
-                  st.thread_accesses.(t) <- accesses;
-                  distribute_thread st t ~accesses;
-                  epoch_accesses.(vi) <- epoch_accesses.(vi) +. accesses
-                end
-              end
-            end
-          done;
+          Array.fill st.thread_doit 0 threads 0.0;
+          Array.fill st.thread_cap 0 threads 0.0;
+          shard_dispatch team plans.(vi) ~threads (fun lo hi ->
+              epoch_compute_kernel st ~injector ~faults_on ~occupancy ~oh ~carrefour_tax ~mr
+                ~freq ~epoch_len ~lo ~hi);
+          let accesses_acc = ref epoch_accesses.(vi) in
+          reduce_epoch_traffic st ~threads ~accesses_acc;
+          epoch_accesses.(vi) <- !accesses_acc;
           disk_traffic cfg st counters ~bus_node ~node_demand
         end)
       states;
@@ -949,9 +1056,9 @@ let run (cfg : Config.t) =
       (fun st ->
         if vm_running st then
           for t = 0 to st.spec.Config.threads - 1 do
-            let dst = st.thread_dst.(t) in
+            let base = t * nodes in
             for n = 0 to nodes - 1 do
-              node_demand.(n) <- node_demand.(n) +. (dst.(n) *. access_bytes)
+              node_demand.(n) <- node_demand.(n) +. (st.thread_dst.(base + n) *. access_bytes)
             done
           done)
       states;
@@ -960,36 +1067,49 @@ let run (cfg : Config.t) =
         (if node_demand.(n) > controller_capacity then controller_capacity /. node_demand.(n)
          else 1.0)
     done;
-    List.iter
-      (fun st ->
+    List.iteri
+      (fun vi st ->
         if vm_running st then begin
-          for t = 0 to st.spec.Config.threads - 1 do
+          let threads = st.spec.Config.threads in
+          let now_v = !now in
+          (* Shardable half: realized throughput, work retirement and
+             finish times are all vCPU-local (node_scale is fixed). *)
+          shard_dispatch team plans.(vi) ~threads (fun lo hi ->
+              for t = lo to hi - 1 do
+                if st.thread_doit.(t) > 0.0 then begin
+                  let base = t * nodes in
+                  (* A sequential access stream advances at the pace of
+                     its most throttled destination. *)
+                  let realized = ref 1.0 in
+                  for n = 0 to nodes - 1 do
+                    if st.thread_dst.(base + n) > 1e-9 && node_scale.(n) < !realized then
+                      realized := node_scale.(n)
+                  done;
+                  let realized = !realized in
+                  let final = st.thread_doit.(t) *. realized in
+                  st.remaining.(t) <- st.remaining.(t) -. final;
+                  if st.remaining.(t) <= 0.0 then
+                    st.finish.(t) <-
+                      now_v
+                      +. (epoch_len *. (final /. Float.max 1.0 (st.thread_cap.(t) *. realized)));
+                  if realized < 1.0 then begin
+                    st.thread_accesses.(t) <- st.thread_accesses.(t) *. realized;
+                    for n = 0 to nodes - 1 do
+                      st.thread_dst.(base + n) <- st.thread_dst.(base + n) *. realized
+                    done
+                  end
+                end
+              done);
+          (* Commit the realized traffic to the hardware counters — a
+             cross-vCPU float accumulation, so vCPU order, sequential. *)
+          for t = 0 to threads - 1 do
             if st.thread_doit.(t) > 0.0 then begin
-              let dst = st.thread_dst.(t) in
-              (* A sequential access stream advances at the pace of its
-                 most throttled destination. *)
-              let realized = ref 1.0 in
-              for n = 0 to nodes - 1 do
-                if dst.(n) > 1e-9 && node_scale.(n) < !realized then realized := node_scale.(n)
-              done;
-              let realized = !realized in
-              let final = st.thread_doit.(t) *. realized in
-              st.remaining.(t) <- st.remaining.(t) -. final;
-              if st.remaining.(t) <= 0.0 then
-                st.finish.(t) <-
-                  !now +. (epoch_len *. (final /. Float.max 1.0 (st.thread_cap.(t) *. realized)));
-              if realized < 1.0 then begin
-                st.thread_accesses.(t) <- st.thread_accesses.(t) *. realized;
-                for n = 0 to nodes - 1 do
-                  dst.(n) <- dst.(n) *. realized
-                done
-              end;
-              (* commit the realized traffic to the hardware counters *)
+              let base = t * nodes in
               let src = st.thread_node.(t) in
               for n = 0 to nodes - 1 do
-                if dst.(n) > 0.0 then
-                  Numa.Counters.record_accesses counters ~src ~dst:n ~count:dst.(n)
-                    ~bytes_per_access:access_bytes
+                if st.thread_dst.(base + n) > 0.0 then
+                  Numa.Counters.record_accesses counters ~src ~dst:n
+                    ~count:st.thread_dst.(base + n) ~bytes_per_access:access_bytes
               done
             end
           done
@@ -997,37 +1117,43 @@ let run (cfg : Config.t) =
       states;
     Numa.Counters.end_epoch counters ~duration:epoch_len;
     (* latency feedback and per-thread stats *)
-    Array.fill lat_memo 0 (nodes * nodes) (-1.0);
-    List.iter
-      (fun st ->
+    for src = 0 to nodes - 1 do
+      for dst = 0 to nodes - 1 do
+        let hops = Numa.Topology.distance topo src dst in
+        let sat = Numa.Counters.max_route_saturation counters ~src ~dst in
+        lat_memo.((src * nodes) + dst) <- Numa.Latency.mem_cycles latency ~hops ~saturation:sat
+      done
+    done;
+    List.iteri
+      (fun vi st ->
         if vm_running st then begin
-          for t = 0 to st.spec.Config.threads - 1 do
-            let dst = st.thread_dst.(t) in
-            let total = Array.fold_left ( +. ) 0.0 dst in
-            if total > 0.0 then begin
-              let src = st.thread_node.(t) in
-              let lat = ref 0.0 in
-              for n = 0 to nodes - 1 do
-                if dst.(n) > 0.0 then begin
-                  let cell = (src * nodes) + n in
-                  let cycles =
-                    let memo = lat_memo.(cell) in
-                    if memo >= 0.0 then memo
-                    else begin
-                      let hops = Numa.Topology.distance topo src n in
-                      let sat = Numa.Counters.max_route_saturation counters ~src ~dst:n in
-                      let c = Numa.Latency.mem_cycles latency ~hops ~saturation:sat in
-                      lat_memo.(cell) <- c;
-                      c
-                    end
-                  in
-                  lat := !lat +. (dst.(n) /. total *. cycles)
+          let threads = st.spec.Config.threads in
+          shard_dispatch team plans.(vi) ~threads (fun lo hi ->
+              for t = lo to hi - 1 do
+                let base = t * nodes in
+                let total = ref 0.0 in
+                for n = 0 to nodes - 1 do
+                  total := !total +. st.thread_dst.(base + n)
+                done;
+                let total = !total in
+                st.thread_total.(t) <- total;
+                if total > 0.0 then begin
+                  let src = st.thread_node.(t) in
+                  let lat = ref 0.0 in
+                  for n = 0 to nodes - 1 do
+                    if st.thread_dst.(base + n) > 0.0 then
+                      lat := !lat +. (st.thread_dst.(base + n) /. total *. lat_memo.((src * nodes) + n))
+                  done;
+                  st.avg_lat.(t) <- !lat
                 end
-              done;
-              st.avg_lat.(t) <- !lat;
-              st.weighted_lat <- st.weighted_lat +. (total *. !lat);
+              done);
+          for t = 0 to threads - 1 do
+            if st.thread_total.(t) > 0.0 then begin
+              let total = st.thread_total.(t) in
+              st.weighted_lat <- st.weighted_lat +. (total *. st.avg_lat.(t));
               st.total_accesses <- st.total_accesses +. total;
-              st.local_accesses <- st.local_accesses +. dst.(src)
+              st.local_accesses <-
+                st.local_accesses +. st.thread_dst.((t * nodes) + st.thread_node.(t))
             end
           done;
           (* Fault-mode page churn: real alloc/release traffic through
@@ -1072,17 +1198,16 @@ let run (cfg : Config.t) =
             Policies.Manager.epoch_tick st.manager ~epoch:!epochs ();
           (* Carrefour runs its user component once per second (every
              tenth epoch), like the real system. *)
-          match Policies.Manager.carrefour st.manager with
+          (match Policies.Manager.carrefour st.manager with
           | None -> ()
           | Some _ ->
-              if !epochs mod 10 = 0 then begin
+              if !epochs mod 10 = 0 then
                 match
                   Policies.Manager.carrefour_epoch_feed st.manager ~counters
-                    ~feed:(feed_samples st)
+                    ~feed:(fun sys -> feed_samples st sys)
                 with
                 | Some _ -> refresh_placement st
-                | None -> ()
-              end
+                | None -> ())
         end)
       states;
     (match cfg.Config.observer with
@@ -1119,7 +1244,11 @@ let run (cfg : Config.t) =
           });
     incr epochs;
     now := !now +. epoch_len
-  done;
+  done
+  in
+  (match team with
+  | None -> main_loop ()
+  | Some tm -> Fun.protect ~finally:(fun () -> Pool.Team.shutdown tm) main_loop);
   let result =
     {
       Result.vms = List.map (vm_result cfg system) states;

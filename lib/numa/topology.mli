@@ -48,8 +48,10 @@ val node_of_cpu : t -> cpu -> node
     [c / cpus_per_node]. *)
 
 val cpus_of_node : t -> node -> cpu list
-(** Fresh list of the node's CPU ids (allocates; prefer
-    {!cpu_array_of_node} on hot paths). *)
+(** @deprecated Allocates a fresh list on every call.  Use
+    {!cpu_array_of_node} instead — every in-tree call site has been
+    converted; this accessor remains only for external users and will
+    be removed once they migrate. *)
 
 val cpu_array_of_node : t -> node -> cpu array
 (** The node's CPU ids as a precomputed array, built once at topology

@@ -4,39 +4,203 @@ type sample = {
   read_fraction : float;
 }
 
-module System_component = struct
-  type heat = {
-    counts : float array;
-    mutable reads : float;
-    mutable total : float;
-  }
+(* Flat hot-page readout: row [i] of [counts] (length [nodes]) is the
+   per-node access spread of [pfns.(i)], hottest first.  One readout is
+   three arrays instead of thousands of boxed samples, which is what
+   makes the per-period user-component work cheap. *)
+type hot = {
+  nodes : int;
+  count : int;
+  pfns : int array;
+  counts : float array;  (* count * nodes, row-major *)
+  read_fractions : float array;
+  keys : float array;
+      (* ranking key per row (the heat table's accumulated total);
+         rows need not arrive sorted — decide ranks by (key desc,
+         pfn asc), the top-k heap's total order *)
+}
 
+let hot_of_samples samples =
+  let nodes = List.fold_left (fun m s -> max m (Array.length s.node_accesses)) 0 samples in
+  let count = List.length samples in
+  let pfns = Array.make count 0 in
+  let counts = Array.make (count * nodes) 0.0 in
+  let read_fractions = Array.make count 1.0 in
+  let keys = Array.make count 0.0 in
+  List.iteri
+    (fun i s ->
+      pfns.(i) <- s.pfn;
+      Array.blit s.node_accesses 0 counts (i * nodes) (Array.length s.node_accesses);
+      read_fractions.(i) <- s.read_fraction;
+      keys.(i) <- Array.fold_left ( +. ) 0.0 s.node_accesses)
+    samples;
+  { nodes; count; pfns; counts; read_fractions; keys }
+
+let samples_of_hot hot =
+  List.init hot.count (fun i ->
+      {
+        pfn = hot.pfns.(i);
+        node_accesses = Array.sub hot.counts (i * hot.nodes) hot.nodes;
+        read_fraction = hot.read_fractions.(i);
+      })
+
+(* Sum of one row, in ascending index order — the same operation
+   sequence as [Array.fold_left ( +. ) 0.0] over a per-page spread, so
+   thresholds computed from a row bit-match the historical sample
+   path. *)
+(* Order row indices hottest-first — (key descending, pfn ascending),
+   the top-k heap's total order — without a comparison closure: a
+   median-of-three quicksort with inline comparisons, insertion sort
+   below 12 elements.  The ranking runs every user-component period
+   over every threshold-clearing row, so the constant matters. *)
+let rank_sort keys pfns order len =
+  let before a b =
+    let ka = Array.unsafe_get keys a and kb = Array.unsafe_get keys b in
+    ka > kb || (ka = kb && Array.unsafe_get pfns a < Array.unsafe_get pfns b)
+  in
+  let swap i j =
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  in
+  let rec qsort lo hi =
+    if hi - lo < 12 then
+      for i = lo + 1 to hi do
+        let x = order.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && before x order.(!j) do
+          order.(!j + 1) <- order.(!j);
+          decr j
+        done;
+        order.(!j + 1) <- x
+      done
+    else begin
+      let mid = (lo + hi) / 2 in
+      if before order.(mid) order.(lo) then swap mid lo;
+      if before order.(hi) order.(mid) then begin
+        swap hi mid;
+        if before order.(mid) order.(lo) then swap mid lo
+      end;
+      let pivot = order.(mid) in
+      let i = ref lo and j = ref hi in
+      while !i <= !j do
+        while before order.(!i) pivot do incr i done;
+        while before pivot order.(!j) do decr j done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      qsort lo !j;
+      qsort !i hi
+    end
+  in
+  if len > 1 then qsort 0 (len - 1)
+
+let row_total counts ~base ~nodes =
+  let s = ref 0.0 in
+  for j = 0 to nodes - 1 do
+    s := !s +. Array.unsafe_get counts (base + j)
+  done;
+  !s
+
+module System_component = struct
+  (* Structure-of-arrays heat table.  [slot] direct-maps a pfn to its
+     row (+1, 0 = absent); rows [0 .. live-1] are the tracked pages in
+     insertion order.  [totals] carries the incrementally accumulated
+     heat (the historical [heat.total] field): it can differ from the
+     row sum in the last ulp, and it is what keys the top-k readout,
+     so it is stored rather than recomputed. *)
   type t = {
     system : Xen.System.t;
     domain : Xen.Domain.t;
-    table : (Memory.Page.pfn, heat) Hashtbl.t;
+    nodes : int;
+    mutable slot : int array;
+    mutable pfns : int array;
+    mutable counts : float array;  (* cap * nodes, row-major *)
+    mutable reads : float array;
+    mutable totals : float array;
+    mutable live : int;
     replicas : (Memory.Page.pfn, Memory.Page.mfn list) Hashtbl.t;
     mutable epoch : int;
   }
 
-  let create system domain =
-    { system; domain; table = Hashtbl.create 1024; replicas = Hashtbl.create 64; epoch = 0 }
+  let initial_rows = 1024
 
+  let create system domain =
+    let nodes = Numa.Topology.node_count system.Xen.System.topo in
+    {
+      system;
+      domain;
+      nodes;
+      slot = Array.make 1024 0;
+      pfns = Array.make initial_rows 0;
+      counts = Array.make (initial_rows * nodes) 0.0;
+      reads = Array.make initial_rows 0.0;
+      totals = Array.make initial_rows 0.0;
+      live = 0;
+      replicas = Hashtbl.create 64;
+      epoch = 0;
+    }
+
+  let ensure_slot t pfn =
+    let n = Array.length t.slot in
+    if pfn >= n then begin
+      let n' = ref (n * 2) in
+      while pfn >= !n' do
+        n' := !n' * 2
+      done;
+      let slot = Array.make !n' 0 in
+      Array.blit t.slot 0 slot 0 n;
+      t.slot <- slot
+    end
+
+  let ensure_row t =
+    let cap = Array.length t.pfns in
+    if t.live >= cap then begin
+      let cap' = cap * 2 in
+      let grow_f a len' =
+        let a' = Array.make len' 0.0 in
+        Array.blit a 0 a' 0 (Array.length a);
+        a'
+      in
+      let pfns = Array.make cap' 0 in
+      Array.blit t.pfns 0 pfns 0 cap;
+      t.pfns <- pfns;
+      t.counts <- grow_f t.counts (cap' * t.nodes);
+      t.reads <- grow_f t.reads cap';
+      t.totals <- grow_f t.totals cap'
+    end
+
+  (* Halve every row in place, drop rows whose decayed sum falls below
+     1.0, compacting survivors toward row 0 (insertion order is
+     preserved; the readouts are ordering-insensitive anyway). *)
   let decay t =
-    let stale = ref [] in
-    Hashtbl.iter
-      (fun pfn heat ->
-        let total = ref 0.0 in
-        Array.iteri
-          (fun i c ->
-            heat.counts.(i) <- c /. 2.0;
-            total := !total +. heat.counts.(i))
-          heat.counts;
-        heat.reads <- heat.reads /. 2.0;
-        heat.total <- !total;
-        if !total < 1.0 then stale := pfn :: !stale)
-      t.table;
-    List.iter (Hashtbl.remove t.table) !stale
+    let nodes = t.nodes in
+    let w = ref 0 in
+    for r = 0 to t.live - 1 do
+      let base = r * nodes in
+      let total = ref 0.0 in
+      for j = 0 to nodes - 1 do
+        let c = Array.unsafe_get t.counts (base + j) /. 2.0 in
+        Array.unsafe_set t.counts (base + j) c;
+        total := !total +. c
+      done;
+      if !total < 1.0 then t.slot.(t.pfns.(r)) <- 0
+      else begin
+        let d = !w in
+        if d <> r then begin
+          Array.blit t.counts base t.counts (d * nodes) nodes;
+          t.pfns.(d) <- t.pfns.(r);
+          t.slot.(t.pfns.(d)) <- d + 1
+        end;
+        t.reads.(d) <- t.reads.(r) /. 2.0;
+        t.totals.(d) <- !total;
+        incr w
+      end
+    done;
+    t.live <- !w
 
   let collapse t ~pfn =
     match Hashtbl.find_opt t.replicas pfn with
@@ -55,16 +219,32 @@ module System_component = struct
        thrashing is what makes replication marginal on read-mostly
        (but not read-only) workloads — the paper's reason for
        discarding the heuristic. *)
-    if read_fraction < 0.999 && Hashtbl.mem t.replicas pfn then collapse t ~pfn;
+    if read_fraction < 0.999 && Hashtbl.length t.replicas > 0 && Hashtbl.mem t.replicas pfn then
+      collapse t ~pfn;
     let added = Array.fold_left ( +. ) 0.0 node_accesses in
-    match Hashtbl.find_opt t.table pfn with
-    | Some heat ->
-        Array.iteri (fun i c -> heat.counts.(i) <- heat.counts.(i) +. c) node_accesses;
-        heat.reads <- heat.reads +. (read_fraction *. added);
-        heat.total <- heat.total +. added
-    | None ->
-        Hashtbl.replace t.table pfn
-          { counts = Array.copy node_accesses; reads = read_fraction *. added; total = added }
+    ensure_slot t pfn;
+    let n = min (Array.length node_accesses) t.nodes in
+    let r = t.slot.(pfn) - 1 in
+    if r >= 0 then begin
+      let base = r * t.nodes in
+      for j = 0 to n - 1 do
+        t.counts.(base + j) <- t.counts.(base + j) +. node_accesses.(j)
+      done;
+      t.reads.(r) <- t.reads.(r) +. (read_fraction *. added);
+      t.totals.(r) <- t.totals.(r) +. added
+    end
+    else begin
+      ensure_row t;
+      let r = t.live in
+      let base = r * t.nodes in
+      Array.fill t.counts base t.nodes 0.0;
+      Array.blit node_accesses 0 t.counts base n;
+      t.pfns.(r) <- pfn;
+      t.reads.(r) <- read_fraction *. added;
+      t.totals.(r) <- added;
+      t.slot.(pfn) <- r + 1;
+      t.live <- r + 1
+    end
 
   let record_samples t samples =
     begin_epoch t;
@@ -78,36 +258,82 @@ module System_component = struct
     controller_util : float array;
     max_link_util : float;
     imbalance : float;
-    hot_pages : sample list;
+    hot_pages : hot;
   }
 
-  let heat_total counts = Array.fold_left ( +. ) 0.0 counts
+  let read_fraction_of_row t r = if t.totals.(r) > 0.0 then t.reads.(r) /. t.totals.(r) else 1.0
 
-  let sample_of_heat pfn heat =
-    let read_fraction = if heat.total > 0.0 then heat.reads /. heat.total else 1.0 in
-    { pfn; node_accesses = Array.copy heat.counts; read_fraction }
+  let hot_of_rows t rows n =
+    let nodes = t.nodes in
+    let pfns = Array.make n 0 in
+    let counts = Array.make (n * nodes) 0.0 in
+    let read_fractions = Array.make n 1.0 in
+    let keys = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let r = rows.(i) in
+      pfns.(i) <- t.pfns.(r);
+      Array.blit t.counts (r * nodes) counts (i * nodes) nodes;
+      read_fractions.(i) <- read_fraction_of_row t r;
+      keys.(i) <- t.totals.(r)
+    done;
+    { nodes; count = n; pfns; counts; read_fractions; keys }
+
+  let read_hot ?top t =
+    match top with
+    | Some k when k > 0 ->
+        (* Bounded selection: a k-sized min-heap over the live heat
+           totals instead of sorting the whole table.  Keys are the
+           incremental totals — the same values the unbounded path
+           sorts by — so [~top:k] is exactly its prefix. *)
+        let heap = Sim.Stats.Topk.create (max 1 (min k t.live)) in
+        for r = 0 to t.live - 1 do
+          Sim.Stats.Topk.add heap ~key:t.totals.(r) t.pfns.(r)
+        done;
+        let picked = Sim.Stats.Topk.sorted_desc heap in
+        let rows = Array.map (fun (_, pfn) -> t.slot.(pfn) - 1) picked in
+        hot_of_rows t rows (Array.length rows)
+    | Some _ | None ->
+        let rows = Array.init t.live (fun r -> r) in
+        Array.sort
+          (fun a b ->
+            (* Same total order as the top-k heap — hotter first, ties
+               toward the smaller pfn. *)
+            let c = Float.compare t.totals.(b) t.totals.(a) in
+            if c <> 0 then c else Int.compare t.pfns.(a) t.pfns.(b))
+          rows;
+        hot_of_rows t rows t.live
+
+  (* Readout in table order, no ranking: the user component sorts only
+     the rows that clear its heat threshold, which is far cheaper than
+     ranking the whole table every period.  Only valid as a full
+     readout (no [top] cap). *)
+  let read_metrics_unranked t ~counters =
+    let n = t.live in
+    let nodes = t.nodes in
+    let read_fractions = Array.make n 1.0 in
+    for r = 0 to n - 1 do
+      read_fractions.(r) <- read_fraction_of_row t r
+    done;
+    let hot =
+      {
+        nodes;
+        count = n;
+        pfns = Array.sub t.pfns 0 n;
+        counts = Array.sub t.counts 0 (n * nodes);
+        read_fractions;
+        keys = Array.sub t.totals 0 n;
+      }
+    in
+    let link_util = Numa.Counters.last_link_utilisation counters in
+    {
+      controller_util = Numa.Counters.last_controller_utilisation counters;
+      max_link_util = Array.fold_left Float.max 0.0 link_util;
+      imbalance = Numa.Counters.imbalance counters;
+      hot_pages = hot;
+    }
 
   let read_metrics ?top t ~counters =
-    let hot =
-      match top with
-      | Some k when k > 0 ->
-          (* Bounded selection: a k-sized min-heap over the live heat
-             totals instead of materialising and sorting the whole
-             table.  Counts are copied only for the k survivors. *)
-          let heap = Sim.Stats.Topk.create (max 1 (min k (Hashtbl.length t.table))) in
-          Hashtbl.iter (fun pfn heat -> Sim.Stats.Topk.add heap ~key:heat.total pfn) t.table;
-          Sim.Stats.Topk.sorted_desc heap
-          |> Array.to_list
-          |> List.map (fun (_, pfn) -> sample_of_heat pfn (Hashtbl.find t.table pfn))
-      | Some _ | None ->
-          Hashtbl.fold (fun pfn heat acc -> sample_of_heat pfn heat :: acc) t.table []
-          |> List.sort (fun a b ->
-                 (* Same total order as the top-k heap — hotter first,
-                    ties toward the smaller pfn — so the two readout
-                    paths agree exactly on the hot prefix. *)
-                 let c = compare (heat_total b.node_accesses) (heat_total a.node_accesses) in
-                 if c <> 0 then c else compare a.pfn b.pfn)
-    in
+    let hot = read_hot ?top t in
     let link_util = Numa.Counters.last_link_utilisation counters in
     {
       controller_util = Numa.Counters.last_controller_utilisation counters;
@@ -165,7 +391,7 @@ module System_component = struct
             true
           end
 
-  let tracked_pages t = Hashtbl.length t.table
+  let tracked_pages t = t.live
 end
 
 module User_component = struct
@@ -198,19 +424,17 @@ module User_component = struct
 
   type action = { pfn : Memory.Page.pfn; dest : Numa.Topology.node; reason : reason }
 
-  let take n list =
-    let rec go n acc = function
-      | [] -> List.rev acc
-      | _ when n = 0 -> List.rev acc
-      | x :: rest -> go (n - 1) (x :: acc) rest
-    in
-    go n [] list
-
-  let reader_nodes node_accesses total =
-    Array.fold_left (fun acc c -> if c > 0.02 *. total then acc + 1 else acc) 0 node_accesses
+  let reader_nodes counts ~base ~nodes total =
+    let readers = ref 0 in
+    for j = 0 to nodes - 1 do
+      if counts.(base + j) > 0.02 *. total then incr readers
+    done;
+    !readers
 
   let decide config ~rng ~metrics ~current_node =
-    let hot = take config.max_hot_pages metrics.System_component.hot_pages in
+    let hot = metrics.System_component.hot_pages in
+    let n = min config.max_hot_pages hot.count in
+    let nodes = hot.nodes in
     let utils = metrics.System_component.controller_util in
     let mean_util = Sim.Stats.mean utils in
     let overloaded =
@@ -238,44 +462,62 @@ module User_component = struct
         actions := { pfn; dest; reason } :: !actions
       end
     in
-    (* Interleave heuristic: hot pages sitting on an overloaded
-       controller move to a random underloaded node. *)
-    if controllers_overloaded then
-      List.iter
-        (fun s ->
-          if System_component.heat_total s.node_accesses >= config.min_accesses then
-            match current_node s.pfn with
+    if controllers_overloaded || interconnect_saturated then begin
+      (* Rank once: only the rows clearing the heat threshold can act,
+         so only they are sorted — (key descending, pfn ascending), the
+         heat table's readout order — and both heuristics walk that
+         ranking.  The emitted actions, and the random-node draws, are
+         exactly those of a walk over a fully sorted readout. *)
+      let order = Array.make n 0 in
+      let tot = Array.make (max 1 n) 0.0 in
+      let m = ref 0 in
+      for i = 0 to n - 1 do
+        let t = row_total hot.counts ~base:(i * nodes) ~nodes in
+        if t >= config.min_accesses then begin
+          order.(!m) <- i;
+          tot.(i) <- t;
+          incr m
+        end
+      done;
+      let order = Array.sub order 0 !m in
+      rank_sort hot.keys hot.pfns order !m;
+      (* Interleave heuristic: hot pages sitting on an overloaded
+         controller move to a random underloaded node. *)
+      if controllers_overloaded then
+        Array.iter
+          (fun i ->
+            match current_node hot.pfns.(i) with
             | Some node when List.mem node overloaded ->
-                emit s.pfn (Sim.Rng.pick rng underloaded) Interleave
+                emit hot.pfns.(i) (Sim.Rng.pick rng underloaded) Interleave
             | Some _ | None -> ())
-        hot;
-    (* Under interconnect saturation: replicate hot read-only pages
-       with many readers (when enabled), migrate single-remote-reader
-       pages to their reader. *)
-    if interconnect_saturated then
-      List.iter
-        (fun s ->
-          let total = System_component.heat_total s.node_accesses in
-          if total >= config.min_accesses then begin
-            let readers = reader_nodes s.node_accesses total in
+          order;
+      (* Under interconnect saturation: replicate hot read-only pages
+         with many readers (when enabled), migrate single-remote-reader
+         pages to their reader. *)
+      if interconnect_saturated then
+        Array.iter
+          (fun i ->
+            let base = i * nodes in
+            let total = tot.(i) in
+            let readers = reader_nodes hot.counts ~base ~nodes total in
             if
               config.enable_replication
-              && s.read_fraction >= config.replication_read_threshold
+              && hot.read_fractions.(i) >= config.replication_read_threshold
               && readers >= config.min_reader_nodes
-            then emit s.pfn 0 Replicate
+            then emit hot.pfns.(i) 0 Replicate
             else begin
               let best = ref 0 in
-              Array.iteri
-                (fun n c -> if c > s.node_accesses.(!best) then best := n)
-                s.node_accesses;
-              let dominant = s.node_accesses.(!best) /. total in
+              for j = 0 to nodes - 1 do
+                if hot.counts.(base + j) > hot.counts.(base + !best) then best := j
+              done;
+              let dominant = hot.counts.(base + !best) /. total in
               if dominant >= config.dominant_fraction then
-                match current_node s.pfn with
-                | Some node when node <> !best -> emit s.pfn !best Locality
+                match current_node hot.pfns.(i) with
+                | Some node when node <> !best -> emit hot.pfns.(i) !best Locality
                 | Some _ | None -> ()
-            end
-          end)
-        hot;
+            end)
+          order
+    end;
     List.rev !actions
 end
 
@@ -288,10 +530,15 @@ type report = {
 
 let run_epoch ?(interleave_only = false) ?migrate sys ~config ~rng ~counters =
   let metrics =
-    System_component.read_metrics ~top:config.User_component.max_hot_pages sys ~counters
+    (* When the whole table fits in the readout cap, skip the ranking
+       heap: decide sorts the (few) threshold-clearing rows itself. *)
+    if System_component.tracked_pages sys <= config.User_component.max_hot_pages then
+      System_component.read_metrics_unranked sys ~counters
+    else System_component.read_metrics ~top:config.User_component.max_hot_pages sys ~counters
   in
   let actions =
-    User_component.decide config ~rng ~metrics ~current_node:(System_component.current_node sys)
+    User_component.decide config ~rng ~metrics
+      ~current_node:(System_component.current_node sys)
   in
   let do_migrate =
     match migrate with

@@ -34,6 +34,32 @@ type sample = {
           consumes it. *)
 }
 
+(** Flat hot-page readout, hottest first: row [i] of [counts] — the
+    [nodes] cells starting at [i * nodes] — is the per-node access
+    spread of [pfns.(i)].  Three arrays per readout instead of one
+    boxed {!sample} per page, so the per-period metrics hypercall stays
+    cheap at thousands of tracked pages. *)
+type hot = {
+  nodes : int;
+  count : int;
+  pfns : int array;
+  counts : float array;  (** [count * nodes], row-major. *)
+  read_fractions : float array;
+  keys : float array;
+      (** Ranking key per row — the heat table's accumulated total.
+          Rows need not arrive sorted: {!User_component.decide} ranks
+          candidate rows by (key descending, pfn ascending), the same
+          total order as the top-k readout. *)
+}
+
+val hot_of_samples : sample list -> hot
+(** Pack a sample list (in order) into the flat readout form — the
+    convenience path for tests and synthetic metrics; rows are padded
+    to the widest spread in the list and keyed by their row sums. *)
+
+val samples_of_hot : hot -> sample list
+(** Unpack a readout into per-page samples (copies the rows). *)
+
 module System_component : sig
   type t
 
@@ -58,7 +84,7 @@ module System_component : sig
     controller_util : float array;
     max_link_util : float;
     imbalance : float;
-    hot_pages : sample list;  (** Hottest first, capped. *)
+    hot_pages : hot;  (** Hottest first, capped. *)
   }
 
   val read_metrics : ?top:int -> t -> counters:Numa.Counters.t -> metrics
@@ -67,8 +93,9 @@ module System_component : sig
       [top] bounds the readout to the [top] hottest pages, selected
       with a min-heap ({!Sim.Stats.Topk}) instead of a full sort;
       omitted (or [<= 0]) returns the whole table sorted.  Both paths
-      order by (heat descending, pfn ascending), so [~top:k] returns
-      exactly the first [k] elements of the unbounded readout. *)
+      order by (accumulated heat descending, pfn ascending), so
+      [~top:k] returns exactly the first [k] elements of the unbounded
+      readout. *)
 
   val current_node : t -> Memory.Page.pfn -> Numa.Topology.node option
 

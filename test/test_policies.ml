@@ -157,7 +157,7 @@ let test_manager_first_touch_fault_places_locally () =
   let s = small_system () in
   let d, m = attach ~boot:Policies.Spec.first_touch s in
   (* Fault from a cpu on the second home node. *)
-  let cpu = List.hd (Numa.Topology.cpus_of_node s.Xen.System.topo 1) in
+  let cpu = (Numa.Topology.cpu_array_of_node s.Xen.System.topo 1).(0) in
   Alcotest.(check bool) "fault mapped" true
     (Xen.Domain.handle_fault d ~costs:s.Xen.System.costs ~pfn:0 ~cpu);
   Alcotest.(check (option int)) "on toucher's node" (Some 1) (Policies.Manager.node_of_pfn m 0);
@@ -233,7 +233,7 @@ let metrics ~controller_util ~max_link_util ~hot =
     Policies.Carrefour.System_component.controller_util;
     max_link_util;
     imbalance = Sim.Stats.relative_stddev controller_util;
-    hot_pages = hot;
+    hot_pages = Policies.Carrefour.hot_of_samples hot;
   }
 
 let hot_page ?(read_fraction = 0.5) pfn ~node ~count =
@@ -344,8 +344,12 @@ let test_carrefour_topk_matches_sort () =
     | x :: rest -> x :: take (n - 1) rest
   in
   let pfns l = List.map (fun (x : Policies.Carrefour.sample) -> x.Policies.Carrefour.pfn) l in
-  let full_hot = full.Policies.Carrefour.System_component.hot_pages in
-  let top_hot = top.Policies.Carrefour.System_component.hot_pages in
+  let full_hot =
+    Policies.Carrefour.samples_of_hot full.Policies.Carrefour.System_component.hot_pages
+  in
+  let top_hot =
+    Policies.Carrefour.samples_of_hot top.Policies.Carrefour.System_component.hot_pages
+  in
   Alcotest.(check (list int)) "top-k = prefix of the full sort"
     (pfns (take k full_hot)) (pfns top_hot);
   (* And the user component decides identically on both readouts. *)

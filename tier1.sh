@@ -84,6 +84,20 @@ cmp "$TRACE_DIR/hp1.jsonl" "$TRACE_DIR/hp4.jsonl" || {
 dune exec bin/xen_numa_trace.exe -- check "$TRACE_DIR/hp1.jsonl"
 echo "tier1: hugepage trace determinism OK ($(wc -l < "$TRACE_DIR/hp1.jsonl") JSONL lines)"
 
+# Intra-run sharding determinism: one fig2-style cell traced with the
+# epoch kernel unsharded and sharded over 4 team members must export
+# byte-identical JSONL — the sequential fixed-order reduction, not the
+# shard schedule, decides every accumulated bit.
+dune exec bin/xen_numa_sim.exe -- run pagerank -m linux -p first-touch/carrefour \
+  --inner-jobs 1 --trace "$TRACE_DIR/ij1.jsonl" >/dev/null
+dune exec bin/xen_numa_sim.exe -- run pagerank -m linux -p first-touch/carrefour \
+  --inner-jobs 4 --trace "$TRACE_DIR/ij4.jsonl" >/dev/null
+cmp "$TRACE_DIR/ij1.jsonl" "$TRACE_DIR/ij4.jsonl" || {
+  echo "tier1: FAIL - traces differ between --inner-jobs 1 and --inner-jobs 4" >&2
+  exit 1
+}
+echo "tier1: inner-jobs trace determinism OK ($(wc -l < "$TRACE_DIR/ij1.jsonl") JSONL lines)"
+
 # Short randomised chaos pass: a fresh QCHECK_SEED (overridable for
 # replay) re-runs the fault-injection property suite, whose
 # frame-accounting invariant (no leaks, no double frees) fails the
@@ -95,11 +109,14 @@ dune exec test/test_main.exe -- test faults
 
 # Same randomised seed over the property suites: the buddy partition
 # invariant, the P2M superpage consistency invariant, the top-k heap
-# invariant, and the batched-vs-per-page P2M equivalence.
+# invariant, the batched-vs-per-page P2M equivalence, and the
+# intra-run sharding invariants (partition tiling, per-vCPU stream
+# independence, sharded-equals-unsharded results).
 echo "tier1: randomised property pass (QCHECK_SEED=$QCHECK_SEED)"
 dune exec test/test_main.exe -- test memory.buddy
 dune exec test/test_main.exe -- test xen.p2m
 dune exec test/test_main.exe -- test stats.topk
 dune exec test/test_main.exe -- test xen.p2m.batch
+dune exec test/test_main.exe -- test engine.shard
 
 echo "tier1: OK"
