@@ -241,6 +241,10 @@ let sections : (string * (unit -> unit)) list =
       fun () ->
         section "Hugepage (2 MiB P2M superpages on/off)";
         Experiments.Hugepage.print () );
+    ( "ras",
+      fun () ->
+        section "Memory RAS (ECC errors and node failure)";
+        Experiments.Ras.print () );
     ("micro", run_micro);
   ]
 
@@ -413,6 +417,14 @@ let compare_report file ~jobs ~timings =
             (100.0 *. delta) speedup;
           if delta > compare_threshold then regressed := (name, delta) :: !regressed)
     timings;
+  (* Sections present in only one of the two files are informational:
+     a reference from before a section existed (or a run of a subset)
+     must not fail the gate. *)
+  List.iter
+    (fun (name, before) ->
+      if not (List.mem_assoc name timings) then
+        Printf.printf "%-12s %10.2f %10s %9s %9s\n" name before "-" "ref-only" "-")
+    old_sections;
   if !now_sum > 0.0 && !ref_sum > 0.0 then
     Printf.printf "%-12s %10.2f %10.2f %9s %8.2fx\n" "(shared)" !ref_sum !now_sum "-"
       (!ref_sum /. !now_sum);

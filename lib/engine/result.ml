@@ -8,6 +8,11 @@ type degradation = {
   lost_batches : int;
   reconciled : int;
   backoff_time : float;
+  ecc_ce : int;
+  ecc_ue : int;
+  offlined : int;
+  evacuated : int;
+  evac_epochs : int;
 }
 
 let no_degradation =
@@ -21,6 +26,11 @@ let no_degradation =
     lost_batches = 0;
     reconciled = 0;
     backoff_time = 0.0;
+    ecc_ce = 0;
+    ecc_ue = 0;
+    offlined = 0;
+    evacuated = 0;
+    evac_epochs = 0;
   }
 
 type vm_result = {
@@ -92,6 +102,14 @@ let pp fmt t =
            trips (level %d), %d lost batches, %d reconciled@,"
           vm.app_name d.migrate_retries d.deferred d.drained d.fallback_maps d.breaker_trips
           d.breaker_level d.lost_batches d.reconciled)
+    t.vms;
+  List.iter
+    (fun vm ->
+      let d = vm.degradation in
+      if d.ecc_ce > 0 || d.ecc_ue > 0 || d.offlined > 0 || d.evacuated > 0 then
+        Format.fprintf fmt
+          "%-14s ras: %d CE, %d UE, %d frames offlined, %d evacuated over %d epochs@,"
+          vm.app_name d.ecc_ce d.ecc_ue d.offlined d.evacuated d.evac_epochs)
     t.vms;
   Format.fprintf fmt "imbalance %.0f%%, interconnect %.0f%%, %d epochs" (100.0 *. t.imbalance)
     (100.0 *. t.interconnect_load)

@@ -10,6 +10,11 @@ type degradation = {
   lost_batches : int;  (** Page-ops batches lost in transit. *)
   reconciled : int;  (** Stale P2M entries healed by reconciliation. *)
   backoff_time : float;  (** Simulated seconds spent backing off. *)
+  ecc_ce : int;  (** Correctable ECC errors scrubbed. *)
+  ecc_ue : int;  (** Uncorrectable ECC errors handled. *)
+  offlined : int;  (** Machine frames retired by the UE handler. *)
+  evacuated : int;  (** Frames moved off failing nodes. *)
+  evac_epochs : int;  (** Epochs a node evacuation was in progress. *)
 }
 
 val no_degradation : degradation

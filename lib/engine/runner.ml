@@ -715,6 +715,58 @@ let refresh_placement st =
             end)
   done
 
+(* Re-resolve every region page's node through the P2M: while an
+   evacuation drain is in flight placement moves wholesale, far beyond
+   what the per-sample Carrefour refresh can track, and traffic routed
+   at the stale (collapsing) node would never recover. *)
+let refresh_region st region =
+  let read_fraction = st.spec.Config.app.Workloads.App.read_fraction in
+  let nodes = Array.length region.node_weight in
+  Array.fill region.node_weight 0 nodes 0.0;
+  region.replicated_local <- 0.0;
+  Array.iteri
+    (fun i pfn ->
+      (match Policies.Manager.node_of_pfn st.manager pfn with
+      | Some node -> region.page_node.(i) <- node
+      | None -> ());
+      let node = region.page_node.(i) in
+      let w = eff_weight region i in
+      if Bytes.get region.replicated i <> '\000' then begin
+        region.node_weight.(node) <- region.node_weight.(node) +. (w *. (1.0 -. read_fraction));
+        region.replicated_local <- region.replicated_local +. (w *. read_fraction)
+      end
+      else region.node_weight.(node) <- region.node_weight.(node) +. w)
+    region.pfns
+
+let refresh_regions st =
+  refresh_region st st.shared;
+  Array.iter (refresh_region st) st.privates
+
+(* Targeted variant for sparse placement changes (the UE remap): move
+   one page's popularity between nodes. *)
+let update_page_node st pfn =
+  if pfn < Array.length st.pfn_owner then begin
+    let owner = st.pfn_owner.(pfn) in
+    if owner >= 0 then
+      match Policies.Manager.node_of_pfn st.manager pfn with
+      | None -> ()
+      | Some node ->
+          let region = if owner = 0 then st.shared else st.privates.(owner - 1) in
+          let i = st.pfn_slot.(pfn) in
+          let old_node = region.page_node.(i) in
+          if old_node <> node then begin
+            let read_fraction = st.spec.Config.app.Workloads.App.read_fraction in
+            let w = eff_weight region i in
+            let moved =
+              if Bytes.get region.replicated i <> '\000' then w *. (1.0 -. read_fraction)
+              else w
+            in
+            region.node_weight.(old_node) <- region.node_weight.(old_node) -. moved;
+            region.node_weight.(node) <- region.node_weight.(node) +. moved;
+            region.page_node.(i) <- node
+          end
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Completion accounting                                               *)
 (* ------------------------------------------------------------------ *)
@@ -746,6 +798,11 @@ let vm_degradation st =
     lost_batches = d.Policies.Manager.lost_batches;
     reconciled = d.Policies.Manager.reconciled;
     backoff_time = d.Policies.Manager.backoff_time;
+    ecc_ce = d.Policies.Manager.ecc_ce;
+    ecc_ue = d.Policies.Manager.ecc_ue;
+    offlined = d.Policies.Manager.offlined;
+    evacuated = d.Policies.Manager.evacuated;
+    evac_epochs = d.Policies.Manager.evac_epochs;
   }
 
 let vm_result cfg system st =
@@ -866,6 +923,20 @@ let run (cfg : Config.t) =
   Faults.Injector.install injector system;
   let faults_on = Faults.Injector.enabled injector in
   let states = List.map (setup_vm cfg system injector root_rng) cfg.Config.vms in
+  (* Node-fail targets are drawn from the union of the guests' home
+     nodes, so an injected failure always lands where memory lives.
+     Safe after setup: at epoch -1 nothing is armed, so boot drew
+     nothing from the injector's stream. *)
+  (let seen = Array.make (Numa.Topology.node_count topo) false in
+   List.iter
+     (fun st -> Array.iter (fun n -> seen.(n) <- true) st.domain.Xen.Domain.home_nodes)
+     states;
+   let candidates =
+     Array.of_list
+       (List.filter (fun n -> seen.(n)) (List.init (Array.length seen) Fun.id))
+   in
+   Faults.Injector.assign_node_targets injector ~candidates
+     ~nodes:(Numa.Topology.node_count topo) ());
   (match obs_stream with
   | None -> ()
   | Some _ ->
@@ -913,6 +984,12 @@ let run (cfg : Config.t) =
   in
   let node_demand = Array.make nodes 0.0 in
   let node_scale = Array.make nodes 1.0 in
+  (* RAS state: per-node effective capacity and bandwidth factor (both
+     move only under a [node_fail] plan) and the failing state seen
+     last epoch, for transition detection. *)
+  let node_capacity = Array.make nodes controller_capacity in
+  let bw_factor = Array.make nodes 1.0 in
+  let node_was_failing = Array.make nodes false in
   (* Per-epoch memo of the (src, dst) memory latency: topology distance
      is static and route saturation is a last-epoch snapshot, so within
      one epoch every thread pair sharing (src, dst) sees the same
@@ -940,6 +1017,43 @@ let run (cfg : Config.t) =
         Obs.Stream.set_time stream !now;
         Obs.Stream.emit ~arg:!epochs stream Obs.Event.Epoch_boundary);
     Faults.Injector.set_epoch injector !epochs;
+    if faults_on then begin
+      (* Node RAS: mirror the injector's failing state into the
+         topology mask.  At a failing transition the node's machine
+         frames are retired immediately (free ones now, mapped ones
+         when freed) and every domain starts draining its resident
+         frames; a recovered node rejoins the mask and pool. *)
+      for n = 0 to nodes - 1 do
+        bw_factor.(n) <- Faults.Injector.node_bandwidth_factor injector ~node:n;
+        node_capacity.(n) <- controller_capacity *. Float.max 0.01 bw_factor.(n);
+        let failing = Faults.Injector.node_failing injector ~node:n in
+        if failing && not node_was_failing.(n) then begin
+          node_was_failing.(n) <- true;
+          Numa.Topology.set_node_online topo n false;
+          ignore (Memory.Machine.offline_node system.Xen.System.machine n);
+          List.iter (fun st -> Policies.Manager.request_evacuation st.manager ~node:n) states
+        end
+        else if (not failing) && node_was_failing.(n) then begin
+          node_was_failing.(n) <- false;
+          Numa.Topology.set_node_online topo n true;
+          ignore (Memory.Machine.online_node system.Xen.System.machine n);
+          List.iter (fun st -> Policies.Manager.cancel_evacuation st.manager ~node:n) states
+        end
+      done;
+      (* ECC: per-domain draws in VM order — sequential by
+         construction, since fault runs force [inner_jobs] to 1. *)
+      List.iter
+        (fun st ->
+          if vm_running st then
+            List.iter
+              (function
+                | Faults.Injector.Ce pfn -> Policies.Manager.handle_ecc_ce st.manager ~pfn
+                | Faults.Injector.Ue pfn ->
+                    Policies.Manager.handle_ecc_ue st.manager ~pfn;
+                    update_page_node st pfn)
+              (Faults.Injector.ecc_events injector ~frames:st.domain.Xen.Domain.mem_frames))
+        states
+    end;
     Array.fill node_demand 0 nodes 0.0;
     (* Credit-scheduler accounting period: rebalance unpinned vCPUs
        onto idle pCPUs.  The vCPU moves; its memory does not — exactly
@@ -1064,7 +1178,7 @@ let run (cfg : Config.t) =
       states;
     for n = 0 to nodes - 1 do
       node_scale.(n) <-
-        (if node_demand.(n) > controller_capacity then controller_capacity /. node_demand.(n)
+        (if node_demand.(n) > node_capacity.(n) then node_capacity.(n) /. node_demand.(n)
          else 1.0)
     done;
     List.iteri
@@ -1121,6 +1235,9 @@ let run (cfg : Config.t) =
       for dst = 0 to nodes - 1 do
         let hops = Numa.Topology.distance topo src dst in
         let sat = Numa.Counters.max_route_saturation counters ~src ~dst in
+        (* A degraded destination controller behaves like a saturated
+           one: retries and dropped bandwidth inflate latency. *)
+        let sat = if faults_on then sat +. (1.0 -. bw_factor.(dst)) else sat in
         lat_memo.((src * nodes) + dst) <- Numa.Latency.mem_cycles latency ~hops ~saturation:sat
       done
     done;
@@ -1187,10 +1304,16 @@ let run (cfg : Config.t) =
              periodically reconcile the P2M against the guest free
              list.  Only under fault injection — a clean run must stay
              bit-identical to the pre-faults engine. *)
-          if faults_on then
+          if faults_on then begin
+            let was_evacuating = Policies.Manager.evacuating st.manager >= 0 in
             Policies.Manager.epoch_tick st.manager ~epoch:!epochs
               ~guest_free:(fun pfn -> Guest.Pfn_pool.is_free st.pool pfn)
-              ()
+              ();
+            (* During (and right after) a drain the placement cache is
+               wholesale-stale: re-resolve it through the P2M. *)
+            if was_evacuating || Policies.Manager.evacuating st.manager >= 0 then
+              refresh_regions st
+          end
           else if Policies.Manager.superpages_enabled st.manager then
             (* Clean runs historically skip the tick; superpage runs
                need it for the promotion scan (drain/breaker parts are

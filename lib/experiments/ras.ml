@@ -1,0 +1,106 @@
+(* Memory-RAS runs: hardware fault scenarios (ECC error storms and a
+   whole-node failure) over a small workload x policy grid, reporting
+   the RAS degradation counters the engine surfaces.  The node-fail
+   scenario is the headline: the failing node's bandwidth collapses
+   over a 100-epoch drain window, the node then goes offline, and every
+   run must still complete with the node fully evacuated. *)
+
+let scenarios =
+  [
+    ("none", "none");
+    ("ce-storm", "ecc-ce=0.9");
+    ("ue-sparse", "ecc-ue=0.05");
+    ("node-fail", "node_fail=1.0@50-150");
+  ]
+
+let cells =
+  [
+    ("swaptions", "ft", Policies.Spec.first_touch);
+    ("swaptions", "4k/cfr", Policies.Spec.round_4k_carrefour);
+    ("wrmem", "ft", Policies.Spec.first_touch);
+    ("wrmem", "4k/cfr", Policies.Spec.round_4k_carrefour);
+  ]
+
+(* Same eager thresholds as the chaos grid, for the same reason: the
+   carrefour cells must actually reach the migration path so the
+   evacuation drain competes with policy traffic. *)
+let eager_carrefour =
+  {
+    Policies.Carrefour.User_component.default_config with
+    Policies.Carrefour.User_component.mc_threshold = 0.30;
+    ic_threshold = 0.05;
+    dominant_fraction = 0.60;
+    min_accesses = 2.0;
+  }
+
+let max_epochs = 5_000
+
+(* Same scheme as Runs.task_seed / Chaos.plan_seed: each cell's stream
+   is a pure function of (cell label, base seed), so the parallel sweep
+   is bit-identical to the sequential one whatever the schedule. *)
+let cell_seed ~base label =
+  let h = ref 0x811C9DC5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF) label;
+  (base * 0x9E3779B1 lxor !h) land 0x3FFFFFFF
+
+let run_one ~seed ~app_name ~policy plan =
+  let app =
+    match Workloads.Catalogue.find app_name with Some a -> a | None -> assert false
+  in
+  let vm = Engine.Config.vm ~threads:16 ~policy app in
+  let faults = Faults.Plan.of_string_exn plan in
+  let cfg =
+    Engine.Config.make
+      ~seed:(cell_seed ~base:seed (app_name ^ "|" ^ plan))
+      ~max_epochs ~faults ~carrefour_config:eager_carrefour ~mode:Engine.Config.Xen_plus
+      [ vm ]
+  in
+  Engine.Runner.run cfg
+
+let grid = List.concat_map (fun cell -> List.map (fun sc -> (cell, sc)) scenarios) cells
+
+let run ?(seed = 42) () =
+  Array.to_list
+    (Engine.Pool.run_all
+       (Array.of_list
+          (List.map
+             (fun ((app_name, _, policy), (_, plan)) () -> run_one ~seed ~app_name ~policy plan)
+             grid)))
+
+let print ?seed () =
+  let results = run ?seed () in
+  let tagged = List.combine grid results in
+  let baseline app_name policy_label =
+    List.find_map
+      (fun (((a, p, _), (sc, _)), (r : Engine.Result.t)) ->
+        if a = app_name && p = policy_label && sc = "none" then
+          Some (Engine.Result.single r).Engine.Result.completion
+        else None)
+      tagged
+  in
+  Report.Table.print
+    ~header:(Report.Table.ras_header ~first:"cell")
+    (List.map
+       (fun (((app_name, policy_label, _), (sc, _)), (result : Engine.Result.t)) ->
+         let vm = Engine.Result.single result in
+         let d = vm.Engine.Result.degradation in
+         let base =
+           match baseline app_name policy_label with Some b -> b | None -> assert false
+         in
+         Report.Table.ras_row
+           ~first:(app_name ^ "/" ^ policy_label)
+           ~scenario:sc ~injected:result.Engine.Result.faults_injected
+           ~ce:d.Engine.Result.ecc_ce ~ue:d.Engine.Result.ecc_ue
+           ~offlined:d.Engine.Result.offlined ~evacuated:d.Engine.Result.evacuated
+           ~evac_epochs:d.Engine.Result.evac_epochs ~completion:vm.Engine.Result.completion
+           ~slowdown:(vm.Engine.Result.completion /. base))
+       tagged);
+  print_newline ();
+  (* Robustness headline: every scenario completes — a node failure
+     degrades throughput, it never wedges a run. *)
+  List.iter
+    (fun (((app_name, policy_label, _), (sc, _)), (result : Engine.Result.t)) ->
+      if result.Engine.Result.epochs >= max_epochs then
+        Printf.printf "WARNING: cell %s/%s scenario %S hit the epoch cap without completing\n"
+          app_name policy_label sc)
+    tagged

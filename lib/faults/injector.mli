@@ -19,6 +19,9 @@ type stats = {
   mutable hypercall_errors : int; (** Transient hypercall failures. *)
   mutable iommu_faults : int;     (** Injected asynchronous IOMMU faults. *)
   mutable vcpu_stalls : int;      (** Stolen vCPU epochs. *)
+  mutable ecc_ce_errors : int;    (** Correctable ECC errors (scrubbed). *)
+  mutable ecc_ue_errors : int;    (** Uncorrectable ECC errors (offlined). *)
+  mutable node_failures : int;    (** Nodes that entered the failing state. *)
 }
 
 type t
@@ -46,6 +49,47 @@ val op_dropped : t -> bool
 val hypercall_fails : t -> bool
 val iommu_faults : t -> bool
 val vcpu_stalls : t -> bool
+
+(** {2 Hardware RAS: ECC errors and node failure} *)
+
+val default_drain_window : int
+(** Epochs a [node_fail] drain window spans when the plan omits
+    [UNTIL] (50). *)
+
+val assign_node_targets : t -> ?candidates:int array -> nodes:int -> unit -> unit
+(** Draw the target node of every [Node_fail] spec from the private
+    stream, once, in plan order — call before epoch 0.  A non-empty
+    [candidates] restricts the draw to those nodes (the engine passes
+    the union of guest home nodes, so a failure always lands where
+    memory lives); exactly one draw per spec either way.  Idempotent:
+    later calls never re-draw. *)
+
+val node_failing : t -> node:Numa.Topology.node -> bool
+(** The node is inside an armed failing window (or permanently failed).
+    No draws; failing nodes also veto allocations via
+    {!alloc_fails}. *)
+
+val node_offline : t -> node:Numa.Topology.node -> bool
+(** A permanent ([rate >= 1.0]) failure's drain window has closed: the
+    node is gone for good. *)
+
+val node_bandwidth_factor : t -> node:Numa.Topology.node -> float
+(** Bandwidth multiplier in [\[0, 1\]]: 1.0 while healthy, collapsing
+    linearly towards [1 - rate] across the drain window.  Pure — no
+    draws. *)
+
+val node_fail_targets : t -> Numa.Topology.node list
+(** Target nodes of the plan's [Node_fail] specs, in plan order (empty
+    until {!assign_node_targets} ran). *)
+
+type ecc_event = Ce of int | Ue of int  (** pfn payload *)
+
+val ecc_events : t -> frames:int -> ecc_event list
+(** Per-epoch ECC draws for one domain of [frames] guest frames, in
+    plan order.  Every armed ECC spec draws a bernoulli {e and} a
+    uniform pfn whether or not it fires, so the stream advance is a
+    function of the plan and epoch alone.  Call from the sequential
+    section only (fault runs force [--inner-jobs 1]). *)
 
 val stats : t -> stats
 val total_injected : t -> int

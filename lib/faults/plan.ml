@@ -14,6 +14,9 @@ type site =
   | Hypercall_flaky of float
   | Iommu_storm of float
   | Vcpu_stall of float
+  | Ecc_ce of float
+  | Ecc_ue of float
+  | Node_fail of float
 
 type spec = { site : site; window : window }
 
@@ -35,10 +38,18 @@ let site_name = function
   | Hypercall_flaky _ -> "hypercall"
   | Iommu_storm _ -> "iommu"
   | Vcpu_stall _ -> "stall"
+  | Ecc_ce _ -> "ecc-ce"
+  | Ecc_ue _ -> "ecc-ue"
+  | Node_fail _ -> "node_fail"
+
+let valid_site_names =
+  [ "alloc"; "node-off"; "migrate"; "batch-loss"; "op-drop"; "hypercall";
+    "iommu"; "stall"; "ecc-ce"; "ecc-ue"; "node_fail" ]
 
 let site_rate = function
   | Alloc_flaky r | Migrate_enomem r | Batch_loss r | Op_drop r
-  | Hypercall_flaky r | Iommu_storm r | Vcpu_stall r -> Some r
+  | Hypercall_flaky r | Iommu_storm r | Vcpu_stall r
+  | Ecc_ce r | Ecc_ue r | Node_fail r -> Some r
   | Node_offline _ -> None
 
 let validate_spec s =
@@ -122,11 +133,17 @@ let parse_token token =
           | "hypercall" -> rate_site (fun r -> Hypercall_flaky r)
           | "iommu" -> rate_site (fun r -> Iommu_storm r)
           | "stall" -> rate_site (fun r -> Vcpu_stall r)
+          | "ecc-ce" -> rate_site (fun r -> Ecc_ce r)
+          | "ecc-ue" -> rate_site (fun r -> Ecc_ue r)
+          | "node_fail" | "node-fail" -> rate_site (fun r -> Node_fail r)
           | "node-off" -> (
               match int_of_string_opt value with
               | Some node -> Ok { site = Node_offline node; window }
               | None -> Error (Printf.sprintf "node-off: bad node %S" value))
-          | _ -> Error (Printf.sprintf "unknown fault site %S" name)))
+          | _ ->
+              Error
+                (Printf.sprintf "unknown fault site %S (valid sites: %s)" name
+                   (String.concat ", " valid_site_names))))
 
 let of_string s =
   let s = String.trim s in

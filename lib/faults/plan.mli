@@ -40,6 +40,21 @@ type site =
   | Vcpu_stall of float
       (** A running vCPU makes no progress for one epoch (interrupt
           storm, co-scheduling hiccup). *)
+  | Ecc_ce of float
+      (** Correctable ECC error on a random mapped pfn each epoch with
+          this probability: the frame is scrubbed in place (latency
+          penalty), nothing moves. *)
+  | Ecc_ue of float
+      (** Uncorrectable ECC error on a random mapped pfn: the backing
+          mfn must be offlined and the guest frame remapped onto a
+          fresh frame. *)
+  | Node_fail of float
+      (** A whole node starts failing: its memory bandwidth collapses
+          by [rate] over the armed window (the drain window, default 50
+          epochs when [UNTIL] is omitted), the node leaves the dynamic
+          {!Numa.Topology} node mask at [FROM], and at [rate >= 1.0] it
+          is permanently offlined once the window closes.  The target
+          node is drawn deterministically by the injector. *)
 
 type spec = { site : site; window : window }
 
@@ -55,15 +70,24 @@ val spec : ?from_epoch:int -> ?until_epoch:int -> site -> spec
 val validate : t -> (t, string) result
 (** Check every rate is within [0, 1] and every window well-formed. *)
 
+val valid_site_names : string list
+(** Every site name {!of_string} accepts, in declaration order — the
+    list quoted by the unknown-site parse error. *)
+
+val site_name : site -> string
+(** Canonical token for the site ([Node_fail _] is ["node_fail"]). *)
+
 val of_string : string -> (t, string) result
 (** Parse a comma-separated plan.  Each element is
     [site=value\[\@FROM\[-UNTIL\]\]] where [site] is one of [alloc],
     [node-off], [migrate], [batch-loss], [op-drop], [hypercall],
-    [iommu], [stall]; [value] is a rate in [0, 1] (a node id for
+    [iommu], [stall], [ecc-ce], [ecc-ue], [node_fail] ([node-fail] is
+    accepted as an alias); [value] is a rate in [0, 1] (a node id for
     [node-off]); [FROM]/[UNTIL] bound the armed epochs ([UNTIL]
-    exclusive, open-ended when omitted).  Examples:
+    exclusive, open-ended when omitted).  An unknown site name is an
+    error that lists every valid site.  Examples:
     ["migrate=1.0"], ["alloc=0.3\@50-150,stall=0.01"],
-    ["node-off=2\@100-"]. *)
+    ["node-off=2\@100-"], ["node_fail=1.0\@50-150"]. *)
 
 val of_string_exn : string -> t
 (** @raise Invalid_argument on a malformed plan. *)

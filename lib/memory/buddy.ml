@@ -10,7 +10,14 @@ type t = {
      order starts at frame f; detects double frees and order
      mismatches. *)
   allocated : Bytes.t;
+  (* offline.(f - base): '\000' healthy, '\001' offlined (out of the
+     arena, never re-allocated), '\002' offline pending — the frame was
+     allocated when the offline request arrived and converts to
+     offlined the moment it is freed. *)
+  offline : Bytes.t;
   mutable free : int;
+  mutable offlined : int;
+  mutable offline_pending : int;
 }
 
 let block_frames order = 1 lsl order
@@ -23,7 +30,8 @@ let create ~base ~frames =
   if base < 0 then invalid_arg "Buddy.create: negative base";
   let t =
     { base; total = frames; free_sets = Array.make (max_order + 1) Int_set.empty;
-      allocated = Bytes.make frames '\000'; free = 0 }
+      allocated = Bytes.make frames '\000'; offline = Bytes.make frames '\000';
+      free = 0; offlined = 0; offline_pending = 0 }
   in
   let trailing_zeros n =
     let rec tz n i = if n land 1 = 1 then i else tz (n lsr 1) (i + 1) in
@@ -44,6 +52,13 @@ let create ~base ~frames =
 
 let free_frames t = t.free
 let total_frames t = t.total
+let offlined_frames t = t.offlined
+let offline_pending_frames t = t.offline_pending
+
+let offline_state t frame = Bytes.get t.offline (frame - t.base)
+
+let is_offlined t ~frame =
+  frame >= t.base && frame < t.base + t.total && offline_state t frame = '\001'
 
 let largest_free_order t =
   let rec scan o = if o < 0 then None else if Int_set.is_empty t.free_sets.(o) then scan (o - 1) else Some o in
@@ -87,6 +102,18 @@ let split_allocation t ~base ~order =
 let in_range t ~base ~order =
   base >= t.base && base + block_frames order <= t.base + t.total
 
+let rec coalesce t base order =
+  if order >= max_order then add_block t ~base ~order
+  else begin
+    let buddy = base lxor block_frames order in
+    if Int_set.mem buddy t.free_sets.(order) && in_range t ~base:(min base buddy) ~order:(order + 1)
+    then begin
+      t.free_sets.(order) <- Int_set.remove buddy t.free_sets.(order);
+      coalesce t (min base buddy) (order + 1)
+    end
+    else add_block t ~base ~order
+  end
+
 let free t ~base ~order =
   if order < 0 || order > max_order then invalid_arg "Buddy.free: bad order";
   if not (in_range t ~base ~order) then invalid_arg "Buddy.free: block out of range";
@@ -95,20 +122,31 @@ let free t ~base ~order =
   | tag when tag - 1 <> order -> invalid_arg "Buddy.free: order mismatch"
   | _ -> ());
   Bytes.set t.allocated (base - t.base) '\000';
-  t.free <- t.free + block_frames order;
-  let rec coalesce base order =
-    if order >= max_order then add_block t ~base ~order
-    else begin
-      let buddy = base lxor block_frames order in
-      if Int_set.mem buddy t.free_sets.(order) && in_range t ~base:(min base buddy) ~order:(order + 1)
-      then begin
-        t.free_sets.(order) <- Int_set.remove buddy t.free_sets.(order);
-        coalesce (min base buddy) (order + 1)
+  let pending = ref false in
+  for f = base to base + block_frames order - 1 do
+    if offline_state t f = '\002' then pending := true
+  done;
+  if not !pending then begin
+    t.free <- t.free + block_frames order;
+    coalesce t base order
+  end
+  else begin
+    (* An offline request arrived while the block was allocated: the
+       pending frames leave the arena now instead of returning to the
+       free pool; any healthy frames of a mixed block come back one at
+       a time (coalescing as usual). *)
+    for f = base to base + block_frames order - 1 do
+      if offline_state t f = '\002' then begin
+        Bytes.set t.offline (f - t.base) '\001';
+        t.offline_pending <- t.offline_pending - 1;
+        t.offlined <- t.offlined + 1
       end
-      else add_block t ~base ~order
-    end
-  in
-  coalesce base order
+      else begin
+        t.free <- t.free + 1;
+        coalesce t f 0
+      end
+    done
+  end
 
 let reserve t ~base ~frames =
   let lo = base and hi = base + frames in
@@ -143,3 +181,77 @@ let reserve t ~base ~frames =
       overlapping
   done;
   !reserved
+
+let offline_range t ~base ~frames =
+  if frames < 0 then invalid_arg "Buddy.offline_range: negative frames";
+  let lo = max base t.base and hi = min (base + frames) (t.base + t.total) in
+  if lo >= hi then (0, 0)
+  else begin
+    let offlined_now = ref 0 in
+    (* Carve every free block intersecting [lo, hi): the in-range part
+       leaves the arena as offlined frames, the rest re-enters the free
+       sets (same recursion as [reserve]). *)
+    let rec carve block order =
+      let b_lo = block and b_hi = block + block_frames order in
+      if b_hi <= lo || b_lo >= hi then add_block t ~base:block ~order
+      else if b_lo >= lo && b_hi <= hi then begin
+        for f = b_lo to b_hi - 1 do
+          Bytes.set t.offline (f - t.base) '\001'
+        done;
+        offlined_now := !offlined_now + block_frames order;
+        t.free <- t.free - block_frames order;
+        t.offlined <- t.offlined + block_frames order
+      end
+      else begin
+        assert (order > 0);
+        let o' = order - 1 in
+        carve block o';
+        carve (block + block_frames o') o'
+      end
+    in
+    for order = 0 to max_order do
+      let overlapping =
+        Int_set.filter
+          (fun block -> block < hi && block + block_frames order > lo)
+          t.free_sets.(order)
+      in
+      Int_set.iter
+        (fun block ->
+          t.free_sets.(order) <- Int_set.remove block t.free_sets.(order);
+          carve block order)
+        overlapping
+    done;
+    (* Whatever in-range frame is still healthy must be allocated:
+       mark it offline-pending so [free] retires it instead of
+       recycling it. *)
+    let pending = ref 0 in
+    for f = lo to hi - 1 do
+      if offline_state t f = '\000' then begin
+        Bytes.set t.offline (f - t.base) '\002';
+        t.offline_pending <- t.offline_pending + 1;
+        incr pending
+      end
+    done;
+    (!offlined_now, !pending)
+  end
+
+let online_range t ~base ~frames =
+  if frames < 0 then invalid_arg "Buddy.online_range: negative frames";
+  let lo = max base t.base and hi = min (base + frames) (t.base + t.total) in
+  let restored = ref 0 in
+  for f = lo to hi - 1 do
+    match offline_state t f with
+    | '\001' ->
+        Bytes.set t.offline (f - t.base) '\000';
+        t.offlined <- t.offlined - 1;
+        t.free <- t.free + 1;
+        coalesce t f 0;
+        incr restored
+    | '\002' ->
+        (* Cancel a pending offline: the frame stays allocated and will
+           return to the free pool normally. *)
+        Bytes.set t.offline (f - t.base) '\000';
+        t.offline_pending <- t.offline_pending - 1
+    | _ -> ()
+  done;
+  !restored

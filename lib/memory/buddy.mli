@@ -50,3 +50,31 @@ val reserve : t -> base:int -> frames:int -> int
 (** [reserve t ~base ~frames] removes the given frame range from the
     free pool (used to model BIOS / I/O holes).  Frames already
     allocated are skipped; returns the number actually reserved. *)
+
+(** {2 RAS page offlining}
+
+    Offlined frames leave the arena for good: they are removed from the
+    free sets, can never be re-allocated, and the partition invariant
+    becomes free + allocated + offlined = total (pending frames count
+    as allocated until freed). *)
+
+val offline_range : t -> base:int -> frames:int -> int * int
+(** [offline_range t ~base ~frames] retires the intersection of the
+    range with the arena: free frames are offlined immediately,
+    allocated frames are marked offline-pending and retire when freed.
+    Returns [(offlined_now, pending)].  Idempotent on already-offlined
+    or already-pending frames. *)
+
+val online_range : t -> base:int -> frames:int -> int
+(** Undo {!offline_range}: offlined frames rejoin the free pool
+    (coalescing as usual), pending marks are cancelled.  Returns the
+    number of frames restored to the free pool. *)
+
+val offlined_frames : t -> int
+(** Frames currently retired from the arena. *)
+
+val offline_pending_frames : t -> int
+(** Allocated frames that will retire on free. *)
+
+val is_offlined : t -> frame:int -> bool
+(** The frame is retired (out-of-range frames are [false]). *)

@@ -55,9 +55,12 @@ let order_2m t = scaled_order t Page.order_2m
 
 let alloc_on t ~node ~order =
   assert (node >= 0 && node < Array.length t.pools);
-  match t.alloc_veto with
-  | Some veto when veto ~node ~order -> None
-  | Some _ | None -> Buddy.alloc t.pools.(node) ~order
+  if not (Numa.Topology.node_online t.topo node) then None
+  else begin
+    match t.alloc_veto with
+    | Some veto when veto ~node ~order -> None
+    | Some _ | None -> Buddy.alloc t.pools.(node) ~order
+  end
 
 let alloc_frame t ~node = alloc_on t ~node ~order:0
 
@@ -71,7 +74,8 @@ let alloc_frame_fallback t ~prefer =
         else begin
           let node = t.fallback_cursor mod nodes in
           t.fallback_cursor <- (t.fallback_cursor + 1) mod nodes;
-          if node = prefer then try_next (attempts - 1)
+          if node = prefer || not (Numa.Topology.node_online t.topo node) then
+            try_next (attempts - 1)
           else
             match alloc_frame t ~node with
             | Some mfn -> Some mfn
@@ -98,3 +102,38 @@ let free_frames t = Array.fold_left (fun acc pool -> acc + Buddy.free_frames poo
 
 let used_frames_per_node t =
   Array.map (fun pool -> Buddy.total_frames pool - Buddy.free_frames pool) t.pools
+
+(* ------------------------------------------------------------------ *)
+(* RAS page / node offlining                                           *)
+(* ------------------------------------------------------------------ *)
+
+let offline_mfn t mfn =
+  let node = node_of_mfn t mfn in
+  match Buddy.offline_range t.pools.(node) ~base:mfn ~frames:1 with
+  | 1, 0 -> `Offlined
+  | 0, 1 -> `Pending
+  | _ -> `Already
+
+let offline_node t node =
+  assert (node >= 0 && node < Array.length t.pools);
+  Buddy.offline_range t.pools.(node) ~base:(node * t.frames_per_node)
+    ~frames:t.frames_per_node
+
+let online_node t node =
+  assert (node >= 0 && node < Array.length t.pools);
+  Buddy.online_range t.pools.(node) ~base:(node * t.frames_per_node)
+    ~frames:t.frames_per_node
+
+let is_offlined t mfn =
+  mfn >= 0 && mfn < total_frames t
+  && Buddy.is_offlined t.pools.(mfn / t.frames_per_node) ~frame:mfn
+
+let offlined_frames_on t node =
+  assert (node >= 0 && node < Array.length t.pools);
+  Buddy.offlined_frames t.pools.(node)
+
+let offlined_frames t =
+  Array.fold_left (fun acc pool -> acc + Buddy.offlined_frames pool) 0 t.pools
+
+let offline_pending_frames t =
+  Array.fold_left (fun acc pool -> acc + Buddy.offline_pending_frames pool) 0 t.pools

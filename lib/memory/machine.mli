@@ -47,7 +47,8 @@ val order_2m : t -> int
 
 val alloc_on : t -> node:Numa.Topology.node -> order:int -> Page.mfn option
 (** Allocate a block of [2^order] scaled frames from the given node's
-    pool; [None] when that node cannot satisfy the request. *)
+    pool; [None] when that node cannot satisfy the request or the node
+    has left the topology's dynamic node mask. *)
 
 val alloc_frame : t -> node:Numa.Topology.node -> Page.mfn option
 (** Single-frame allocation ([order = 0]). *)
@@ -55,8 +56,8 @@ val alloc_frame : t -> node:Numa.Topology.node -> Page.mfn option
 val alloc_frame_fallback : t -> prefer:Numa.Topology.node -> Page.mfn option
 (** Linux-style first-touch allocation: try [prefer], then fall back to
     the other nodes in round-robin order (shared cursor), as Linux does
-    when the local node is out of free pages.  [None] only when the
-    whole machine is full. *)
+    when the local node is out of free pages.  Offline (masked-out)
+    nodes are skipped.  [None] only when the whole machine is full. *)
 
 val split_block : t -> mfn:Page.mfn -> order:int -> unit
 (** Convert an allocated block into per-frame allocations so the frames
@@ -70,3 +71,27 @@ val free_frames : t -> int
 
 val used_frames_per_node : t -> int array
 (** Allocated frames per node — the placement footprint. *)
+
+(** {2 RAS page / node offlining}
+
+    Offlined frames leave the arena permanently (see
+    {!Buddy.offline_range}); a frame that is still mapped when the
+    offline request arrives retires the moment it is freed. *)
+
+val offline_mfn : t -> Page.mfn -> [ `Offlined | `Pending | `Already ]
+(** Retire one machine frame: [`Offlined] if it was free and is gone
+    now, [`Pending] if it is allocated and will retire on free,
+    [`Already] if it was already retired or pending. *)
+
+val offline_node : t -> Numa.Topology.node -> int * int
+(** Retire every frame of the node; returns [(offlined_now, pending)]. *)
+
+val online_node : t -> Numa.Topology.node -> int
+(** Undo {!offline_node}; returns frames restored to the free pool. *)
+
+val is_offlined : t -> Page.mfn -> bool
+(** The frame is retired (out-of-range frames are [false]). *)
+
+val offlined_frames_on : t -> Numa.Topology.node -> int
+val offlined_frames : t -> int
+val offline_pending_frames : t -> int

@@ -17,6 +17,11 @@ type t = {
   (* node_cpus.(n) is the precomputed CPU id range of node n; shared,
      callers must not mutate. *)
   node_cpus : cpu array array;
+  (* node_mask.(n) = '\001' while node n may be chosen as a placement
+     destination.  Dynamic RAS state: node failure clears the bit and
+     every policy consults it before picking a node.  Each run builds
+     its own topology, so mutating the mask never crosses runs. *)
+  node_mask : Bytes.t;
 }
 
 let node_count t = t.nodes
@@ -105,7 +110,7 @@ let create ~nodes ~cpus_per_node ~mem_per_node ~controller_gib_per_s ~links:link
     Array.init nodes (fun n -> Array.init cpus_per_node (fun i -> (n * cpus_per_node) + i))
   in
   { nodes; cpus_per_node; mem_per_node; controller_gib_per_s; links; adjacency; routes;
-    distances; node_cpus }
+    distances; node_cpus; node_mask = Bytes.make nodes '\001' }
 
 let distance t src dst =
   assert (src >= 0 && src < t.nodes && dst >= 0 && dst < t.nodes);
@@ -121,6 +126,19 @@ let route t src dst =
 let neighbours t n =
   assert (n >= 0 && n < t.nodes);
   neighbours_of t.adjacency n
+
+let node_online t n =
+  assert (n >= 0 && n < t.nodes);
+  Bytes.get t.node_mask n = '\001'
+
+let set_node_online t n online =
+  assert (n >= 0 && n < t.nodes);
+  Bytes.set t.node_mask n (if online then '\001' else '\000')
+
+let online_nodes t =
+  let count = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr count) t.node_mask;
+  !count
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>%d nodes x %d CPUs, %a per node, controller %.1f GiB/s@,"

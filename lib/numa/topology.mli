@@ -73,4 +73,19 @@ val route : t -> node -> node -> link list
 
 val neighbours : t -> node -> node list
 
+(** {2 Dynamic node mask (RAS)}
+
+    Every node starts online.  A failing or offlined node is removed
+    from the mask and every placement policy (interleave, round-1g/4k,
+    first-touch, Carrefour decide) must skip it when choosing a
+    destination.  The mask is per-topology mutable state; each run
+    builds its own topology, so runs never observe each other. *)
+
+val node_online : t -> node -> bool
+
+val set_node_online : t -> node -> bool -> unit
+
+val online_nodes : t -> int
+(** Number of nodes currently in the mask. *)
+
 val pp : Format.formatter -> t -> unit

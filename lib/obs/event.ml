@@ -20,6 +20,11 @@ type class_ =
   | Superpage_migrate
   | Pv_dedup
   | P2m_batch
+  | Ecc_ce
+  | Ecc_ue
+  | Page_offline
+  | Node_drain
+  | Evacuate
 
 let classes =
   [
@@ -44,6 +49,11 @@ let classes =
     Superpage_migrate;
     Pv_dedup;
     P2m_batch;
+    Ecc_ce;
+    Ecc_ue;
+    Page_offline;
+    Node_drain;
+    Evacuate;
   ]
 
 let class_count = List.length classes
@@ -70,6 +80,11 @@ let class_index = function
   | Superpage_migrate -> 18
   | Pv_dedup -> 19
   | P2m_batch -> 20
+  | Ecc_ce -> 21
+  | Ecc_ue -> 22
+  | Page_offline -> 23
+  | Node_drain -> 24
+  | Evacuate -> 25
 
 let class_of_index = function
   | 0 -> Some Hypercall_entry
@@ -93,6 +108,11 @@ let class_of_index = function
   | 18 -> Some Superpage_migrate
   | 19 -> Some Pv_dedup
   | 20 -> Some P2m_batch
+  | 21 -> Some Ecc_ce
+  | 22 -> Some Ecc_ue
+  | 23 -> Some Page_offline
+  | 24 -> Some Node_drain
+  | 25 -> Some Evacuate
   | _ -> None
 
 let class_name = function
@@ -117,6 +137,11 @@ let class_name = function
   | Superpage_migrate -> "superpage_migrate"
   | Pv_dedup -> "pv_dedup"
   | P2m_batch -> "p2m_batch"
+  | Ecc_ce -> "ecc_ce"
+  | Ecc_ue -> "ecc_ue"
+  | Page_offline -> "page_offline"
+  | Node_drain -> "node_drain"
+  | Evacuate -> "evacuate"
 
 let class_of_name name = List.find_opt (fun c -> class_name c = name) classes
 

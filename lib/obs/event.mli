@@ -8,7 +8,9 @@
     (reconcile sweep), epoch index (boundary), frames demoted or
     coalesced (splinter / promote / superpage migrate), superseded ops
     removed by the shard dedup (pv dedup), frames in one batched P2M
-    operation (p2m batch). *)
+    operation (p2m batch), frames moved off a failing node in one
+    evacuation step (evacuate) or still resident when its drain
+    finished (node drain). *)
 
 type class_ =
   | Hypercall_entry
@@ -32,6 +34,11 @@ type class_ =
   | Superpage_migrate
   | Pv_dedup
   | P2m_batch
+  | Ecc_ce
+  | Ecc_ue
+  | Page_offline
+  | Node_drain
+  | Evacuate
 
 val classes : class_ list
 val class_count : int

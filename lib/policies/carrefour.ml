@@ -369,7 +369,8 @@ module System_component = struct
           let frames = ref [] in
           let ok = ref true in
           for node = 0 to Numa.Topology.node_count topo - 1 do
-            if node <> home && !ok then begin
+            (* Offline nodes get no replica: readers there are gone. *)
+            if node <> home && Numa.Topology.node_online topo node && !ok then begin
               match Memory.Machine.alloc_frame machine ~node with
               | Some mfn -> frames := mfn :: !frames
               | None -> ok := false
@@ -431,7 +432,7 @@ module User_component = struct
     done;
     !readers
 
-  let decide config ~rng ~metrics ~current_node =
+  let decide ?(node_ok = fun (_ : int) -> true) config ~rng ~metrics ~current_node =
     let hot = metrics.System_component.hot_pages in
     let n = min config.max_hot_pages hot.count in
     let nodes = hot.nodes in
@@ -443,10 +444,12 @@ module User_component = struct
       |> List.filter (fun (_, u) -> u > config.mc_threshold && u > 1.25 *. mean_util)
       |> List.map fst
     in
+    (* Destinations must be in the dynamic node mask: a failing node is
+       never a migration target (it may still be a source). *)
     let underloaded =
       Array.to_list utils
       |> List.mapi (fun n u -> (n, u))
-      |> List.filter (fun (_, u) -> u < mean_util)
+      |> List.filter (fun (n, u) -> u < mean_util && node_ok n)
       |> List.map fst
       |> Array.of_list
     in
@@ -511,7 +514,7 @@ module User_component = struct
                 if hot.counts.(base + j) > hot.counts.(base + !best) then best := j
               done;
               let dominant = hot.counts.(base + !best) /. total in
-              if dominant >= config.dominant_fraction then
+              if dominant >= config.dominant_fraction && node_ok !best then
                 match current_node hot.pfns.(i) with
                 | Some node when node <> !best -> emit hot.pfns.(i) !best Locality
                 | Some _ | None -> ()
@@ -536,8 +539,10 @@ let run_epoch ?(interleave_only = false) ?migrate sys ~config ~rng ~counters =
       System_component.read_metrics_unranked sys ~counters
     else System_component.read_metrics ~top:config.User_component.max_hot_pages sys ~counters
   in
+  let topo = sys.System_component.system.Xen.System.topo in
   let actions =
     User_component.decide config ~rng ~metrics
+      ~node_ok:(fun n -> Numa.Topology.node_online topo n)
       ~current_node:(System_component.current_node sys)
   in
   let do_migrate =

@@ -148,6 +148,7 @@ module User_component : sig
   }
 
   val decide :
+    ?node_ok:(Numa.Topology.node -> bool) ->
     config ->
     rng:Sim.Rng.t ->
     metrics:System_component.metrics ->
@@ -156,7 +157,9 @@ module User_component : sig
   (** Pure decision logic (testable in isolation): interleave actions
       when controllers are overloaded, locality actions when the
       interconnect saturates, hottest pages first, capped by the
-      budget. *)
+      budget.  [node_ok] (default: accept all) filters candidate
+      destinations — {!run_epoch} passes the topology's dynamic node
+      mask so failing nodes are never picked. *)
 end
 
 type report = {

@@ -28,6 +28,7 @@ let reconcile_period = 50 (* epochs between P2M<->free-list sweeps *)
 let promote_period = 10 (* epochs between promotion scans *)
 let promote_budget = 2 (* extents coalesced per scan *)
 let promote_scan_extents = 512 (* extents examined per scan *)
+let evac_budget = 512 (* frames moved off a failing node per epoch *)
 
 type degrade = {
   mutable migrate_retries : int;
@@ -43,6 +44,11 @@ type degrade = {
   mutable hypercall_retries : int;
   mutable reconcile_sweeps : int;
   mutable reconciled : int;
+  mutable ecc_ce : int;
+  mutable ecc_ue : int;
+  mutable offlined : int;
+  mutable evacuated : int;
+  mutable evac_epochs : int;
 }
 
 let fresh_degrade () =
@@ -60,6 +66,11 @@ let fresh_degrade () =
     hypercall_retries = 0;
     reconcile_sweeps = 0;
     reconciled = 0;
+    ecc_ce = 0;
+    ecc_ue = 0;
+    offlined = 0;
+    evacuated = 0;
+    evac_epochs = 0;
   }
 
 type t = {
@@ -87,6 +98,17 @@ type t = {
   drain_src : int array;
   group_pfns : int array;
   group_mfns : int array;
+  (* Node-evacuation engine (RAS): while [evac_node >= 0] every epoch
+     moves up to [evac_budget] resident frames off that node. *)
+  mutable evac_node : int;  (* -1 = no evacuation in progress *)
+  mutable evac_cursor : int;  (* pfn scan cursor, persists across epochs *)
+  mutable evac_rr : int;  (* round-robin cursor over surviving nodes *)
+  mutable evac_backoff : int;  (* consecutive ENOMEM epochs, for backoff *)
+  mutable evac_started : int;  (* epoch the evacuation was requested *)
+  evac_pfns : int array;  (* evac_budget-sized scratch *)
+  evac_dst : int array;
+  evac_group : int array;
+  evac_mfns : int array;
 }
 
 (* Trace emission for this domain's stream; a branch-and-return no-op
@@ -112,11 +134,37 @@ let fresh_stats () =
     superpage_migrates = 0;
   }
 
+(* First online node ≥ 0 in numeric order, for the last-resort fallback
+   when every home node has left the mask. *)
+let any_online_node topo =
+  let nodes = Numa.Topology.node_count topo in
+  let rec go n =
+    if n >= nodes then None
+    else if Numa.Topology.node_online topo n then Some n
+    else go (n + 1)
+  in
+  go 0
+
 let next_home_node t =
+  let topo = t.system.Xen.System.topo in
   let home = t.domain.Xen.Domain.home_nodes in
-  let node = home.(t.rr_cursor mod Array.length home) in
-  t.rr_cursor <- t.rr_cursor + 1;
-  node
+  let k = Array.length home in
+  (* Round-robin over the home nodes, skipping any that left the
+     dynamic node mask.  The cursor advances exactly once per call when
+     every home node is online, so healthy runs are bit-identical to
+     the pre-RAS placement. *)
+  let rec pick attempts =
+    let node = home.(t.rr_cursor mod k) in
+    t.rr_cursor <- t.rr_cursor + 1;
+    if Numa.Topology.node_online topo node then node
+    else if attempts + 1 < k then pick (attempts + 1)
+    else begin
+      match any_online_node topo with
+      | Some n -> n
+      | None -> node (* whole machine failing; allocation will fail anyway *)
+    end
+  in
+  pick 0
 
 let map_or_fail t pfn node =
   match Internal.map_page t.system t.domain ~pfn ~node with
@@ -281,7 +329,13 @@ let install_fault_handler t =
           if statically_degraded t then next_home_node t
           else
             match t.spec.Spec.placement with
-            | Spec.First_touch -> Numa.Topology.node_of_cpu t.system.Xen.System.topo cpu
+            | Spec.First_touch ->
+                let touched = Numa.Topology.node_of_cpu t.system.Xen.System.topo cpu in
+                (* First-touch on a failing node falls back to the
+                   round-robin pick: the memory must land somewhere that
+                   is still in the mask. *)
+                if Numa.Topology.node_online t.system.Xen.System.topo touched then touched
+                else next_home_node t
             | Spec.Round_4k | Spec.Round_1g -> next_home_node t
         in
         emit ~pfn ~node ~arg:cpu t Obs.Event.Page_fault;
@@ -330,6 +384,15 @@ let attach ?(carrefour_config = Carrefour.User_component.default_config) ?(super
       drain_src = Array.make drain_budget 0;
       group_pfns = Array.make drain_budget 0;
       group_mfns = Array.make drain_budget 0;
+      evac_node = -1;
+      evac_cursor = 0;
+      evac_rr = 0;
+      evac_backoff = 0;
+      evac_started = 0;
+      evac_pfns = Array.make evac_budget 0;
+      evac_dst = Array.make evac_budget 0;
+      evac_group = Array.make evac_budget 0;
+      evac_mfns = Array.make evac_budget 0;
     }
   in
   (match boot.Spec.placement with
@@ -702,6 +765,178 @@ let drain_pending t =
     done
   end
 
+(* ------------------------------------------------------------------ *)
+(* Hardware RAS: ECC handling and node evacuation                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Correctable ECC: the memory controller scrubbed the frame in place.
+   The guest only pays a latency blip (modelled as one page's
+   write-protect/remap worth of stall) and the heat event is traced. *)
+let handle_ecc_ce t ~pfn =
+  if pfn < 0 || pfn >= Xen.P2m.frames t.domain.Xen.Domain.p2m then ()
+  else
+  match Internal.node_of_pfn t.system t.domain pfn with
+  | None -> ()
+  | Some node ->
+      let costs = t.system.Xen.System.costs in
+      let account = t.domain.Xen.Domain.account in
+      account.Xen.Domain.migrate_time <-
+        account.Xen.Domain.migrate_time +. costs.Xen.Costs.page_migrate_fixed;
+      t.degrade.ecc_ce <- t.degrade.ecc_ce + 1;
+      emit ~pfn ~node t Obs.Event.Ecc_ce;
+      if Obs.Metrics.enabled () then Obs.Metrics.incr "policies.ras.ecc_ce"
+
+(* Uncorrectable ECC: the backing mfn is poisoned.  Offline it (it
+   retires the moment it is freed), copy the guest frame onto a fresh
+   mfn and remap — splinter-aware, because the remap of one 4 KiB entry
+   demotes a surrounding 2 MiB extent first. *)
+let handle_ecc_ue t ~pfn =
+  let machine = t.system.Xen.System.machine in
+  let p2m = t.domain.Xen.Domain.p2m in
+  if pfn < 0 || pfn >= Xen.P2m.frames p2m then ()
+  else
+  match Xen.P2m.get p2m pfn with
+  | Xen.P2m.Invalid -> ()
+  | Xen.P2m.Mapped { mfn = old_mfn; writable } ->
+      let old_node = Memory.Machine.node_of_mfn machine old_mfn in
+      (match Memory.Machine.offline_mfn machine old_mfn with
+      | `Offlined | `Pending -> t.degrade.offlined <- t.degrade.offlined + 1
+      | `Already -> ());
+      t.degrade.ecc_ue <- t.degrade.ecc_ue + 1;
+      emit ~pfn ~node:old_node ~arg:old_mfn t Obs.Event.Page_offline;
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.incr "policies.ras.ecc_ue";
+        Obs.Metrics.incr "policies.ras.page_offline"
+      end;
+      (match Memory.Machine.alloc_frame_fallback machine ~prefer:old_node with
+      | None ->
+          (* Machine full: the poisoned frame stays mapped (pending)
+             until the reconcile/evacuation machinery frees it. *)
+          ()
+      | Some new_mfn ->
+          let costs = t.system.Xen.System.costs in
+          let account = t.domain.Xen.Domain.account in
+          let was_sp = Xen.P2m.is_superpage p2m pfn in
+          Xen.P2m.set p2m pfn ~mfn:new_mfn ~writable;
+          if was_sp && not (Xen.P2m.is_superpage p2m pfn) then begin
+            note_splinter t ~pfn;
+            account.Xen.Domain.migrate_time <-
+              account.Xen.Domain.migrate_time
+              +. Xen.Costs.splinter_time costs ~frames_4k:(sp_frames_4k t)
+          end;
+          Memory.Machine.free machine ~mfn:old_mfn ~order:0;
+          account.Xen.Domain.migrate_time <-
+            account.Xen.Domain.migrate_time
+            +. costs.Xen.Costs.page_migrate_fixed
+            +. (costs.Xen.Costs.copy_byte *. float_of_int (Memory.Machine.frame_bytes machine));
+          let new_node = Memory.Machine.node_of_mfn machine new_mfn in
+          emit ~pfn ~node:new_node ~arg:old_mfn t Obs.Event.Ecc_ue)
+
+let request_evacuation t ~node =
+  if t.evac_node <> node then begin
+    t.evac_node <- node;
+    t.evac_cursor <- 0;
+    t.evac_backoff <- 0;
+    t.evac_started <- t.epoch
+  end
+
+let cancel_evacuation t ~node = if t.evac_node = node then t.evac_node <- -1
+
+let evacuating t = t.evac_node
+
+(* One evacuation step: scan the guest-physical space from the rotating
+   cursor, collect up to [evac_budget] frames still resident on the
+   failing node, and move them in grouped batches round-robin over the
+   surviving online nodes.  A full scan finding nothing resident ends
+   the evacuation (the trace records how long the drain took).  ENOMEM
+   charges the exponential backoff, spills the unmoved tail into the
+   deferred queue and feeds the circuit breaker — under a persistent
+   shortage the breaker escalates to interleave-over-surviving-nodes
+   exactly like any other migration failure storm. *)
+let evacuate_step t =
+  if t.evac_node >= 0 then begin
+    let topo = t.system.Xen.System.topo in
+    let frames = Xen.P2m.frames t.domain.Xen.Domain.p2m in
+    let nodes = Numa.Topology.node_count topo in
+    t.degrade.evac_epochs <- t.degrade.evac_epochs + 1;
+    (* Collect this epoch's batch behind the cursor. *)
+    let collected = ref 0 in
+    let scanned = ref 0 in
+    while !collected < evac_budget && !scanned < frames do
+      let pfn = (t.evac_cursor + !scanned) mod frames in
+      incr scanned;
+      match Internal.node_of_pfn t.system t.domain pfn with
+      | Some n when n = t.evac_node ->
+          t.evac_pfns.(!collected) <- pfn;
+          incr collected
+      | Some _ | None -> ()
+    done;
+    t.evac_cursor <- (t.evac_cursor + !scanned) mod frames;
+    if !collected = 0 && !scanned >= frames then begin
+      (* Full pass, nothing resident: this domain is clear of the
+         failing node. *)
+      emit ~node:t.evac_node ~arg:(t.epoch - t.evac_started) t Obs.Event.Node_drain;
+      if Obs.Metrics.enabled () then Obs.Metrics.incr "policies.ras.node_drains";
+      t.evac_node <- -1
+    end
+    else if !collected > 0 then begin
+      let n = !collected in
+      (* Destination per frame: round-robin over surviving nodes. *)
+      for i = 0 to n - 1 do
+        let rec pick attempts =
+          let cand = t.evac_rr mod nodes in
+          t.evac_rr <- t.evac_rr + 1;
+          if cand <> t.evac_node && Numa.Topology.node_online topo cand then cand
+          else if attempts + 1 < nodes then pick (attempts + 1)
+          else -1
+        in
+        t.evac_dst.(i) <- pick 0
+      done;
+      let stopped = ref false in
+      let dst = ref 0 in
+      while (not !stopped) && !dst < nodes do
+        if !dst <> t.evac_node then begin
+          let g = ref 0 in
+          for i = 0 to n - 1 do
+            if t.evac_dst.(i) = !dst then begin
+              t.evac_group.(!g) <- t.evac_pfns.(i);
+              incr g
+            end
+          done;
+          let gn = !g in
+          if gn > 0 then begin
+            t.breaker_attempts <- t.breaker_attempts + gn;
+            match
+              Internal.migrate_group t.system t.domain
+                ~on_splinter:(fun pfn -> note_splinter t ~pfn)
+                ~pfns:t.evac_group ~scratch_mfns:t.evac_mfns ~n:gn ~node:!dst ()
+            with
+            | `Done moved ->
+                t.degrade.evacuated <- t.degrade.evacuated + moved;
+                t.evac_backoff <- 0;
+                emit ~node:!dst ~arg:moved t Obs.Event.Evacuate;
+                if Obs.Metrics.enabled () then
+                  Obs.Metrics.incr ~by:moved "policies.ras.evacuated"
+            | `Enomem moved ->
+                t.degrade.evacuated <- t.degrade.evacuated + moved;
+                t.breaker_failures <- t.breaker_failures + 1;
+                charge_backoff t (min t.evac_backoff max_migrate_retries);
+                t.evac_backoff <- t.evac_backoff + 1;
+                if moved > 0 then emit ~node:!dst ~arg:moved t Obs.Event.Evacuate;
+                (* Spill the unmoved tail into the deferred queue: the
+                   ordinary drain keeps retrying it with its own budget
+                   even if the next scan pass misses these pfns. *)
+                for i = moved to gn - 1 do
+                  push_pending t ~pfn:t.evac_group.(i) ~node:!dst
+                done;
+                stopped := true
+          end
+        end;
+        incr dst
+      done
+    end
+  end
+
 (* The promotion scan: walk a window of superpage-sized extents behind
    a rotating cursor and re-coalesce the ones whose frames all live on
    one node.  Contiguous aligned extents promote in place (the entries
@@ -798,7 +1033,14 @@ let reconcile t ~guest_free =
   let costs = t.system.Xen.System.costs in
   let p2m = t.domain.Xen.Domain.p2m in
   let stale = ref [] in
-  Xen.P2m.iter_mapped p2m (fun pfn _ -> if guest_free pfn then stale := pfn :: !stale);
+  Xen.P2m.iter_mapped p2m (fun pfn mfn ->
+      (* RAS invariant: an offlined machine frame must never stay
+         reachable through any P2M — the UE handler and the evacuation
+         engine remap before the frame retires. *)
+      if Memory.Machine.is_offlined t.system.Xen.System.machine mfn then
+        invalid_arg
+          (Printf.sprintf "Manager.reconcile: offlined mfn %d still mapped at pfn %d" mfn pfn);
+      if guest_free pfn then stale := pfn :: !stale);
   let healed = ref 0 in
   let splinter_time = ref 0.0 in
   List.iter
@@ -835,6 +1077,7 @@ let epoch_tick t ~epoch ?guest_free () =
     t.breaker_was_open <- false;
     emit ~arg:t.degrade.breaker_trips t Obs.Event.Breaker_cooldown
   end;
+  evacuate_step t;
   drain_pending t;
   evaluate_breaker t;
   if t.superpages && (not (statically_degraded t)) && epoch > 0 && epoch mod promote_period = 0

@@ -47,6 +47,11 @@ type degrade = {
   mutable hypercall_retries : int;  (** Transient hypercall failures retried. *)
   mutable reconcile_sweeps : int;
   mutable reconciled : int;  (** Stale P2M entries healed by the sweeps. *)
+  mutable ecc_ce : int;  (** Correctable ECC errors scrubbed in place. *)
+  mutable ecc_ue : int;  (** Uncorrectable ECC errors handled. *)
+  mutable offlined : int;  (** Machine frames retired by the UE handler. *)
+  mutable evacuated : int;  (** Frames moved off failing nodes. *)
+  mutable evac_epochs : int;  (** Epochs an evacuation was in progress. *)
 }
 
 type t
@@ -156,6 +161,33 @@ val reconcile : t -> guest_free:(Memory.Page.pfn -> bool) -> int
     mapped page the guest reports free, healing entries stranded by
     lost release batches.  Returns the number of pages healed; charges
     one hypercall plus the invalidation costs. *)
+
+(** {2 Hardware RAS} *)
+
+val handle_ecc_ce : t -> pfn:Memory.Page.pfn -> unit
+(** Correctable ECC on the frame backing [pfn]: charge the scrub stall
+    and trace the heat event.  No-op on an unmapped pfn. *)
+
+val handle_ecc_ue : t -> pfn:Memory.Page.pfn -> unit
+(** Uncorrectable ECC: offline the backing mfn (it retires when
+    freed), remap the guest frame onto a freshly allocated one
+    (splinter-aware) and charge the copy.  No-op on an unmapped pfn;
+    if the machine is full the poisoned frame stays mapped as
+    offline-pending. *)
+
+val request_evacuation : t -> node:Numa.Topology.node -> unit
+(** Start draining every frame this domain holds on [node]:
+    {!epoch_tick} moves a budget of frames per epoch in grouped batches
+    round-robin over the surviving online nodes, with exponential
+    backoff, deferred-queue spillover and circuit-breaker escalation on
+    persistent ENOMEM.  Idempotent while an evacuation of the same node
+    is in progress. *)
+
+val cancel_evacuation : t -> node:Numa.Topology.node -> unit
+(** Stop the evacuation of [node] (the node recovered). *)
+
+val evacuating : t -> int
+(** Node currently being evacuated, [-1] when none. *)
 
 val degrade : t -> degrade
 val pending_migrations : t -> int

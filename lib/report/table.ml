@@ -67,3 +67,22 @@ let degradation_row ~first ~injected ~retries ~deferred ~drained ~fallback ~trip
     string_of_int reconciled;
     fmt_secs completion;
   ]
+
+let ras_header ~first =
+  [ first; "scenario"; "injected"; "CE"; "UE"; "offlined"; "evacuated"; "drain ep";
+    "completion"; "vs none" ]
+
+let ras_row ~first ~scenario ~injected ~ce ~ue ~offlined ~evacuated ~evac_epochs ~completion
+    ~slowdown =
+  [
+    first;
+    scenario;
+    string_of_int injected;
+    string_of_int ce;
+    string_of_int ue;
+    string_of_int offlined;
+    string_of_int evacuated;
+    string_of_int evac_epochs;
+    fmt_secs completion;
+    fmt_ratio slowdown;
+  ]

@@ -39,3 +39,25 @@ val degradation_row :
     deferred pages (and how many later drained), fallback placements,
     circuit-breaker trips and final level, lost batches, reconciled
     pfns, completion time. *)
+
+val ras_header : first:string -> string list
+(** Header of the memory-RAS summary table; [first] labels the leading
+    column (the workload/policy cell). *)
+
+val ras_row :
+  first:string ->
+  scenario:string ->
+  injected:int ->
+  ce:int ->
+  ue:int ->
+  offlined:int ->
+  evacuated:int ->
+  evac_epochs:int ->
+  completion:float ->
+  slowdown:float ->
+  string list
+(** One row per (cell, fault scenario): faults injected, correctable and
+    uncorrectable ECC errors handled, frames retired by the UE handler,
+    frames evacuated off failing nodes, epochs the drain was in
+    progress, completion time and the slowdown against the cell's
+    fault-free run. *)

@@ -18,6 +18,9 @@ let test_plan_parse_roundtrip () =
       "node-off=2@100-";
       "batch-loss=0.5,op-drop=0.05,hypercall=0.2,iommu=0.1";
       "alloc=0.15,migrate=0.5";
+      "ecc-ce=0.5,ecc-ue=0.01";
+      "node_fail=1.0@50-150";
+      "node-fail=0.5@10";
     ]
 
 let test_plan_parse_empty () =
@@ -31,6 +34,37 @@ let test_plan_parse_errors () =
       | Ok _ -> Alcotest.failf "plan %S should not parse" s
       | Error _ -> ())
     [ "alloc=1.5"; "migrate=-0.1"; "bogus=0.1"; "migrate"; "alloc=0.1@9-3"; "alloc=abc" ]
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_plan_unknown_site_lists_valid () =
+  (* The unknown-site error is the discovery surface for the grammar:
+     it must name the bad site and enumerate every valid one. *)
+  match Faults.Plan.of_string "bogus=0.1" with
+  | Ok _ -> Alcotest.fail "bogus site should not parse"
+  | Error msg ->
+      Alcotest.(check string) "exact message"
+        (Printf.sprintf "unknown fault site %S (valid sites: %s)" "bogus"
+           (String.concat ", " Faults.Plan.valid_site_names))
+        msg;
+      List.iter
+        (fun site ->
+          Alcotest.(check bool) (Printf.sprintf "message lists %s" site) true
+            (contains ~sub:site msg))
+        [ "ecc-ce"; "ecc-ue"; "node_fail"; "alloc"; "migrate" ]
+
+let test_plan_ras_rate_range () =
+  List.iter
+    (fun s ->
+      match Faults.Plan.of_string s with
+      | Ok _ -> Alcotest.failf "plan %S should not parse" s
+      | Error msg ->
+          Alcotest.(check bool) (s ^ " names the range") true
+            (contains ~sub:"outside [0, 1]" msg))
+    [ "ecc-ce=1.5"; "ecc-ue=-0.1"; "node_fail=2.0"; "node-fail=-1" ]
 
 let test_plan_validate_window () =
   let bad =
@@ -104,6 +138,85 @@ let test_injector_empty_disabled () =
   Alcotest.(check bool) "disabled" false (Faults.Injector.enabled inj);
   Faults.Injector.set_epoch inj 3;
   Alcotest.(check bool) "never fires" false (Faults.Injector.migrate_fails inj)
+
+(* ---------------------------- RAS sites ---------------------------- *)
+
+let test_injector_ecc_deterministic () =
+  let plan = Faults.Plan.of_string_exn "ecc-ce=0.5,ecc-ue=0.2" in
+  let trace seed =
+    let inj = Faults.Injector.create ~seed plan in
+    let out = ref [] in
+    for epoch = 0 to 40 do
+      Faults.Injector.set_epoch inj epoch;
+      out := Faults.Injector.ecc_events inj ~frames:4096 :: !out
+    done;
+    List.rev !out
+  in
+  let a = trace 1234 in
+  Alcotest.(check bool) "same seed, same events" true (a = trace 1234);
+  Alcotest.(check bool) "different seed differs" true (a <> trace 1235);
+  Alcotest.(check bool) "both classes fire" true
+    (List.exists (List.exists (function Faults.Injector.Ce _ -> true | _ -> false)) a
+    && List.exists (List.exists (function Faults.Injector.Ue _ -> true | _ -> false)) a);
+  List.iter
+    (List.iter (function
+      | Faults.Injector.Ce pfn | Faults.Injector.Ue pfn ->
+          Alcotest.(check bool) "pfn in range" true (pfn >= 0 && pfn < 4096)))
+    a;
+  (* Boot (epoch -1) never fires. *)
+  let inj = Faults.Injector.create ~seed:7 plan in
+  Alcotest.(check bool) "quiet at boot" true (Faults.Injector.ecc_events inj ~frames:4096 = [])
+
+let test_injector_node_fail_lifecycle () =
+  let inj =
+    Faults.Injector.create ~seed:5 (Faults.Plan.of_string_exn "node_fail=1.0@10-30")
+  in
+  Faults.Injector.assign_node_targets inj ~candidates:[| 3 |] ~nodes:8 ();
+  Alcotest.(check (list int)) "candidates pin the target" [ 3 ]
+    (Faults.Injector.node_fail_targets inj);
+  (* Idempotent: a second call never re-draws. *)
+  Faults.Injector.assign_node_targets inj ~candidates:[| 6 |] ~nodes:8 ();
+  Alcotest.(check (list int)) "no re-draw" [ 3 ] (Faults.Injector.node_fail_targets inj);
+  Faults.Injector.set_epoch inj 5;
+  Alcotest.(check bool) "healthy before window" false (Faults.Injector.node_failing inj ~node:3);
+  Alcotest.(check (float 1e-9)) "full bandwidth before" 1.0
+    (Faults.Injector.node_bandwidth_factor inj ~node:3);
+  Faults.Injector.set_epoch inj 10;
+  Alcotest.(check bool) "failing at window open" true (Faults.Injector.node_failing inj ~node:3);
+  Alcotest.(check bool) "not yet offline" false (Faults.Injector.node_offline inj ~node:3);
+  Alcotest.(check bool) "failing node vetoes alloc" true
+    (Faults.Injector.alloc_fails inj ~node:3);
+  Alcotest.(check bool) "other nodes unaffected" false (Faults.Injector.node_failing inj ~node:0);
+  let bw10 = Faults.Injector.node_bandwidth_factor inj ~node:3 in
+  Faults.Injector.set_epoch inj 20;
+  let bw20 = Faults.Injector.node_bandwidth_factor inj ~node:3 in
+  Alcotest.(check bool) "bandwidth collapses monotonically" true (bw20 < bw10 && bw10 < 1.0);
+  Faults.Injector.set_epoch inj 30;
+  Alcotest.(check bool) "permanent failure persists" true
+    (Faults.Injector.node_failing inj ~node:3);
+  Alcotest.(check bool) "offline once the window closes" true
+    (Faults.Injector.node_offline inj ~node:3);
+  Alcotest.(check (float 1e-9)) "bandwidth fully collapsed" 0.0
+    (Faults.Injector.node_bandwidth_factor inj ~node:3);
+  Alcotest.(check int) "one node failure counted" 1
+    (Faults.Injector.stats inj).Faults.Injector.node_failures
+
+let test_injector_node_fail_transient_recovers () =
+  (* rate < 1.0: the node degrades across the window, then recovers —
+     it never goes offline for good. *)
+  let inj =
+    Faults.Injector.create ~seed:5 (Faults.Plan.of_string_exn "node_fail=0.5@10-20")
+  in
+  Faults.Injector.assign_node_targets inj ~candidates:[| 2 |] ~nodes:8 ();
+  Faults.Injector.set_epoch inj 15;
+  Alcotest.(check bool) "failing inside window" true (Faults.Injector.node_failing inj ~node:2);
+  Alcotest.(check bool) "degraded" true
+    (Faults.Injector.node_bandwidth_factor inj ~node:2 < 1.0);
+  Faults.Injector.set_epoch inj 20;
+  Alcotest.(check bool) "recovered after window" false (Faults.Injector.node_failing inj ~node:2);
+  Alcotest.(check bool) "never offline" false (Faults.Injector.node_offline inj ~node:2);
+  Alcotest.(check (float 1e-9)) "bandwidth restored" 1.0
+    (Faults.Injector.node_bandwidth_factor inj ~node:2)
 
 (* ---------------------------- p2m hardening ------------------------ *)
 
@@ -455,7 +568,8 @@ let test_engine_jobs_bit_identical () =
      trace — is independent of how the queue was deduplicated. *)
   let plans =
     [| "none"; "alloc=0.3"; "alloc=0.3,migrate=1.0"; "batch-loss=0.5";
-       "op-drop=0.4,batch-loss=0.3" |]
+       "op-drop=0.4,batch-loss=0.3"; "ecc-ce=0.5,ecc-ue=0.05";
+       "node_fail=1.0@50" |]
   in
   let tasks = Array.map (fun plan () -> chaos_run ~max_epochs:400 plan) plans in
   let seq = Engine.Pool.run_all ~jobs:1 tasks in
@@ -464,6 +578,27 @@ let test_engine_jobs_bit_identical () =
     (fun i plan ->
       Alcotest.(check bool) (plan ^ " identical across job counts") true (seq.(i) = par.(i)))
     plans
+
+let test_engine_ras_forces_unsharded () =
+  (* Fault runs force the per-epoch vCPU kernel down to one shard so
+     the injector stream stays a pure function of the plan and epoch;
+     the new RAS classes ride the same rule.  --inner-jobs must
+     therefore be a no-op under a node_fail + ECC plan. *)
+  let run inner_jobs =
+    let vm =
+      Engine.Config.vm ~threads:8 ~policy:Policies.Spec.first_touch_carrefour (tiny_app ())
+    in
+    Engine.Runner.run
+      (Engine.Config.make ~seed:11 ~max_epochs:400 ~carrefour_config:eager_carrefour
+         ~inner_jobs
+         ~faults:(Faults.Plan.of_string_exn "ecc-ce=0.2,node_fail=1.0@50")
+         ~mode:Engine.Config.Xen_plus [ vm ])
+  in
+  let r1 = run 1 in
+  Alcotest.(check bool) "inner-jobs is a no-op under RAS faults" true (r1 = run 4);
+  let d = (Engine.Result.single r1).Engine.Result.degradation in
+  Alcotest.(check bool) "the node failure actually evacuated frames" true
+    (d.Engine.Result.evacuated > 0)
 
 (* ------------------------------- suite ----------------------------- *)
 
@@ -474,12 +609,20 @@ let suite =
         Alcotest.test_case "plan round-trip" `Quick test_plan_parse_roundtrip;
         Alcotest.test_case "plan empty forms" `Quick test_plan_parse_empty;
         Alcotest.test_case "plan parse errors" `Quick test_plan_parse_errors;
+        Alcotest.test_case "plan unknown site lists valid" `Quick
+          test_plan_unknown_site_lists_valid;
+        Alcotest.test_case "plan ras rate range" `Quick test_plan_ras_rate_range;
         Alcotest.test_case "plan window validation" `Quick test_plan_validate_window;
         Alcotest.test_case "injector deterministic" `Quick test_injector_deterministic;
         Alcotest.test_case "injector quiet at boot" `Quick test_injector_boot_quiet;
         Alcotest.test_case "injector window" `Quick test_injector_window;
         Alcotest.test_case "injector node offline" `Quick test_injector_node_offline;
         Alcotest.test_case "injector empty plan" `Quick test_injector_empty_disabled;
+        Alcotest.test_case "injector ecc deterministic" `Quick test_injector_ecc_deterministic;
+        Alcotest.test_case "injector node-fail lifecycle" `Quick
+          test_injector_node_fail_lifecycle;
+        Alcotest.test_case "injector node-fail recovers" `Quick
+          test_injector_node_fail_transient_recovers;
         Alcotest.test_case "p2m rejects negative mfn" `Quick test_p2m_rejects_negative_mfn;
         Alcotest.test_case "p2m check_consistent" `Quick test_p2m_check_consistent;
         Alcotest.test_case "queue re-entrant flush" `Quick test_queue_reentrant_flush;
@@ -494,5 +637,6 @@ let suite =
           test_engine_completes_under_full_migration_failure;
         Alcotest.test_case "engine clean run" `Quick test_engine_clean_run_reports_no_degradation;
         Alcotest.test_case "engine jobs bit-identical" `Quick test_engine_jobs_bit_identical;
+        Alcotest.test_case "engine ras forces unsharded" `Quick test_engine_ras_forces_unsharded;
       ] );
   ]

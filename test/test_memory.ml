@@ -259,6 +259,125 @@ let prop_buddy_full_free_coalesces =
       List.iter (fun (f, o) -> Memory.Buddy.free b ~base:f ~order:o) held;
       Memory.Buddy.free_frames b = 256 && Memory.Buddy.largest_free_order b = Some 8)
 
+(* --------------------------- buddy offline ------------------------ *)
+
+let test_offline_free_range () =
+  let b = Memory.Buddy.create ~base:0 ~frames:64 in
+  let offlined, pending = Memory.Buddy.offline_range b ~base:16 ~frames:16 in
+  Alcotest.(check int) "16 offlined now" 16 offlined;
+  Alcotest.(check int) "none pending" 0 pending;
+  Alcotest.(check int) "free shrank" 48 (Memory.Buddy.free_frames b);
+  Alcotest.(check int) "offlined counted" 16 (Memory.Buddy.offlined_frames b);
+  Alcotest.(check bool) "frame retired" true (Memory.Buddy.is_offlined b ~frame:20);
+  Alcotest.(check bool) "outside untouched" false (Memory.Buddy.is_offlined b ~frame:40);
+  (* The hole is never handed out. *)
+  let rec drain acc =
+    match Memory.Buddy.alloc b ~order:0 with Some f -> drain (f :: acc) | None -> acc
+  in
+  let all = drain [] in
+  Alcotest.(check int) "48 allocatable" 48 (List.length all);
+  List.iter
+    (fun f -> if f >= 16 && f < 32 then Alcotest.failf "offlined frame %d handed out" f)
+    all
+
+let test_offline_allocated_pends () =
+  let b = Memory.Buddy.create ~base:0 ~frames:32 in
+  let f = match Memory.Buddy.alloc b ~order:2 with Some f -> f | None -> -1 in
+  let offlined, pending = Memory.Buddy.offline_range b ~base:f ~frames:4 in
+  Alcotest.(check int) "none offlined yet" 0 offlined;
+  Alcotest.(check int) "4 pending" 4 pending;
+  Alcotest.(check int) "pending counted" 4 (Memory.Buddy.offline_pending_frames b);
+  Alcotest.(check bool) "not yet retired" false (Memory.Buddy.is_offlined b ~frame:f);
+  (* The free retires the pending frames instead of recycling them. *)
+  Memory.Buddy.free b ~base:f ~order:2;
+  Alcotest.(check int) "retired on free" 4 (Memory.Buddy.offlined_frames b);
+  Alcotest.(check int) "no pending left" 0 (Memory.Buddy.offline_pending_frames b);
+  Alcotest.(check bool) "now retired" true (Memory.Buddy.is_offlined b ~frame:f);
+  Alcotest.(check int) "free excludes them" 28 (Memory.Buddy.free_frames b)
+
+let test_online_range_restores () =
+  let b = Memory.Buddy.create ~base:0 ~frames:64 in
+  ignore (Memory.Buddy.offline_range b ~base:0 ~frames:32);
+  Alcotest.(check int) "half gone" 32 (Memory.Buddy.free_frames b);
+  let restored = Memory.Buddy.online_range b ~base:0 ~frames:32 in
+  Alcotest.(check int) "all restored" 32 restored;
+  Alcotest.(check int) "free whole again" 64 (Memory.Buddy.free_frames b);
+  Alcotest.(check int) "no offlined left" 0 (Memory.Buddy.offlined_frames b);
+  (* Restoration coalesces: the arena is one max-order block again. *)
+  Alcotest.(check (option int)) "coalesced" (Some 6) (Memory.Buddy.largest_free_order b)
+
+let test_online_cancels_pending () =
+  let b = Memory.Buddy.create ~base:0 ~frames:16 in
+  let f = match Memory.Buddy.alloc b ~order:1 with Some f -> f | None -> -1 in
+  ignore (Memory.Buddy.offline_range b ~base:f ~frames:2);
+  let restored = Memory.Buddy.online_range b ~base:f ~frames:2 in
+  Alcotest.(check int) "pending frames are not freed" 0 restored;
+  Alcotest.(check int) "mark cancelled" 0 (Memory.Buddy.offline_pending_frames b);
+  (* A later free recycles normally. *)
+  Memory.Buddy.free b ~base:f ~order:1;
+  Alcotest.(check int) "recycled" 16 (Memory.Buddy.free_frames b);
+  Alcotest.(check int) "nothing retired" 0 (Memory.Buddy.offlined_frames b)
+
+(* Satellite property: with offline/online operations mixed into random
+   alloc/free traces the partition invariant extends to
+   free + allocated + offlined = total (pending counts as allocated),
+   and offlined frames are never handed out. *)
+let prop_buddy_offline_partition =
+  let arena = 512 in
+  QCheck.Test.make ~name:"buddy offline keeps the partition invariant" ~count:100
+    QCheck.(pair int (list_of_size (Gen.int_range 1 300) (int_range 0 4)))
+    (fun (seed, orders) ->
+      let b = Memory.Buddy.create ~base:0 ~frames:arena in
+      let rng = Sim.Rng.create ~seed in
+      let held = ref [] in
+      List.iter
+        (fun order ->
+          match Sim.Rng.int rng 5 with
+          | 0 | 1 -> (
+              match Memory.Buddy.alloc b ~order with
+              | Some f ->
+                  if Memory.Buddy.is_offlined b ~frame:f then
+                    QCheck.Test.fail_reportf "offlined frame %d handed out" f;
+                  held := (f, order) :: !held
+              | None -> ())
+          | 2 -> (
+              match !held with
+              | [] -> ()
+              | l ->
+                  let i = Sim.Rng.int rng (List.length l) in
+                  let f, o = List.nth l i in
+                  Memory.Buddy.free b ~base:f ~order:o;
+                  held := List.filteri (fun j _ -> j <> i) l)
+          | 3 ->
+              let base = Sim.Rng.int rng arena in
+              let frames = 1 + Sim.Rng.int rng 32 in
+              ignore (Memory.Buddy.offline_range b ~base ~frames)
+          | _ ->
+              let base = Sim.Rng.int rng arena in
+              let frames = 1 + Sim.Rng.int rng 32 in
+              ignore (Memory.Buddy.online_range b ~base ~frames))
+        orders;
+      let held_frames = List.fold_left (fun acc (_, o) -> acc + (1 lsl o)) 0 !held in
+      let free = Memory.Buddy.free_frames b in
+      let offlined = Memory.Buddy.offlined_frames b in
+      let pending = Memory.Buddy.offline_pending_frames b in
+      if pending > held_frames then
+        QCheck.Test.fail_reportf "%d pending > %d held" pending held_frames;
+      if free + held_frames + offlined <> arena then
+        QCheck.Test.fail_reportf "%d free + %d held + %d offlined <> %d" free held_frames
+          offlined arena;
+      (* Draining the free side never yields a retired frame. *)
+      let rec drain () =
+        match Memory.Buddy.alloc b ~order:0 with
+        | Some f ->
+            if Memory.Buddy.is_offlined b ~frame:f then
+              QCheck.Test.fail_reportf "drained retired frame %d" f;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      true)
+
 (* ------------------------------ machine --------------------------- *)
 
 let machine ?(page_scale = 1) () = Memory.Machine.create ~page_scale (Numa.Amd48.topology ())
@@ -327,6 +446,41 @@ let test_machine_rejects_bad_scale () =
     (Invalid_argument "Machine.create: page_scale must be a positive power of two") (fun () ->
       ignore (Memory.Machine.create ~page_scale:3 (Numa.Amd48.topology ())))
 
+let test_machine_offline_node () =
+  let m = Memory.Machine.create ~page_scale:262144 (Numa.Amd48.topology ()) in
+  (* 16 scaled frames per node. *)
+  let held =
+    List.init 4 (fun _ ->
+        match Memory.Machine.alloc_frame m ~node:2 with Some mfn -> mfn | None -> -1)
+  in
+  let offlined, pending = Memory.Machine.offline_node m 2 in
+  Alcotest.(check int) "free frames retired now" 12 offlined;
+  Alcotest.(check int) "allocated ones pend" 4 pending;
+  Alcotest.(check int) "node 2 empty" 0 (Memory.Machine.free_frames_on m 2);
+  Alcotest.(check int) "offlined on node" 12 (Memory.Machine.offlined_frames_on m 2);
+  (* Frees retire instead of recycling. *)
+  List.iter (fun mfn -> Memory.Machine.free m ~mfn ~order:0) held;
+  Alcotest.(check int) "all retired" 16 (Memory.Machine.offlined_frames_on m 2);
+  Alcotest.(check bool) "mfn retired" true (Memory.Machine.is_offlined m (List.hd held));
+  Alcotest.(check int) "still nothing free" 0 (Memory.Machine.free_frames_on m 2);
+  (* Recovery returns everything. *)
+  let restored = Memory.Machine.online_node m 2 in
+  Alcotest.(check int) "restored" 16 restored;
+  Alcotest.(check int) "free again" 16 (Memory.Machine.free_frames_on m 2)
+
+let test_machine_mask_vetoes_alloc () =
+  let topo = Numa.Amd48.topology () in
+  let m = Memory.Machine.create ~page_scale:262144 topo in
+  Numa.Topology.set_node_online topo 5 false;
+  Alcotest.(check bool) "masked node refuses" true (Memory.Machine.alloc_on m ~node:5 ~order:0 = None);
+  (match Memory.Machine.alloc_frame_fallback m ~prefer:5 with
+  | Some mfn ->
+      Alcotest.(check bool) "fallback avoids masked node" true
+        (Memory.Machine.node_of_mfn m mfn <> 5)
+  | None -> Alcotest.fail "fallback failed");
+  Numa.Topology.set_node_online topo 5 true;
+  Alcotest.(check bool) "online again" true (Memory.Machine.alloc_on m ~node:5 ~order:0 <> None)
+
 let suite =
   [
     ( "memory.page",
@@ -349,6 +503,14 @@ let suite =
         QCheck_alcotest.to_alcotest prop_buddy_partition;
         QCheck_alcotest.to_alcotest prop_buddy_full_free_coalesces;
       ] );
+    ( "memory.buddy.offline",
+      [
+        Alcotest.test_case "offline free range" `Quick test_offline_free_range;
+        Alcotest.test_case "offline allocated pends" `Quick test_offline_allocated_pends;
+        Alcotest.test_case "online restores" `Quick test_online_range_restores;
+        Alcotest.test_case "online cancels pending" `Quick test_online_cancels_pending;
+        QCheck_alcotest.to_alcotest prop_buddy_offline_partition;
+      ] );
     ( "memory.machine",
       [
         Alcotest.test_case "layout" `Quick test_machine_layout;
@@ -358,5 +520,7 @@ let suite =
         Alcotest.test_case "free returns to node" `Quick test_machine_free_respects_node;
         Alcotest.test_case "used per node" `Quick test_machine_used_per_node;
         Alcotest.test_case "rejects bad scale" `Quick test_machine_rejects_bad_scale;
+        Alcotest.test_case "offline node" `Quick test_machine_offline_node;
+        Alcotest.test_case "mask vetoes alloc" `Quick test_machine_mask_vetoes_alloc;
       ] );
   ]

@@ -584,6 +584,78 @@ let test_failure_replicate_leaks_nothing () =
   Alcotest.(check int) "no frames leaked" free0 (Memory.Machine.free_frames s.Xen.System.machine);
   List.iter (fun mfn -> Memory.Machine.free s.Xen.System.machine ~mfn ~order:0) held
 
+(* ------------------------------ evacuation ------------------------- *)
+
+let mapped_pfns d =
+  List.sort compare
+    (Xen.P2m.fold_mapped d.Xen.Domain.p2m ~init:[] ~f:(fun acc pfn _ -> pfn :: acc))
+
+let test_ecc_handlers () =
+  let s = small_system () in
+  let d, m = attach s in
+  let machine = s.Xen.System.machine in
+  let node0 = match Policies.Manager.node_of_pfn m 0 with Some n -> n | None -> Alcotest.fail "unmapped" in
+  (* CE: scrubbed in place — same node, frame stays online. *)
+  Policies.Manager.handle_ecc_ce m ~pfn:0;
+  Alcotest.(check (option int)) "ce leaves the page" (Some node0) (Policies.Manager.node_of_pfn m 0);
+  (* UE: the frame is poisoned — remapped elsewhere, old frame retired. *)
+  let bad_mfn =
+    match Xen.P2m.get d.Xen.Domain.p2m 1 with
+    | Xen.P2m.Mapped { mfn; _ } -> mfn
+    | Xen.P2m.Invalid -> Alcotest.fail "pfn 1 unmapped"
+  in
+  Policies.Manager.handle_ecc_ue m ~pfn:1;
+  Alcotest.(check bool) "pfn 1 still mapped" true (Xen.P2m.get d.Xen.Domain.p2m 1 <> Xen.P2m.Invalid);
+  Alcotest.(check bool) "poisoned frame offlined" true (Memory.Machine.is_offlined machine bad_mfn);
+  (* Unmapped pfns are a no-op for both handlers. *)
+  let off0 = (Policies.Manager.degrade m).Policies.Manager.offlined in
+  Policies.Manager.handle_ecc_ue m ~pfn:(d.Xen.Domain.mem_frames - 1 + 1_000_000);
+  Alcotest.(check int) "unmapped ue ignored" off0
+    (Policies.Manager.degrade m).Policies.Manager.offlined;
+  let dg = Policies.Manager.degrade m in
+  Alcotest.(check int) "one ce counted" 1 dg.Policies.Manager.ecc_ce;
+  Alcotest.(check int) "one ue counted" 1 dg.Policies.Manager.ecc_ue;
+  Alcotest.(check bool) "consistent" true (Xen.P2m.check_consistent d.Xen.Domain.p2m)
+
+(* The RAS satellite property: after a node failure the drain completes,
+   the P2M maps exactly the pfns it mapped before the failure, none of
+   them resident on the failed node or on an offlined machine frame,
+   and frame accounting still balances. *)
+let prop_evacuation_conserves_frames =
+  QCheck.Test.make ~name:"evacuation conserves the guest frame set" ~count:60
+    QCheck.(pair (int_range 0 1000) (int_range 1 4))
+    (fun (n, gib) ->
+      let s = Xen.System.create ~page_scale:16384 (Numa.Amd48.topology ()) in
+      let d =
+        Xen.System.create_domain s ~name:"evac" ~kind:Xen.Domain.DomU ~vcpus:6
+          ~mem_bytes:(gib * 1024 * 1024 * 1024) ()
+      in
+      let rng = Sim.Rng.create ~seed:((n * 7919) + 3) in
+      let m = Policies.Manager.attach s d ~boot:Policies.Spec.round_4k ~rng in
+      let pre = mapped_pfns d in
+      let home = d.Xen.Domain.home_nodes in
+      let node = home.(n mod Array.length home) in
+      let machine = s.Xen.System.machine in
+      Numa.Topology.set_node_online s.Xen.System.topo node false;
+      ignore (Memory.Machine.offline_node machine node);
+      Policies.Manager.request_evacuation m ~node;
+      let epoch = ref 0 in
+      while Policies.Manager.evacuating m >= 0 && !epoch < 2_000 do
+        Policies.Manager.epoch_tick m ~epoch:!epoch ();
+        incr epoch
+      done;
+      let resident_bad = ref 0 in
+      Xen.P2m.iter_mapped d.Xen.Domain.p2m (fun _ mfn ->
+          if
+            Memory.Machine.is_offlined machine mfn
+            || Memory.Machine.node_of_mfn machine mfn = node
+          then incr resident_bad);
+      Policies.Manager.evacuating m = -1
+      && mapped_pfns d = pre
+      && !resident_bad = 0
+      && (Policies.Manager.degrade m).Policies.Manager.evacuated > 0
+      && Xen.P2m.check_consistent d.Xen.Domain.p2m)
+
 let suite =
   [
     ( "policies.failure-injection",
@@ -592,6 +664,11 @@ let suite =
         Alcotest.test_case "map when machine full" `Quick test_failure_map_when_machine_full;
         Alcotest.test_case "carrefour out of memory" `Quick test_failure_carrefour_reports_failed;
         Alcotest.test_case "replicate leaks nothing" `Quick test_failure_replicate_leaks_nothing;
+      ] );
+    ( "policies.evacuation",
+      [
+        Alcotest.test_case "ecc handlers" `Quick test_ecc_handlers;
+        QCheck_alcotest.to_alcotest prop_evacuation_conserves_frames;
       ] );
     ( "policies.spec",
       [

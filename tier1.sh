@@ -12,6 +12,18 @@ dune exec bench/main.exe -- tab1 --jobs 2
 # fault plan (a plan that hits the epoch cap prints a WARNING).
 dune exec bench/main.exe -- chaos --jobs 2
 
+# Memory-RAS grid: ECC storms and a permanent node failure.  The bar
+# is the same — every cell completes, the failed node is evacuated
+# (DESIGN.md §14; a cell that hits the epoch cap prints a WARNING).
+dune exec bench/main.exe -- ras --jobs 2
+
+# Combined chaos + RAS smoke: software faults and hardware RAS compose
+# in one plan — queue loss and flaky allocations while a node dies and
+# ECC errors land.  The run must still complete.
+dune exec bin/xen_numa_sim.exe -- run swaptions -m xen+ -p ft+carrefour \
+  --faults "alloc=0.2,batch-loss=0.3,ecc-ce=0.5,ecc-ue=0.02,node_fail=1.0@50" >/dev/null
+echo "tier1: chaos+ras combined smoke OK"
+
 # Hugepage grid: superpages on/off across the three boot placements
 # (EXPERIMENTS.md documents the expected shape; test/test_engine.ml
 # pins it).
@@ -84,6 +96,18 @@ cmp "$TRACE_DIR/hp1.jsonl" "$TRACE_DIR/hp4.jsonl" || {
 dune exec bin/xen_numa_trace.exe -- check "$TRACE_DIR/hp1.jsonl"
 echo "tier1: hugepage trace determinism OK ($(wc -l < "$TRACE_DIR/hp1.jsonl") JSONL lines)"
 
+# And for the RAS grid: node-failure targets, ECC draws, evacuation
+# batches and the degraded traffic model must all be functions of the
+# cell seed alone, never of the worker schedule.
+dune exec bench/main.exe -- ras --jobs 1 --trace "$TRACE_DIR/ras1.jsonl" --trace-cap 512 >/dev/null
+dune exec bench/main.exe -- ras --jobs 4 --trace "$TRACE_DIR/ras4.jsonl" --trace-cap 512 >/dev/null
+cmp "$TRACE_DIR/ras1.jsonl" "$TRACE_DIR/ras4.jsonl" || {
+  echo "tier1: FAIL - ras traces differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+dune exec bin/xen_numa_trace.exe -- check "$TRACE_DIR/ras1.jsonl"
+echo "tier1: ras trace determinism OK ($(wc -l < "$TRACE_DIR/ras1.jsonl") JSONL lines)"
+
 # Intra-run sharding determinism: one fig2-style cell traced with the
 # epoch kernel unsharded and sharded over 4 team members must export
 # byte-identical JSONL — the sequential fixed-order reduction, not the
@@ -108,15 +132,20 @@ echo "tier1: randomised chaos pass (QCHECK_SEED=$QCHECK_SEED)"
 dune exec test/test_main.exe -- test faults
 
 # Same randomised seed over the property suites: the buddy partition
-# invariant, the P2M superpage consistency invariant, the top-k heap
-# invariant, the batched-vs-per-page P2M equivalence, and the
-# intra-run sharding invariants (partition tiling, per-vCPU stream
-# independence, sharded-equals-unsharded results).
+# invariant (the memory.buddy filter also matches memory.buddy.offline,
+# whose free + allocated + offlined = total invariant covers page
+# offlining), the P2M superpage consistency invariant, the top-k heap
+# invariant, the batched-vs-per-page P2M equivalence, the intra-run
+# sharding invariants (partition tiling, per-vCPU stream independence,
+# sharded-equals-unsharded results), and the evacuation
+# frame-conservation property (post-drain P2M maps exactly the
+# pre-failure guest frames, none on an offlined mfn).
 echo "tier1: randomised property pass (QCHECK_SEED=$QCHECK_SEED)"
 dune exec test/test_main.exe -- test memory.buddy
 dune exec test/test_main.exe -- test xen.p2m
 dune exec test/test_main.exe -- test stats.topk
 dune exec test/test_main.exe -- test xen.p2m.batch
 dune exec test/test_main.exe -- test engine.shard
+dune exec test/test_main.exe -- test policies.evacuation
 
 echo "tier1: OK"
