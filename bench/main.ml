@@ -4,7 +4,7 @@
    Usage: main.exe [all|tab1|tab2|tab3|tab4|fig1|fig2|fig5|fig6|fig7|
                     fig8|fig9|fig10|dma|batching|ablation|micro]
                    [--jobs N] [--inner-jobs N] [--json FILE] [--trace FILE]
-                   [--trace-cap N] [--compare FILE]
+                   [--trace-cap N] [--compare FILE] [--profile]
 
    --jobs N       run the experiment grids on N domains (default:
                   XEN_NUMA_JOBS or the host's recommended domain count)
@@ -20,7 +20,12 @@
    --trace-cap N  per-stream trace ring capacity (default 4096)
    --compare FILE regression gate: read a previous --json report and
                   fail (exit 1) if any section shared with it runs
-                  more than 25% slower now *)
+                  more than 25% slower now, or if a section's p99
+                  latency regressed by more than 25% against a
+                  reference that recorded one
+   --profile      enable the runner phase profiler and print the span
+                  table at the end (spans also land in the metrics
+                  registry for --json) *)
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
@@ -314,6 +319,21 @@ let git_rev () =
       in
       match from_dir (Sys.getcwd ()) with Some rev -> rev | None -> "unknown")
 
+(* Per-section p99 latency: the runner merges every VM's latency
+   histogram into the "engine.vm.latency_cycles" metric, so the p99 of
+   the section is the p99 of the histogram delta across it (Histogram
+   diff of snapshots taken before and after the section ran).  None
+   when metrics are off or the section ran no epochs. *)
+let section_p99 ~before =
+  match Obs.Metrics.histogram_copy "engine.vm.latency_cycles" with
+  | None -> None
+  | Some now ->
+      let window =
+        match before with None -> now | Some b -> Sim.Stats.Histogram.diff now b
+      in
+      if Sim.Stats.Histogram.count window = 0 then None
+      else Some (Sim.Stats.Histogram.percentile window 99.0)
+
 let write_json file ~jobs ~timings ~total =
   let oc =
     try open_out file
@@ -321,7 +341,13 @@ let write_json file ~jobs ~timings ~total =
       Printf.eprintf "cannot write --json output: %s\n" msg;
       exit 1
   in
-  let entry (name, seconds) = Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %.3f}" (json_escape name) seconds in
+  let entry (name, seconds, p99) =
+    match p99 with
+    | None -> Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %.3f}" (json_escape name) seconds
+    | Some p ->
+        Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %.3f, \"lat_p99\": %.6g}"
+          (json_escape name) seconds p
+  in
   let micro (name, ns) = Printf.sprintf "    {\"name\": \"%s\", \"ns_per_op\": %.1f}" (json_escape name) ns in
   let metrics = List.map (fun line -> "    " ^ line) (Obs.Metrics.to_json_entries ()) in
   Printf.fprintf oc
@@ -353,7 +379,13 @@ let write_json file ~jobs ~timings ~total =
    reference (new experiments) pass trivially.  When the reference was
    recorded at a different --jobs setting the table is printed for
    information only: domain-count overhead dominates wall-clock on
-   small hosts, so cross-jobs deltas say nothing about the code. *)
+   small hosts, so cross-jobs deltas say nothing about the code.
+
+   The same threshold gates the per-section p99 latency when BOTH
+   sides recorded one ("lat_p99" in the sections array): unlike
+   wall-clock, p99 is deterministic for a given seed, so a genuine
+   regression cannot hide behind host noise.  References from before
+   the field existed gate on wall-clock only. *)
 let compare_threshold = 0.25
 
 let compare_report file ~jobs ~timings =
@@ -382,7 +414,9 @@ let compare_report file ~jobs ~timings =
             match (Obs.Json.member "name" e, Obs.Json.member "wall_s" e) with
             | Some name, Some wall -> (
                 match (Obs.Json.to_string name, Obs.Json.to_float wall) with
-                | Some n, Some w -> Some (n, w)
+                | Some n, Some w ->
+                    let p99 = Option.bind (Obs.Json.member "lat_p99" e) Obs.Json.to_float in
+                    Some (n, (w, p99))
                 | _ -> None)
             | _ -> None)
           entries
@@ -398,31 +432,44 @@ let compare_report file ~jobs ~timings =
   let old_jobs = Option.bind (Obs.Json.member "jobs" old) Obs.Json.to_int in
   let gating = match old_jobs with Some j -> j = jobs | None -> true in
   Printf.printf "\nComparison vs %s (rev %s)\n" file old_rev;
-  Printf.printf "%-12s %10s %10s %9s %9s\n" "section" "ref (s)" "now (s)" "delta" "speedup";
+  Printf.printf "%-12s %10s %10s %9s %9s %11s\n" "section" "ref (s)" "now (s)" "delta" "speedup"
+    "p99 delta";
   let regressed = ref [] in
   let ref_sum = ref 0.0 and now_sum = ref 0.0 in
   List.iter
-    (fun (name, now) ->
+    (fun (name, now, now_p99) ->
+      (* The p99 column gates only when both runs recorded one: a
+         reference written before the field existed (or a metrics-off
+         run) stays wall-clock-only. *)
+      let p99_cell =
+        match (List.assoc_opt name old_sections, now_p99) with
+        | Some (_, Some ref_p99), Some p99 when ref_p99 > 0.0 ->
+            let d = (p99 -. ref_p99) /. ref_p99 in
+            if d > compare_threshold then
+              regressed := (name ^ " (p99 latency)", d) :: !regressed;
+            Printf.sprintf "%+.1f%%" (100.0 *. d)
+        | _ -> "-"
+      in
       match List.assoc_opt name old_sections with
-      | None -> Printf.printf "%-12s %10s %10.2f %9s %9s\n" name "-" now "new" "-"
-      | Some before when before <= 0.0 ->
-          Printf.printf "%-12s %10.2f %10.2f %9s %9s\n" name before now "-" "-"
-      | Some before ->
+      | None -> Printf.printf "%-12s %10s %10.2f %9s %9s %11s\n" name "-" now "new" "-" p99_cell
+      | Some (before, _) when before <= 0.0 ->
+          Printf.printf "%-12s %10.2f %10.2f %9s %9s %11s\n" name before now "-" "-" p99_cell
+      | Some (before, _) ->
           let delta = (now -. before) /. before in
           (* speedup = ref/now: >1.00x is faster than the reference. *)
           let speedup = if now > 0.0 then before /. now else Float.infinity in
           ref_sum := !ref_sum +. before;
           now_sum := !now_sum +. now;
-          Printf.printf "%-12s %10.2f %10.2f %+8.1f%% %8.2fx\n" name before now
-            (100.0 *. delta) speedup;
+          Printf.printf "%-12s %10.2f %10.2f %+8.1f%% %8.2fx %11s\n" name before now
+            (100.0 *. delta) speedup p99_cell;
           if delta > compare_threshold then regressed := (name, delta) :: !regressed)
     timings;
   (* Sections present in only one of the two files are informational:
      a reference from before a section existed (or a run of a subset)
      must not fail the gate. *)
   List.iter
-    (fun (name, before) ->
-      if not (List.mem_assoc name timings) then
+    (fun (name, (before, _)) ->
+      if not (List.exists (fun (n, _, _) -> n = name) timings) then
         Printf.printf "%-12s %10.2f %10s %9s %9s\n" name before "-" "ref-only" "-")
     old_sections;
   if !now_sum > 0.0 && !ref_sum > 0.0 then
@@ -433,7 +480,9 @@ let compare_report file ~jobs ~timings =
       (Option.value old_jobs ~default:0) jobs
   else
   match List.rev !regressed with
-  | [] -> Printf.printf "no section regressed more than %.0f%%\n" (100.0 *. compare_threshold)
+  | [] ->
+      Printf.printf "no section regressed more than %.0f%% (wall-clock or p99 latency)\n"
+        (100.0 *. compare_threshold)
   | bad ->
       List.iter
         (fun (name, delta) ->
@@ -446,7 +495,7 @@ let compare_report file ~jobs ~timings =
 let usage () =
   Printf.eprintf
     "usage: main.exe [sections...] [--jobs N] [--inner-jobs N] [--json FILE] [--trace FILE]\n\
-    \       [--trace-cap N] [--compare FILE]\n\
+    \       [--trace-cap N] [--compare FILE] [--profile]\n\
      available sections: all %s\n"
     (String.concat " " (List.map fst sections));
   exit 1
@@ -459,12 +508,13 @@ type opts = {
   mutable trace : string option;
   mutable trace_cap : int;
   mutable compare_to : string option;
+  mutable profile : bool;
 }
 
 let () =
   let o =
     { names = []; jobs = None; inner_jobs = None; json = None; trace = None; trace_cap = 4096;
-      compare_to = None }
+      compare_to = None; profile = false }
   in
   let rec parse = function
     | [] -> ()
@@ -492,6 +542,9 @@ let () =
         parse rest
     | "--trace" :: file :: rest ->
         o.trace <- Some file;
+        parse rest
+    | "--profile" :: rest ->
+        o.profile <- true;
         parse rest
     | "--trace-cap" :: n :: rest -> (
         match int_of_string_opt n with
@@ -522,8 +575,14 @@ let () =
       end)
     requested;
   (* --json reports the metrics registry, so collection goes on for the
-     whole run; --trace installs the capture session. *)
-  if o.json <> None then Obs.Metrics.set_enabled true;
+     whole run; --compare needs it too (the per-section p99 gate reads
+     the engine.vm.latency_cycles histogram); --trace installs the
+     capture session. *)
+  if o.json <> None || o.compare_to <> None then Obs.Metrics.set_enabled true;
+  if o.profile then begin
+    Obs.Profile.reset ();
+    Obs.Profile.set_enabled true
+  end;
   let session =
     match o.trace with
     | None -> None
@@ -537,15 +596,26 @@ let () =
     List.map
       (fun name ->
         let f = List.assoc name sections in
+        let before = Obs.Metrics.histogram_copy "engine.vm.latency_cycles" in
         let t0 = Unix.gettimeofday () in
         f ();
-        (name, Unix.gettimeofday () -. t0))
+        let dt = Unix.gettimeofday () -. t0 in
+        (name, dt, section_p99 ~before))
       requested
   in
   let total = Unix.gettimeofday () -. t_start in
-  Printf.printf "\n%-12s %10s\n" "section" "wall (s)";
-  List.iter (fun (name, dt) -> Printf.printf "%-12s %10.2f\n" name dt) timings;
+  Printf.printf "\n%-12s %10s %10s\n" "section" "wall (s)" "p99 (cy)";
+  List.iter
+    (fun (name, dt, p99) ->
+      Printf.printf "%-12s %10.2f %10s\n" name dt
+        (match p99 with Some p -> Printf.sprintf "%.0f" p | None -> "-"))
+    timings;
   Printf.printf "%-12s %10.2f  (%d jobs)\n" "total" total (Engine.Pool.default_jobs ());
+  if o.profile then begin
+    Obs.Profile.commit_metrics ();
+    print_newline ();
+    print_string (Obs.Profile.render ())
+  end;
   (match (session, o.trace) with
   | Some s, Some file ->
       Obs.Trace.commit_metrics s;

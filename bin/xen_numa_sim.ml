@@ -111,6 +111,33 @@ let metrics_arg =
            ~doc:"Collect the metrics registry (counters, gauges, latency \
                  histograms) during the run and print it afterwards.")
 
+let slo_conv =
+  let parse s =
+    match Engine.Config.parse_slo s with Ok o -> Ok o | Error msg -> Error (`Msg msg)
+  in
+  let print fmt slo =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map (fun (m, t) -> Printf.sprintf "%s=%g" m t) slo))
+  in
+  Arg.conv (parse, print)
+
+let slo_arg =
+  Arg.(value & opt slo_conv []
+       & info [ "slo" ] ~docv:"OBJECTIVES"
+           ~doc:"Latency SLO objectives, comma-separated $(i,METRIC=TARGET) pairs where \
+                 metric is one of mean, p50, p95, p99, p999 and target is a latency \
+                 budget in cycles (e.g. $(b,p99=300,mean=220)).  Each objective is \
+                 evaluated per domain every epoch and at end of run; the result lists \
+                 per-objective violation epochs and burn rate.  Purely observational: \
+                 a run with SLOs is bit-identical to one without.")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Enable the runner phase profiler (kernel shards, sequential \
+                 reductions, carrefour feed, P2M batches, PV flushes, manager \
+                 ticks) and print the span table after the run.")
+
 let inner_jobs_arg =
   Arg.(value & opt int 1
        & info [ "inner-jobs" ] ~docv:"N"
@@ -121,7 +148,7 @@ let inner_jobs_arg =
                  ignore this and run unsharded.")
 
 let run_app app mode policy threads seed mcs huge_pages unpinned machine faults trace trace_cap
-    metrics inner_jobs =
+    metrics inner_jobs slo profile =
   if trace_cap <= 0 then begin
     prerr_endline "xen-numa-sim: --trace-cap must be positive";
     exit 1
@@ -139,12 +166,20 @@ let run_app app mode policy threads seed mcs huge_pages unpinned machine faults 
         Some s
   in
   if metrics then Obs.Metrics.set_enabled true;
+  if profile then begin
+    Obs.Profile.reset ();
+    Obs.Profile.set_enabled true
+  end;
   let vm =
     Engine.Config.vm ~threads ~use_mcs:mcs ~huge_pages ~pinned:(not unpinned) ~policy app
   in
-  let cfg = Engine.Config.make ~seed ~machine ~faults ~inner_jobs ~mode [ vm ] in
+  let cfg = Engine.Config.make ~seed ~machine ~faults ~inner_jobs ~slo ~mode [ vm ] in
   let result = Engine.Runner.run cfg in
   Format.printf "%a@." Engine.Result.pp result;
+  if profile then begin
+    if metrics then Obs.Profile.commit_metrics ();
+    Format.printf "@.%s" (Obs.Profile.render ())
+  end;
   (match (session, trace) with
   | Some s, Some file ->
       (* Mirror per-class emission totals into the registry before the
@@ -162,7 +197,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_app $ app_arg $ mode_arg $ policy_arg $ threads_arg $ seed_arg $ mcs_arg
           $ huge_arg $ unpinned_arg $ machine_arg $ faults_arg $ trace_arg $ trace_cap_arg
-          $ metrics_arg $ inner_jobs_arg)
+          $ metrics_arg $ inner_jobs_arg $ slo_arg $ profile_arg)
 
 let list_apps () =
   Report.Table.print

@@ -77,7 +77,17 @@ let check path =
       | [] ->
           Printf.printf "ok: %d streams, %d events kept, invariants hold\n"
             (Array.length streams)
-            (List.length export.Obs.Codec.events)
+            (List.length export.Obs.Codec.events);
+          (* Drops do not break any invariant (the accounting identity
+             includes them) but they mean the kept counts undercount. *)
+          let dropped =
+            Array.fold_left (fun acc s -> acc + s.Obs.Codec.dropped) 0 streams
+          in
+          if dropped > 0 then
+            Printf.printf
+              "note: %d events were dropped by full rings — kept counts undercount; raise \
+               --trace-cap for a complete capture\n"
+              dropped
       | msgs ->
           List.iter (fun m -> prerr_endline ("xen-numa-trace: " ^ m)) (List.rev msgs);
           exit 1)
@@ -86,8 +96,102 @@ let check_cmd =
   let doc = "Validate a trace file's accounting and ordering invariants" in
   Cmd.v (Cmd.info "check" ~doc) Term.(const check $ file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* query: streaming filter + aggregation over either codec             *)
+(* ------------------------------------------------------------------ *)
+
+let classes_arg =
+  Arg.(value & opt (some string) None
+       & info [ "class" ] ~docv:"CLASSES"
+           ~doc:"Comma-separated event classes to keep (e.g. \
+                 $(b,page_fault,migrate_start)).  An unknown name lists every \
+                 valid class.  Default: all classes.")
+
+let dom_arg =
+  Arg.(value & opt (some int) None
+       & info [ "dom" ] ~docv:"ID" ~doc:"Keep events of this domain only.")
+
+let vcpu_arg =
+  Arg.(value & opt (some int) None
+       & info [ "vcpu" ] ~docv:"ID" ~doc:"Keep events of this vCPU only.")
+
+let node_arg =
+  Arg.(value & opt (some int) None
+       & info [ "node" ] ~docv:"ID" ~doc:"Keep events tagged with this NUMA node only.")
+
+let epochs_arg =
+  Arg.(value & opt (some string) None
+       & info [ "epochs" ] ~docv:"WINDOW"
+           ~doc:"Epoch window: a single $(i,EPOCH) or an inclusive $(i,LO-HI) \
+                 range (e.g. $(b,10-20)).")
+
+let top_arg =
+  Arg.(value & opt int 10
+       & info [ "top" ] ~docv:"K" ~doc:"Hot-frame list length (default 10).")
+
+let format_arg =
+  Arg.(value & opt (enum [ ("table", `Table); ("jsonl", `Jsonl) ]) `Table
+       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,table) or $(b,jsonl).")
+
+let heatmap_arg =
+  Arg.(value & opt (some string) None
+       & info [ "heatmap" ] ~docv:"FILE"
+           ~doc:"Also write a per-(epoch, node) matched-event heatmap to $(docv) as CSV.")
+
+let query classes dom vcpu node epochs top format heatmap path =
+  let die msg =
+    prerr_endline ("xen-numa-trace: " ^ msg);
+    exit 1
+  in
+  if top < 1 then die "--top must be positive";
+  let classes =
+    match classes with
+    | None -> []
+    | Some spec -> (
+        match Obs.Query.parse_classes spec with Ok cs -> cs | Error msg -> die msg)
+  in
+  let epoch_lo, epoch_hi =
+    match epochs with
+    | None -> (None, None)
+    | Some spec -> (
+        match Obs.Query.parse_epochs spec with
+        | Ok (lo, hi) -> (Some lo, Some hi)
+        | Error msg -> die msg)
+  in
+  let f =
+    Obs.Query.filter ~classes ?domain:dom ?vcpu ?node ?epoch_lo ?epoch_hi ()
+  in
+  match Obs.Query.run ~top f path with
+  | exception Sys_error msg -> die msg
+  | exception Obs.Codec.Corrupt msg -> die (Printf.sprintf "%s: corrupt trace: %s" path msg)
+  | result -> (
+      (match format with
+      | `Table -> print_string (Obs.Query.render_table result)
+      | `Jsonl -> print_string (Obs.Query.render_jsonl result));
+      match heatmap with
+      | None -> ()
+      | Some file -> (
+          match open_out file with
+          | exception Sys_error msg -> die msg
+          | oc ->
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc (Obs.Query.heatmap_csv result));
+              (* stderr: keeps stdout parseable (and byte-identical across
+                 captures that differ only in the CSV destination). *)
+              Printf.eprintf "heatmap written to %s\n" file))
+
+let query_cmd =
+  let doc =
+    "Filter and aggregate a trace in one bounded-memory streaming pass \
+     (count per class, rate per epoch, top-k hot frames, optional heatmap CSV)"
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const query $ classes_arg $ dom_arg $ vcpu_arg $ node_arg $ epochs_arg $ top_arg
+          $ format_arg $ heatmap_arg $ file_arg)
+
 let main =
   let doc = "Summarise xen-numa-sim event traces" in
-  Cmd.group (Cmd.info "xen-numa-trace" ~doc) [ summary_cmd; check_cmd ]
+  Cmd.group (Cmd.info "xen-numa-trace" ~doc) [ summary_cmd; check_cmd; query_cmd ]
 
 let () = exit (Cmd.eval main)

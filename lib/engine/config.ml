@@ -28,6 +28,7 @@ type t = {
   faults : Faults.Plan.t;
   observer : observer option;
   inner_jobs : int;
+  slo : (string * float) list;
 }
 
 and observer = epoch_snapshot -> unit
@@ -42,20 +43,58 @@ and epoch_snapshot = {
   local_fraction : (string * float) list;
 }
 
+(* SLO objectives: which latency metric is budgeted.  [mean] is the
+   work-weighted epoch mean; the percentiles are over the running
+   vCPUs' per-epoch mean latencies. *)
+let slo_metrics = [ "mean"; "p50"; "p95"; "p99"; "p999" ]
+
+(* Parse a "METRIC=TARGET[,METRIC=TARGET...]" objective list (the
+   --slo CLI argument).  The error message enumerates the valid
+   metrics, mirroring the fault-plan parser. *)
+let parse_slo spec =
+  let parse_one part =
+    match String.index_opt part '=' with
+    | None -> Error (Printf.sprintf "bad SLO %S; expected METRIC=TARGET (e.g. p99=300)" part)
+    | Some i -> (
+        let metric = String.trim (String.sub part 0 i) in
+        let target = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+        if not (List.mem metric slo_metrics) then
+          Error
+            (Printf.sprintf "unknown SLO metric %S; valid metrics: %s" metric
+               (String.concat ", " slo_metrics))
+        else
+          match float_of_string_opt target with
+          | Some t when t > 0.0 -> Ok (metric, t)
+          | _ -> Error (Printf.sprintf "bad SLO target %S; expected a positive number" target))
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest -> (
+        match parse_one part with Ok o -> go (o :: acc) rest | Error e -> Error e)
+  in
+  go []
+    (List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char ',' spec)))
+
 let make ?(epoch = 0.1) ?(seed = 42) ?(max_epochs = 40_000) ?page_kib ?carrefour_config
     ?(machine = Numa.Machine_desc.amd48) ?(faults = Faults.Plan.empty) ?observer
-    ?inner_jobs ~mode vms =
+    ?inner_jobs ?(slo = []) ~mode vms =
   let inner_jobs =
     match inner_jobs with Some n -> n | None -> Pool.default_inner_jobs ()
   in
   if vms = [] then invalid_arg "Config.make: no VMs";
   if epoch <= 0.0 then invalid_arg "Config.make: epoch must be positive";
   if inner_jobs < 1 then invalid_arg "Config.make: inner_jobs must be >= 1";
+  List.iter
+    (fun (metric, target) ->
+      if not (List.mem metric slo_metrics) then
+        invalid_arg (Printf.sprintf "Config.make: unknown SLO metric %S" metric);
+      if target <= 0.0 then invalid_arg "Config.make: SLO target must be positive")
+    slo;
   (match Faults.Plan.validate faults with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Config.make: bad fault plan: " ^ msg));
   { mode; vms; epoch; seed; max_epochs; page_kib; carrefour_config; machine; faults; observer;
-    inner_jobs }
+    inner_jobs; slo }
 
 let mode_name = function Linux -> "linux" | Xen -> "xen" | Xen_plus -> "xen+"
 

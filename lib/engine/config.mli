@@ -84,6 +84,13 @@ type t = {
           shared stream in vCPU order.  [make] defaults the field to
           {!Pool.default_inner_jobs} (the bench driver's
           [--inner-jobs], or [XEN_NUMA_INNER_JOBS], or 1). *)
+  slo : (string * float) list;
+      (** Latency SLO objectives [(metric, target cycles)] evaluated
+          per domain every epoch and at end of run ([--slo]).  Metrics:
+          [mean] (work-weighted epoch mean) or [p50]/[p95]/[p99]/[p999]
+          over per-vCPU epoch latencies.  Purely observational — the
+          accounting never feeds back into the simulation, so a run
+          with SLOs is bit-identical to one without. *)
 }
 
 and observer = epoch_snapshot -> unit
@@ -106,9 +113,17 @@ val make : ?epoch:float -> ?seed:int -> ?max_epochs:int -> ?page_kib:int ->
   ?faults:Faults.Plan.t ->
   ?observer:observer ->
   ?inner_jobs:int ->
+  ?slo:(string * float) list ->
   mode:mode -> vm_spec list -> t
-(** @raise Invalid_argument on an ill-formed fault plan or
-    [inner_jobs < 1]. *)
+(** @raise Invalid_argument on an ill-formed fault plan, an unknown
+    SLO metric or non-positive target, or [inner_jobs < 1]. *)
+
+val slo_metrics : string list
+(** Valid SLO metric names, in report order. *)
+
+val parse_slo : string -> ((string * float) list, string) result
+(** Parse a ["METRIC=TARGET,..."] objective list (the [--slo] CLI
+    argument); the error enumerates the valid metrics. *)
 
 val mode_name : mode -> string
 

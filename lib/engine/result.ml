@@ -33,6 +33,37 @@ let no_degradation =
     evac_epochs = 0;
   }
 
+(* Tail of the per-domain latency distribution: percentiles over the
+   run's log-bucket histogram of per-vCPU-per-epoch mean latencies,
+   recorded in the runner's sequential reduction (so bit-identical
+   across --jobs / --inner-jobs). *)
+type latency_summary = {
+  samples : int;
+  lat_mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+  lat_max : float;
+}
+
+let no_latency =
+  { samples = 0; lat_mean = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0; p999 = 0.0; lat_max = 0.0 }
+
+(* One --slo CLASS=TARGET objective evaluated for one domain: the
+   end-of-run value of the metric, plus per-epoch violation accounting
+   (an epoch violates when its own value of the metric exceeded the
+   target; burn rate = violating / active epochs). *)
+type slo_row = {
+  metric : string;  (* mean | p50 | p95 | p99 | p999 *)
+  target : float;
+  value : float;  (* end-of-run value of the metric *)
+  violation_epochs : int;
+  active_epochs : int;
+  burn_rate : float;
+  violated : bool;  (* end-of-run value exceeds the target *)
+}
+
 type vm_result = {
   app_name : string;
   policy : string;
@@ -51,6 +82,8 @@ type vm_result = {
   splinters : int;  (* cumulative demotions (P2M counter) *)
   promotes : int;  (* cumulative coalesces, in place and by copy *)
   superpage_migrates : int;  (* the copying promotes among them *)
+  latency : latency_summary;
+  slo : slo_row list;  (* one row per --slo objective, spec order *)
   degradation : degradation;
 }
 
@@ -102,6 +135,27 @@ let pp fmt t =
            trips (level %d), %d lost batches, %d reconciled@,"
           vm.app_name d.migrate_retries d.deferred d.drained d.fallback_maps d.breaker_trips
           d.breaker_level d.lost_batches d.reconciled)
+    t.vms;
+  List.iter
+    (fun vm ->
+      let l = vm.latency in
+      if l.samples > 0 then
+        Format.fprintf fmt
+          "%-14s latency: p50 %5.0f  p95 %5.0f  p99 %5.0f  p99.9 %5.0f  max %5.0f cy (%d \
+           samples)@,"
+          vm.app_name l.p50 l.p95 l.p99 l.p999 l.lat_max l.samples)
+    t.vms;
+  List.iter
+    (fun vm ->
+      List.iter
+        (fun s ->
+          Format.fprintf fmt
+            "%-14s slo %-5s target %6.0f cy: value %6.0f %s, %d/%d epochs in violation \
+             (burn rate %.3f)@,"
+            vm.app_name s.metric s.target s.value
+            (if s.violated then "VIOLATED" else "ok")
+            s.violation_epochs s.active_epochs s.burn_rate)
+        vm.slo)
     t.vms;
   List.iter
     (fun vm ->

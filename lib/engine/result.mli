@@ -19,6 +19,35 @@ type degradation = {
 
 val no_degradation : degradation
 
+(** Tail of the per-domain latency distribution: percentiles over the
+    run's log-bucket histogram of per-vCPU-per-epoch mean memory
+    latencies.  Samples are recorded in the runner's sequential
+    reduction, so the summary is bit-identical across [--jobs] and
+    [--inner-jobs]. *)
+type latency_summary = {
+  samples : int;  (** running-vCPU epoch samples (0 = no work ran) *)
+  lat_mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+  lat_max : float;
+}
+
+val no_latency : latency_summary
+
+(** One [--slo CLASS=TARGET] objective evaluated for one domain. *)
+type slo_row = {
+  metric : string;  (** [mean], [p50], [p95], [p99] or [p999] *)
+  target : float;  (** latency budget, cycles *)
+  value : float;  (** end-of-run value of the metric *)
+  violation_epochs : int;
+      (** epochs whose own value of the metric exceeded the target *)
+  active_epochs : int;  (** epochs in which the domain ran work *)
+  burn_rate : float;  (** [violation_epochs / active_epochs] *)
+  violated : bool;  (** end-of-run value exceeds the target *)
+}
+
 type vm_result = {
   app_name : string;
   policy : string;
@@ -42,6 +71,11 @@ type vm_result = {
   superpage_migrates : int;
       (** Promotions that had to copy the extent onto a fresh
           contiguous block first. *)
+  latency : latency_summary;
+      (** Tail-latency percentiles of the per-vCPU-per-epoch samples. *)
+  slo : slo_row list;
+      (** One row per [--slo] objective, in spec order ([] when the
+          config declared none). *)
   degradation : degradation;
       (** Graceful-degradation counters ({!no_degradation} on a clean
           run). *)

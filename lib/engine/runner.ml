@@ -94,6 +94,13 @@ type vm_state = {
   mutable weighted_lat : float;
   mutable total_accesses : float;
   mutable local_accesses : float;
+  (* Tail-latency observability: one per-vCPU-per-epoch sample of the
+     epoch's mean latency, recorded in the sequential reduction so the
+     distribution is bit-identical across --jobs / --inner-jobs. *)
+  lat_hist : Sim.Stats.Histogram.t;
+  slo_scratch : float array;  (* running vCPUs' epoch latencies *)
+  slo_violations : int array;  (* per cfg.slo objective, spec order *)
+  mutable active_epochs : int;  (* epochs in which any vCPU ran work *)
   mutable private_sample_cursor : int;
   mutable tlb_cycles_per_instr : float;
       (* static, except under P2M superpages where it tracks the live
@@ -422,6 +429,10 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
     weighted_lat = 0.0;
     total_accesses = 0.0;
     local_accesses = 0.0;
+    lat_hist = Sim.Stats.Histogram.create ();
+    slo_scratch = Array.make threads 0.0;
+    slo_violations = Array.make (List.length cfg.Config.slo) 0;
+    active_epochs = 0;
     private_sample_cursor = 0;
     tlb_cycles_per_instr = tlb_cycles_per_instr cfg spec;
     work_per_thread = work;
@@ -830,6 +841,48 @@ let vm_result cfg system st =
   let release_overhead = release_churn_overhead cfg st ~active_seconds:compute_time in
   let p2m = st.domain.Xen.Domain.p2m in
   let mapped = Xen.P2m.mapped_count p2m in
+  let avg_latency_cycles =
+    if st.total_accesses > 0.0 then st.weighted_lat /. st.total_accesses else 0.0
+  in
+  let latency =
+    let h = st.lat_hist in
+    if Sim.Stats.Histogram.count h = 0 then Result.no_latency
+    else
+      {
+        Result.samples = Sim.Stats.Histogram.count h;
+        lat_mean = Sim.Stats.Histogram.mean h;
+        p50 = Sim.Stats.Histogram.percentile h 50.0;
+        p95 = Sim.Stats.Histogram.percentile h 95.0;
+        p99 = Sim.Stats.Histogram.percentile h 99.0;
+        p999 = Sim.Stats.Histogram.percentile h 99.9;
+        lat_max = Sim.Stats.Histogram.max h;
+      }
+  in
+  let slo =
+    List.mapi
+      (fun i (metric, target) ->
+        let value =
+          match metric with
+          | "mean" -> avg_latency_cycles
+          | "p50" -> latency.Result.p50
+          | "p95" -> latency.Result.p95
+          | "p99" -> latency.Result.p99
+          | "p999" -> latency.Result.p999
+          | m -> invalid_arg ("Runner: unknown SLO metric " ^ m)
+        in
+        {
+          Result.metric;
+          target;
+          value;
+          violation_epochs = st.slo_violations.(i);
+          active_epochs = st.active_epochs;
+          burn_rate =
+            (if st.active_epochs = 0 then 0.0
+             else float_of_int st.slo_violations.(i) /. float_of_int st.active_epochs);
+          violated = value > target;
+        })
+      cfg.Config.slo
+  in
   {
     Result.app_name = app.Workloads.App.name;
     policy = Policies.Spec.name st.spec.Config.policy;
@@ -841,8 +894,7 @@ let vm_result cfg system st =
     release_overhead;
     faults = account.Xen.Domain.fault_count;
     migrations = st.migrations;
-    avg_latency_cycles =
-      (if st.total_accesses > 0.0 then st.weighted_lat /. st.total_accesses else 0.0);
+    avg_latency_cycles;
     local_fraction =
       (if st.total_accesses > 0.0 then st.local_accesses /. st.total_accesses else 0.0);
     superpages = Xen.P2m.superpage_count p2m;
@@ -852,6 +904,8 @@ let vm_result cfg system st =
     splinters = Xen.P2m.splinter_count p2m;
     promotes = Xen.P2m.promote_count p2m;
     superpage_migrates = (Policies.Manager.stats st.manager).Policies.Manager.superpage_migrates;
+    latency;
+    slo;
     degradation = vm_degradation st;
   }
 
@@ -1152,11 +1206,13 @@ let run (cfg : Config.t) =
           let mr = app.Workloads.App.miss_rate in
           Array.fill st.thread_doit 0 threads 0.0;
           Array.fill st.thread_cap 0 threads 0.0;
-          shard_dispatch team plans.(vi) ~threads (fun lo hi ->
-              epoch_compute_kernel st ~injector ~faults_on ~occupancy ~oh ~carrefour_tax ~mr
-                ~freq ~epoch_len ~lo ~hi);
+          Obs.Profile.span Obs.Profile.Kernel_compute (fun () ->
+              shard_dispatch team plans.(vi) ~threads (fun lo hi ->
+                  epoch_compute_kernel st ~injector ~faults_on ~occupancy ~oh ~carrefour_tax
+                    ~mr ~freq ~epoch_len ~lo ~hi));
           let accesses_acc = ref epoch_accesses.(vi) in
-          reduce_epoch_traffic st ~threads ~accesses_acc;
+          Obs.Profile.span Obs.Profile.Reduce (fun () ->
+              reduce_epoch_traffic st ~threads ~accesses_acc);
           epoch_accesses.(vi) <- !accesses_acc;
           disk_traffic cfg st counters ~bus_node ~node_demand
         end)
@@ -1188,45 +1244,48 @@ let run (cfg : Config.t) =
           let now_v = !now in
           (* Shardable half: realized throughput, work retirement and
              finish times are all vCPU-local (node_scale is fixed). *)
-          shard_dispatch team plans.(vi) ~threads (fun lo hi ->
-              for t = lo to hi - 1 do
-                if st.thread_doit.(t) > 0.0 then begin
-                  let base = t * nodes in
-                  (* A sequential access stream advances at the pace of
-                     its most throttled destination. *)
-                  let realized = ref 1.0 in
-                  for n = 0 to nodes - 1 do
-                    if st.thread_dst.(base + n) > 1e-9 && node_scale.(n) < !realized then
-                      realized := node_scale.(n)
-                  done;
-                  let realized = !realized in
-                  let final = st.thread_doit.(t) *. realized in
-                  st.remaining.(t) <- st.remaining.(t) -. final;
-                  if st.remaining.(t) <= 0.0 then
-                    st.finish.(t) <-
-                      now_v
-                      +. (epoch_len *. (final /. Float.max 1.0 (st.thread_cap.(t) *. realized)));
-                  if realized < 1.0 then begin
-                    st.thread_accesses.(t) <- st.thread_accesses.(t) *. realized;
-                    for n = 0 to nodes - 1 do
-                      st.thread_dst.(base + n) <- st.thread_dst.(base + n) *. realized
-                    done
-                  end
-                end
-              done);
+          Obs.Profile.span Obs.Profile.Kernel_throughput (fun () ->
+              shard_dispatch team plans.(vi) ~threads (fun lo hi ->
+                  for t = lo to hi - 1 do
+                    if st.thread_doit.(t) > 0.0 then begin
+                      let base = t * nodes in
+                      (* A sequential access stream advances at the pace of
+                         its most throttled destination. *)
+                      let realized = ref 1.0 in
+                      for n = 0 to nodes - 1 do
+                        if st.thread_dst.(base + n) > 1e-9 && node_scale.(n) < !realized then
+                          realized := node_scale.(n)
+                      done;
+                      let realized = !realized in
+                      let final = st.thread_doit.(t) *. realized in
+                      st.remaining.(t) <- st.remaining.(t) -. final;
+                      if st.remaining.(t) <= 0.0 then
+                        st.finish.(t) <-
+                          now_v
+                          +. (epoch_len
+                             *. (final /. Float.max 1.0 (st.thread_cap.(t) *. realized)));
+                      if realized < 1.0 then begin
+                        st.thread_accesses.(t) <- st.thread_accesses.(t) *. realized;
+                        for n = 0 to nodes - 1 do
+                          st.thread_dst.(base + n) <- st.thread_dst.(base + n) *. realized
+                        done
+                      end
+                    end
+                  done));
           (* Commit the realized traffic to the hardware counters — a
              cross-vCPU float accumulation, so vCPU order, sequential. *)
-          for t = 0 to threads - 1 do
-            if st.thread_doit.(t) > 0.0 then begin
-              let base = t * nodes in
-              let src = st.thread_node.(t) in
-              for n = 0 to nodes - 1 do
-                if st.thread_dst.(base + n) > 0.0 then
-                  Numa.Counters.record_accesses counters ~src ~dst:n
-                    ~count:st.thread_dst.(base + n) ~bytes_per_access:access_bytes
-              done
-            end
-          done
+          Obs.Profile.span Obs.Profile.Reduce (fun () ->
+              for t = 0 to threads - 1 do
+                if st.thread_doit.(t) > 0.0 then begin
+                  let base = t * nodes in
+                  let src = st.thread_node.(t) in
+                  for n = 0 to nodes - 1 do
+                    if st.thread_dst.(base + n) > 0.0 then
+                      Numa.Counters.record_accesses counters ~src ~dst:n
+                        ~count:st.thread_dst.(base + n) ~bytes_per_access:access_bytes
+                  done
+                end
+              done)
         end)
       states;
     Numa.Counters.end_epoch counters ~duration:epoch_len;
@@ -1245,34 +1304,73 @@ let run (cfg : Config.t) =
       (fun vi st ->
         if vm_running st then begin
           let threads = st.spec.Config.threads in
-          shard_dispatch team plans.(vi) ~threads (fun lo hi ->
-              for t = lo to hi - 1 do
-                let base = t * nodes in
-                let total = ref 0.0 in
-                for n = 0 to nodes - 1 do
-                  total := !total +. st.thread_dst.(base + n)
-                done;
-                let total = !total in
-                st.thread_total.(t) <- total;
-                if total > 0.0 then begin
-                  let src = st.thread_node.(t) in
-                  let lat = ref 0.0 in
-                  for n = 0 to nodes - 1 do
-                    if st.thread_dst.(base + n) > 0.0 then
-                      lat := !lat +. (st.thread_dst.(base + n) /. total *. lat_memo.((src * nodes) + n))
-                  done;
-                  st.avg_lat.(t) <- !lat
+          Obs.Profile.span Obs.Profile.Kernel_latency (fun () ->
+              shard_dispatch team plans.(vi) ~threads (fun lo hi ->
+                  for t = lo to hi - 1 do
+                    let base = t * nodes in
+                    let total = ref 0.0 in
+                    for n = 0 to nodes - 1 do
+                      total := !total +. st.thread_dst.(base + n)
+                    done;
+                    let total = !total in
+                    st.thread_total.(t) <- total;
+                    if total > 0.0 then begin
+                      let src = st.thread_node.(t) in
+                      let lat = ref 0.0 in
+                      for n = 0 to nodes - 1 do
+                        if st.thread_dst.(base + n) > 0.0 then
+                          lat :=
+                            !lat
+                            +. (st.thread_dst.(base + n) /. total
+                               *. lat_memo.((src * nodes) + n))
+                      done;
+                      st.avg_lat.(t) <- !lat
+                    end
+                  done));
+          Obs.Profile.span Obs.Profile.Reduce (fun () ->
+              (* Sequential fixed-order reduction; also the one place
+                 latency samples are recorded, so the histogram (and
+                 everything derived from it) is bit-identical whatever
+                 the shard schedule. *)
+              let running = ref 0 in
+              let ep_wlat = ref 0.0 in
+              let ep_total = ref 0.0 in
+              for t = 0 to threads - 1 do
+                if st.thread_total.(t) > 0.0 then begin
+                  let total = st.thread_total.(t) in
+                  st.weighted_lat <- st.weighted_lat +. (total *. st.avg_lat.(t));
+                  st.total_accesses <- st.total_accesses +. total;
+                  st.local_accesses <-
+                    st.local_accesses +. st.thread_dst.((t * nodes) + st.thread_node.(t));
+                  Sim.Stats.Histogram.add st.lat_hist st.avg_lat.(t);
+                  st.slo_scratch.(!running) <- st.avg_lat.(t);
+                  incr running;
+                  ep_wlat := !ep_wlat +. (total *. st.avg_lat.(t));
+                  ep_total := !ep_total +. total
                 end
-              done);
-          for t = 0 to threads - 1 do
-            if st.thread_total.(t) > 0.0 then begin
-              let total = st.thread_total.(t) in
-              st.weighted_lat <- st.weighted_lat +. (total *. st.avg_lat.(t));
-              st.total_accesses <- st.total_accesses +. total;
-              st.local_accesses <-
-                st.local_accesses +. st.thread_dst.((t * nodes) + st.thread_node.(t))
-            end
-          done;
+              done;
+              (* Per-epoch SLO accounting: purely observational reads
+                 of the epoch's latencies — no RNG, no traffic, no
+                 trace — so a run with objectives stays bit-identical
+                 to one without. *)
+              if cfg.Config.slo <> [] && !running > 0 then begin
+                st.active_epochs <- st.active_epochs + 1;
+                let samples = Array.sub st.slo_scratch 0 !running in
+                List.iteri
+                  (fun i (metric, target) ->
+                    let value =
+                      match metric with
+                      | "mean" -> !ep_wlat /. !ep_total
+                      | "p50" -> Sim.Stats.percentile samples 50.0
+                      | "p95" -> Sim.Stats.percentile samples 95.0
+                      | "p99" -> Sim.Stats.percentile samples 99.0
+                      | "p999" -> Sim.Stats.percentile samples 99.9
+                      | m -> invalid_arg ("Runner: unknown SLO metric " ^ m)
+                    in
+                    if value > target then
+                      st.slo_violations.(i) <- st.slo_violations.(i) + 1)
+                  cfg.Config.slo
+              end);
           (* Fault-mode page churn: real alloc/release traffic through
              the pv queue, so op drops and lost batches leave stale P2M
              entries for the reconciliation sweep to heal. *)
@@ -1306,9 +1404,10 @@ let run (cfg : Config.t) =
              bit-identical to the pre-faults engine. *)
           if faults_on then begin
             let was_evacuating = Policies.Manager.evacuating st.manager >= 0 in
-            Policies.Manager.epoch_tick st.manager ~epoch:!epochs
-              ~guest_free:(fun pfn -> Guest.Pfn_pool.is_free st.pool pfn)
-              ();
+            Obs.Profile.span Obs.Profile.Epoch_tick (fun () ->
+                Policies.Manager.epoch_tick st.manager ~epoch:!epochs
+                  ~guest_free:(fun pfn -> Guest.Pfn_pool.is_free st.pool pfn)
+                  ());
             (* During (and right after) a drain the placement cache is
                wholesale-stale: re-resolve it through the P2M. *)
             if was_evacuating || Policies.Manager.evacuating st.manager >= 0 then
@@ -1318,7 +1417,8 @@ let run (cfg : Config.t) =
             (* Clean runs historically skip the tick; superpage runs
                need it for the promotion scan (drain/breaker parts are
                no-ops without faults). *)
-            Policies.Manager.epoch_tick st.manager ~epoch:!epochs ();
+            Obs.Profile.span Obs.Profile.Epoch_tick (fun () ->
+                Policies.Manager.epoch_tick st.manager ~epoch:!epochs ());
           (* Carrefour runs its user component once per second (every
              tenth epoch), like the real system. *)
           (match Policies.Manager.carrefour st.manager with
@@ -1326,8 +1426,9 @@ let run (cfg : Config.t) =
           | Some _ ->
               if !epochs mod 10 = 0 then
                 match
-                  Policies.Manager.carrefour_epoch_feed st.manager ~counters
-                    ~feed:(fun sys -> feed_samples st sys)
+                  Obs.Profile.span Obs.Profile.Carrefour_feed (fun () ->
+                      Policies.Manager.carrefour_epoch_feed st.manager ~counters
+                        ~feed:(fun sys -> feed_samples st sys))
                 with
                 | Some _ -> refresh_placement st
                 | None -> ())
@@ -1390,7 +1491,17 @@ let run (cfg : Config.t) =
         Obs.Metrics.observe "engine.vm.completion_s" vm.Result.completion;
         Obs.Metrics.observe "engine.vm.virt_overhead_s" vm.Result.virt_overhead;
         Obs.Metrics.incr ~by:vm.Result.migrations "engine.migrations";
-        Obs.Metrics.incr ~by:vm.Result.faults "engine.faults")
-      result.Result.vms
+        Obs.Metrics.incr ~by:vm.Result.faults "engine.faults";
+        List.iter
+          (fun (s : Result.slo_row) ->
+            if s.Result.violated then Obs.Metrics.incr "engine.slo.violated_objectives";
+            Obs.Metrics.incr ~by:s.Result.violation_epochs "engine.slo.violation_epochs")
+          vm.Result.slo)
+      result.Result.vms;
+    (* Bucket counts are additive, so the registry histogram is the
+       same whatever the sweep's worker count or run order. *)
+    List.iter
+      (fun st -> Obs.Metrics.merge_histogram "engine.vm.latency_cycles" st.lat_hist)
+      states
   end;
   result

@@ -73,6 +73,7 @@ let print ?seed () =
            ~drained:d.Engine.Result.drained ~fallback:d.Engine.Result.fallback_maps
            ~trips:d.Engine.Result.breaker_trips ~level:d.Engine.Result.breaker_level
            ~lost:d.Engine.Result.lost_batches ~reconciled:d.Engine.Result.reconciled
+           ~p99:vm.Engine.Result.latency.Engine.Result.p99
            ~completion:vm.Engine.Result.completion)
        plans results);
   print_newline ();

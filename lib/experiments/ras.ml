@@ -92,7 +92,9 @@ let print ?seed () =
            ~scenario:sc ~injected:result.Engine.Result.faults_injected
            ~ce:d.Engine.Result.ecc_ce ~ue:d.Engine.Result.ecc_ue
            ~offlined:d.Engine.Result.offlined ~evacuated:d.Engine.Result.evacuated
-           ~evac_epochs:d.Engine.Result.evac_epochs ~completion:vm.Engine.Result.completion
+           ~evac_epochs:d.Engine.Result.evac_epochs
+           ~p99:vm.Engine.Result.latency.Engine.Result.p99
+           ~completion:vm.Engine.Result.completion
            ~slowdown:(vm.Engine.Result.completion /. base))
        tagged);
   print_newline ();

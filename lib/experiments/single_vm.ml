@@ -91,6 +91,9 @@ type tab1_row = {
   ic_ft : float;
   ic_r4k : float;
   class_ : Workloads.App.imbalance_class;
+  lat_ft : Engine.Result.latency_summary;
+      (* tail latency of the first-touch run (the table's reference
+         policy): p50/p95/p99/p99.9 over per-vCPU epoch samples *)
 }
 
 let classify imb =
@@ -111,6 +114,7 @@ let tab1 ?seed () =
         ic_ft = ft.Engine.Result.interconnect_load;
         ic_r4k = r4k.Engine.Result.interconnect_load;
         class_ = classify imb_ft;
+        lat_ft = (Engine.Result.single ft).Engine.Result.latency;
       })
     apps
 
@@ -138,7 +142,18 @@ let print_tab1 ?seed () =
              (Workloads.App.class_name r.class_)
              (Workloads.App.class_name p.Workloads.App.class_);
          ])
-       rows apps)
+       rows apps);
+  print_newline ();
+  print_endline "Tail latency of the first-touch runs (cycles, per-vCPU epoch samples)";
+  Report.Table.print
+    ~header:(Report.Table.latency_header ~first:"app")
+    (List.map
+       (fun r ->
+         let l = r.lat_ft in
+         Report.Table.latency_row ~first:r.app ~samples:l.Engine.Result.samples
+           ~mean:l.Engine.Result.lat_mean ~p50:l.Engine.Result.p50 ~p95:l.Engine.Result.p95
+           ~p99:l.Engine.Result.p99 ~p999:l.Engine.Result.p999 ~max:l.Engine.Result.lat_max)
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                             *)

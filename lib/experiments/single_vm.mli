@@ -36,6 +36,9 @@ type tab1_row = {
   ic_ft : float;
   ic_r4k : float;
   class_ : Workloads.App.imbalance_class;  (** From measured imb_ft. *)
+  lat_ft : Engine.Result.latency_summary;
+      (** Tail latency of the first-touch run (cycles, per-vCPU epoch
+          samples). *)
 }
 
 val tab1 : ?seed:int -> unit -> tab1_row list

@@ -91,7 +91,9 @@ let partitions t = Array.length t.parts
 let partition_of t pfn = pfn land t.mask
 
 let flush_partition t part =
-  if part.len > 0 then begin
+  if part.len > 0 then
+    Obs.Profile.span Obs.Profile.Pv_flush @@ fun () ->
+  begin
     let n = part.len in
     (* Shard dedup, newest-first: survivors are packed into the tail of
        the reusable scratch array, so they come out oldest-first (the

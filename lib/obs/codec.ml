@@ -100,85 +100,94 @@ let string_field field obj ~line =
   | Some s -> s
   | None -> corrupt "line %d: field %S is not a string" line field
 
+(* One streamed record of a trace file: the unit both the whole-string
+   readers and the bounded-memory fold are built from. *)
+type item =
+  | Header
+  | Meta of int * stream_info
+  | Ev of Event.merged
+
+let parse_jsonl_line ~line l =
+  let obj =
+    match Json.of_string_opt l with
+    | Some v -> v
+    | None -> corrupt "line %d: not valid JSON" line
+  in
+  match Json.member "stream" obj with
+  | Some _ ->
+      let id = int_field "stream" obj ~line in
+      let by_class = Array.make Event.class_count 0 in
+      (match Json.member "by_class" obj with
+      | Some (Json.Obj fields) ->
+          List.iter
+            (fun (name, v) ->
+              match (Event.class_of_name name, Json.to_int v) with
+              | Some cls, Some n -> by_class.(Event.class_index cls) <- n
+              | _ -> corrupt "line %d: bad by_class entry %S" line name)
+            fields
+      | _ -> corrupt "line %d: stream record without by_class" line);
+      Meta
+        ( id,
+          {
+            label = string_field "label" obj ~line;
+            emitted = int_field "emitted" obj ~line;
+            dropped = int_field "dropped" obj ~line;
+            by_class;
+          } )
+  | None -> (
+      match Json.member "class" obj with
+      | Some _ ->
+          let cls_name = string_field "class" obj ~line in
+          let cls =
+            match Event.class_of_name cls_name with
+            | Some c -> c
+            | None -> corrupt "line %d: unknown event class %S" line cls_name
+          in
+          let time =
+            match Json.to_float (get "t" obj ~line) with
+            | Some f -> f
+            | None -> corrupt "line %d: field \"t\" is not a number" line
+          in
+          Ev
+            {
+              Event.stream = int_field "w" obj ~line;
+              seq = int_field "seq" obj ~line;
+              event =
+                Event.make ~time cls
+                  ~domain:(int_field "dom" obj ~line)
+                  ~vcpu:(int_field "vcpu" obj ~line)
+                  ~pfn:(int_field "pfn" obj ~line)
+                  ~node:(int_field "node" obj ~line)
+                  ~arg:(int_field "arg" obj ~line);
+            }
+      | None ->
+          (* The header line; anything else without stream/class
+             markers is unknown. *)
+          if Json.member "trace" obj = None then
+            corrupt "line %d: neither header, stream nor event" line
+          else Header)
+
+let streams_of_table streams =
+  let n = 1 + Hashtbl.fold (fun id _ acc -> max id acc) streams (-1) in
+  Array.init n (fun i ->
+      match Hashtbl.find_opt streams i with
+      | Some s -> s
+      | None -> corrupt "stream %d has no metadata record" i)
+
 let read_jsonl text =
   let lines =
-    List.filteri
-      (fun _ l -> String.trim l <> "")
-      (String.split_on_char '\n' text)
-  in
-  let parsed =
-    List.mapi
-      (fun i l ->
-        match Json.of_string_opt l with
-        | Some v -> (i + 1, v)
-        | None -> corrupt "line %d: not valid JSON" (i + 1))
-      lines
+    List.filteri (fun _ l -> String.trim l <> "") (String.split_on_char '\n' text)
   in
   let streams = Hashtbl.create 16 in
   let events = ref [] in
-  List.iter
-    (fun (line, obj) ->
-      match Json.member "stream" obj with
-      | Some _ ->
-          let id = int_field "stream" obj ~line in
-          let by_class = Array.make Event.class_count 0 in
-          (match Json.member "by_class" obj with
-          | Some (Json.Obj fields) ->
-              List.iter
-                (fun (name, v) ->
-                  match (Event.class_of_name name, Json.to_int v) with
-                  | Some cls, Some n -> by_class.(Event.class_index cls) <- n
-                  | _ -> corrupt "line %d: bad by_class entry %S" line name)
-                fields
-          | _ -> corrupt "line %d: stream record without by_class" line);
-          Hashtbl.replace streams id
-            {
-              label = string_field "label" obj ~line;
-              emitted = int_field "emitted" obj ~line;
-              dropped = int_field "dropped" obj ~line;
-              by_class;
-            }
-      | None -> (
-          match Json.member "class" obj with
-          | Some _ ->
-              let cls_name = string_field "class" obj ~line in
-              let cls =
-                match Event.class_of_name cls_name with
-                | Some c -> c
-                | None -> corrupt "line %d: unknown event class %S" line cls_name
-              in
-              let time =
-                match Json.to_float (get "t" obj ~line) with
-                | Some f -> f
-                | None -> corrupt "line %d: field \"t\" is not a number" line
-              in
-              events :=
-                {
-                  Event.stream = int_field "w" obj ~line;
-                  seq = int_field "seq" obj ~line;
-                  event =
-                    Event.make ~time cls
-                      ~domain:(int_field "dom" obj ~line)
-                      ~vcpu:(int_field "vcpu" obj ~line)
-                      ~pfn:(int_field "pfn" obj ~line)
-                      ~node:(int_field "node" obj ~line)
-                      ~arg:(int_field "arg" obj ~line);
-                }
-                :: !events
-          | None ->
-              (* The header line; anything else without stream/class
-                 markers is unknown. *)
-              if Json.member "trace" obj = None then
-                corrupt "line %d: neither header, stream nor event" line))
-    parsed;
-  let n = 1 + Hashtbl.fold (fun id _ acc -> max id acc) streams (-1) in
-  let stream_array =
-    Array.init n (fun i ->
-        match Hashtbl.find_opt streams i with
-        | Some s -> s
-        | None -> corrupt "stream %d has no metadata record" i)
-  in
-  { streams = stream_array; events = List.rev !events }
+  List.iteri
+    (fun i l ->
+      match parse_jsonl_line ~line:(i + 1) l with
+      | Header -> ()
+      | Meta (id, s) -> Hashtbl.replace streams id s
+      | Ev m -> events := m :: !events)
+    lines;
+  { streams = streams_of_table streams; events = List.rev !events }
 
 type cursor = { data : string; mutable pos : int }
 
@@ -249,3 +258,96 @@ let is_binary text =
   && String.sub text 0 (String.length binary_magic) = binary_magic
 
 let read text = if is_binary text then read_binary text else read_jsonl text
+
+(* ------------------------- streaming reading ------------------------ *)
+
+(* Channel-based fold over a trace file in bounded memory: one line (or
+   one fixed-size binary record) is resident at a time, so a query can
+   stream a trace far larger than RAM.  Truncation or malformed input
+   raises [Corrupt] exactly like the whole-string readers — a short
+   file is an error, never a silently shorter trace. *)
+
+let input_exact ic buf n =
+  try really_input ic buf 0 n
+  with End_of_file -> corrupt "binary trace truncated at offset %d" (pos_in ic)
+
+let ch_i32 ic buf =
+  input_exact ic buf 4;
+  Int32.to_int (Bytes.get_int32_be buf 0)
+
+let ch_i64 ic buf =
+  input_exact ic buf 8;
+  Bytes.get_int64_be buf 0
+
+let ch_u8 ic buf =
+  input_exact ic buf 1;
+  Char.code (Bytes.get buf 0)
+
+let ch_string ic n =
+  try really_input_string ic n
+  with End_of_file -> corrupt "binary trace truncated at offset %d" (pos_in ic)
+
+let fold_binary_channel ic ~init ~f =
+  (* The caller has already consumed the magic. *)
+  let buf = Bytes.create 8 in
+  let nstreams = ch_i32 ic buf in
+  let acc = ref init in
+  for i = 0 to nstreams - 1 do
+    let label = ch_string ic (ch_i32 ic buf) in
+    let emitted = Int64.to_int (ch_i64 ic buf) in
+    let dropped = Int64.to_int (ch_i64 ic buf) in
+    let nclasses = ch_i32 ic buf in
+    let by_class = Array.make Event.class_count 0 in
+    for k = 0 to nclasses - 1 do
+      let n = Int64.to_int (ch_i64 ic buf) in
+      if k < Event.class_count then by_class.(k) <- n
+    done;
+    acc := f !acc (Meta (i, { label; emitted; dropped; by_class }))
+  done;
+  let nevents = Int64.to_int (ch_i64 ic buf) in
+  for _ = 1 to nevents do
+    let stream = ch_i32 ic buf in
+    let seq = Int64.to_int (ch_i64 ic buf) in
+    let time = Int64.float_of_bits (ch_i64 ic buf) in
+    let cls =
+      let idx = ch_u8 ic buf in
+      match Event.class_of_index idx with
+      | Some cls -> cls
+      | None -> corrupt "unknown event class index %d" idx
+    in
+    let domain = ch_i32 ic buf in
+    let vcpu = ch_i32 ic buf in
+    let pfn = Int64.to_int (ch_i64 ic buf) in
+    let node = ch_i32 ic buf in
+    let arg = Int64.to_int (ch_i64 ic buf) in
+    acc :=
+      f !acc (Ev { Event.stream; seq; event = Event.make ~time cls ~domain ~vcpu ~pfn ~node ~arg })
+  done;
+  (match input_char ic with
+  | _ -> corrupt "trailing bytes after binary trace"
+  | exception End_of_file -> ());
+  !acc
+
+let fold_jsonl_channel ic ~init ~f =
+  let rec go line acc =
+    match input_line ic with
+    | exception End_of_file -> acc
+    | l when String.trim l = "" -> go line acc
+    | l -> go (line + 1) (f acc (parse_jsonl_line ~line l))
+  in
+  go 1 init
+
+let fold_file path ~init ~f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let magic_len = String.length binary_magic in
+      let head =
+        if in_channel_length ic >= magic_len then really_input_string ic magic_len else ""
+      in
+      if head = binary_magic then fold_binary_channel ic ~init ~f
+      else begin
+        seek_in ic 0;
+        fold_jsonl_channel ic ~init ~f
+      end)

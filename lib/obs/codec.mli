@@ -32,3 +32,17 @@ val is_binary : string -> bool
 val read : string -> export
 (** Auto-detect by magic: binary if it starts with ["XNUMATR1"],
     JSONL otherwise. *)
+
+(** One streamed record of a trace file, in file order: stream
+    metadata records first, then events in merged order. *)
+type item =
+  | Header  (** the JSONL header line (binary traces never yield it) *)
+  | Meta of int * stream_info  (** stream id, metadata *)
+  | Ev of Event.merged
+
+val fold_file : string -> init:'a -> f:('a -> item -> 'a) -> 'a
+(** Stream a trace file (either codec, auto-detected by magic) in
+    bounded memory: one line or fixed-size record resident at a time.
+    @raise Corrupt on malformed or truncated input — a short file is
+    an error, never a silently shorter trace.
+    @raise Sys_error when the file cannot be opened. *)

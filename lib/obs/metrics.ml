@@ -52,11 +52,28 @@ let observe_in t name sample =
           Sim.Stats.Histogram.add h sample;
           Hashtbl.replace t.table name (Histogram h))
 
+let merge_histogram_in t name src =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (Histogram h) -> Sim.Stats.Histogram.merge h src
+      | Some _ -> wrong_kind name
+      | None ->
+          let h = Sim.Stats.Histogram.create () in
+          Sim.Stats.Histogram.merge h src;
+          Hashtbl.replace t.table name (Histogram h))
+
 (* Guarded front doors on the default registry: no-ops (one atomic
    read) unless metrics collection is on. *)
 let incr ?by name = if enabled () then incr_in default ?by name
 let gauge name value = if enabled () then gauge_in default name value
 let observe name sample = if enabled () then observe_in default name sample
+let merge_histogram name src = if enabled () then merge_histogram_in default name src
+
+let histogram_copy ?(registry = default) name =
+  Mutex.protect registry.mutex (fun () ->
+      match Hashtbl.find_opt registry.table name with
+      | Some (Histogram h) -> Some (Sim.Stats.Histogram.copy h)
+      | Some _ | None -> None)
 
 type histogram_summary = {
   count : int;
@@ -64,6 +81,7 @@ type histogram_summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
   max : float;
 }
 
@@ -88,6 +106,7 @@ let snapshot_of t =
                     p50 = Sim.Stats.Histogram.percentile h 50.0;
                     p95 = Sim.Stats.Histogram.percentile h 95.0;
                     p99 = Sim.Stats.Histogram.percentile h 99.0;
+                    p999 = Sim.Stats.Histogram.percentile h 99.9;
                     max = Sim.Stats.Histogram.max h;
                   }
           in
@@ -115,8 +134,9 @@ let pp fmt () =
       | Counter_value n -> Format.fprintf fmt "%-44s %12d@," name n
       | Gauge_value v -> Format.fprintf fmt "%-44s %12.4f@," name v
       | Histogram_value h ->
-          Format.fprintf fmt "%-44s %12d  mean %.3g  p50 %.3g  p95 %.3g  p99 %.3g  max %.3g@,"
-            name h.count h.mean h.p50 h.p95 h.p99 h.max)
+          Format.fprintf fmt
+            "%-44s %12d  mean %.3g  p50 %.3g  p95 %.3g  p99 %.3g  p99.9 %.3g  max %.3g@," name
+            h.count h.mean h.p50 h.p95 h.p99 h.p999 h.max)
     rows;
   Format.fprintf fmt "@]"
 
@@ -131,6 +151,6 @@ let to_json_entries () =
       | Histogram_value h ->
           Printf.sprintf
             "{\"name\": \"%s\", \"count\": %d, \"mean\": %.6g, \"p50\": %.6g, \"p95\": %.6g, \
-             \"p99\": %.6g, \"max\": %.6g}"
-            (Json.escape name) h.count h.mean h.p50 h.p95 h.p99 h.max)
+             \"p99\": %.6g, \"p999\": %.6g, \"max\": %.6g}"
+            (Json.escape name) h.count h.mean h.p50 h.p95 h.p99 h.p999 h.max)
     (snapshot ())

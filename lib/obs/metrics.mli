@@ -24,11 +24,21 @@ val observe : string -> float -> unit
 (** Add a sample to a histogram in the default registry (no-op when
     disabled). *)
 
+val merge_histogram : string -> Sim.Stats.Histogram.t -> unit
+(** Fold a whole histogram into a registry histogram in one locked
+    step (no-op when disabled).  The source is not consumed. *)
+
+val histogram_copy : ?registry:t -> string -> Sim.Stats.Histogram.t option
+(** Snapshot of a registry histogram; [None] if absent or another
+    kind.  Window a section with [Sim.Stats.Histogram.diff] between two
+    copies. *)
+
 (** Unguarded variants against an explicit registry (used by tests). *)
 
 val incr_in : t -> ?by:int -> string -> unit
 val gauge_in : t -> string -> float -> unit
 val observe_in : t -> string -> float -> unit
+val merge_histogram_in : t -> string -> Sim.Stats.Histogram.t -> unit
 
 type histogram_summary = {
   count : int;
@@ -36,6 +46,7 @@ type histogram_summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
   max : float;
 }
 

@@ -12,5 +12,7 @@ module Metrics = Metrics
 module Summary = Summary
 module Codec = Codec
 module Json = Json
+module Profile = Profile
+module Query = Query
 
 let enabled () = Trace.installed () || Metrics.enabled ()

@@ -11,6 +11,8 @@ module Metrics = Metrics
 module Summary = Summary
 module Codec = Codec
 module Json = Json
+module Profile = Profile
+module Query = Query
 
 val enabled : unit -> bool
 (** True while a trace session is installed or metrics collection is

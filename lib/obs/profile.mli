@@ -1,0 +1,42 @@
+(** Wall-clock phase profiler for the runner's hot paths.
+
+    Fixed phase taxonomy, one atomic (ns, calls) pair per phase shared
+    by every Pool worker.  Disabled cost is a single atomic read in
+    {!span}; results flow into the metrics registry only (never into
+    traces), so trace byte-equality across worker schedules is
+    untouched. *)
+
+type phase =
+  | Kernel_compute  (** sharded per-epoch compute kernel *)
+  | Kernel_throughput  (** sharded throughput/traffic kernel *)
+  | Kernel_latency  (** sharded weighted-latency kernel *)
+  | Reduce  (** sequential fixed-order reductions *)
+  | Carrefour_feed  (** per-epoch carrefour sample feed *)
+  | P2m_batch  (** batched P2M invalidate/map/migrate replay *)
+  | Pv_flush  (** PV queue partition flush *)
+  | Epoch_tick  (** policy manager epoch tick *)
+
+val phases : phase list
+val phase_name : phase -> string
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Zero every accumulator. *)
+
+val span : phase -> (unit -> 'a) -> 'a
+(** Run the thunk, attributing its wall-clock time to the phase.  When
+    profiling is disabled this is one atomic read plus the call.
+    Spans are inclusive — nested profiled phases double-account. *)
+
+val totals : unit -> (string * int * int) list
+(** [(phase name, calls, total ns)] for every phase, taxonomy order. *)
+
+val commit_metrics : unit -> unit
+(** Mirror non-zero accumulators into the default metrics registry as
+    [profile.<phase>.calls] / [profile.<phase>.ns] counters (no-op
+    while metrics are disabled). *)
+
+val render : unit -> string
+(** Human-readable table of the non-zero phases. *)

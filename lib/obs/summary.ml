@@ -122,6 +122,12 @@ let render ?(timeline_rows = 24) t =
   Buffer.add_string buf
     (Printf.sprintf "trace: %d streams, %d events emitted, %d kept, %d dropped\n"
        (Array.length t.streams) t.total_emitted t.total_kept t.total_dropped);
+  if t.total_dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "WARNING: %d events were dropped by full rings — kept counts and the timeline \
+          undercount; raise --trace-cap for a complete capture\n"
+         t.total_dropped);
   Buffer.add_string buf "\nper-event-class counts and inter-arrival times (kept events)\n";
   Buffer.add_string buf
     (Printf.sprintf "%-20s %10s %10s %12s %12s %12s\n" "class" "emitted" "kept" "dt p50 (s)"

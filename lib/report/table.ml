@@ -47,13 +47,14 @@ let print ~header ?align rows = print_string (render ~header ?align rows)
 let fmt_pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
 let fmt_ratio x = Printf.sprintf "%.2fx" x
 let fmt_secs x = Printf.sprintf "%.2fs" x
+let fmt_cycles x = if x <= 0.0 then "-" else Printf.sprintf "%.0f" x
 
 let degradation_header ~first =
   [ first; "injected"; "retries"; "deferred"; "drained"; "fallback"; "trips"; "level";
-    "lost"; "reconciled"; "completion" ]
+    "lost"; "reconciled"; "p99 cy"; "completion" ]
 
 let degradation_row ~first ~injected ~retries ~deferred ~drained ~fallback ~trips ~level ~lost
-    ~reconciled ~completion =
+    ~reconciled ~p99 ~completion =
   [
     first;
     string_of_int injected;
@@ -65,15 +66,16 @@ let degradation_row ~first ~injected ~retries ~deferred ~drained ~fallback ~trip
     string_of_int level;
     string_of_int lost;
     string_of_int reconciled;
+    fmt_cycles p99;
     fmt_secs completion;
   ]
 
 let ras_header ~first =
   [ first; "scenario"; "injected"; "CE"; "UE"; "offlined"; "evacuated"; "drain ep";
-    "completion"; "vs none" ]
+    "p99 cy"; "completion"; "vs none" ]
 
-let ras_row ~first ~scenario ~injected ~ce ~ue ~offlined ~evacuated ~evac_epochs ~completion
-    ~slowdown =
+let ras_row ~first ~scenario ~injected ~ce ~ue ~offlined ~evacuated ~evac_epochs ~p99
+    ~completion ~slowdown =
   [
     first;
     scenario;
@@ -83,6 +85,22 @@ let ras_row ~first ~scenario ~injected ~ce ~ue ~offlined ~evacuated ~evac_epochs
     string_of_int offlined;
     string_of_int evacuated;
     string_of_int evac_epochs;
+    fmt_cycles p99;
     fmt_secs completion;
     fmt_ratio slowdown;
+  ]
+
+let latency_header ~first =
+  [ first; "samples"; "mean"; "p50"; "p95"; "p99"; "p99.9"; "max" ]
+
+let latency_row ~first ~samples ~mean ~p50 ~p95 ~p99 ~p999 ~max =
+  [
+    first;
+    string_of_int samples;
+    fmt_cycles mean;
+    fmt_cycles p50;
+    fmt_cycles p95;
+    fmt_cycles p99;
+    fmt_cycles p999;
+    fmt_cycles max;
   ]

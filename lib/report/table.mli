@@ -18,6 +18,10 @@ val fmt_ratio : float -> string
 
 val fmt_secs : float -> string
 
+val fmt_cycles : float -> string
+(** Format a latency in cycles ("312"); ["-"] for a non-positive value
+    (no samples recorded). *)
+
 val degradation_header : first:string -> string list
 (** Header of the chaos-run summary table; [first] labels the leading
     column (the fault-plan name). *)
@@ -33,12 +37,13 @@ val degradation_row :
   level:int ->
   lost:int ->
   reconciled:int ->
+  p99:float ->
   completion:float ->
   string list
 (** One summary row per run: faults injected, migration retries,
     deferred pages (and how many later drained), fallback placements,
     circuit-breaker trips and final level, lost batches, reconciled
-    pfns, completion time. *)
+    pfns, p99 memory latency (cycles), completion time. *)
 
 val ras_header : first:string -> string list
 (** Header of the memory-RAS summary table; [first] labels the leading
@@ -53,11 +58,29 @@ val ras_row :
   offlined:int ->
   evacuated:int ->
   evac_epochs:int ->
+  p99:float ->
   completion:float ->
   slowdown:float ->
   string list
 (** One row per (cell, fault scenario): faults injected, correctable and
     uncorrectable ECC errors handled, frames retired by the UE handler,
     frames evacuated off failing nodes, epochs the drain was in
-    progress, completion time and the slowdown against the cell's
-    fault-free run. *)
+    progress, p99 memory latency (cycles), completion time and the
+    slowdown against the cell's fault-free run. *)
+
+val latency_header : first:string -> string list
+(** Header of the per-domain tail-latency table; [first] labels the
+    leading column (the app/cell name). *)
+
+val latency_row :
+  first:string ->
+  samples:int ->
+  mean:float ->
+  p50:float ->
+  p95:float ->
+  p99:float ->
+  p999:float ->
+  max:float ->
+  string list
+(** One row per domain: sample count and the latency distribution
+    (mean, p50/p95/p99/p99.9, max) in cycles. *)

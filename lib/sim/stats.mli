@@ -55,6 +55,25 @@ module Histogram : sig
       the bucket holding the rank, clamped to the observed
       [\[min,max\]] range (0 for an empty histogram). *)
 
+  val zeros : t -> int
+  (** Samples that landed in the zero-or-negative bucket. *)
+
+  val bucket_counts : t -> (int * int) list
+  (** Positive-value buckets as (index, count), index ascending.  The
+      distribution state minus float [total]: two histograms with equal
+      [bucket_counts], [zeros], [count], [min] and [max] report equal
+      percentiles. *)
+
+  val copy : t -> t
+  (** Independent deep copy (snapshot). *)
+
+  val diff : t -> t -> t
+  (** [diff t older]: the window of samples added to [t] since [older]
+      was [copy]ed from it.  Min/max of the window are rebuilt to
+      bucket resolution.
+      @raise Invalid_argument when bases differ or [older] is not a
+      subset of [t]. *)
+
   val merge : t -> t -> unit
   (** Fold [other]'s samples into [t].
       @raise Invalid_argument when bases differ. *)

@@ -228,6 +228,7 @@ let check_batch t name n len =
 
 let invalidate_batch t ?on_splinter ?on_free pfns ~n =
   check_batch t "P2m.invalidate_batch" n (Array.length pfns);
+  Obs.Profile.span Obs.Profile.P2m_batch @@ fun () ->
   sort_prefix pfns n;
   let applied = ref 0 in
   let splintered = ref 0 in
@@ -252,6 +253,7 @@ let invalidate_batch t ?on_splinter ?on_free pfns ~n =
 
 let map_batch t ?on_splinter pfns mfns ~n ~writable =
   check_batch t "P2m.map_batch" n (min (Array.length pfns) (Array.length mfns));
+  Obs.Profile.span Obs.Profile.P2m_batch @@ fun () ->
   sort_prefix ~tandem:mfns pfns n;
   let splintered = ref 0 in
   let w = if writable then '\001' else '\000' in
@@ -273,6 +275,7 @@ let map_batch t ?on_splinter pfns mfns ~n ~writable =
 
 let migrate_batch t ?on_splinter pfns mfns ~n ~f =
   check_batch t "P2m.migrate_batch" n (min (Array.length pfns) (Array.length mfns));
+  Obs.Profile.span Obs.Profile.P2m_batch @@ fun () ->
   sort_prefix ~tandem:mfns pfns n;
   let applied = ref 0 in
   let splintered = ref 0 in

@@ -362,6 +362,352 @@ let test_summary_timeline () =
             in
             contains rendered "epoch_boundary")))
 
+(* ----------------------- latency histogram ------------------------- *)
+
+(* Everything percentiles depend on, minus the float [total]/[sum]
+   accumulators: merge folds sums in different orders on each side of
+   an associativity check, so bit-comparing them would reject a correct
+   merge. *)
+let hist_fingerprint h =
+  ( Sim.Stats.Histogram.bucket_counts h,
+    Sim.Stats.Histogram.zeros h,
+    Sim.Stats.Histogram.count h,
+    Sim.Stats.Histogram.min h,
+    Sim.Stats.Histogram.max h,
+    List.map (Sim.Stats.Histogram.percentile h) [ 0.0; 50.0; 95.0; 99.0; 99.9; 100.0 ] )
+
+let hist_of xs =
+  let h = Sim.Stats.Histogram.create () in
+  List.iter (Sim.Stats.Histogram.add h) xs;
+  h
+
+let samples_gen = QCheck.(list (float_bound_inclusive 1e6))
+
+let prop_hist_merge_commutative =
+  QCheck.Test.make ~name:"histogram: merge is commutative" ~count:300
+    QCheck.(pair samples_gen samples_gen)
+    (fun (xs, ys) ->
+      let ab = hist_of xs in
+      Sim.Stats.Histogram.merge ab (hist_of ys);
+      let ba = hist_of ys in
+      Sim.Stats.Histogram.merge ba (hist_of xs);
+      hist_fingerprint ab = hist_fingerprint ba)
+
+let prop_hist_merge_associative =
+  QCheck.Test.make ~name:"histogram: merge is associative" ~count:300
+    QCheck.(triple samples_gen samples_gen samples_gen)
+    (fun (xs, ys, zs) ->
+      let left = hist_of xs in
+      Sim.Stats.Histogram.merge left (hist_of ys);
+      Sim.Stats.Histogram.merge left (hist_of zs);
+      let bc = hist_of ys in
+      Sim.Stats.Histogram.merge bc (hist_of zs);
+      let right = hist_of xs in
+      Sim.Stats.Histogram.merge right bc;
+      hist_fingerprint left = hist_fingerprint right)
+
+(* The runner's shard contract in miniature: per-shard histograms
+   merged in shard order equal the histogram of the unsharded whole. *)
+let prop_hist_sharded_equals_whole =
+  QCheck.Test.make ~name:"histogram: shard-merge equals unsharded whole" ~count:300
+    QCheck.(pair (int_range 1 8) samples_gen)
+    (fun (shards, xs) ->
+      let parts = Array.init shards (fun _ -> Sim.Stats.Histogram.create ()) in
+      List.iteri (fun i x -> Sim.Stats.Histogram.add parts.(i mod shards) x) xs;
+      let merged = Sim.Stats.Histogram.create () in
+      Array.iter (Sim.Stats.Histogram.merge merged) parts;
+      hist_fingerprint merged = hist_fingerprint (hist_of xs))
+
+let prop_hist_percentile_monotone =
+  QCheck.Test.make ~name:"histogram: percentile is monotone in p" ~count:300
+    QCheck.(pair samples_gen (list (float_bound_inclusive 100.0)))
+    (fun (xs, ps) ->
+      let h = hist_of xs in
+      let ps = List.sort compare ps in
+      let values = List.map (Sim.Stats.Histogram.percentile h) ps in
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a <= b && ascending rest
+        | _ -> true
+      in
+      ascending values)
+
+let test_hist_copy_diff () =
+  let h = Sim.Stats.Histogram.create () in
+  for i = 1 to 100 do
+    Sim.Stats.Histogram.add h (float_of_int i)
+  done;
+  let snap = Sim.Stats.Histogram.copy h in
+  (* The copy is independent: growing the original must not leak in. *)
+  Sim.Stats.Histogram.add h 0.0;
+  for i = 1 to 50 do
+    Sim.Stats.Histogram.add h (float_of_int (1000 + i))
+  done;
+  Alcotest.(check int) "snapshot unchanged" 100 (Sim.Stats.Histogram.count snap);
+  let d = Sim.Stats.Histogram.diff h snap in
+  Alcotest.(check int) "window count" 51 (Sim.Stats.Histogram.count d);
+  Alcotest.(check int) "window zeros" 1 (Sim.Stats.Histogram.zeros d);
+  let p50 = Sim.Stats.Histogram.percentile d 50.0 in
+  Alcotest.(check bool) "window p50 in the late range" true (p50 > 900.0 && p50 < 1100.0);
+  let empty = Sim.Stats.Histogram.diff h (Sim.Stats.Histogram.copy h) in
+  Alcotest.(check int) "self-diff is empty" 0 (Sim.Stats.Histogram.count empty);
+  Alcotest.check_raises "diff rejects a non-subset"
+    (Invalid_argument "Histogram.diff: older snapshot is not a subset") (fun () ->
+      ignore (Sim.Stats.Histogram.diff snap h))
+
+(* ------------------------------ query ------------------------------ *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Exact-string check: the unknown-class error must enumerate every
+   valid class, so a typo is self-correcting from the message alone. *)
+let test_query_unknown_class_message () =
+  let expected =
+    "unknown event class \"bogus\"; valid classes: hypercall_entry, hypercall_exit, \
+     page_fault, first_touch, migrate_start, migrate_retry, migrate_defer, migrate_drain, \
+     pv_record, pv_flush, pv_lost, breaker_trip, breaker_escalate, breaker_cooldown, \
+     reconcile_sweep, epoch_boundary, splinter, promote, superpage_migrate, pv_dedup, \
+     p2m_batch, ecc_ce, ecc_ue, page_offline, node_drain, evacuate"
+  in
+  (match Obs.Query.parse_class "bogus" with
+  | Error msg -> Alcotest.(check string) "enumerates all classes" expected msg
+  | Ok _ -> Alcotest.fail "bogus accepted");
+  match Obs.Query.parse_classes "page_fault,nope" with
+  | Error msg -> Alcotest.(check bool) "list parser propagates" true (contains msg "\"nope\"")
+  | Ok _ -> Alcotest.fail "bad list accepted"
+
+let test_query_parsers () =
+  (match Obs.Query.parse_classes " page_fault , migrate_start ,," with
+  | Ok [ Obs.Event.Page_fault; Obs.Event.Migrate_start ] -> ()
+  | Ok _ -> Alcotest.fail "wrong classes"
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "single epoch" true (Obs.Query.parse_epochs "7" = Ok (7, 7));
+  Alcotest.(check bool) "window" true (Obs.Query.parse_epochs "10-20" = Ok (10, 20));
+  (match Obs.Query.parse_epochs "x" with
+  | Error msg ->
+      Alcotest.(check string) "epoch error"
+        "bad epoch window \"x\"; expected EPOCH or LO-HI (e.g. 10-20)" msg
+  | Ok _ -> Alcotest.fail "bad window accepted")
+
+let test_slo_parser () =
+  (match Engine.Config.parse_slo "p99=300, mean=2.5" with
+  | Ok [ ("p99", t1); ("mean", t2) ] ->
+      Alcotest.(check (float 0.0)) "first target" 300.0 t1;
+      Alcotest.(check (float 0.0)) "second target" 2.5 t2
+  | Ok _ -> Alcotest.fail "wrong objectives"
+  | Error msg -> Alcotest.fail msg);
+  (match Engine.Config.parse_slo "p42=1" with
+  | Error msg ->
+      Alcotest.(check string) "unknown metric enumerates"
+        "unknown SLO metric \"p42\"; valid metrics: mean, p50, p95, p99, p999" msg
+  | Ok _ -> Alcotest.fail "p42 accepted");
+  (match Engine.Config.parse_slo "p99" with
+  | Error msg -> Alcotest.(check bool) "missing target" true (contains msg "expected METRIC=TARGET")
+  | Ok _ -> Alcotest.fail "missing target accepted");
+  match Engine.Config.parse_slo "p99=-3" with
+  | Error msg -> Alcotest.(check bool) "negative target" true (contains msg "positive")
+  | Ok _ -> Alcotest.fail "negative target accepted"
+
+let with_temp_file suffix data f =
+  let path = Filename.temp_file "xen-numa-test" suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc data;
+      close_out oc;
+      f path)
+
+(* Acceptance criterion: with an empty filter, query over either codec
+   reproduces the per-class emitted and kept counts Summary reports. *)
+let test_query_matches_summary () =
+  with_clean_obs (fun () ->
+      let session = Obs.Trace.create ~capacity:256 () in
+      Obs.Trace.install session;
+      ignore (Engine.Runner.run (small_cfg ~seed:5));
+      Obs.Trace.uninstall ();
+      let summary = Obs.Summary.of_export (Obs.Trace.export session) in
+      let check_codec name data =
+        with_temp_file name data (fun path ->
+            let q = Obs.Query.run (Obs.Query.filter ()) path in
+            Alcotest.(check int) (name ^ ": scanned = kept") summary.Obs.Summary.total_kept
+              q.Obs.Query.scanned;
+            Alcotest.(check int) (name ^ ": dropped") summary.Obs.Summary.total_dropped
+              q.Obs.Query.dropped;
+            List.iter
+              (fun (row : Obs.Summary.class_row) ->
+                let qrow =
+                  List.find_opt
+                    (fun (r : Obs.Query.class_row) -> r.Obs.Query.cls = row.Obs.Summary.cls)
+                    q.Obs.Query.rows
+                in
+                match qrow with
+                | None ->
+                    Alcotest.failf "%s: class %s missing from query" name
+                      (Obs.Event.class_name row.Obs.Summary.cls)
+                | Some r ->
+                    Alcotest.(check int)
+                      (name ^ ": emitted " ^ Obs.Event.class_name row.Obs.Summary.cls)
+                      row.Obs.Summary.emitted r.Obs.Query.emitted;
+                    Alcotest.(check int)
+                      (name ^ ": kept " ^ Obs.Event.class_name row.Obs.Summary.cls)
+                      row.Obs.Summary.kept r.Obs.Query.matched)
+              summary.Obs.Summary.classes)
+      in
+      check_codec ".jsonl" (Obs.Trace.render_jsonl session);
+      check_codec ".bin" (Obs.Trace.render_binary session))
+
+let test_query_filters () =
+  let session = mk_session () in
+  (* mk_session: stream a (label b-second, stream index 1) emits a
+     page fault on domain 0 node 2 at t=0 and an epoch-1 boundary at
+     t=1; stream b (a-first, index 0) emits two domain-1 hypercalls. *)
+  with_temp_file ".jsonl" (Obs.Trace.render_jsonl session) (fun path ->
+      let q =
+        Obs.Query.run (Obs.Query.filter ~classes:[ Obs.Event.Page_fault ] ~domain:0 ()) path
+      in
+      Alcotest.(check int) "class+dom match" 1 q.Obs.Query.matched;
+      Alcotest.(check (list (pair int int))) "top pfn" [ (1, 1) ] q.Obs.Query.top_pfns;
+      let q2 = Obs.Query.run (Obs.Query.filter ~domain:9 ()) path in
+      Alcotest.(check int) "absent domain" 0 q2.Obs.Query.matched;
+      (* The boundary is attributed to the epoch it opens; everything
+         before the stream's first boundary sits at epoch -1. *)
+      let q3 = Obs.Query.run (Obs.Query.filter ~epoch_lo:1 ~epoch_hi:1 ()) path in
+      Alcotest.(check int) "epoch window keeps the boundary" 1 q3.Obs.Query.matched;
+      let q4 = Obs.Query.run (Obs.Query.filter ~epoch_lo:(-1) ~epoch_hi:(-1) ()) path in
+      Alcotest.(check int) "boot epoch keeps the rest" 3 q4.Obs.Query.matched;
+      let table = Obs.Query.render_table q in
+      Alcotest.(check bool) "table lists the class" true (contains table "page_fault");
+      let jsonl = Obs.Query.render_jsonl q in
+      Alcotest.(check bool) "jsonl self-describes" true (contains jsonl "\"query\"");
+      let csv = Obs.Query.heatmap_csv q in
+      Alcotest.(check bool) "heatmap has the node column" true (contains csv "node2"))
+
+let test_query_streaming_rejects_corrupt () =
+  let session = mk_session () in
+  let binary = Obs.Trace.render_binary session in
+  let truncated = String.sub binary 0 (String.length binary - 7) in
+  with_temp_file ".bin" truncated (fun path ->
+      Alcotest.(check bool) "truncated binary raises" true
+        (match Obs.Query.run (Obs.Query.filter ()) path with
+        | exception Obs.Codec.Corrupt _ -> true
+        | _ -> false));
+  let jsonl = Obs.Trace.render_jsonl session ^ "this is not json\n" in
+  with_temp_file ".jsonl" jsonl (fun path ->
+      Alcotest.(check bool) "malformed jsonl line raises" true
+        (match Obs.Query.run (Obs.Query.filter ()) path with
+        | exception Obs.Codec.Corrupt _ -> true
+        | _ -> false))
+
+let test_summary_drop_warning () =
+  let session = Obs.Trace.create ~capacity:2 () in
+  let s = Obs.Trace.stream session ~label:"hot" in
+  for i = 0 to 9 do
+    Obs.Stream.emit ~arg:i s Obs.Event.Pv_record
+  done;
+  let rendered = Obs.Summary.render (Obs.Summary.of_export (Obs.Trace.export session)) in
+  Alcotest.(check bool) "summary warns on drops" true
+    (contains rendered "WARNING:" && contains rendered "dropped by full rings");
+  let clean = Obs.Summary.render (Obs.Summary.of_export (Obs.Trace.export (mk_session ()))) in
+  Alcotest.(check bool) "no warning without drops" false (contains clean "WARNING:")
+
+(* ----------------------------- profiler ---------------------------- *)
+
+let with_clean_profile f =
+  let finish () =
+    Obs.Profile.set_enabled false;
+    Obs.Profile.reset ()
+  in
+  Obs.Profile.set_enabled false;
+  Obs.Profile.reset ();
+  Fun.protect ~finally:finish f
+
+let test_profile_disabled_noop () =
+  with_clean_profile (fun () ->
+      Alcotest.(check bool) "disabled by default" false (Obs.Profile.enabled ());
+      Alcotest.(check int) "span passes the value through" 42
+        (Obs.Profile.span Obs.Profile.Reduce (fun () -> 42));
+      Alcotest.(check bool) "nothing recorded while disabled" true
+        (List.for_all (fun (_, calls, ns) -> calls = 0 && ns = 0) (Obs.Profile.totals ()));
+      Alcotest.(check bool) "empty render says so" true
+        (contains (Obs.Profile.render ()) "no profiled spans"))
+
+let test_profile_spans_accumulate () =
+  with_clean_profile (fun () ->
+      Obs.Profile.set_enabled true;
+      ignore (Obs.Profile.span Obs.Profile.Reduce (fun () -> 1));
+      (* Spans record on the exception path too (Fun.protect). *)
+      (try Obs.Profile.span Obs.Profile.Reduce (fun () -> failwith "boom") with
+      | Failure _ -> ());
+      ignore (Obs.Profile.span Obs.Profile.P2m_batch (fun () -> ()));
+      let totals = Obs.Profile.totals () in
+      let calls name =
+        match List.find_opt (fun (n, _, _) -> n = name) totals with
+        | Some (_, c, _) -> c
+        | None -> Alcotest.failf "phase %s missing from totals" name
+      in
+      Alcotest.(check int) "reduce spans counted" 2 (calls "reduce");
+      Alcotest.(check int) "p2m spans counted" 1 (calls "p2m.batch");
+      Alcotest.(check int) "untouched phase stays zero" 0 (calls "pv.flush");
+      Alcotest.(check bool) "render lists hit phases" true
+        (contains (Obs.Profile.render ()) "reduce");
+      with_clean_obs (fun () ->
+          Obs.Metrics.set_enabled true;
+          Obs.Profile.commit_metrics ();
+          Alcotest.(check (option int)) "calls mirrored to registry" (Some 2)
+            (Obs.Metrics.counter_value "profile.reduce.calls")))
+
+(* --------------------------- SLO accounting ------------------------ *)
+
+let slo_cfg ~seed ~inner_jobs ~slo =
+  let app =
+    match Workloads.Catalogue.find "swaptions" with Some a -> a | None -> assert false
+  in
+  let vm = Engine.Config.vm ~threads:4 ~policy:Policies.Spec.first_touch app in
+  Engine.Config.make ~seed ~max_epochs:40 ~inner_jobs ~slo ~mode:Engine.Config.Xen_plus [ vm ]
+
+let test_latency_inner_jobs_identical () =
+  let slo = [ ("p99", 250.0); ("mean", 200.0) ] in
+  let r1 = Engine.Runner.run (slo_cfg ~seed:21 ~inner_jobs:1 ~slo) in
+  let r4 = Engine.Runner.run (slo_cfg ~seed:21 ~inner_jobs:4 ~slo) in
+  let v1 = Engine.Result.single r1 and v4 = Engine.Result.single r4 in
+  Alcotest.(check bool) "samples recorded" true (v1.Engine.Result.latency.Engine.Result.samples > 0);
+  Alcotest.(check bool) "latency summary bit-identical" true
+    (v1.Engine.Result.latency = v4.Engine.Result.latency);
+  Alcotest.(check bool) "slo rows bit-identical" true (v1.Engine.Result.slo = v4.Engine.Result.slo)
+
+let test_slo_observational_and_accounting () =
+  let base = Engine.Runner.run (slo_cfg ~seed:22 ~inner_jobs:1 ~slo:[]) in
+  let tight =
+    Engine.Runner.run (slo_cfg ~seed:22 ~inner_jobs:1 ~slo:[ ("p50", 0.001) ])
+  in
+  let vb = Engine.Result.single base and vt = Engine.Result.single tight in
+  (* Purely observational: the run itself must not notice the SLO. *)
+  Alcotest.(check (float 0.0)) "completion unchanged" vb.Engine.Result.completion
+    vt.Engine.Result.completion;
+  Alcotest.(check bool) "latency summary unchanged" true
+    (vb.Engine.Result.latency = vt.Engine.Result.latency);
+  Alcotest.(check bool) "no objectives, no rows" true (vb.Engine.Result.slo = []);
+  (match vt.Engine.Result.slo with
+  | [ row ] ->
+      Alcotest.(check string) "metric" "p50" row.Engine.Result.metric;
+      Alcotest.(check bool) "impossible budget violated" true row.Engine.Result.violated;
+      Alcotest.(check bool) "active epochs counted" true (row.Engine.Result.active_epochs > 0);
+      Alcotest.(check int) "every active epoch violates" row.Engine.Result.active_epochs
+        row.Engine.Result.violation_epochs;
+      Alcotest.(check (float 1e-9)) "burn rate saturates" 1.0 row.Engine.Result.burn_rate
+  | rows -> Alcotest.failf "expected 1 slo row, got %d" (List.length rows));
+  let loose =
+    Engine.Runner.run (slo_cfg ~seed:22 ~inner_jobs:1 ~slo:[ ("p99", 1e9) ])
+  in
+  match (Engine.Result.single loose).Engine.Result.slo with
+  | [ row ] ->
+      Alcotest.(check bool) "huge budget holds" false row.Engine.Result.violated;
+      Alcotest.(check int) "no violations" 0 row.Engine.Result.violation_epochs
+  | rows -> Alcotest.failf "expected 1 slo row, got %d" (List.length rows)
+
 let suite =
   [
     ( "obs.ring",
@@ -405,5 +751,33 @@ let suite =
         Alcotest.test_case "untraced run emits nothing" `Quick test_runner_untraced_emits_nothing;
         Alcotest.test_case "summary matches registry" `Slow test_summary_matches_registry;
         Alcotest.test_case "summary timeline" `Slow test_summary_timeline;
+      ] );
+    ( "obs.latency",
+      [
+        qcheck prop_hist_merge_commutative;
+        qcheck prop_hist_merge_associative;
+        qcheck prop_hist_sharded_equals_whole;
+        qcheck prop_hist_percentile_monotone;
+        Alcotest.test_case "copy and diff" `Quick test_hist_copy_diff;
+        Alcotest.test_case "inner-jobs 1 = 4 latency summary" `Slow
+          test_latency_inner_jobs_identical;
+        Alcotest.test_case "slo is observational" `Slow test_slo_observational_and_accounting;
+        Alcotest.test_case "slo parser" `Quick test_slo_parser;
+      ] );
+    ( "obs.query",
+      [
+        Alcotest.test_case "unknown class message" `Quick test_query_unknown_class_message;
+        Alcotest.test_case "filter parsers" `Quick test_query_parsers;
+        Alcotest.test_case "query matches summary on both codecs" `Slow
+          test_query_matches_summary;
+        Alcotest.test_case "filters and renders" `Quick test_query_filters;
+        Alcotest.test_case "streaming rejects corrupt files" `Quick
+          test_query_streaming_rejects_corrupt;
+        Alcotest.test_case "summary warns on drops" `Quick test_summary_drop_warning;
+      ] );
+    ( "obs.profile",
+      [
+        Alcotest.test_case "disabled is a no-op" `Quick test_profile_disabled_noop;
+        Alcotest.test_case "spans accumulate" `Quick test_profile_spans_accumulate;
       ] );
   ]

@@ -122,6 +122,64 @@ cmp "$TRACE_DIR/ij1.jsonl" "$TRACE_DIR/ij4.jsonl" || {
 }
 echo "tier1: inner-jobs trace determinism OK ($(wc -l < "$TRACE_DIR/ij1.jsonl") JSONL lines)"
 
+# Trace query engine smoke: the streaming query over the tab1 traces
+# from --jobs 1 and --jobs 4 must render byte-identical tables (the
+# aggregates are pure functions of the trace bytes), and the same run
+# captured in both codecs must answer every query identically.
+dune exec bin/xen_numa_trace.exe -- query "$TRACE_DIR/j1.jsonl" > "$TRACE_DIR/q1.txt"
+dune exec bin/xen_numa_trace.exe -- query "$TRACE_DIR/j4.jsonl" > "$TRACE_DIR/q4.txt"
+cmp "$TRACE_DIR/q1.txt" "$TRACE_DIR/q4.txt" || {
+  echo "tier1: FAIL - query output differs between --jobs 1 and --jobs 4 traces" >&2
+  exit 1
+}
+dune exec bin/xen_numa_sim.exe -- run swaptions -t 8 -m xen+ -p first-touch/carrefour \
+  --trace "$TRACE_DIR/codec.jsonl" --trace-cap 512 >/dev/null
+dune exec bin/xen_numa_sim.exe -- run swaptions -t 8 -m xen+ -p first-touch/carrefour \
+  --trace "$TRACE_DIR/codec.bin" --trace-cap 512 >/dev/null
+dune exec bin/xen_numa_trace.exe -- query --class page_fault,epoch_boundary --epochs 0-200 \
+  --format jsonl --heatmap "$TRACE_DIR/heat_jsonl.csv" "$TRACE_DIR/codec.jsonl" \
+  > "$TRACE_DIR/qc_jsonl.txt"
+dune exec bin/xen_numa_trace.exe -- query --class page_fault,epoch_boundary --epochs 0-200 \
+  --format jsonl --heatmap "$TRACE_DIR/heat_bin.csv" "$TRACE_DIR/codec.bin" \
+  > "$TRACE_DIR/qc_bin.txt"
+cmp "$TRACE_DIR/qc_jsonl.txt" "$TRACE_DIR/qc_bin.txt" || {
+  echo "tier1: FAIL - query output differs between JSONL and binary codecs" >&2
+  exit 1
+}
+cmp "$TRACE_DIR/heat_jsonl.csv" "$TRACE_DIR/heat_bin.csv" || {
+  echo "tier1: FAIL - heatmap CSV differs between JSONL and binary codecs" >&2
+  exit 1
+}
+echo "tier1: trace query engine OK (codecs and schedules agree)"
+
+# Query usage errors: an unknown class name and a corrupt trace file
+# must both exit non-zero (the class error enumerates the valid names;
+# truncation must never be silently accepted).
+if dune exec bin/xen_numa_trace.exe -- query --class no_such_class "$TRACE_DIR/codec.jsonl" \
+  >/dev/null 2>&1; then
+  echo "tier1: FAIL - unknown query class did not exit non-zero" >&2
+  exit 1
+fi
+head -c 100 "$TRACE_DIR/codec.bin" > "$TRACE_DIR/truncated.bin"
+if dune exec bin/xen_numa_trace.exe -- query "$TRACE_DIR/truncated.bin" >/dev/null 2>&1; then
+  echo "tier1: FAIL - truncated binary trace did not exit non-zero" >&2
+  exit 1
+fi
+
+# Phase profiler smoke: --profile prints the span table (and SLO
+# objectives evaluate without disturbing the run).
+dune exec bin/xen_numa_sim.exe -- run swaptions -t 8 --slo p99=10000 --profile \
+  > "$TRACE_DIR/profile.txt"
+grep -q "phase" "$TRACE_DIR/profile.txt" || {
+  echo "tier1: FAIL - --profile printed no span table" >&2
+  exit 1
+}
+grep -q "slo p99" "$TRACE_DIR/profile.txt" || {
+  echo "tier1: FAIL - --slo printed no objective row" >&2
+  exit 1
+}
+echo "tier1: profiler and SLO smoke OK"
+
 # Short randomised chaos pass: a fresh QCHECK_SEED (overridable for
 # replay) re-runs the fault-injection property suite, whose
 # frame-accounting invariant (no leaks, no double frees) fails the
@@ -147,5 +205,7 @@ dune exec test/test_main.exe -- test stats.topk
 dune exec test/test_main.exe -- test xen.p2m.batch
 dune exec test/test_main.exe -- test engine.shard
 dune exec test/test_main.exe -- test policies.evacuation
+dune exec test/test_main.exe -- test obs.latency
+dune exec test/test_main.exe -- test obs.query
 
 echo "tier1: OK"
