@@ -246,6 +246,10 @@ let sections : (string * (unit -> unit)) list =
       fun () ->
         section "Hugepage (2 MiB P2M superpages on/off)";
         Experiments.Hugepage.print () );
+    ( "mitosis",
+      fun () ->
+        section "Mitosis (radix page-walk pricing and PT replication)";
+        Experiments.Mitosis.print () );
     ( "ras",
       fun () ->
         section "Memory RAS (ECC errors and node failure)";

@@ -56,6 +56,22 @@ let mcs_arg =
 let huge_arg =
   Arg.(value & flag & info [ "huge-pages" ] ~doc:"Back the application with 2 MiB pages.")
 
+let pt_walk_arg =
+  Arg.(value & flag
+       & info [ "pt-walk" ]
+           ~doc:"Price TLB misses with the radix page-walk model: each walk level \
+                 is charged at the latency of the node holding that page-table \
+                 level, instead of the flat walk constant.  Off, walk costs are \
+                 bit-identical to the flat model.  Ignored in linux mode.")
+
+let replicate_pt_arg =
+  Arg.(value & flag
+       & info [ "replicate-pt" ]
+           ~doc:"Mirror the page tables onto every home node (the Mitosis \
+                 policy): page walks resolve from the local mirror, and every \
+                 P2M update pays a per-mirror write-propagation cost.  Most \
+                 useful together with $(b,--pt-walk).  Ignored in linux mode.")
+
 let unpinned_arg =
   Arg.(value & flag & info [ "unpinned" ]
          ~doc:"Let the credit scheduler migrate vCPUs instead of pinning them.")
@@ -147,8 +163,8 @@ let inner_jobs_arg =
                  sequential fixed-order reduction.  Fault-injection runs \
                  ignore this and run unsharded.")
 
-let run_app app mode policy threads seed mcs huge_pages unpinned machine faults trace trace_cap
-    metrics inner_jobs slo profile =
+let run_app app mode policy threads seed mcs huge_pages pt_walk replicate_pt unpinned machine
+    faults trace trace_cap metrics inner_jobs slo profile =
   if trace_cap <= 0 then begin
     prerr_endline "xen-numa-sim: --trace-cap must be positive";
     exit 1
@@ -171,7 +187,8 @@ let run_app app mode policy threads seed mcs huge_pages unpinned machine faults 
     Obs.Profile.set_enabled true
   end;
   let vm =
-    Engine.Config.vm ~threads ~use_mcs:mcs ~huge_pages ~pinned:(not unpinned) ~policy app
+    Engine.Config.vm ~threads ~use_mcs:mcs ~huge_pages ~pt_walk ~replicate_pt
+      ~pinned:(not unpinned) ~policy app
   in
   let cfg = Engine.Config.make ~seed ~machine ~faults ~inner_jobs ~slo ~mode [ vm ] in
   let result = Engine.Runner.run cfg in
@@ -196,8 +213,8 @@ let run_cmd =
   let doc = "Run one application under a NUMA policy" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_app $ app_arg $ mode_arg $ policy_arg $ threads_arg $ seed_arg $ mcs_arg
-          $ huge_arg $ unpinned_arg $ machine_arg $ faults_arg $ trace_arg $ trace_cap_arg
-          $ metrics_arg $ inner_jobs_arg $ slo_arg $ profile_arg)
+          $ huge_arg $ pt_walk_arg $ replicate_pt_arg $ unpinned_arg $ machine_arg $ faults_arg
+          $ trace_arg $ trace_cap_arg $ metrics_arg $ inner_jobs_arg $ slo_arg $ profile_arg)
 
 let list_apps () =
   Report.Table.print

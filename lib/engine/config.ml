@@ -8,13 +8,16 @@ type vm_spec = {
   use_mcs : bool;
   huge_pages : bool;
   superpages : bool;
+  pt_walk : bool;
+  replicate_pt : bool;
   pinned : bool;
 }
 
 let vm ?home_nodes ?(use_mcs = false) ?(huge_pages = false) ?(superpages = false)
-    ?(pinned = true) ?(threads = 48) ~policy app =
+    ?(pt_walk = false) ?(replicate_pt = false) ?(pinned = true) ?(threads = 48) ~policy app =
   if threads <= 0 then invalid_arg "Config.vm: threads must be positive";
-  { app; threads; policy; home_nodes; use_mcs; huge_pages; superpages; pinned }
+  { app; threads; policy; home_nodes; use_mcs; huge_pages; superpages; pt_walk; replicate_pt;
+    pinned }
 
 type t = {
   mode : mode;

@@ -38,6 +38,18 @@ type vm_spec = {
           re-coalesces extents.  The TLB benefit then tracks the live
           superpage fraction of guest memory instead of being a static
           assumption.  Ignored in [Linux] mode (no P2M). *)
+  pt_walk : bool;
+      (** Enable the radix page-walk cost model ([--pt-walk]): TLB
+          misses charge walk-depth levels, each priced by the latency
+          of the node holding that page-table level ({!Xen.Pt}),
+          instead of the flat walk constant.  Off (the default), walk
+          costs are bit-identical to the flat model. *)
+  replicate_pt : bool;
+      (** Mirror the page tables onto every home node
+          ([--replicate-pt], the Mitosis policy): walks resolve from
+          the local mirror, every P2M update pays the
+          write-propagation cost.  Ignored in [Linux] mode (no
+          P2M). *)
   pinned : bool;
       (** [true] (the paper's evaluation setting): vCPUs stay on their
           boot pCPUs.  [false]: the credit scheduler may migrate them
@@ -46,8 +58,8 @@ type vm_spec = {
 }
 
 val vm : ?home_nodes:Numa.Topology.node array -> ?use_mcs:bool -> ?huge_pages:bool ->
-  ?superpages:bool -> ?pinned:bool -> ?threads:int -> policy:Policies.Spec.t ->
-  Workloads.App.t -> vm_spec
+  ?superpages:bool -> ?pt_walk:bool -> ?replicate_pt:bool -> ?pinned:bool -> ?threads:int ->
+  policy:Policies.Spec.t -> Workloads.App.t -> vm_spec
 (** [threads] defaults to 48 (the full machine). *)
 
 type t = {

@@ -82,6 +82,10 @@ type vm_result = {
   splinters : int;  (* cumulative demotions (P2M counter) *)
   promotes : int;  (* cumulative coalesces, in place and by copy *)
   superpage_migrates : int;  (* the copying promotes among them *)
+  walk_cycles_per_instr : float;  (* end-of-run TLB walk CPI term *)
+  pt_replica_updates : int;  (* per-mirror PT entry writes *)
+  pt_replica_invalidations : int;  (* per-mirror PT shootdowns *)
+  pt_replica_time : float;  (* write-propagation seconds *)
   latency : latency_summary;
   slo : slo_row list;  (* one row per --slo objective, spec order *)
   degradation : degradation;
@@ -125,6 +129,15 @@ let pp fmt t =
           vm.app_name vm.superpages
           (100.0 *. vm.superpage_fraction)
           vm.splinters vm.promotes vm.superpage_migrates)
+    t.vms;
+  List.iter
+    (fun vm ->
+      if vm.pt_replica_updates > 0 || vm.pt_replica_invalidations > 0 then
+        Format.fprintf fmt
+          "%-14s pt replicas: %d entry writes, %d shootdowns, %.3f s propagation (walk %0.4f \
+           cy/instr)@,"
+          vm.app_name vm.pt_replica_updates vm.pt_replica_invalidations vm.pt_replica_time
+          vm.walk_cycles_per_instr)
     t.vms;
   List.iter
     (fun vm ->

@@ -71,6 +71,19 @@ type vm_result = {
   superpage_migrates : int;
       (** Promotions that had to copy the extent onto a fresh
           contiguous block first. *)
+  walk_cycles_per_instr : float;
+      (** End-of-run TLB walk term of the CPI (the flat constant model
+          when [--pt-walk] is off, the radix per-level pricing when
+          on). *)
+  pt_replica_updates : int;
+      (** Per-mirror page-table entry writes under [--replicate-pt]
+          (0 without replication). *)
+  pt_replica_invalidations : int;
+      (** Per-mirror shootdowns (clears and splinters) under
+          [--replicate-pt]. *)
+  pt_replica_time : float;
+      (** Simulated seconds spent propagating P2M updates into the
+          mirrors. *)
   latency : latency_summary;
       (** Tail-latency percentiles of the per-vCPU-per-epoch samples. *)
   slo : slo_row list;

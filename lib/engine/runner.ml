@@ -229,6 +229,45 @@ let tlb_cycles_per_instr_dynamic (cfg : Config.t) (spec : Config.vm_spec)
          ~hot_access_share:(tlb_hot_access_share app)
   end
 
+(* Radix pricing (--pt-walk): each walk level is charged at the static
+   latency of the node backing that page-table level, normalised to
+   the local latency the flat model assumes.  Ratios use unsaturated
+   latencies — the walk term prices the tables' placement, not the
+   epoch's congestion — so on a topology where every level is local
+   (one node, or replicated tables) the sum collapses back to the
+   flat constant by construction. *)
+let tlb_cycles_per_instr_radix (cfg : Config.t) (spec : Config.vm_spec)
+    (domain : Xen.Domain.t) ~(pt : Xen.Pt.t) ~(thread_node : int array) ~topo ~latency =
+  let app = spec.Config.app in
+  let local = Numa.Latency.mem_cycles latency ~hops:0 ~saturation:0.0 in
+  let threads = spec.Config.threads in
+  let level_ratio level =
+    let acc = ref 0.0 in
+    for t = 0 to threads - 1 do
+      let node = thread_node.(t) in
+      let hops = Numa.Topology.distance topo node (Xen.Pt.level_node pt ~level ~node) in
+      acc := !acc +. (Numa.Latency.mem_cycles latency ~hops ~saturation:0.0 /. local)
+    done;
+    !acc /. float_of_int threads
+  in
+  let huge_fraction =
+    if spec.Config.huge_pages then 1.0
+    else begin
+      (* Without P2M superpages the counter is 0, so this is the 4 KiB
+         path; with them it tracks the live fraction like the flat
+         dynamic model. *)
+      let p2m = domain.Xen.Domain.p2m in
+      let mapped = Xen.P2m.mapped_count p2m in
+      if mapped = 0 then 0.0
+      else float_of_int (Xen.P2m.superpage_frames p2m) /. float_of_int mapped
+    end
+  in
+  0.3
+  *. Guest.Tlb.cycles_per_access_mixed_radix Guest.Tlb.opteron ~huge_fraction
+       ~virtualized:(cfg.Config.mode <> Config.Linux)
+       ~footprint_bytes:(app.Workloads.App.footprint_mb * 1024 * 1024)
+       ~hot_access_share:(tlb_hot_access_share app) ~level_ratio
+
 (* Popularity of page [i] under the region's current rotation. *)
 let eff_weight region i =
   let pages = Array.length region.weights in
@@ -291,6 +330,9 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
   let policy = spec.Config.policy in
   (* P2M superpages only exist under a hypervisor. *)
   let superpages = spec.Config.superpages && cfg.Config.mode <> Config.Linux in
+  (* So do the priced page tables and their per-node mirrors. *)
+  let pt_walk = spec.Config.pt_walk && cfg.Config.mode <> Config.Linux in
+  let replicate_pt = spec.Config.replicate_pt && cfg.Config.mode <> Config.Linux in
   let boot =
     match cfg.Config.mode with
     | Config.Linux -> policy  (* Linux applies its policy directly. *)
@@ -305,8 +347,8 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
         else Policies.Spec.round_4k
   in
   let manager =
-    Policies.Manager.attach ~carrefour_config:(carrefour_config cfg machine) ~superpages system
-      domain ~boot ~rng
+    Policies.Manager.attach ~carrefour_config:(carrefour_config cfg machine) ~superpages
+      ~pt_walk ~replicate_pt system domain ~boot ~rng
   in
   (match cfg.Config.mode with
   | Config.Linux -> ()
@@ -824,7 +866,8 @@ let vm_result cfg system st =
   let account = st.domain.Xen.Domain.account in
   let virt_overhead =
     ((account.Xen.Domain.fault_time *. scale)
-    +. account.Xen.Domain.hypercall_time +. account.Xen.Domain.migrate_time)
+    +. account.Xen.Domain.hypercall_time +. account.Xen.Domain.migrate_time
+    +. account.Xen.Domain.pt_replica_time)
     /. threads
   in
   let path = io_path cfg.Config.mode st.spec.Config.policy in
@@ -904,6 +947,16 @@ let vm_result cfg system st =
     splinters = Xen.P2m.splinter_count p2m;
     promotes = Xen.P2m.promote_count p2m;
     superpage_migrates = (Policies.Manager.stats st.manager).Policies.Manager.superpage_migrates;
+    walk_cycles_per_instr = st.tlb_cycles_per_instr;
+    pt_replica_updates =
+      (match Policies.Manager.pt st.manager with
+      | Some pt -> Xen.Pt.replica_updates pt
+      | None -> 0);
+    pt_replica_invalidations =
+      (match Policies.Manager.pt st.manager with
+      | Some pt -> Xen.Pt.replica_invalidations pt
+      | None -> 0);
+    pt_replica_time = account.Xen.Domain.pt_replica_time;
     latency;
     slo;
     degradation = vm_degradation st;
@@ -942,10 +995,12 @@ let run (cfg : Config.t) =
     | None -> None
     | Some session ->
         let vm_desc (vm : Config.vm_spec) =
-          Printf.sprintf "%s/%s%s%s" vm.Config.app.Workloads.App.name
+          Printf.sprintf "%s/%s%s%s%s%s" vm.Config.app.Workloads.App.name
             (Policies.Spec.name vm.Config.policy)
             (if vm.Config.use_mcs then "/mcs" else "")
             (if vm.Config.superpages then "/sp" else "")
+            (if vm.Config.pt_walk then "/ptw" else "")
+            (if vm.Config.replicate_pt then "/rep" else "")
         in
         let label =
           Printf.sprintf "%s|%s|seed=%d" (Config.mode_name cfg.Config.mode)
@@ -1069,7 +1124,29 @@ let run (cfg : Config.t) =
     | Some stream ->
         (* Stamp subsequent events with this epoch's virtual time. *)
         Obs.Stream.set_time stream !now;
-        Obs.Stream.emit ~arg:!epochs stream Obs.Event.Epoch_boundary);
+        Obs.Stream.emit ~arg:!epochs stream Obs.Event.Epoch_boundary;
+        (* Walk/replica summaries, one per domain per epoch (the raw
+           update stream would swamp the ring): the walk CPI term in
+           milli-cycles, and the cumulative per-mirror counters.
+           Emitted only when the feature is on, so every other run's
+           trace is byte-identical to the pre-walk-model engine. *)
+        List.iter
+          (fun st ->
+            match Policies.Manager.pt st.manager with
+            | None -> ()
+            | Some pt ->
+                let d = st.domain.Xen.Domain.id in
+                if st.spec.Config.pt_walk then
+                  Obs.Stream.emit ~domain:d
+                    ~arg:(int_of_float (1000.0 *. st.tlb_cycles_per_instr))
+                    stream Obs.Event.Pt_walk;
+                if Xen.Pt.replicated pt then begin
+                  Obs.Stream.emit ~domain:d ~arg:(Xen.Pt.replica_updates pt) stream
+                    Obs.Event.Pt_replica_update;
+                  Obs.Stream.emit ~domain:d ~arg:(Xen.Pt.replica_invalidations pt) stream
+                    Obs.Event.Pt_replica_invalidate
+                end)
+          states);
     Faults.Injector.set_epoch injector !epochs;
     if faults_on then begin
       (* Node RAS: mirror the injector's failing state into the
@@ -1193,9 +1270,16 @@ let run (cfg : Config.t) =
           end;
           (* Track the live superpage fraction (splinters and promotes
              move it); non-superpage runs keep the boot-time constant
-             bit for bit. *)
-          if Policies.Manager.superpages_enabled st.manager then
-            st.tlb_cycles_per_instr <- tlb_cycles_per_instr_dynamic cfg st.spec st.domain;
+             bit for bit.  Under --pt-walk the radix model reprices the
+             walk from the page tables' current placement instead. *)
+          (match Policies.Manager.pt st.manager with
+          | Some pt when st.spec.Config.pt_walk ->
+              st.tlb_cycles_per_instr <-
+                tlb_cycles_per_instr_radix cfg st.spec st.domain ~pt
+                  ~thread_node:st.thread_node ~topo ~latency
+          | Some _ | None ->
+              if Policies.Manager.superpages_enabled st.manager then
+                st.tlb_cycles_per_instr <- tlb_cycles_per_instr_dynamic cfg st.spec st.domain);
           let oh = epoch_sync_overhead cfg st in
           (* Carrefour's continuous hardware-counter sampling is not
              free: the paper observes it slightly degrades applications
@@ -1501,7 +1585,18 @@ let run (cfg : Config.t) =
     (* Bucket counts are additive, so the registry histogram is the
        same whatever the sweep's worker count or run order. *)
     List.iter
-      (fun st -> Obs.Metrics.merge_histogram "engine.vm.latency_cycles" st.lat_hist)
+      (fun st ->
+        Obs.Metrics.merge_histogram "engine.vm.latency_cycles" st.lat_hist;
+        if st.spec.Config.pt_walk then
+          Obs.Metrics.observe "engine.pt.walk_cycles_per_instr" st.tlb_cycles_per_instr;
+        match Policies.Manager.pt st.manager with
+        | Some pt when Xen.Pt.replicated pt ->
+            Obs.Metrics.incr ~by:(Xen.Pt.replica_updates pt) "engine.pt.replica_updates";
+            Obs.Metrics.incr ~by:(Xen.Pt.replica_invalidations pt)
+              "engine.pt.replica_invalidations";
+            Obs.Metrics.observe "engine.pt.replica_time_s"
+              st.domain.Xen.Domain.account.Xen.Domain.pt_replica_time
+        | Some _ | None -> ())
       states
   end;
   result

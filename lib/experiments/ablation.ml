@@ -173,8 +173,13 @@ let print_replication ?(seed = 42) () =
     "(strict threshold: no read-mostly page qualifies -> marginal effect, as in the paper)";
   print_newline ()
 
-(* Future work #1: large pages.  The nested page walk makes TLB misses
-   ~3x dearer in a VM, so 2 MiB guest pages pay off most there. *)
+(* Large pages (implemented: the huge_pages spec flag; the walk cost
+   behind it is now the radix model of Guest.Tlb.walk_cycles_radix
+   when --pt-walk is on).  The nested page walk makes TLB misses ~3x
+   dearer in a VM — and 2 MiB pages shorten every radix walk by one
+   level on top of the reach win — so they pay off most there.  The
+   Mitosis grid (Experiments.Mitosis) ablates the walk pricing
+   itself. *)
 let print_huge_pages ?(seed = 42) () =
   print_endline "Large pages (the paper's first future-work item)";
   Report.Table.print

@@ -58,3 +58,49 @@ val cycles_per_access_mixed :
     backed by 2 MiB mappings: the P2M superpage fraction of guest
     memory enjoys {!Huge_2m} reach, the splintered remainder pays
     {!Small_4k} walks.  [huge_fraction] is clamped to [\[0, 1\]]. *)
+
+(** {2 Radix walk model}
+
+    Mitosis-style refinement of the flat walk constants: a page walk
+    is [walk_levels] dependent memory references, each hitting the
+    node that holds that level's page-table page.  Remote PT pages
+    make each reference dearer by the remote/local latency ratio;
+    2 MiB mappings terminate the walk one level early. *)
+
+val walk_levels : int
+(** Depth of a full 4 KiB radix walk (4 on x86-64). *)
+
+val radix_levels : page_size -> int
+(** Walk depth by page size: {!Small_4k} walks all [walk_levels]
+    levels, {!Huge_2m} stops one level short (the L1 entry maps the
+    whole 2 MiB extent). *)
+
+val walk_cycles_radix :
+  t -> virtualized:bool -> levels:int -> level_ratio:(int -> float) -> float
+(** Cycles for one walk of [levels] levels.  [level_ratio i] is the
+    memory-latency ratio (relative to local) of the node backing walk
+    level [i]; a uniform ratio of 1.0 over all {!walk_levels} levels
+    reproduces {!walk_cycles} exactly. *)
+
+val cycles_per_access_radix :
+  t ->
+  page_size ->
+  virtualized:bool ->
+  footprint_bytes:int ->
+  hot_access_share:float ->
+  level_ratio:(int -> float) ->
+  float
+(** {!cycles_per_access} with the radix walk in place of the flat
+    constant. *)
+
+val cycles_per_access_mixed_radix :
+  t ->
+  huge_fraction:float ->
+  virtualized:bool ->
+  footprint_bytes:int ->
+  hot_access_share:float ->
+  level_ratio:(int -> float) ->
+  float
+(** {!cycles_per_access_mixed} with the radix walk: the superpage
+    share walks one level fewer, both shares price each level by
+    [level_ratio]. *)

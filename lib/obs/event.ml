@@ -25,6 +25,9 @@ type class_ =
   | Page_offline
   | Node_drain
   | Evacuate
+  | Pt_walk
+  | Pt_replica_update
+  | Pt_replica_invalidate
 
 let classes =
   [
@@ -54,6 +57,9 @@ let classes =
     Page_offline;
     Node_drain;
     Evacuate;
+    Pt_walk;
+    Pt_replica_update;
+    Pt_replica_invalidate;
   ]
 
 let class_count = List.length classes
@@ -85,6 +91,9 @@ let class_index = function
   | Page_offline -> 23
   | Node_drain -> 24
   | Evacuate -> 25
+  | Pt_walk -> 26
+  | Pt_replica_update -> 27
+  | Pt_replica_invalidate -> 28
 
 let class_of_index = function
   | 0 -> Some Hypercall_entry
@@ -113,6 +122,9 @@ let class_of_index = function
   | 23 -> Some Page_offline
   | 24 -> Some Node_drain
   | 25 -> Some Evacuate
+  | 26 -> Some Pt_walk
+  | 27 -> Some Pt_replica_update
+  | 28 -> Some Pt_replica_invalidate
   | _ -> None
 
 let class_name = function
@@ -142,6 +154,9 @@ let class_name = function
   | Page_offline -> "page_offline"
   | Node_drain -> "node_drain"
   | Evacuate -> "evacuate"
+  | Pt_walk -> "pt_walk"
+  | Pt_replica_update -> "pt_replica_update"
+  | Pt_replica_invalidate -> "pt_replica_invalidate"
 
 let class_of_name name = List.find_opt (fun c -> class_name c = name) classes
 

@@ -9,8 +9,10 @@
     coalesced (splinter / promote / superpage migrate), superseded ops
     removed by the shard dedup (pv dedup), frames in one batched P2M
     operation (p2m batch), frames moved off a failing node in one
-    evacuation step (evacuate) or still resident when its drain
-    finished (node drain). *)
+    evacuation step (evacuate), still resident when its drain finished
+    (node drain), or the per-epoch cumulative counter of the
+    replicated-page-table summaries (pt walk / pt replica update / pt
+    replica invalidate). *)
 
 type class_ =
   | Hypercall_entry
@@ -39,6 +41,9 @@ type class_ =
   | Page_offline
   | Node_drain
   | Evacuate
+  | Pt_walk
+  | Pt_replica_update
+  | Pt_replica_invalidate
 
 val classes : class_ list
 val class_count : int

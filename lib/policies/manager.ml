@@ -85,6 +85,8 @@ type t = {
   degrade : degrade;
   pending : (Memory.Page.pfn * Numa.Topology.node) Queue.t;
   superpages : bool;
+  pt : Xen.Pt.t option;  (* page-table placement; Some iff the walk
+                            model or replication is enabled *)
   mutable promote_cursor : int;  (* rotating extent cursor of the scan *)
   mutable epoch : int;
   mutable breaker_attempts : int;  (* migration window since last evaluation *)
@@ -357,7 +359,20 @@ let install_fault_handler t =
 let make_carrefour t = Carrefour.System_component.create t.system t.domain
 
 let attach ?(carrefour_config = Carrefour.User_component.default_config) ?(superpages = false)
-    system domain ~boot ~rng =
+    ?(pt_walk = false) ?(replicate_pt = false) system domain ~boot ~rng =
+  let pt =
+    if pt_walk || replicate_pt then begin
+      let p2m = domain.Xen.Domain.p2m in
+      let replicate_nodes =
+        if replicate_pt then Array.copy domain.Xen.Domain.home_nodes else [||]
+      in
+      Some
+        (Xen.Pt.create ~replicate_nodes
+           ~home_node:domain.Xen.Domain.home_nodes.(0)
+           ~frames:(Xen.P2m.frames p2m) ~sp_frames:(Xen.P2m.sp_frames p2m) ())
+    end
+    else None
+  in
   let t =
     {
       system;
@@ -371,6 +386,7 @@ let attach ?(carrefour_config = Carrefour.User_component.default_config) ?(super
       degrade = fresh_degrade ();
       pending = Queue.create ();
       superpages;
+      pt;
       promote_cursor = 0;
       epoch = 0;
       breaker_attempts = 0;
@@ -395,6 +411,30 @@ let attach ?(carrefour_config = Carrefour.User_component.default_config) ?(super
       evac_mfns = Array.make evac_budget 0;
     }
   in
+  (* Install the replica-maintenance hook before the boot population so
+     the mirrors see the primary's whole update stream from its first
+     entry.  The boot-time propagation cost is charged like any other
+     update; the engine wipes the account after setup, exactly as it
+     does for the population itself. *)
+  (match pt with
+  | Some pt when Xen.Pt.replicated pt ->
+      let costs = system.Xen.System.costs in
+      let account = domain.Xen.Domain.account in
+      let replicas = Xen.Pt.replica_count pt in
+      Xen.P2m.set_on_update domain.Xen.Domain.p2m
+        (Some
+           (fun u ->
+             Xen.Pt.apply pt u;
+             account.Xen.Domain.pt_replica_ops <- account.Xen.Domain.pt_replica_ops + 1;
+             account.Xen.Domain.pt_replica_time <-
+               account.Xen.Domain.pt_replica_time
+               +.
+               match u with
+               | Xen.P2m.Cleared _ | Xen.P2m.Splintered _ ->
+                   Xen.Costs.pt_replica_invalidate_time costs ~replicas
+               | Xen.P2m.Set _ | Xen.P2m.Superpage_mapped _ | Xen.P2m.Promoted _ ->
+                   Xen.Costs.pt_replica_update_time costs ~replicas))
+  | Some _ | None -> ());
   (match boot.Spec.placement with
   | Spec.Round_4k -> populate_round_4k t
   | Spec.Round_1g -> populate_round_1g t
@@ -1122,5 +1162,6 @@ let carrefour_epoch t ~counters ~samples =
 let degrade t = t.degrade
 let pending_migrations t = Queue.length t.pending
 let superpages_enabled t = t.superpages
+let pt t = t.pt
 
 let node_of_pfn t pfn = Internal.node_of_pfn t.system t.domain pfn

@@ -59,6 +59,8 @@ type t
 val attach :
   ?carrefour_config:Carrefour.User_component.config ->
   ?superpages:bool ->
+  ?pt_walk:bool ->
+  ?replicate_pt:bool ->
   Xen.System.t ->
   Xen.Domain.t ->
   boot:Spec.t ->
@@ -71,6 +73,16 @@ val attach :
     installed as 2 MiB P2M superpage entries, per-frame operations
     splinter them (charging {!Xen.Costs.splinter_time}), and
     {!epoch_tick} periodically runs the {!promote_scan}.
+
+    With [pt_walk] (default [false]) a {!Xen.Pt.t} placement is
+    created — all four walk levels on the domain's first home node —
+    for the engine's radix walk model.  With [replicate_pt] (default
+    [false]) the placement additionally mirrors the P2M onto every
+    home node: the replica-maintenance hook is installed {e before}
+    the boot population so the mirrors replay the primary's whole
+    update stream, and every subsequent P2M mutation charges
+    {!Xen.Costs.pt_replica_update_time} (or the invalidate variant) to
+    the domain's [pt_replica_time] account.
     @raise Invalid_argument when machine memory cannot back the
     domain. *)
 
@@ -155,6 +167,10 @@ val promote_scan : t -> int
     order only, no randomness. *)
 
 val superpages_enabled : t -> bool
+
+val pt : t -> Xen.Pt.t option
+(** The page-table placement, present iff [attach] was given
+    [pt_walk] or [replicate_pt]. *)
 
 val reconcile : t -> guest_free:(Memory.Page.pfn -> bool) -> int
 (** P2M / guest-free-list reconciliation: invalidate and free every

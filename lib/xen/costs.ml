@@ -94,6 +94,20 @@ let migrate_batch_time t ~pages ~page_bytes ~scale =
   in
   fixed +. (float_of_int pages *. marginal)
 
+(* Replicated page tables (Mitosis): every P2M mutation must also be
+   written into each per-node mirror, and every invalidation must be
+   shot down there too.  Derived from the per-frame primitives — a
+   mirror write is a queue send plus an entry install, a mirror
+   shootdown a queue send plus an entry invalidate — so nothing new
+   needs calibrating. *)
+let pt_replica_update_time t ~replicas =
+  assert (replicas >= 0);
+  float_of_int replicas *. (t.page_op_send +. t.page_map)
+
+let pt_replica_invalidate_time t ~replicas =
+  assert (replicas >= 0);
+  float_of_int replicas *. (t.page_op_send +. t.page_invalidate)
+
 let disk_request t ~path ~bytes =
   assert (bytes > 0);
   let transfer = float_of_int bytes /. t.disk_bandwidth in

@@ -86,5 +86,16 @@ val migrate_batch_time : t -> pages:int -> page_bytes:int -> scale:int -> float
     per-page cost at [pages = 1] and is strictly below the per-page sum
     for larger batches. *)
 
+val pt_replica_update_time : t -> replicas:int -> float
+(** Write-propagation cost of one P2M entry write under replicated
+    page tables: each of the [replicas] mirrors pays a queue send
+    ({!field-page_op_send}) plus an entry install
+    ({!field-page_map}). *)
+
+val pt_replica_invalidate_time : t -> replicas:int -> float
+(** Shootdown cost of one P2M entry invalidation under replicated page
+    tables: a queue send plus an entry invalidate
+    ({!field-page_invalidate}) per mirror. *)
+
 val disk_request : t -> path:[ `Native | `Pv | `Passthrough ] -> bytes:int -> float
 (** End-to-end time of one disk read of [bytes] over the given path. *)

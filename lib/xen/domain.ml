@@ -11,6 +11,8 @@ type account = {
   mutable io_requests : int;
   mutable ipi_time : float;
   mutable ipi_count : int;
+  mutable pt_replica_time : float;
+  mutable pt_replica_ops : int;
 }
 
 type t = {
@@ -40,6 +42,8 @@ let fresh_account () =
     io_requests = 0;
     ipi_time = 0.0;
     ipi_count = 0;
+    pt_replica_time = 0.0;
+    pt_replica_ops = 0;
   }
 
 let node_of_vcpu t ~topo v =
@@ -70,7 +74,9 @@ let reset_account t =
   a.io_time <- 0.0;
   a.io_requests <- 0;
   a.ipi_time <- 0.0;
-  a.ipi_count <- 0
+  a.ipi_count <- 0;
+  a.pt_replica_time <- 0.0;
+  a.pt_replica_ops <- 0
 
 let pp fmt t =
   let kind = match t.kind with Dom0 -> "dom0" | DomU -> "domU" in

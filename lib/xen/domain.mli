@@ -22,6 +22,10 @@ type account = {
   mutable io_requests : int;
   mutable ipi_time : float;
   mutable ipi_count : int;
+  mutable pt_replica_time : float;
+      (** Write-propagation time into replicated page tables. *)
+  mutable pt_replica_ops : int;
+      (** Primary P2M mutations propagated to the mirrors. *)
 }
 
 type t = {

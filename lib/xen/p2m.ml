@@ -13,6 +13,13 @@ type entry =
    from an [sp_frames]-aligned machine base with a uniform writable bit.
    Any per-frame mutation inside a superpage extent splinters it first,
    so the invariant can never be observed broken. *)
+type update =
+  | Set of { pfn : int; mfn : int; writable : bool }
+  | Cleared of { pfn : int }
+  | Superpage_mapped of { pfn : int; mfn : int; writable : bool }
+  | Splintered of { pfn : int }
+  | Promoted of { pfn : int }
+
 type t = {
   mfns : int array;
   writable : Bytes.t;
@@ -22,6 +29,10 @@ type t = {
   mutable superpages : int;
   mutable splinters : int;  (* cumulative demotions *)
   mutable promotes : int;  (* cumulative coalesces *)
+  mutable on_update : (update -> unit) option;
+      (* Fires after every mutation, in application order; replaying
+         the stream onto a second table reproduces this one exactly
+         (the replicated-page-table machinery depends on it). *)
 }
 
 let create ?(sp_frames = Memory.Page.frames_per_2m) ~frames () =
@@ -39,10 +50,13 @@ let create ?(sp_frames = Memory.Page.frames_per_2m) ~frames () =
     superpages = 0;
     splinters = 0;
     promotes = 0;
+    on_update = None;
   }
 
 let frames t = Array.length t.mfns
 let sp_frames t = t.sp_frames
+let set_on_update t f = t.on_update <- f
+let notify t u = match t.on_update with Some f -> f u | None -> ()
 
 let check t pfn =
   if pfn < 0 || pfn >= Array.length t.mfns then invalid_arg "P2m: pfn out of range"
@@ -73,6 +87,7 @@ let splinter t pfn =
     Bytes.set t.sp ext '\000';
     t.superpages <- t.superpages - 1;
     t.splinters <- t.splinters + 1;
+    notify t (Splintered { pfn = ext * t.sp_frames });
     t.sp_frames
   end
   else 0
@@ -90,7 +105,8 @@ let set t pfn ~mfn ~writable =
   splinter_if_superpage t pfn;
   if t.mfns.(pfn) < 0 then t.mapped <- t.mapped + 1;
   t.mfns.(pfn) <- mfn;
-  Bytes.set t.writable pfn (if writable then '\001' else '\000')
+  Bytes.set t.writable pfn (if writable then '\001' else '\000');
+  notify t (Set { pfn; mfn; writable })
 
 let invalidate t pfn =
   check t pfn;
@@ -101,6 +117,7 @@ let invalidate t pfn =
     t.mfns.(pfn) <- -1;
     Bytes.set t.writable pfn '\000';
     t.mapped <- t.mapped - 1;
+    notify t (Cleared { pfn });
     Some mfn
   end
 
@@ -108,7 +125,8 @@ let write_protect t pfn =
   check t pfn;
   if t.mfns.(pfn) >= 0 then begin
     splinter_if_superpage t pfn;
-    Bytes.set t.writable pfn '\000'
+    Bytes.set t.writable pfn '\000';
+    notify t (Set { pfn; mfn = t.mfns.(pfn); writable = false })
   end
 
 let map_superpage t ~pfn ~mfn ~writable =
@@ -129,7 +147,8 @@ let map_superpage t ~pfn ~mfn ~writable =
   done;
   t.mapped <- t.mapped + t.sp_frames;
   Bytes.set t.sp (extent_of t pfn) '\001';
-  t.superpages <- t.superpages + 1
+  t.superpages <- t.superpages + 1;
+  notify t (Superpage_mapped { pfn; mfn; writable })
 
 (* Coalesce the extent at [pfn] back into one superpage entry, if every
    frame is mapped, the machine frames are contiguous from an aligned
@@ -155,7 +174,8 @@ let promote t ~pfn =
     if !ok then begin
       Bytes.set t.sp (extent_of t pfn) '\001';
       t.superpages <- t.superpages + 1;
-      t.promotes <- t.promotes + 1
+      t.promotes <- t.promotes + 1;
+      notify t (Promoted { pfn })
     end;
     !ok
   end
@@ -245,6 +265,7 @@ let invalidate_batch t ?on_splinter ?on_free pfns ~n =
       t.mfns.(pfn) <- -1;
       Bytes.set t.writable pfn '\000';
       t.mapped <- t.mapped - 1;
+      notify t (Cleared { pfn });
       incr applied;
       match on_free with Some f -> f pfn mfn | None -> ()
     end
@@ -269,7 +290,8 @@ let map_batch t ?on_splinter pfns mfns ~n ~writable =
     end;
     if t.mfns.(pfn) < 0 then t.mapped <- t.mapped + 1;
     t.mfns.(pfn) <- mfn;
-    Bytes.set t.writable pfn w
+    Bytes.set t.writable pfn w;
+    notify t (Set { pfn; mfn; writable })
   done;
   { applied = n; splintered = !splintered }
 
@@ -294,6 +316,8 @@ let migrate_batch t ?on_splinter pfns mfns ~n ~f =
       (* Remap in place: the write-protect window and per-frame costs
          are the caller's accounting, exactly as for [set]. *)
       t.mfns.(pfn) <- new_mfn;
+      notify t
+        (Set { pfn; mfn = new_mfn; writable = Bytes.get t.writable pfn <> '\000' });
       incr applied;
       f pfn ~old_mfn
     end

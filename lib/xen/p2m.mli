@@ -27,6 +27,25 @@ type entry =
   | Invalid  (** Access faults into the hypervisor. *)
   | Mapped of { mfn : Memory.Page.mfn; writable : bool }
 
+(** One table mutation, as seen by an update observer.  The stream is
+    emitted in application order from {e every} entry point — per-frame
+    ops, superpage map/splinter/promote, and each element of a batch —
+    so replaying it verbatim onto a second table built with the same
+    [frames]/[sp_frames] reproduces the primary exactly.  This is the
+    contract the {!Pt} replicated page tables rely on. *)
+type update =
+  | Set of { pfn : int; mfn : int; writable : bool }
+      (** A per-frame entry was installed or rewritten (covers [set],
+          [write_protect] — with the current mfn and [writable =
+          false] — and each applied map/migrate batch element). *)
+  | Cleared of { pfn : int }  (** The entry was invalidated. *)
+  | Superpage_mapped of { pfn : int; mfn : int; writable : bool }
+      (** A whole extent was mapped by one superpage entry. *)
+  | Splintered of { pfn : int }
+      (** The extent at base [pfn] was demoted to per-frame entries. *)
+  | Promoted of { pfn : int }
+      (** The extent at base [pfn] was coalesced into a superpage. *)
+
 type t
 
 val create : ?sp_frames:int -> frames:int -> unit -> t
@@ -40,6 +59,11 @@ val frames : t -> int
 
 val sp_frames : t -> int
 (** Frames per superpage extent (1 when superpages are disabled). *)
+
+val set_on_update : t -> (update -> unit) option -> unit
+(** Install (or clear) the update observer.  At most one; it fires
+    synchronously after each mutation has been applied, in application
+    order.  The observer must not mutate the table it is watching. *)
 
 val get : t -> Memory.Page.pfn -> entry
 (** @raise Invalid_argument on an out-of-range pfn. *)

@@ -47,6 +47,172 @@ let test_engine_huge_pages_help_virtualized_big_app () =
   let small = run false and huge = run true in
   Alcotest.(check bool) "2M pages at least 5% faster in a VM" true (small > 1.05 *. huge)
 
+(* --------------------------- tlb radix walk ------------------------ *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Exact pin: at a uniform level ratio of 1.0 the radix sum is the
+   flat walk constant bit for bit (per-level cost = flat / 4, summed
+   over 4 levels), so the --pt-walk path on a topology where every
+   level is local reproduces the flat model to the last bit. *)
+let test_walk_radix_uniform_equals_flat () =
+  List.iter
+    (fun virtualized ->
+      Alcotest.(check (float 0.0)) "4-level radix = flat"
+        (Guest.Tlb.walk_cycles tlb ~virtualized)
+        (Guest.Tlb.walk_cycles_radix tlb ~virtualized ~levels:Guest.Tlb.walk_levels
+           ~level_ratio:(fun _ -> 1.0)))
+    [ false; true ];
+  let footprint_bytes = 4 * 1024 * 1024 * 1024 and hot_access_share = 0.5 in
+  Alcotest.(check (float 0.0)) "blended 4 KiB access cycles = flat"
+    (Guest.Tlb.cycles_per_access tlb Guest.Tlb.Small_4k ~virtualized:true ~footprint_bytes
+       ~hot_access_share)
+    (Guest.Tlb.cycles_per_access_radix tlb Guest.Tlb.Small_4k ~virtualized:true
+       ~footprint_bytes ~hot_access_share ~level_ratio:(fun _ -> 1.0));
+  Alcotest.(check (float 0.0)) "mixed with f=0 = flat small"
+    (Guest.Tlb.cycles_per_access tlb Guest.Tlb.Small_4k ~virtualized:true ~footprint_bytes
+       ~hot_access_share)
+    (Guest.Tlb.cycles_per_access_mixed_radix tlb ~huge_fraction:0.0 ~virtualized:true
+       ~footprint_bytes ~hot_access_share ~level_ratio:(fun _ -> 1.0))
+
+let ratio_of ratios i = float_of_int ratios.(i) /. 100.0
+
+(* Walk cost grows with every level added (each level's cost is
+   strictly positive whatever its placement). *)
+let prop_walk_monotone_in_depth =
+  QCheck.Test.make ~name:"radix walk monotone in depth" ~count:200
+    QCheck.(pair bool (array_of_size (Gen.return Guest.Tlb.walk_levels) (int_range 100 400)))
+    (fun (virtualized, ratios) ->
+      let level_ratio = ratio_of ratios in
+      let ok = ref true in
+      for levels = 1 to Guest.Tlb.walk_levels do
+        if
+          Guest.Tlb.walk_cycles_radix tlb ~virtualized ~levels ~level_ratio
+          <= Guest.Tlb.walk_cycles_radix tlb ~virtualized ~levels:(levels - 1) ~level_ratio
+        then ok := false
+      done;
+      !ok)
+
+(* Pushing any subset of levels further away never cheapens the walk:
+   cost is monotone in the pointwise level-ratio order (hence in the
+   number of remote levels, remote being a ratio > 1). *)
+let prop_walk_monotone_in_remote_levels =
+  QCheck.Test.make ~name:"radix walk monotone in remote levels" ~count:200
+    QCheck.(
+      triple bool
+        (array_of_size (Gen.return Guest.Tlb.walk_levels) (int_range 100 400))
+        (array_of_size (Gen.return Guest.Tlb.walk_levels) (int_range 0 300)))
+    (fun (virtualized, ratios, bumps) ->
+      let near = ratio_of ratios in
+      let far i = near i +. (float_of_int bumps.(i) /. 100.0) in
+      Guest.Tlb.walk_cycles_radix tlb ~virtualized ~levels:Guest.Tlb.walk_levels
+        ~level_ratio:far
+      >= Guest.Tlb.walk_cycles_radix tlb ~virtualized ~levels:Guest.Tlb.walk_levels
+           ~level_ratio:near)
+
+(* For one placement the 2 MiB path is never dearer than the 4 KiB
+   path: it misses less (bigger reach) and each miss walks one level
+   fewer (a prefix of the same per-level sum). *)
+let prop_walk_superpage_path_cheaper =
+  QCheck.Test.make ~name:"superpage path <= 4 KiB path" ~count:200
+    QCheck.(
+      triple bool (int_range 1 64)
+        (array_of_size (Gen.return Guest.Tlb.walk_levels) (int_range 100 400)))
+    (fun (virtualized, quarter_gib, ratios) ->
+      let footprint_bytes = quarter_gib * 256 * 1024 * 1024 in
+      let level_ratio = ratio_of ratios in
+      Guest.Tlb.cycles_per_access_radix tlb Guest.Tlb.Huge_2m ~virtualized ~footprint_bytes
+        ~hot_access_share:0.5 ~level_ratio
+      <= Guest.Tlb.cycles_per_access_radix tlb Guest.Tlb.Small_4k ~virtualized
+           ~footprint_bytes ~hot_access_share:0.5 ~level_ratio)
+
+(* ----------------------------- engine pt --------------------------- *)
+
+(* Differential pin: confined to one node every walk level is local,
+   so the level ratios are exactly 1.0 and the radix repricing must
+   reproduce the flat-model run bit for bit — the whole result record,
+   not just the walk term. *)
+let test_engine_pt_walk_one_node_identical () =
+  let cell pt_walk =
+    let vm =
+      Engine.Config.vm ~threads:6 ~home_nodes:[| 0 |] ~pt_walk
+        ~policy:Policies.Spec.round_4k (app "swaptions")
+    in
+    Engine.Result.single
+      (Engine.Runner.run
+         (Engine.Config.make ~seed:7 ~mode:Engine.Config.Xen_plus [ vm ]))
+  in
+  let off = cell false and on = cell true in
+  Alcotest.(check bool) "walk term within 1e-9" true
+    (Float.abs (off.Engine.Result.walk_cycles_per_instr -. on.Engine.Result.walk_cycles_per_instr)
+    < 1e-9);
+  Alcotest.(check bool) "whole result identical" true (off = on)
+
+(* Off means off: a spec with both toggles false is structurally the
+   default spec, so the walk-model-off engine is the pre-walk-model
+   engine for every baseline cell by construction. *)
+let test_engine_pt_flags_off_is_default () =
+  let explicit =
+    Engine.Config.vm ~pt_walk:false ~replicate_pt:false ~policy:Policies.Spec.round_4k
+      (app "swaptions")
+  in
+  let default = Engine.Config.vm ~policy:Policies.Spec.round_4k (app "swaptions") in
+  Alcotest.(check bool) "specs equal" true (explicit = default)
+
+(* The acceptance cell: first-touch + Carrefour spreads 48 threads
+   over all eight nodes while the page tables sit on the first home
+   node, so radix pricing inflates the walk term; replication brings
+   every level home and must win it back — paying visible propagation
+   costs for it. *)
+let test_engine_replicate_pt_localises_walks () =
+  let cell replicate_pt =
+    let vm =
+      Engine.Config.vm ~pt_walk:true ~replicate_pt
+        ~policy:Policies.Spec.first_touch_carrefour (app "kmeans")
+    in
+    Engine.Result.single
+      (Engine.Runner.run
+         (Engine.Config.make ~seed:11 ~mode:Engine.Config.Xen_plus [ vm ]))
+  in
+  let primary_only = cell false and replicated = cell true in
+  Alcotest.(check bool) "remote levels inflate the walk term" true
+    (primary_only.Engine.Result.walk_cycles_per_instr
+    > 1.000001 *. replicated.Engine.Result.walk_cycles_per_instr);
+  Alcotest.(check bool) "no mirrors, no propagation" true
+    (primary_only.Engine.Result.pt_replica_updates = 0
+    && primary_only.Engine.Result.pt_replica_time = 0.0);
+  Alcotest.(check bool) "mirrors pay propagation" true
+    (replicated.Engine.Result.pt_replica_updates > 0
+    && replicated.Engine.Result.pt_replica_time > 0.0)
+
+(* Linux mode has no P2M, hence no priced page tables: both toggles
+   must be inert there. *)
+let test_engine_pt_ignored_under_linux () =
+  let cell pt_walk replicate_pt =
+    let vm =
+      Engine.Config.vm ~threads:8 ~pt_walk ~replicate_pt ~policy:Policies.Spec.round_4k
+        (app "swaptions")
+    in
+    Engine.Result.single
+      (Engine.Runner.run (Engine.Config.make ~seed:3 ~mode:Engine.Config.Linux [ vm ]))
+  in
+  Alcotest.(check bool) "identical result" true (cell false false = cell true true)
+
+(* The sharded kernel must not see the new feature: walk repricing and
+   replica propagation live outside the per-vCPU shards, so inner-jobs
+   stays bit-identical with both toggles on. *)
+let test_engine_pt_sharded_identical () =
+  let cell inner =
+    let vm =
+      Engine.Config.vm ~threads:7 ~pt_walk:true ~replicate_pt:true
+        ~policy:Policies.Spec.first_touch_carrefour (app "swaptions")
+    in
+    Engine.Runner.run
+      (Engine.Config.make ~seed:13 ~max_epochs:40 ~inner_jobs:inner
+         ~mode:Engine.Config.Xen_plus [ vm ])
+  in
+  Alcotest.(check bool) "identical result" true (cell 1 = cell 4)
+
 (* ------------------------------- sched ------------------------------ *)
 
 let sched_system () = Xen.System.create ~page_scale:262144 (Numa.Amd48.topology ())
@@ -157,6 +323,26 @@ let suite =
         Alcotest.test_case "hot share" `Quick test_tlb_hot_share_reduces_misses;
         Alcotest.test_case "engine: 2M pages help in VM" `Slow
           test_engine_huge_pages_help_virtualized_big_app;
+      ] );
+    ( "guest.tlb.walk",
+      [
+        Alcotest.test_case "uniform radix = flat, exactly" `Quick
+          test_walk_radix_uniform_equals_flat;
+        qcheck prop_walk_monotone_in_depth;
+        qcheck prop_walk_monotone_in_remote_levels;
+        qcheck prop_walk_superpage_path_cheaper;
+      ] );
+    ( "engine.pt",
+      [
+        Alcotest.test_case "one node: radix = flat bit for bit" `Slow
+          test_engine_pt_walk_one_node_identical;
+        Alcotest.test_case "flags off is the default spec" `Quick
+          test_engine_pt_flags_off_is_default;
+        Alcotest.test_case "replication localises walks" `Slow
+          test_engine_replicate_pt_localises_walks;
+        Alcotest.test_case "ignored under linux" `Quick test_engine_pt_ignored_under_linux;
+        Alcotest.test_case "inner-jobs bit-identical with pt on" `Slow
+          test_engine_pt_sharded_identical;
       ] );
     ( "xen.sched",
       [

@@ -469,7 +469,8 @@ let test_query_unknown_class_message () =
      page_fault, first_touch, migrate_start, migrate_retry, migrate_defer, migrate_drain, \
      pv_record, pv_flush, pv_lost, breaker_trip, breaker_escalate, breaker_cooldown, \
      reconcile_sweep, epoch_boundary, splinter, promote, superpage_migrate, pv_dedup, \
-     p2m_batch, ecc_ce, ecc_ue, page_offline, node_drain, evacuate"
+     p2m_batch, ecc_ce, ecc_ue, page_offline, node_drain, evacuate, pt_walk, \
+     pt_replica_update, pt_replica_invalidate"
   in
   (match Obs.Query.parse_class "bogus" with
   | Error msg -> Alcotest.(check string) "enumerates all classes" expected msg

@@ -660,6 +660,122 @@ let test_dma_requires_bus () =
   | Error Xen.Dma.No_passthrough_bus -> ()
   | Ok _ | Error _ -> Alcotest.fail "must require a passthrough bus"
 
+(* -------------------------------- pt ------------------------------- *)
+
+let test_pt_level_node () =
+  let pt = Xen.Pt.create ~home_node:2 ~frames:64 ~sp_frames:8 () in
+  Alcotest.(check bool) "not replicated" false (Xen.Pt.replicated pt);
+  Alcotest.(check int) "no mirrors" 0 (Xen.Pt.replica_count pt);
+  for level = 0 to Xen.Pt.levels - 1 do
+    Alcotest.(check int) "every level on the home node" 2
+      (Xen.Pt.level_node pt ~level ~node:5)
+  done;
+  Alcotest.check_raises "bad level" (Invalid_argument "Pt.level_node: level out of range")
+    (fun () -> ignore (Xen.Pt.level_node pt ~level:Xen.Pt.levels ~node:0));
+  let rep =
+    Xen.Pt.create ~replicate_nodes:[| 0; 3 |] ~home_node:0 ~frames:64 ~sp_frames:8 ()
+  in
+  Alcotest.(check bool) "replicated" true (Xen.Pt.replicated rep);
+  Alcotest.(check int) "two mirrors" 2 (Xen.Pt.replica_count rep);
+  for level = 0 to Xen.Pt.levels - 1 do
+    Alcotest.(check int) "walker resolves locally" 5 (Xen.Pt.level_node rep ~level ~node:5)
+  done
+
+let test_pt_counters_classify_updates () =
+  let pt = Xen.Pt.create ~replicate_nodes:[| 1; 4; 6 |] ~home_node:1 ~frames:64 ~sp_frames:8 () in
+  Xen.Pt.apply pt (Xen.P2m.Set { pfn = 3; mfn = 42; writable = true });
+  Alcotest.(check int) "set writes all mirrors" 3 (Xen.Pt.replica_updates pt);
+  Xen.Pt.apply pt (Xen.P2m.Cleared { pfn = 3 });
+  Alcotest.(check int) "clear is a shootdown" 3 (Xen.Pt.replica_invalidations pt);
+  Xen.Pt.apply pt (Xen.P2m.Superpage_mapped { pfn = 8; mfn = 64; writable = false });
+  Xen.Pt.apply pt (Xen.P2m.Splintered { pfn = 8 });
+  Alcotest.(check int) "superpage map is a write" 6 (Xen.Pt.replica_updates pt);
+  Alcotest.(check int) "splinter is a shootdown" 6 (Xen.Pt.replica_invalidations pt)
+
+(* Tentpole differential: with a replicated [Pt] subscribed to the
+   primary's update stream, any interleaving of per-frame ops,
+   superpage ops and batched mutations leaves every mirror
+   translation-equivalent to the primary — checked by dump equality
+   inside [Pt.check_consistent] after every step burst. *)
+let prop_pt_replicas_track_primary =
+  let frames = 64 and sp = 8 in
+  QCheck.Test.make ~name:"pt replicas track any op interleaving" ~count:200
+    QCheck.(pair int (int_range 20 120))
+    (fun (seed, steps) ->
+      let p = Xen.P2m.create ~sp_frames:sp ~frames () in
+      let pt =
+        Xen.Pt.create ~replicate_nodes:[| 0; 3; 5 |] ~home_node:0 ~frames ~sp_frames:sp ()
+      in
+      Xen.P2m.set_on_update p (Some (fun u -> Xen.Pt.apply pt u));
+      let rng = Sim.Rng.create ~seed in
+      for _ = 1 to steps do
+        let pfn = Sim.Rng.int rng frames in
+        let base = Xen.P2m.superpage_base p pfn in
+        match Sim.Rng.int rng 9 with
+        | 0 -> Xen.P2m.set p pfn ~mfn:(Sim.Rng.int rng 4096) ~writable:(Sim.Rng.bool rng)
+        | 1 -> ignore (Xen.P2m.invalidate p pfn)
+        | 2 -> Xen.P2m.write_protect p pfn
+        | 3 -> ignore (Xen.P2m.splinter p pfn)
+        | 4 -> ignore (Xen.P2m.promote p ~pfn:base)
+        | 5 ->
+            let empty = ref true in
+            for i = 0 to sp - 1 do
+              if Xen.P2m.get p (base + i) <> Xen.P2m.Invalid then empty := false
+            done;
+            if !empty then
+              Xen.P2m.map_superpage p ~pfn:base
+                ~mfn:(sp * Sim.Rng.int rng 512)
+                ~writable:(Sim.Rng.bool rng)
+        | 6 ->
+            let n = 1 + Sim.Rng.int rng 8 in
+            let pfns = Array.init n (fun _ -> Sim.Rng.int rng frames) in
+            ignore (Xen.P2m.invalidate_batch p pfns ~n)
+        | 7 ->
+            let n = 1 + Sim.Rng.int rng 8 in
+            let pfns = Array.init n (fun _ -> Sim.Rng.int rng frames) in
+            let mfns = Array.init n (fun _ -> Sim.Rng.int rng 4096) in
+            ignore (Xen.P2m.map_batch p pfns mfns ~n ~writable:(Sim.Rng.bool rng))
+        | _ ->
+            let n = 1 + Sim.Rng.int rng 8 in
+            let pfns = Array.init n (fun _ -> Sim.Rng.int rng frames) in
+            let mfns = Array.init n (fun _ -> Sim.Rng.int rng 4096) in
+            ignore (Xen.P2m.migrate_batch p pfns mfns ~n ~f:(fun _ ~old_mfn:_ -> ()))
+      done;
+      if not (Xen.P2m.check_consistent p) then QCheck.Test.fail_report "primary inconsistent";
+      if not (Xen.Pt.check_consistent pt ~primary:p) then
+        QCheck.Test.fail_report "mirror diverged from primary";
+      true)
+
+(* A mirror is a replay, so per-mirror counters are a pure function of
+   the primary's stream: every mirror receives every update, and the
+   two counters split the stream exactly. *)
+let prop_pt_counters_scale_with_mirrors =
+  let frames = 32 and sp = 4 in
+  QCheck.Test.make ~name:"pt per-mirror counters scale with mirror count" ~count:200
+    QCheck.(triple int (int_range 10 60) (int_range 1 4))
+    (fun (seed, steps, mirrors) ->
+      let run mirrors =
+        let p = Xen.P2m.create ~sp_frames:sp ~frames () in
+        let pt =
+          Xen.Pt.create
+            ~replicate_nodes:(Array.init mirrors (fun i -> i))
+            ~home_node:0 ~frames ~sp_frames:sp ()
+        in
+        Xen.P2m.set_on_update p (Some (fun u -> Xen.Pt.apply pt u));
+        let rng = Sim.Rng.create ~seed in
+        for _ = 1 to steps do
+          let pfn = Sim.Rng.int rng frames in
+          match Sim.Rng.int rng 3 with
+          | 0 -> Xen.P2m.set p pfn ~mfn:(Sim.Rng.int rng 1024) ~writable:true
+          | 1 -> ignore (Xen.P2m.invalidate p pfn)
+          | _ -> ignore (Xen.P2m.splinter p pfn)
+        done;
+        (Xen.Pt.replica_updates pt, Xen.Pt.replica_invalidations pt)
+      in
+      let u1, i1 = run 1 in
+      let un, inv = run mirrors in
+      un = mirrors * u1 && inv = mirrors * i1)
+
 let suite =
   [
     ( "xen.costs",
@@ -691,6 +807,13 @@ let suite =
         QCheck_alcotest.to_alcotest prop_p2m_migrate_batch_equals_per_page;
         QCheck_alcotest.to_alcotest prop_p2m_batched_replay_equals_per_page;
         QCheck_alcotest.to_alcotest prop_batch_costs_bounded;
+      ] );
+    ( "xen.pt",
+      [
+        Alcotest.test_case "level placement" `Quick test_pt_level_node;
+        Alcotest.test_case "counter classification" `Quick test_pt_counters_classify_updates;
+        QCheck_alcotest.to_alcotest prop_pt_replicas_track_primary;
+        QCheck_alcotest.to_alcotest prop_pt_counters_scale_with_mirrors;
       ] );
     ( "xen.system",
       [

@@ -29,6 +29,11 @@ echo "tier1: chaos+ras combined smoke OK"
 # pins it).
 dune exec bench/main.exe -- hugepage --jobs 2
 
+# Mitosis grid: radix page-walk pricing and page-table replication
+# on/off (EXPERIMENTS.md documents the expected shape;
+# test/test_extensions.ml pins the differential core).
+dune exec bench/main.exe -- mitosis --jobs 2
+
 # Perf gate: re-run the tab1 grid and compare wall-clock against the
 # most recently committed BENCH_*.json (at its recorded --jobs
 # setting, so deltas measure the code and not domain-count overhead).
@@ -96,6 +101,19 @@ cmp "$TRACE_DIR/hp1.jsonl" "$TRACE_DIR/hp4.jsonl" || {
 dune exec bin/xen_numa_trace.exe -- check "$TRACE_DIR/hp1.jsonl"
 echo "tier1: hugepage trace determinism OK ($(wc -l < "$TRACE_DIR/hp1.jsonl") JSONL lines)"
 
+# Same bar for the mitosis grid: walk-off cells must replay the
+# baseline engine byte for byte, and the replica update stream (hence
+# the walk/replica summary events) must be a function of the cell seed
+# alone, never of the worker schedule.
+dune exec bench/main.exe -- mitosis --jobs 1 --trace "$TRACE_DIR/mt1.jsonl" --trace-cap 512 >/dev/null
+dune exec bench/main.exe -- mitosis --jobs 4 --trace "$TRACE_DIR/mt4.jsonl" --trace-cap 512 >/dev/null
+cmp "$TRACE_DIR/mt1.jsonl" "$TRACE_DIR/mt4.jsonl" || {
+  echo "tier1: FAIL - mitosis traces differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+}
+dune exec bin/xen_numa_trace.exe -- check "$TRACE_DIR/mt1.jsonl"
+echo "tier1: mitosis trace determinism OK ($(wc -l < "$TRACE_DIR/mt1.jsonl") JSONL lines)"
+
 # And for the RAS grid: node-failure targets, ECC draws, evacuation
 # batches and the degraded traffic model must all be functions of the
 # cell seed alone, never of the worker schedule.
@@ -121,6 +139,19 @@ cmp "$TRACE_DIR/ij1.jsonl" "$TRACE_DIR/ij4.jsonl" || {
   exit 1
 }
 echo "tier1: inner-jobs trace determinism OK ($(wc -l < "$TRACE_DIR/ij1.jsonl") JSONL lines)"
+
+# The same bar with the radix walk model and replicated page tables
+# on: the walk repricing and replica propagation live outside the
+# per-vCPU shards, so the sharded kernel must export identical bytes.
+dune exec bin/xen_numa_sim.exe -- run swaptions -t 8 -m xen+ -p first-touch/carrefour \
+  --pt-walk --replicate-pt --inner-jobs 1 --trace "$TRACE_DIR/ptij1.jsonl" >/dev/null
+dune exec bin/xen_numa_sim.exe -- run swaptions -t 8 -m xen+ -p first-touch/carrefour \
+  --pt-walk --replicate-pt --inner-jobs 4 --trace "$TRACE_DIR/ptij4.jsonl" >/dev/null
+cmp "$TRACE_DIR/ptij1.jsonl" "$TRACE_DIR/ptij4.jsonl" || {
+  echo "tier1: FAIL - pt-walk traces differ between --inner-jobs 1 and --inner-jobs 4" >&2
+  exit 1
+}
+echo "tier1: pt-walk inner-jobs determinism OK ($(wc -l < "$TRACE_DIR/ptij1.jsonl") JSONL lines)"
 
 # Trace query engine smoke: the streaming query over the tab1 traces
 # from --jobs 1 and --jobs 4 must render byte-identical tables (the
@@ -195,9 +226,11 @@ dune exec test/test_main.exe -- test faults
 # offlining), the P2M superpage consistency invariant, the top-k heap
 # invariant, the batched-vs-per-page P2M equivalence, the intra-run
 # sharding invariants (partition tiling, per-vCPU stream independence,
-# sharded-equals-unsharded results), and the evacuation
+# sharded-equals-unsharded results), the evacuation
 # frame-conservation property (post-drain P2M maps exactly the
-# pre-failure guest frames, none on an offlined mfn).
+# pre-failure guest frames, none on an offlined mfn), the
+# replica-equivalence invariant (mirrors track the primary through any
+# op interleaving), and the radix walk monotonicity properties.
 echo "tier1: randomised property pass (QCHECK_SEED=$QCHECK_SEED)"
 dune exec test/test_main.exe -- test memory.buddy
 dune exec test/test_main.exe -- test xen.p2m
@@ -207,5 +240,7 @@ dune exec test/test_main.exe -- test engine.shard
 dune exec test/test_main.exe -- test policies.evacuation
 dune exec test/test_main.exe -- test obs.latency
 dune exec test/test_main.exe -- test obs.query
+dune exec test/test_main.exe -- test xen.pt
+dune exec test/test_main.exe -- test guest.tlb.walk
 
 echo "tier1: OK"
