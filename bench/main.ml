@@ -25,7 +25,11 @@
                   reference that recorded one
    --profile      enable the runner phase profiler and print the span
                   table at the end (spans also land in the metrics
-                  registry for --json) *)
+                  registry for --json)
+   --no-fast-forward
+                  disable the engine's steady-state fast-forward for
+                  every run of the session (bit-identical either way;
+                  the escape hatch and the A/B baseline) *)
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
@@ -72,13 +76,6 @@ let bench_route () =
   Bechamel.Staged.stage (fun () ->
       incr i;
       Numa.Topology.route topo (!i land 7) ((!i lsr 3) land 7))
-
-let bench_cpus_of_node_list () =
-  let topo = Numa.Amd48.topology () in
-  let i = ref 0 in
-  Bechamel.Staged.stage (fun () ->
-      incr i;
-      ignore (Numa.Topology.cpus_of_node topo (!i land 7)))
 
 let bench_cpus_of_node_array () =
   let topo = Numa.Amd48.topology () in
@@ -147,6 +144,62 @@ let bench_eventq () =
       Sim.Eventq.schedule_after q ~delay:1.0 ();
       ignore (Sim.Eventq.next q))
 
+let bench_ff_guard () =
+  (* The fast-forward's per-epoch quiescence check over a 48-thread
+     capture: the fixed per-VM cost every replayed epoch pays before
+     it may skip the kernels. *)
+  let threads = 48 in
+  let finish = Array.make threads (-1.0) in
+  let doit = Array.make threads 1e9 in
+  let remaining = Array.make threads 1e12 in
+  let cap = Array.make threads 1e9 in
+  let final = Array.make threads 1e9 in
+  Bechamel.Staged.stage (fun () ->
+      ignore (Engine.Runner.replay_guard ~finish ~doit ~remaining ~cap ~final))
+
+let bench_ff_replay () =
+  (* One VM's delta-replay body at 48 threads x 8 nodes: work
+     retirement, the counter commit, end-of-epoch accounting and the
+     run-length histogram fill — everything a replayed epoch still
+     does, with the O(threads x nodes) kernels skipped. *)
+  let topo = Numa.Amd48.topology () in
+  let counters = Numa.Counters.create topo in
+  let threads = 48 in
+  let nodes = 8 in
+  let doit = Array.make threads 1.0 in
+  let dst = Array.init (threads * nodes) (fun i -> float_of_int (1 + (i mod nodes))) in
+  let total = Array.make threads 36.0 in
+  let lat = Array.make threads 312.5 in
+  let remaining = Array.make threads 1e12 in
+  let final = Array.make threads 1e3 in
+  let hist = Sim.Stats.Histogram.create () in
+  Bechamel.Staged.stage (fun () ->
+      for t = 0 to threads - 1 do
+        if doit.(t) > 0.0 then begin
+          remaining.(t) <- remaining.(t) -. final.(t);
+          let base = t * nodes in
+          for n = 0 to nodes - 1 do
+            if dst.(base + n) > 0.0 then
+              Numa.Counters.record_accesses counters ~src:(t mod nodes) ~dst:n
+                ~count:dst.(base + n) ~bytes_per_access:64.0
+          done
+        end
+      done;
+      Numa.Counters.end_epoch counters ~duration:0.1;
+      let run_v = ref 0.0 in
+      let run_n = ref 0 in
+      for t = 0 to threads - 1 do
+        if total.(t) > 0.0 then begin
+          if !run_n > 0 && lat.(t) = !run_v then incr run_n
+          else begin
+            if !run_n > 0 then Sim.Stats.Histogram.add_n hist !run_v !run_n;
+            run_v := lat.(t);
+            run_n := 1
+          end
+        end
+      done;
+      if !run_n > 0 then Sim.Stats.Histogram.add_n hist !run_v !run_n)
+
 let bench_engine_epoch () =
   (* One full small run: the per-epoch cost of the whole engine. *)
   let app =
@@ -165,7 +218,6 @@ let micro_tests =
     Test.make ~name:"pv_queue record(+flush)" (bench_pv_queue ());
     Test.make ~name:"queue replay (256 ops)" (bench_replay ());
     Test.make ~name:"topology route" (bench_route ());
-    Test.make ~name:"cpus_of_node (list)" (bench_cpus_of_node_list ());
     Test.make ~name:"cpus_of_node (array)" (bench_cpus_of_node_array ());
     Test.make ~name:"pool fanout 32x2" (bench_pool_fanout ());
     Test.make ~name:"pool dispatch 256x1" (bench_pool_dispatch ());
@@ -174,6 +226,8 @@ let micro_tests =
     Test.make ~name:"carrefour decide (128 hot)" (bench_carrefour_decide ());
     Test.make ~name:"rng zipf 32k" (bench_zipf ());
     Test.make ~name:"eventq schedule+next" (bench_eventq ());
+    Test.make ~name:"quiescence check" (bench_ff_guard ());
+    Test.make ~name:"epoch delta replay" (bench_ff_replay ());
     Test.make ~name:"engine 10-epoch run" (bench_engine_epoch ());
   ]
 
@@ -345,6 +399,17 @@ let write_json file ~jobs ~timings ~total =
       Printf.eprintf "cannot write --json output: %s\n" msg;
       exit 1
   in
+  (* Oversubscription marker: with more worker domains than host
+     cores, wall-clock numbers measure scheduler contention as much as
+     the code, so flag the report (and warn) instead of letting a
+     later --compare read noise as regression. *)
+  let host_cores = Domain.recommended_domain_count () in
+  let oversubscribed = jobs > host_cores in
+  if oversubscribed then
+    Printf.eprintf
+      "warning: --jobs %d exceeds the host's %d cores; wall-clock timings are \
+       oversubscribed and the report is marked \"oversubscribed\": true\n"
+      jobs host_cores;
   let entry (name, seconds, p99) =
     match p99 with
     | None -> Printf.sprintf "    {\"name\": \"%s\", \"wall_s\": %.3f}" (json_escape name) seconds
@@ -359,7 +424,7 @@ let write_json file ~jobs ~timings ~total =
     \  \"git_rev\": \"%s\",\n\
     \  \"jobs\": %d,\n\
     \  \"inner_jobs\": %d,\n\
-    \  \"host_cores\": %d,\n\
+    \  \"host_cores\": %d,\n%s\
     \  \"total_wall_s\": %.3f,\n\
     \  \"sections\": [\n%s\n  ],\n\
     \  \"micro\": [\n%s\n  ],\n\
@@ -368,7 +433,8 @@ let write_json file ~jobs ~timings ~total =
     (json_escape (git_rev ()))
     jobs
     (Engine.Pool.default_inner_jobs ())
-    (Domain.recommended_domain_count ())
+    host_cores
+    (if oversubscribed then "  \"oversubscribed\": true,\n" else "")
     total
     (String.concat ",\n" (List.map entry timings))
     (String.concat ",\n" (List.map micro !micro_estimates))
@@ -499,7 +565,7 @@ let compare_report file ~jobs ~timings =
 let usage () =
   Printf.eprintf
     "usage: main.exe [sections...] [--jobs N] [--inner-jobs N] [--json FILE] [--trace FILE]\n\
-    \       [--trace-cap N] [--compare FILE] [--profile]\n\
+    \       [--trace-cap N] [--compare FILE] [--profile] [--no-fast-forward]\n\
      available sections: all %s\n"
     (String.concat " " (List.map fst sections));
   exit 1
@@ -513,12 +579,13 @@ type opts = {
   mutable trace_cap : int;
   mutable compare_to : string option;
   mutable profile : bool;
+  mutable no_fast_forward : bool;
 }
 
 let () =
   let o =
     { names = []; jobs = None; inner_jobs = None; json = None; trace = None; trace_cap = 4096;
-      compare_to = None; profile = false }
+      compare_to = None; profile = false; no_fast_forward = false }
   in
   let rec parse = function
     | [] -> ()
@@ -550,6 +617,9 @@ let () =
     | "--profile" :: rest ->
         o.profile <- true;
         parse rest
+    | "--no-fast-forward" :: rest ->
+        o.no_fast_forward <- true;
+        parse rest
     | "--trace-cap" :: n :: rest -> (
         match int_of_string_opt n with
         | Some c when c >= 1 ->
@@ -566,6 +636,11 @@ let () =
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* Process-wide default, like set_default_jobs: every run the
+     experiment grids spawn sees it without threading a flag through
+     them.  The fast-forward is bit-identical either way, so this only
+     trades speed for an A/B check. *)
+  if o.no_fast_forward then Engine.Config.set_default_fast_forward false;
   (match o.jobs with Some n -> Engine.Pool.set_default_jobs n | None -> ());
   (match o.inner_jobs with Some n -> Engine.Pool.set_default_inner_jobs n | None -> ());
   let requested =

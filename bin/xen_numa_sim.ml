@@ -154,6 +154,15 @@ let profile_arg =
                  reductions, carrefour feed, P2M batches, PV flushes, manager \
                  ticks) and print the span table after the run.")
 
+let no_fast_forward_arg =
+  Arg.(value & flag
+       & info [ "no-fast-forward" ]
+           ~doc:"Disable the steady-state fast-forward and run every epoch \
+                 through the full kernels.  The fast-forward replays quiescent \
+                 epochs from captured deltas with bit-identical results and \
+                 traces, so this flag only trades speed for nothing — it exists \
+                 as the escape hatch and for A/B verification.")
+
 let inner_jobs_arg =
   Arg.(value & opt int 1
        & info [ "inner-jobs" ] ~docv:"N"
@@ -164,7 +173,7 @@ let inner_jobs_arg =
                  ignore this and run unsharded.")
 
 let run_app app mode policy threads seed mcs huge_pages pt_walk replicate_pt unpinned machine
-    faults trace trace_cap metrics inner_jobs slo profile =
+    faults trace trace_cap metrics inner_jobs slo profile no_fast_forward =
   if trace_cap <= 0 then begin
     prerr_endline "xen-numa-sim: --trace-cap must be positive";
     exit 1
@@ -190,7 +199,10 @@ let run_app app mode policy threads seed mcs huge_pages pt_walk replicate_pt unp
     Engine.Config.vm ~threads ~use_mcs:mcs ~huge_pages ~pt_walk ~replicate_pt
       ~pinned:(not unpinned) ~policy app
   in
-  let cfg = Engine.Config.make ~seed ~machine ~faults ~inner_jobs ~slo ~mode [ vm ] in
+  let cfg =
+    Engine.Config.make ~seed ~machine ~faults ~inner_jobs ~slo
+      ~fast_forward:(not no_fast_forward) ~mode [ vm ]
+  in
   let result = Engine.Runner.run cfg in
   Format.printf "%a@." Engine.Result.pp result;
   if profile then begin
@@ -214,7 +226,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run_app $ app_arg $ mode_arg $ policy_arg $ threads_arg $ seed_arg $ mcs_arg
           $ huge_arg $ pt_walk_arg $ replicate_pt_arg $ unpinned_arg $ machine_arg $ faults_arg
-          $ trace_arg $ trace_cap_arg $ metrics_arg $ inner_jobs_arg $ slo_arg $ profile_arg)
+          $ trace_arg $ trace_cap_arg $ metrics_arg $ inner_jobs_arg $ slo_arg $ profile_arg
+          $ no_fast_forward_arg)
 
 let list_apps () =
   Report.Table.print

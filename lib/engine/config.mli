@@ -103,6 +103,15 @@ type t = {
           over per-vCPU epoch latencies.  Purely observational — the
           accounting never feeds back into the simulation, so a run
           with SLOs is bit-identical to one without. *)
+  fast_forward : bool;
+      (** Allow the runner's steady-state fast-forward: quiescent
+          epochs replay the previous epoch's captured float deltas by
+          identical additions in identical order instead of re-running
+          the O(threads×nodes) kernels, so results and traces stay
+          bit-identical to the naive loop (the escape hatch is
+          [--no-fast-forward]).  Forced off internally for
+          fault-injection runs, unpinned vCPUs and observer runs.
+          [make] defaults the field to {!default_fast_forward}. *)
 }
 
 and observer = epoch_snapshot -> unit
@@ -126,9 +135,18 @@ val make : ?epoch:float -> ?seed:int -> ?max_epochs:int -> ?page_kib:int ->
   ?observer:observer ->
   ?inner_jobs:int ->
   ?slo:(string * float) list ->
+  ?fast_forward:bool ->
   mode:mode -> vm_spec list -> t
 (** @raise Invalid_argument on an ill-formed fault plan, an unknown
     SLO metric or non-positive target, or [inner_jobs < 1]. *)
+
+val set_default_fast_forward : bool -> unit
+(** Process-wide default for {!t.fast_forward} (initially [true]),
+    mirroring {!Pool.set_default_jobs}: the bench harness flips it so
+    [--no-fast-forward] reaches every run the experiment grids spawn
+    without threading a flag through them. *)
+
+val default_fast_forward : unit -> bool
 
 val slo_metrics : string list
 (** Valid SLO metric names, in report order. *)

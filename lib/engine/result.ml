@@ -96,6 +96,7 @@ type t = {
   imbalance : float;
   interconnect_load : float;
   epochs : int;
+  replayed_epochs : int;
   faults_injected : int;
 }
 
@@ -181,5 +182,6 @@ let pp fmt t =
   Format.fprintf fmt "imbalance %.0f%%, interconnect %.0f%%, %d epochs" (100.0 *. t.imbalance)
     (100.0 *. t.interconnect_load)
     t.epochs;
+  if t.replayed_epochs > 0 then Format.fprintf fmt " (%d replayed)" t.replayed_epochs;
   if t.faults_injected > 0 then Format.fprintf fmt ", %d faults injected" t.faults_injected;
   Format.fprintf fmt "@]"

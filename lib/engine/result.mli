@@ -99,6 +99,13 @@ type t = {
   imbalance : float;          (** Table-1 imbalance over the whole run. *)
   interconnect_load : float;  (** Table-1 interconnect metric. *)
   epochs : int;
+  replayed_epochs : int;
+      (** Epochs served by the steady-state fast-forward's delta
+          replay instead of the full kernels (0 with
+          [--no-fast-forward], under fault injection, or when the run
+          never reached a quiescent steady state).  Purely an
+          accounting of {e how} epochs were computed: every other
+          field is bit-identical whatever this value. *)
   faults_injected : int;  (** Total faults the injector fired (0 = clean). *)
 }
 

@@ -74,6 +74,11 @@ type vm_state = {
   thread_burst : float array;   (* burst accesses, > 0 only for the source *)
   thread_sync : float array;    (* blocked time contribution this epoch *)
   thread_total : float array;   (* realized accesses, for the latency pass *)
+  thread_final : float array;   (* instructions retired this epoch, per thread;
+                                   captured because the throughput kernel scales
+                                   thread_dst/thread_accesses in place, which
+                                   loses [doit *. realized] — the delta the
+                                   fast-forward replay re-subtracts *)
   vcpu_rng : Sim.Rng.t array;
       (* Independent per-vCPU streams, derived (not split) from the
          VM's stream right after its creation: a pure function of the
@@ -108,6 +113,40 @@ type vm_state = {
   work_per_thread : float;
   mutable phase : int;
   rng : Sim.Rng.t;
+  (* Steady-state fast-forward bookkeeping.  [ff_armed] is set at the
+     end of a full epoch that bitwise reproduced the same-parity
+     capture from two epochs before; the witnesses below are taken at
+     the top of every epoch (pass A) and compared at the bottom, so
+     "nothing moved this epoch" is a check, not an assumption. *)
+  mutable ff_armed : bool;
+  mutable ff_p2m_version : int;  (* P2m.version at the top of the epoch *)
+  mutable ff_migrations : int;   (* st.migrations at the top of the epoch *)
+  mutable ff_finished : int;     (* finished-thread count at the top *)
+  mutable ff_rotated : bool;     (* pass A rotated the hot front this epoch *)
+  mutable ff_io : float;         (* disk DMA bytes transferred this epoch *)
+  mutable ff_slo_active : bool;  (* the SLO block ran this epoch (scratch) *)
+  ff_slo_violate : bool array;   (* per-objective verdicts (scratch) *)
+  ff_snap : ff_snap array;       (* the two parity captures (even, odd) *)
+}
+
+(* One captured epoch of per-thread deltas for the fast-forward.  The
+   latency feedback's fixed point is in general a period-2 limit cycle
+   in the last ulp (the one-epoch-lag iteration overshoots and
+   alternates between two neighbouring floats forever), so the runner
+   keeps one capture per epoch parity and the replay alternates them;
+   a true period-1 fixed point just makes the two captures equal. *)
+and ff_snap = {
+  mutable sn_epoch : int;  (* capture epoch; -1 = stale *)
+  sn_sync : float array;   (* thread_sync: per-thread blocked time *)
+  sn_doit : float array;   (* > 0 marks threads that did work *)
+  sn_cap : float array;    (* epoch instruction ceiling, for the guard *)
+  sn_final : float array;  (* instructions retired (the work delta) *)
+  sn_total : float array;  (* realized accesses (the latency weights) *)
+  sn_lat : float array;    (* per-thread average latency *)
+  sn_dst : float array;    (* realized per-thread per-node traffic *)
+  mutable sn_io : float;   (* disk DMA bytes of the captured epoch *)
+  mutable sn_slo_active : bool;
+  sn_slo_violate : bool array;
 }
 
 let vm_running st = Array.exists (fun f -> f < 0.0) st.finish
@@ -459,6 +498,7 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
     thread_burst = Array.make threads 0.0;
     thread_sync = Array.make threads 0.0;
     thread_total = Array.make threads 0.0;
+    thread_final = Array.make threads 0.0;
     vcpu_rng;
     src_shared = Array.make nodes 0.0;
     shared_accesses_epoch = 0.0;
@@ -480,6 +520,29 @@ let setup_vm (cfg : Config.t) system injector root_rng (spec : Config.vm_spec) =
     work_per_thread = work;
     phase = 0;
     rng;
+    ff_armed = false;
+    ff_p2m_version = -1;
+    ff_migrations = 0;
+    ff_finished = 0;
+    ff_rotated = false;
+    ff_io = 0.0;
+    ff_slo_active = false;
+    ff_slo_violate = Array.make (List.length cfg.Config.slo) false;
+    ff_snap =
+      Array.init 2 (fun _ ->
+          {
+            sn_epoch = -1;
+            sn_sync = Array.make threads 0.0;
+            sn_doit = Array.make threads 0.0;
+            sn_cap = Array.make threads 0.0;
+            sn_final = Array.make threads 0.0;
+            sn_total = Array.make threads 0.0;
+            sn_lat = Array.make threads 0.0;
+            sn_dst = Array.make (threads * nodes) 0.0;
+            sn_io = 0.0;
+            sn_slo_active = false;
+            sn_slo_violate = Array.make (List.length cfg.Config.slo) false;
+          });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -616,6 +679,89 @@ let reduce_epoch_traffic st ~threads ~accesses_acc =
     end
   done
 
+(* Per-epoch safety check of the steady-state fast-forward: a replayed
+   epoch must not be one in which a thread would have finished or hit
+   its work ceiling, because either changes next epoch's inputs.  For
+   every still-running thread that did work in the armed epoch,
+   [remaining >= cap] keeps the kernel's [Float.min remaining cap]
+   bitwise equal to [cap], and [remaining -. final > 0] keeps the
+   finish branch cold.  Pure — reads only the frozen capture arrays —
+   so the bench can time it in isolation. *)
+let replay_guard ~finish ~doit ~remaining ~cap ~final =
+  let ok = ref true in
+  let n = Array.length doit in
+  for t = 0 to n - 1 do
+    if
+      !ok && finish.(t) < 0.0 && doit.(t) > 0.0
+      && not (remaining.(t) >= cap.(t) && remaining.(t) -. final.(t) > 0.0)
+    then ok := false
+  done;
+  !ok
+
+(* Bitwise equality of two float arrays — the witness comparisons must
+   distinguish last-ulp neighbours, which [=] on floats does, but
+   bit-comparison also makes the NaN/negative-zero cases unambiguous. *)
+let arrays_bits_equal a b =
+  let ok = ref true in
+  let n = Array.length a in
+  for i = 0 to n - 1 do
+    if !ok && Int64.bits_of_float a.(i) <> Int64.bits_of_float b.(i) then ok := false
+  done;
+  !ok
+
+(* Pass A of the epoch: the two pieces that must run every epoch even
+   when the fast-forward replays the rest — the hot-front phase check
+   (reads only [remaining]) and the burst bernoulli draw (advances
+   [st.rng], whose stream position must stay identical whether or not
+   the epoch is replayed).  Hoisted out of the compute pass verbatim;
+   the draws use per-VM streams, so running pass A for every VM before
+   any kernel is draw-order-neutral.  Also snapshots the quiescence
+   witnesses that the arming check compares at the end of a full
+   epoch. *)
+let epoch_pass_a st =
+  st.ff_rotated <- false;
+  st.ff_io <- 0.0;
+  st.ff_p2m_version <- Xen.P2m.version st.domain.Xen.Domain.p2m;
+  st.ff_migrations <- st.migrations;
+  (let fin = ref 0 in
+   Array.iter (fun f -> if f >= 0.0 then incr fin) st.finish;
+   st.ff_finished <- !fin);
+  let app = st.spec.Config.app in
+  (* algorithmic phases: as the run progresses, the hot front of the
+     shared region moves; static placements do not notice, dynamic
+     policies must chase *)
+  if app.Workloads.App.phases > 1 then begin
+    let total = st.work_per_thread *. float_of_int st.spec.Config.threads in
+    let left = Array.fold_left ( +. ) 0.0 st.remaining in
+    let frac = Float.max 0.0 (1.0 -. (left /. total)) in
+    let phase =
+      min (app.Workloads.App.phases - 1)
+        (int_of_float (frac *. float_of_int app.Workloads.App.phases))
+    in
+    if phase <> st.phase then begin
+      st.phase <- phase;
+      st.ff_rotated <- true;
+      let pages = Array.length st.shared.pfns in
+      rotate_region st.shared
+        ~shift:(phase * (pages / app.Workloads.App.phases) mod pages)
+        ~read_fraction:app.Workloads.App.read_fraction
+    end
+  end;
+  (* burst pattern: one thread transiently hammers another's pages *)
+  if
+    app.Workloads.App.remote_burst > 0.0
+    && Sim.Rng.bernoulli st.rng app.Workloads.App.remote_burst
+    && st.spec.Config.threads > 1
+  then begin
+    st.burst_victim <- Sim.Rng.int st.rng st.spec.Config.threads;
+    st.burst_source <- (st.burst_victim + 1 + Sim.Rng.int st.rng (st.spec.Config.threads - 1))
+                       mod st.spec.Config.threads
+  end
+  else begin
+    st.burst_victim <- -1;
+    st.burst_source <- -1
+  end
+
 (* Charge the epoch's disk DMA traffic.  Native Linux allocates the DMA
    buffer contiguously, hence on a single node; under Xen the hypervisor
    page table spreads guest-contiguous buffers over the home nodes
@@ -625,6 +771,7 @@ let disk_traffic cfg st counters ~bus_node ~node_demand =
   if st.io_bytes_left > 0.0 then begin
     let bytes = Float.min st.io_bytes_left (app.Workloads.App.disk_mb_s *. 1e6 *. cfg.Config.epoch) in
     st.io_bytes_left <- st.io_bytes_left -. bytes;
+    st.ff_io <- bytes;
     match cfg.Config.mode with
     | Config.Linux ->
         let node = st.thread_node.(0) in
@@ -1117,6 +1264,57 @@ let run (cfg : Config.t) =
     List.find (fun st -> st.domain.Xen.Domain.id = id) states
   in
   let running () = List.exists vm_running states in
+  (* Steady-state fast-forward.  Disqualified for the whole run when
+     the escape hatch is pulled, under fault injection (the stall draw
+     consumes a shared stream inside the kernel), with unpinned vCPUs
+     (the credit scheduler draws every epoch) or with an observer (it
+     reads live per-epoch telemetry).  Everything else is decided per
+     epoch: replay only while every running VM armed itself at the end
+     of a full epoch AND this epoch's pass A stayed clean AND the
+     horizon says no boundary work (Carrefour feed, promotion scan,
+     fault window) is due. *)
+  let ff_active =
+    cfg.Config.fast_forward && (not faults_on) && (not any_unpinned)
+    && cfg.Config.observer = None
+  in
+  let ff_until = ref 0 in
+  let ff_replayed = ref 0 in
+  (* Armed at the end of epoch [e], the replay may serve epochs
+     strictly below this horizon: the next multiple of 10 when any VM
+     runs Carrefour (user-component feed) or P2M superpages (promotion
+     scan), the next epoch with a fault window armed (belt and braces
+     — fault runs never fast-forward), and a conservative estimate of
+     the earliest thread completion.  The per-epoch [replay_guard] is
+     the safety net; the completion clause only saves it work. *)
+  let skip_horizon e =
+    let h = ref cfg.Config.max_epochs in
+    let cut v = if v < !h then h := v in
+    if
+      List.exists
+        (fun st ->
+          vm_running st
+          && (Option.is_some (Policies.Manager.carrefour st.manager)
+             || Policies.Manager.superpages_enabled st.manager))
+        states
+    then cut (e - (e mod 10) + 10);
+    (match Faults.Injector.next_armed_epoch injector ~after:(e + 1) with
+    | Some a -> cut a
+    | None -> ());
+    List.iter
+      (fun st ->
+        if vm_running st then
+          for t = 0 to st.spec.Config.threads - 1 do
+            if st.finish.(t) < 0.0 && st.thread_final.(t) > 0.0 then
+              cut
+                (e + 1
+                + int_of_float
+                    (Float.min 1e9
+                       (Float.max 0.0
+                          ((st.remaining.(t) -. st.thread_cap.(t)) /. st.thread_final.(t)))))
+          done)
+      states;
+    !h
+  in
   let main_loop () =
   while running () && !epochs < cfg.Config.max_epochs do
     (match obs_stream with
@@ -1185,6 +1383,142 @@ let run (cfg : Config.t) =
               (Faults.Injector.ecc_events injector ~frames:st.domain.Xen.Domain.mem_frames))
         states
     end;
+    (* Pass A runs for every epoch, replayed or not: the phase check
+       and burst draw keep every RNG stream position identical to the
+       naive loop's, and the snapshots feed the arming check. *)
+    let pass_a_clean = ref true in
+    List.iter
+      (fun st ->
+        if vm_running st then begin
+          epoch_pass_a st;
+          if st.ff_rotated || st.burst_victim >= 0 then pass_a_clean := false
+        end)
+      states;
+    let replay =
+      ff_active && !pass_a_clean
+      && !epochs < !ff_until
+      && List.for_all
+           (fun st ->
+             (not (vm_running st))
+             || (st.ff_armed
+                &&
+                (* The capture whose parity matches this epoch is the
+                   one the replay would apply. *)
+                let snap = st.ff_snap.(!epochs land 1) in
+                (* Steady disk DMA replays too, but only while the pool
+                   can still serve a full-rate epoch; the partial final
+                   epoch (and the first post-I/O epoch) must run live. *)
+                (if snap.sn_io > 0.0 then st.io_bytes_left >= snap.sn_io
+                 else st.io_bytes_left <= 0.0)
+                && replay_guard ~finish:st.finish ~doit:snap.sn_doit ~remaining:st.remaining
+                     ~cap:snap.sn_cap ~final:snap.sn_final))
+           states
+    in
+    if replay then begin
+      (* Delta replay: every float accumulation below re-performs the
+         additions the full kernels would have performed, on the same
+         frozen per-thread values, in the same order — so the run's
+         results and traces are bit-identical to the naive loop (the
+         engine.ff suite checks exactly that).  Scratch state the full
+         path rebuilds from scratch each epoch (node_demand,
+         node_scale, lat_memo, src_shared...) is left stale: only full
+         epochs read it, and each starts by refilling it. *)
+      incr ff_replayed;
+      let parity = !epochs land 1 in
+      Obs.Profile.span Obs.Profile.Ff_replay (fun () ->
+          List.iter
+            (fun st ->
+              if vm_running st then begin
+                let snap = st.ff_snap.(parity) in
+                let threads = st.spec.Config.threads in
+                for t = 0 to threads - 1 do
+                  if st.finish.(t) < 0.0 then
+                    st.sync_overhead <- st.sync_overhead +. snap.sn_sync.(t);
+                  if snap.sn_doit.(t) > 0.0 then
+                    st.remaining.(t) <- st.remaining.(t) -. snap.sn_final.(t)
+                done
+              end)
+            states;
+          (* Steady-phase disk DMA: the guard proved this epoch moves
+             the same full-rate byte count as the captured one, so the
+             live code recomputes the identical transfer — decrement,
+             counter records and all — in the full path's VM order
+             (I/O is committed before the thread traffic there too). *)
+          List.iter
+            (fun st ->
+              if vm_running st && st.ff_snap.(parity).sn_io > 0.0 then
+                disk_traffic cfg st counters ~bus_node ~node_demand)
+            states;
+          (* Commit the captured realized traffic to the hardware
+             counters — the verbatim full-path loop, VM-major like the
+             original, so the per-(src,dst) accumulation order is
+             unchanged. *)
+          List.iter
+            (fun st ->
+              if vm_running st then begin
+                let snap = st.ff_snap.(parity) in
+                let threads = st.spec.Config.threads in
+                for t = 0 to threads - 1 do
+                  if snap.sn_doit.(t) > 0.0 then begin
+                    let base = t * nodes in
+                    let src = st.thread_node.(t) in
+                    for n = 0 to nodes - 1 do
+                      if snap.sn_dst.(base + n) > 0.0 then
+                        Numa.Counters.record_accesses counters ~src ~dst:n
+                          ~count:snap.sn_dst.(base + n) ~bytes_per_access:access_bytes
+                    done
+                  end
+                done
+              end)
+            states;
+          Numa.Counters.end_epoch counters ~duration:epoch_len;
+          (* Latency reduction replay: identical adds from the captured
+             per-thread totals and latencies.  Consecutive bitwise-equal
+             samples enter the histogram through one [add_n] — the sums
+             it updates see the very same addition sequence. *)
+          List.iter
+            (fun st ->
+              if vm_running st then begin
+                let snap = st.ff_snap.(parity) in
+                let threads = st.spec.Config.threads in
+                let run_v = ref 0.0 in
+                let run_n = ref 0 in
+                for t = 0 to threads - 1 do
+                  if snap.sn_total.(t) > 0.0 then begin
+                    let total = snap.sn_total.(t) in
+                    let lat = snap.sn_lat.(t) in
+                    st.weighted_lat <- st.weighted_lat +. (total *. lat);
+                    st.total_accesses <- st.total_accesses +. total;
+                    st.local_accesses <-
+                      st.local_accesses +. snap.sn_dst.((t * nodes) + st.thread_node.(t));
+                    if !run_n > 0 && Int64.bits_of_float lat = Int64.bits_of_float !run_v then
+                      incr run_n
+                    else begin
+                      if !run_n > 0 then Sim.Stats.Histogram.add_n st.lat_hist !run_v !run_n;
+                      run_v := lat;
+                      run_n := 1
+                    end
+                  end
+                done;
+                if !run_n > 0 then Sim.Stats.Histogram.add_n st.lat_hist !run_v !run_n;
+                (* SLO accounting replay: under the witnessed cycle the
+                   epoch's metric values — hence the captured verdicts —
+                   are what the full path would recompute. *)
+                if snap.sn_slo_active then begin
+                  st.active_epochs <- st.active_epochs + 1;
+                  Array.iteri
+                    (fun i v -> if v then st.slo_violations.(i) <- st.slo_violations.(i) + 1)
+                    snap.sn_slo_violate
+                end;
+                (* Keep the one live cross-epoch input phase-correct:
+                   the next full epoch's compute kernel reads
+                   [avg_lat], which must hold this (replayed) epoch's
+                   values, not the last full epoch's. *)
+                Array.blit snap.sn_lat 0 st.avg_lat 0 threads
+              end)
+            states)
+    end
+    else begin
     Array.fill node_demand 0 nodes 0.0;
     (* Credit-scheduler accounting period: rebalance unpinned vCPUs
        onto idle pCPUs.  The vCPU moves; its memory does not — exactly
@@ -1235,39 +1569,6 @@ let run (cfg : Config.t) =
           st.burst_accesses_epoch <- 0.0;
           epoch_accesses.(vi) <- 0.0;
           let app = st.spec.Config.app in
-          (* algorithmic phases: as the run progresses, the hot front
-             of the shared region moves; static placements do not
-             notice, dynamic policies must chase *)
-          if app.Workloads.App.phases > 1 then begin
-            let total = st.work_per_thread *. float_of_int st.spec.Config.threads in
-            let left = Array.fold_left ( +. ) 0.0 st.remaining in
-            let frac = Float.max 0.0 (1.0 -. (left /. total)) in
-            let phase =
-              min (app.Workloads.App.phases - 1)
-                (int_of_float (frac *. float_of_int app.Workloads.App.phases))
-            in
-            if phase <> st.phase then begin
-              st.phase <- phase;
-              let pages = Array.length st.shared.pfns in
-              rotate_region st.shared
-                ~shift:(phase * (pages / app.Workloads.App.phases) mod pages)
-                ~read_fraction:app.Workloads.App.read_fraction
-            end
-          end;
-          (* burst pattern: one thread transiently hammers another's pages *)
-          if
-            app.Workloads.App.remote_burst > 0.0
-            && Sim.Rng.bernoulli st.rng app.Workloads.App.remote_burst
-            && st.spec.Config.threads > 1
-          then begin
-            st.burst_victim <- Sim.Rng.int st.rng st.spec.Config.threads;
-            st.burst_source <- (st.burst_victim + 1 + Sim.Rng.int st.rng (st.spec.Config.threads - 1))
-                               mod st.spec.Config.threads
-          end
-          else begin
-            st.burst_victim <- -1;
-            st.burst_source <- -1
-          end;
           (* Track the live superpage fraction (splinters and promotes
              move it); non-superpage runs keep the boot-time constant
              bit for bit.  Under --pt-walk the radix model reprices the
@@ -1342,6 +1643,9 @@ let run (cfg : Config.t) =
                       done;
                       let realized = !realized in
                       let final = st.thread_doit.(t) *. realized in
+                      (* Captured for the fast-forward: the in-place
+                         [*. realized] scaling below loses [final]. *)
+                      st.thread_final.(t) <- final;
                       st.remaining.(t) <- st.remaining.(t) -. final;
                       if st.remaining.(t) <= 0.0 then
                         st.finish.(t) <-
@@ -1437,7 +1741,8 @@ let run (cfg : Config.t) =
                  of the epoch's latencies — no RNG, no traffic, no
                  trace — so a run with objectives stays bit-identical
                  to one without. *)
-              if cfg.Config.slo <> [] && !running > 0 then begin
+              st.ff_slo_active <- cfg.Config.slo <> [] && !running > 0;
+              if st.ff_slo_active then begin
                 st.active_epochs <- st.active_epochs + 1;
                 let samples = Array.sub st.slo_scratch 0 !running in
                 List.iteri
@@ -1451,8 +1756,12 @@ let run (cfg : Config.t) =
                       | "p999" -> Sim.Stats.percentile samples 99.9
                       | m -> invalid_arg ("Runner: unknown SLO metric " ^ m)
                     in
-                    if value > target then
-                      st.slo_violations.(i) <- st.slo_violations.(i) + 1)
+                    (* Verdicts are remembered so a replayed epoch can
+                       bump the same counters without re-deriving the
+                       percentiles (identical under quiescence). *)
+                    let violated = value > target in
+                    st.ff_slo_violate.(i) <- violated;
+                    if violated then st.slo_violations.(i) <- st.slo_violations.(i) + 1)
                   cfg.Config.slo
               end);
           (* Fault-mode page churn: real alloc/release traffic through
@@ -1515,9 +1824,80 @@ let run (cfg : Config.t) =
                         ~feed:(fun sys -> feed_samples st sys))
                 with
                 | Some _ -> refresh_placement st
-                | None -> ())
+                | None -> ());
+          (* Arming check and capture.  The structural clauses prove
+             nothing moved this epoch's inputs (the P2M version covers
+             every mapping mutation — placement, migration, splinter,
+             promote; the finish count covers occupancy; I/O must have
+             drained so dom0 stays idle and disk DMA silent; superpage
+             VMs additionally need the manager quiescent, because their
+             clean-path [epoch_tick] is skipped during replay and must
+             be a provable no-op).  A structurally clean epoch is then
+             captured into the snapshot of its parity; it ARMS the
+             fast-forward when it bitwise reproduced the same-parity
+             capture of two epochs before — the witness that the
+             latency feedback settled into its (period ≤ 2) limit
+             cycle.  Any unclean epoch stales both captures, so a
+             fresh witness always spans consecutive clean epochs.  By
+             induction, every subsequent guarded epoch then reproduces
+             the opposite-parity capture's floats exactly. *)
+          if ff_active then begin
+            let clean =
+              Xen.P2m.version st.domain.Xen.Domain.p2m = st.ff_p2m_version
+              && (not st.ff_rotated)
+              && st.burst_victim < 0
+              && (st.ff_io = 0.0
+                 || st.ff_io
+                    = st.spec.Config.app.Workloads.App.disk_mb_s *. 1e6 *. cfg.Config.epoch)
+              && st.migrations = st.ff_migrations
+              && (let fin = ref 0 in
+                  Array.iter (fun f -> if f >= 0.0 then incr fin) st.finish;
+                  !fin = st.ff_finished)
+              && ((not (Policies.Manager.superpages_enabled st.manager))
+                 || Policies.Manager.quiescent st.manager)
+            in
+            if not clean then begin
+              st.ff_armed <- false;
+              st.ff_snap.(0).sn_epoch <- -1;
+              st.ff_snap.(1).sn_epoch <- -1
+            end
+            else begin
+              let snap = st.ff_snap.(!epochs land 1) in
+              let other = st.ff_snap.(1 - (!epochs land 1)) in
+              st.ff_armed <-
+                snap.sn_epoch >= 0
+                && (!epochs - snap.sn_epoch) land 1 = 0
+                && other.sn_epoch >= 0
+                && (!epochs - other.sn_epoch) land 1 = 1
+                && arrays_bits_equal snap.sn_lat st.avg_lat
+                && arrays_bits_equal snap.sn_dst st.thread_dst
+                && arrays_bits_equal snap.sn_total st.thread_total
+                && arrays_bits_equal snap.sn_sync st.thread_sync
+                && arrays_bits_equal snap.sn_doit st.thread_doit
+                && arrays_bits_equal snap.sn_cap st.thread_cap
+                && arrays_bits_equal snap.sn_final st.thread_final
+                && Int64.bits_of_float snap.sn_io = Int64.bits_of_float st.ff_io;
+              snap.sn_epoch <- !epochs;
+              Array.blit st.thread_sync 0 snap.sn_sync 0 threads;
+              Array.blit st.thread_doit 0 snap.sn_doit 0 threads;
+              Array.blit st.thread_cap 0 snap.sn_cap 0 threads;
+              Array.blit st.thread_final 0 snap.sn_final 0 threads;
+              Array.blit st.thread_total 0 snap.sn_total 0 threads;
+              Array.blit st.avg_lat 0 snap.sn_lat 0 threads;
+              Array.blit st.thread_dst 0 snap.sn_dst 0 (threads * nodes);
+              snap.sn_io <- st.ff_io;
+              snap.sn_slo_active <- st.ff_slo_active;
+              Array.blit st.ff_slo_violate 0 snap.sn_slo_violate 0
+                (Array.length st.ff_slo_violate)
+            end
+          end
         end)
       states;
+    if
+      ff_active
+      && List.for_all (fun st -> (not (vm_running st)) || st.ff_armed) states
+    then ff_until := skip_horizon !epochs
+    end;
     (match cfg.Config.observer with
     | None -> ()
     | Some observer ->
@@ -1563,6 +1943,7 @@ let run (cfg : Config.t) =
       imbalance = Numa.Counters.imbalance counters;
       interconnect_load = Numa.Counters.interconnect_load counters;
       epochs = !epochs;
+      replayed_epochs = !ff_replayed;
       faults_injected = Faults.Injector.total_injected injector;
     }
   in

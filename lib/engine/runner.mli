@@ -14,7 +14,28 @@
     path overhead and the page-release churn. *)
 
 val run : Config.t -> Result.t
-(** Simulate the configuration to completion (or [max_epochs]). *)
+(** Simulate the configuration to completion (or [max_epochs]).
+
+    Steady state is fast-forwarded by default
+    ({!Config.t.fast_forward}): when an epoch's inputs provably
+    reached a fixed point — no P2M mutation, no phase rotation or
+    burst, no thread started or finished, I/O drained, latency
+    feedback bitwise converged, no Carrefour/promotion/fault boundary
+    due — the runner replays the armed epoch's captured float deltas
+    by identical additions in identical order instead of re-running
+    the O(threads×nodes) kernels.  Results and traces are
+    bit-identical to the naive loop; only
+    {!Result.t.replayed_epochs} tells the difference. *)
 
 val access_bytes : float
 (** Bytes charged per memory access (one cache line). *)
+
+val replay_guard :
+  finish:float array -> doit:float array -> remaining:float array ->
+  cap:float array -> final:float array -> bool
+(** The fast-forward's per-epoch safety predicate over the frozen
+    capture arrays: for every still-running thread that did work in
+    the armed epoch, [remaining.(t) >= cap.(t)] (so the kernel's
+    [Float.min remaining cap] stays bitwise equal to [cap]) and
+    [remaining.(t) -. final.(t) > 0.0] (so no thread would have
+    finished).  Pure; exposed for the micro benchmark. *)

@@ -91,6 +91,34 @@ let armed t (w : Plan.window) =
   t.epoch >= w.Plan.from_epoch
   && (match w.Plan.until_epoch with None -> true | Some u -> t.epoch < u)
 
+(* Earliest epoch [>= after] at which any plan window (or resolved
+   node-fault window) is armed.  Pure arithmetic over the plan — no
+   draws, no clock dependence — so the engine can use it to bound a
+   fast-forward span without perturbing the fault stream.  A permanent
+   node failure stays armed past its drain window. *)
+let next_armed_epoch t ~after =
+  let min_opt acc e =
+    match acc with None -> Some e | Some a -> Some (min a e)
+  in
+  let of_window acc (w : Plan.window) =
+    if after < w.Plan.from_epoch then min_opt acc w.Plan.from_epoch
+    else
+      match w.Plan.until_epoch with
+      | None -> min_opt acc after
+      | Some u -> if after < u then min_opt acc after else acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc (s : Plan.spec) -> of_window acc s.Plan.window)
+      None t.plan
+  in
+  List.fold_left
+    (fun acc nf ->
+      if after < nf.from_epoch then min_opt acc nf.from_epoch
+      else if nf.permanent || after < nf.until_epoch then min_opt acc after
+      else acc)
+    acc t.node_faults
+
 (* Fold the plan: every armed matching spec draws independently, and
    the fault fires if any draw does.  Draw-per-spec (no short-circuit)
    keeps the stream advance a function of the plan and epoch alone. *)

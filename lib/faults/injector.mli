@@ -39,6 +39,14 @@ val set_epoch : t -> int -> unit
 
 val epoch : t -> int
 
+val next_armed_epoch : t -> after:int -> int option
+(** Earliest epoch [>= after] at which any spec window (or resolved
+    node-failure window, including the forever-armed tail of a
+    permanent failure) is armed; [None] when no window can ever arm
+    again.  Pure — no draws and no dependence on the injection clock —
+    so callers may probe arbitrary horizons (the engine bounds its
+    fast-forward spans with it) without perturbing the stream. *)
+
 (* Per-site queries: [true] means the fault fires now.  Each query
    updates {!stats} when it fires. *)
 

@@ -40,8 +40,6 @@ let cpu_array_of_node t n =
   assert (n >= 0 && n < t.nodes);
   t.node_cpus.(n)
 
-let cpus_of_node t n = Array.to_list (cpu_array_of_node t n)
-
 let neighbours_of adjacency n = List.map fst adjacency.(n)
 
 (* Deterministic BFS from [src]: visits neighbours in increasing node

@@ -47,16 +47,12 @@ val node_of_cpu : t -> cpu -> node
 (** CPUs are numbered node-major: CPU [c] lives on node
     [c / cpus_per_node]. *)
 
-val cpus_of_node : t -> node -> cpu list
-(** @deprecated Allocates a fresh list on every call.  Use
-    {!cpu_array_of_node} instead — every in-tree call site has been
-    converted; this accessor remains only for external users and will
-    be removed once they migrate. *)
-
 val cpu_array_of_node : t -> node -> cpu array
 (** The node's CPU ids as a precomputed array, built once at topology
     creation: O(1), allocation-free.  The array is shared — do not
-    mutate it. *)
+    mutate it.  (The deprecated list-allocating [cpus_of_node] variant
+    has been removed; wrap this in [Array.to_list] if a list is really
+    wanted.) *)
 
 val links : t -> link array
 (** All directed links, indexed by [link_id]. *)

@@ -18,6 +18,7 @@ type phase =
   | P2m_batch
   | Pv_flush
   | Epoch_tick
+  | Ff_replay
 
 let phases =
   [
@@ -29,6 +30,7 @@ let phases =
     P2m_batch;
     Pv_flush;
     Epoch_tick;
+    Ff_replay;
   ]
 
 let phase_index = function
@@ -40,6 +42,7 @@ let phase_index = function
   | P2m_batch -> 5
   | Pv_flush -> 6
   | Epoch_tick -> 7
+  | Ff_replay -> 8
 
 let phase_name = function
   | Kernel_compute -> "kernel.compute"
@@ -50,6 +53,7 @@ let phase_name = function
   | P2m_batch -> "p2m.batch"
   | Pv_flush -> "pv.flush"
   | Epoch_tick -> "manager.epoch_tick"
+  | Ff_replay -> "ff.replay"
 
 let nphases = List.length phases
 

@@ -15,6 +15,7 @@ type phase =
   | P2m_batch  (** batched P2M invalidate/map/migrate replay *)
   | Pv_flush  (** PV queue partition flush *)
   | Epoch_tick  (** policy manager epoch tick *)
+  | Ff_replay  (** fast-forward delta replay of a quiescent epoch *)
 
 val phases : phase list
 val phase_name : phase -> string

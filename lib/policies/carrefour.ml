@@ -306,7 +306,11 @@ module System_component = struct
   (* Readout in table order, no ranking: the user component sorts only
      the rows that clear its heat threshold, which is far cheaper than
      ranking the whole table every period.  Only valid as a full
-     readout (no [top] cap). *)
+     readout (no [top] cap).  The row arrays ALIAS the live table —
+     they may be longer than [count] and must not outlive the next
+     table mutation (decay/sample), which is fine for the immediate
+     decide-and-act consumer and avoids copying the whole table every
+     period. *)
   let read_metrics_unranked t ~counters =
     let n = t.live in
     let nodes = t.nodes in
@@ -315,14 +319,7 @@ module System_component = struct
       read_fractions.(r) <- read_fraction_of_row t r
     done;
     let hot =
-      {
-        nodes;
-        count = n;
-        pfns = Array.sub t.pfns 0 n;
-        counts = Array.sub t.counts 0 (n * nodes);
-        read_fractions;
-        keys = Array.sub t.totals 0 n;
-      }
+      { nodes; count = n; pfns = t.pfns; counts = t.counts; read_fractions; keys = t.totals }
     in
     let link_util = Numa.Counters.last_link_utilisation counters in
     {
@@ -466,11 +463,9 @@ module User_component = struct
       end
     in
     if controllers_overloaded || interconnect_saturated then begin
-      (* Rank once: only the rows clearing the heat threshold can act,
-         so only they are sorted — (key descending, pfn ascending), the
-         heat table's readout order — and both heuristics walk that
-         ranking.  The emitted actions, and the random-node draws, are
-         exactly those of a walk over a fully sorted readout. *)
+      (* Collect the rows clearing the heat threshold: only they can
+         act, so only (subsets of) them are ever ranked — (key
+         descending, pfn ascending), the heat table's readout order. *)
       let order = Array.make n 0 in
       let tot = Array.make (max 1 n) 0.0 in
       let m = ref 0 in
@@ -482,44 +477,79 @@ module User_component = struct
           incr m
         end
       done;
-      let order = Array.sub order 0 !m in
-      rank_sort hot.keys hot.pfns order !m;
+      let m = !m in
+      (* Qualification is pure — the walks only mutate [seen]/[budget]
+         through [emit] — so each heuristic filters its qualifying rows
+         first and ranks just that subset.  The comparator is a strict
+         total order (distinct pfns break key ties), so the sorted
+         subset is the subset restriction of the fully sorted readout:
+         emits, their order, and the random-node draws are exactly
+         those of a walk over the full ranking, without paying
+         O(m log m) when the steady-state subsets are empty. *)
+      let sel = Array.make (max 1 m) 0 in
       (* Interleave heuristic: hot pages sitting on an overloaded
          controller move to a random underloaded node. *)
-      if controllers_overloaded then
-        Array.iter
-          (fun i ->
-            match current_node hot.pfns.(i) with
-            | Some node when List.mem node overloaded ->
-                emit hot.pfns.(i) (Sim.Rng.pick rng underloaded) Interleave
-            | Some _ | None -> ())
-          order;
+      if controllers_overloaded then begin
+        let k = ref 0 in
+        for s = 0 to m - 1 do
+          let i = order.(s) in
+          match current_node hot.pfns.(i) with
+          | Some node when List.mem node overloaded ->
+              sel.(!k) <- i;
+              incr k
+          | Some _ | None -> ()
+        done;
+        rank_sort hot.keys hot.pfns sel !k;
+        for s = 0 to !k - 1 do
+          let i = sel.(s) in
+          (* The random draw happens for every qualifying row, budget
+             or not — it was an [emit] argument in the full walk. *)
+          emit hot.pfns.(i) (Sim.Rng.pick rng underloaded) Interleave
+        done
+      end;
       (* Under interconnect saturation: replicate hot read-only pages
          with many readers (when enabled), migrate single-remote-reader
          pages to their reader. *)
-      if interconnect_saturated then
-        Array.iter
-          (fun i ->
-            let base = i * nodes in
-            let total = tot.(i) in
-            let readers = reader_nodes hot.counts ~base ~nodes total in
-            if
-              config.enable_replication
-              && hot.read_fractions.(i) >= config.replication_read_threshold
-              && readers >= config.min_reader_nodes
-            then emit hot.pfns.(i) 0 Replicate
-            else begin
-              let best = ref 0 in
-              for j = 0 to nodes - 1 do
-                if hot.counts.(base + j) > hot.counts.(base + !best) then best := j
-              done;
-              let dominant = hot.counts.(base + !best) /. total in
-              if dominant >= config.dominant_fraction && node_ok !best then
-                match current_node hot.pfns.(i) with
-                | Some node when node <> !best -> emit hot.pfns.(i) !best Locality
-                | Some _ | None -> ()
-            end)
-          order
+      if interconnect_saturated then begin
+        let replicate_row i =
+          config.enable_replication
+          && hot.read_fractions.(i) >= config.replication_read_threshold
+          && reader_nodes hot.counts ~base:(i * nodes) ~nodes tot.(i)
+             >= config.min_reader_nodes
+        in
+        let best_node i =
+          let base = i * nodes in
+          let best = ref 0 in
+          for j = 0 to nodes - 1 do
+            if hot.counts.(base + j) > hot.counts.(base + !best) then best := j
+          done;
+          !best
+        in
+        let k = ref 0 in
+        for s = 0 to m - 1 do
+          let i = order.(s) in
+          if replicate_row i then begin
+            sel.(!k) <- i;
+            incr k
+          end
+          else begin
+            let best = best_node i in
+            let dominant = hot.counts.((i * nodes) + best) /. tot.(i) in
+            if dominant >= config.dominant_fraction && node_ok best then
+              match current_node hot.pfns.(i) with
+              | Some node when node <> best ->
+                  sel.(!k) <- i;
+                  incr k
+              | Some _ | None -> ()
+          end
+        done;
+        rank_sort hot.keys hot.pfns sel !k;
+        for s = 0 to !k - 1 do
+          let i = sel.(s) in
+          if replicate_row i then emit hot.pfns.(i) 0 Replicate
+          else emit hot.pfns.(i) (best_node i) Locality
+        done
+      end
     end;
     List.rev !actions
 end

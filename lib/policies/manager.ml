@@ -1161,6 +1161,23 @@ let carrefour_epoch t ~counters ~samples =
 
 let degrade t = t.degrade
 let pending_migrations t = Queue.length t.pending
+
+(* Nothing deferred, nothing in flight: an [epoch_tick] delivered now
+   would only advance [t.epoch].  The pending queue and evacuation
+   engine must be drained, the breaker closed with its cooldown event
+   already emitted, and the breaker window below the evaluation
+   threshold — [evaluate_breaker] only acts at [breaker_min_attempts],
+   so skipping it below that is a no-op, even with a residue of
+   attempts left by an old promote scan that will never reach the
+   threshold again.  Promote scans and reconcile sweeps are
+   period-gated on the epoch number and handled separately by the
+   caller's skip horizon. *)
+let quiescent t =
+  Queue.is_empty t.pending
+  && t.evac_node < 0
+  && (not (breaker_open t))
+  && (not t.breaker_was_open)
+  && t.breaker_attempts < breaker_min_attempts
 let superpages_enabled t = t.superpages
 let pt t = t.pt
 

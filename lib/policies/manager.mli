@@ -208,4 +208,14 @@ val evacuating : t -> int
 val degrade : t -> degrade
 val pending_migrations : t -> int
 
+val quiescent : t -> bool
+(** No deferred work is pending: the migration queue and the node
+    evacuation engine are drained, the circuit breaker is closed (with
+    its cooldown event already emitted) and its evaluation window is
+    below the trip threshold, so a skipped evaluation is a no-op.
+    When [quiescent] holds, an {!epoch_tick} that is not a
+    promote-scan or reconcile boundary would only advance the
+    manager's epoch clock — the engine's steady-state fast-forward
+    relies on this to skip such ticks entirely. *)
+
 val node_of_pfn : t -> Memory.Page.pfn -> Numa.Topology.node option

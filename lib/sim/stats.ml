@@ -101,6 +101,29 @@ module Histogram = struct
       | None -> Hashtbl.replace t.buckets idx (ref 1)
     end
 
+  (* Bulk insert of [n] identical samples.  The sum is accumulated by
+     [n] sequential additions, NOT [v *. float n]: repeated float
+     addition is not distributive, and the engine's fast-forward path
+     needs [add_n t v n] to leave [t] bit-identical to [n] calls of
+     [add t v]. *)
+  let add_n t v n =
+    if n < 0 then invalid_arg "Histogram.add_n: negative count";
+    if n > 0 then begin
+      t.count <- t.count + n;
+      for _ = 1 to n do
+        t.sum <- t.sum +. v
+      done;
+      if v < t.min then t.min <- v;
+      if v > t.max then t.max <- v;
+      if v <= 0.0 then t.zeros <- t.zeros + n
+      else begin
+        let idx = bucket_of t v in
+        match Hashtbl.find_opt t.buckets idx with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.replace t.buckets idx (ref n)
+      end
+    end
+
   let count t = t.count
   let total t = t.sum
   let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count

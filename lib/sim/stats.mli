@@ -40,6 +40,15 @@ module Histogram : sig
   (** [base] is the bucket ratio, must be [> 1]. *)
 
   val add : t -> float -> unit
+
+  val add_n : t -> float -> int -> unit
+  (** [add_n t v n] records [n] identical samples of [v], leaving [t]
+      bit-identical to [n] successive [add t v] calls — the running sum
+      is accumulated by [n] sequential float additions, never by
+      [v *. float n], because repeated addition does not distribute.
+      [n = 0] is a no-op.
+      @raise Invalid_argument on a negative [n]. *)
+
   val count : t -> int
   val total : t -> float
   val mean : t -> float

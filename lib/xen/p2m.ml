@@ -29,6 +29,7 @@ type t = {
   mutable superpages : int;
   mutable splinters : int;  (* cumulative demotions *)
   mutable promotes : int;  (* cumulative coalesces *)
+  mutable version : int;  (* bumped once per mutation, in [notify] *)
   mutable on_update : (update -> unit) option;
       (* Fires after every mutation, in application order; replaying
          the stream onto a second table reproduces this one exactly
@@ -50,13 +51,21 @@ let create ?(sp_frames = Memory.Page.frames_per_2m) ~frames () =
     superpages = 0;
     splinters = 0;
     promotes = 0;
+    version = 0;
     on_update = None;
   }
 
 let frames t = Array.length t.mfns
 let sp_frames t = t.sp_frames
 let set_on_update t f = t.on_update <- f
-let notify t u = match t.on_update with Some f -> f u | None -> ()
+(* Every mutation path — per-frame ops, superpage map/splinter/promote
+   and each applied batch element — funnels through [notify], so the
+   version bump here covers them all.  The counter only ever grows;
+   equality of two reads proves the table saw no mutation in between
+   (the fast-forward quiescence check in the engine relies on this). *)
+let notify t u =
+  t.version <- t.version + 1;
+  match t.on_update with Some f -> f u | None -> ()
 
 let check t pfn =
   if pfn < 0 || pfn >= Array.length t.mfns then invalid_arg "P2m: pfn out of range"
@@ -324,6 +333,7 @@ let migrate_batch t ?on_splinter pfns mfns ~n ~f =
   done;
   { applied = !applied; splintered = !splintered }
 
+let version t = t.version
 let mapped_count t = t.mapped
 let superpage_count t = t.superpages
 let superpage_frames t = t.superpages * t.sp_frames

@@ -169,6 +169,14 @@ val migrate_batch :
     @raise Invalid_argument on an out-of-range pfn, a negative mfn, or
     a bad [n]. *)
 
+val version : t -> int
+(** Monotone mutation counter: starts at 0 and is bumped exactly once
+    per applied mutation (per-frame ops, superpage map, splinter,
+    promote, and each applied batch element — the same events the
+    {!set_on_update} stream carries).  Two equal reads prove the table
+    was not mutated in between; the engine's steady-state fast-forward
+    uses this as its P2M quiescence witness. *)
+
 val mapped_count : t -> int
 
 val superpage_count : t -> int

@@ -336,6 +336,105 @@ let test_sharded_faults_identical () =
   in
   Alcotest.(check bool) "identical result" true (cell 1 = cell 4)
 
+(* ---------------------------- fast-forward --------------------------- *)
+
+(* The fast-forward acceptance property: with quiescence-tracked delta
+   replay on, every reduced field of the result record — completions,
+   latencies, histograms, local fractions — is structurally identical
+   (floats compared bitwise) to the naive run's; only the
+   [replayed_epochs] accounting may differ.  Randomised over policy,
+   superpages, pt-walk, inner-jobs and seed so replay is exercised
+   under Carrefour decade boundaries, promote scans and sharding. *)
+let prop_ff_run_identical =
+  QCheck.Test.make ~name:"fast-forward result equals naive" ~count:6
+    QCheck.(quad (int_range 0 9) (int_range 1 4) (int_range 0 1000) bool)
+    (fun (policy_idx, inner_jobs, seed, superpages) ->
+      let policy =
+        List.nth Policies.Spec.all (policy_idx mod List.length Policies.Spec.all)
+      in
+      let pt_walk = seed mod 2 = 0 in
+      let cell fast_forward =
+        let vm =
+          Engine.Config.vm ~threads:7 ~superpages ~pt_walk ~policy (app "swaptions")
+        in
+        Engine.Runner.run
+          (Engine.Config.make ~seed ~max_epochs:60 ~inner_jobs ~fast_forward
+             ~mode:Engine.Config.Xen_plus [ vm ])
+      in
+      let ff = cell true and naive = cell false in
+      naive.Engine.Result.replayed_epochs = 0
+      && { ff with Engine.Result.replayed_epochs = 0 } = naive)
+
+let test_ff_replays_steady_state () =
+  (* A pinned static-policy Xen+ cell quiesces quickly: most epochs of
+     a long run must be replayed, and the escape hatch must force the
+     count back to zero. *)
+  let cell fast_forward =
+    let vm = Engine.Config.vm ~threads:12 ~policy:Policies.Spec.round_4k (app "swaptions") in
+    Engine.Runner.run
+      (Engine.Config.make ~seed:11 ~max_epochs:120 ~fast_forward
+         ~mode:Engine.Config.Xen_plus [ vm ])
+  in
+  let ff = cell true and naive = cell false in
+  Alcotest.(check int) "naive never replays" 0 naive.Engine.Result.replayed_epochs;
+  Alcotest.(check bool) "most epochs replayed" true
+    (ff.Engine.Result.replayed_epochs > ff.Engine.Result.epochs / 2)
+
+let test_ff_forced_off_under_faults () =
+  (* Fault runs must disable fast-forward wholesale, not merely skip
+     armed windows. *)
+  let faults = Faults.Plan.of_string_exn "stall=0.05@2-30" in
+  let vm = Engine.Config.vm ~threads:6 ~policy:Policies.Spec.round_4k (app "swaptions") in
+  let r =
+    Engine.Runner.run
+      (Engine.Config.make ~seed:9 ~max_epochs:80 ~faults ~fast_forward:true
+         ~mode:Engine.Config.Xen_plus [ vm ])
+  in
+  Alcotest.(check int) "no replay under faults" 0 r.Engine.Result.replayed_epochs
+
+let test_p2m_version_monotone () =
+  let t = Xen.P2m.create ~sp_frames:1 ~frames:64 () in
+  Alcotest.(check int) "starts at 0" 0 (Xen.P2m.version t);
+  Alcotest.(check int) "a read is pure" (Xen.P2m.version t) (Xen.P2m.version t);
+  Xen.P2m.set t 3 ~mfn:10 ~writable:true;
+  let v1 = Xen.P2m.version t in
+  Alcotest.(check bool) "set bumps" true (v1 > 0);
+  Xen.P2m.write_protect t 3;
+  let v2 = Xen.P2m.version t in
+  Alcotest.(check bool) "write_protect bumps" true (v2 > v1);
+  (match Xen.P2m.invalidate t 3 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "entry was mapped");
+  let v3 = Xen.P2m.version t in
+  Alcotest.(check bool) "invalidate bumps" true (v3 > v2);
+  (* No-ops — clearing an Invalid entry, write-protecting an Invalid
+     entry — must not bump: two equal reads prove "nothing mutated". *)
+  (match Xen.P2m.invalidate t 5 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "entry 5 should be Invalid");
+  Xen.P2m.write_protect t 5;
+  Alcotest.(check int) "no-ops keep the version" v3 (Xen.P2m.version t)
+
+let test_next_armed_epoch_edges () =
+  let next plan ~after =
+    Faults.Injector.next_armed_epoch
+      (Faults.Injector.create ~seed:1 (Faults.Plan.of_string_exn plan))
+      ~after
+  in
+  let bounded = "stall=0.05@10-20" in
+  (* UNTIL is exclusive: armed for epochs 10..19. *)
+  Alcotest.(check (option int)) "before the window" (Some 10) (next bounded ~after:0);
+  Alcotest.(check (option int)) "at the opening edge" (Some 10) (next bounded ~after:10);
+  Alcotest.(check (option int)) "inside the window" (Some 15) (next bounded ~after:15);
+  Alcotest.(check (option int)) "last armed epoch" (Some 19) (next bounded ~after:19);
+  Alcotest.(check (option int)) "at the closing edge" None (next bounded ~after:20);
+  Alcotest.(check (option int)) "past the window" None (next bounded ~after:100);
+  let open_ended = "stall=0.05@10-" in
+  Alcotest.(check (option int)) "open-ended before" (Some 10) (next open_ended ~after:3);
+  Alcotest.(check (option int)) "open-ended inside" (Some 77) (next open_ended ~after:77);
+  let empty = "" in
+  Alcotest.(check (option int)) "empty plan never arms" None (next empty ~after:0)
+
 let suite =
   [
     ( "engine.config",
@@ -392,5 +491,13 @@ let suite =
         qcheck prop_streams_distinct;
         qcheck prop_sharded_run_identical;
         Alcotest.test_case "faults force unsharded" `Quick test_sharded_faults_identical;
+      ] );
+    ( "engine.ff",
+      [
+        qcheck prop_ff_run_identical;
+        Alcotest.test_case "replays steady state" `Quick test_ff_replays_steady_state;
+        Alcotest.test_case "forced off under faults" `Quick test_ff_forced_off_under_faults;
+        Alcotest.test_case "p2m version monotone" `Quick test_p2m_version_monotone;
+        Alcotest.test_case "next armed epoch edges" `Quick test_next_armed_epoch_edges;
       ] );
   ]

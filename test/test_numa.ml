@@ -21,7 +21,8 @@ let test_topology_cpu_mapping () =
   let t = line_topology () in
   Alcotest.(check int) "cpu 0 on node 0" 0 (Numa.Topology.node_of_cpu t 0);
   Alcotest.(check int) "cpu 5 on node 2" 2 (Numa.Topology.node_of_cpu t 5);
-  Alcotest.(check (list int)) "cpus of node 1" [ 2; 3 ] (Numa.Topology.cpus_of_node t 1)
+  Alcotest.(check (list int)) "cpus of node 1" [ 2; 3 ]
+    (Array.to_list (Numa.Topology.cpu_array_of_node t 1))
 
 let test_topology_distance () =
   let t = line_topology () in

@@ -153,6 +153,30 @@ cmp "$TRACE_DIR/ptij1.jsonl" "$TRACE_DIR/ptij4.jsonl" || {
 }
 echo "tier1: pt-walk inner-jobs determinism OK ($(wc -l < "$TRACE_DIR/ptij1.jsonl") JSONL lines)"
 
+# Fast-forward equivalence: the steady-state delta replay must be
+# invisible in the trace bytes.  One static cell (round-4k quiesces
+# into a pure replay streak) and one Carrefour cell (decade boundaries
+# punctuate the streaks) run with fast-forward on and off; the JSONL
+# exports must be byte-identical — same events, same floats, same
+# order — with only the stdout replay count allowed to differ.
+dune exec bin/xen_numa_sim.exe -- run swaptions -t 8 -m xen+ -p round-4k \
+  --trace "$TRACE_DIR/ffon.jsonl" >/dev/null
+dune exec bin/xen_numa_sim.exe -- run swaptions -t 8 -m xen+ -p round-4k \
+  --no-fast-forward --trace "$TRACE_DIR/ffoff.jsonl" >/dev/null
+cmp "$TRACE_DIR/ffon.jsonl" "$TRACE_DIR/ffoff.jsonl" || {
+  echo "tier1: FAIL - static-cell traces differ between fast-forward on and off" >&2
+  exit 1
+}
+dune exec bin/xen_numa_sim.exe -- run streamcluster -t 8 -m xen+ -p round-4k/carrefour \
+  --trace "$TRACE_DIR/ffcon.jsonl" >/dev/null
+dune exec bin/xen_numa_sim.exe -- run streamcluster -t 8 -m xen+ -p round-4k/carrefour \
+  --no-fast-forward --trace "$TRACE_DIR/ffcoff.jsonl" >/dev/null
+cmp "$TRACE_DIR/ffcon.jsonl" "$TRACE_DIR/ffcoff.jsonl" || {
+  echo "tier1: FAIL - carrefour-cell traces differ between fast-forward on and off" >&2
+  exit 1
+}
+echo "tier1: fast-forward trace equivalence OK"
+
 # Trace query engine smoke: the streaming query over the tab1 traces
 # from --jobs 1 and --jobs 4 must render byte-identical tables (the
 # aggregates are pure functions of the trace bytes), and the same run
@@ -230,13 +254,16 @@ dune exec test/test_main.exe -- test faults
 # frame-conservation property (post-drain P2M maps exactly the
 # pre-failure guest frames, none on an offlined mfn), the
 # replica-equivalence invariant (mirrors track the primary through any
-# op interleaving), and the radix walk monotonicity properties.
+# op interleaving), the radix walk monotonicity properties, and the
+# fast-forward equivalence property (a delta-replayed run equals the
+# naive run bit for bit across randomised policies and shardings).
 echo "tier1: randomised property pass (QCHECK_SEED=$QCHECK_SEED)"
 dune exec test/test_main.exe -- test memory.buddy
 dune exec test/test_main.exe -- test xen.p2m
 dune exec test/test_main.exe -- test stats.topk
 dune exec test/test_main.exe -- test xen.p2m.batch
 dune exec test/test_main.exe -- test engine.shard
+dune exec test/test_main.exe -- test engine.ff
 dune exec test/test_main.exe -- test policies.evacuation
 dune exec test/test_main.exe -- test obs.latency
 dune exec test/test_main.exe -- test obs.query
